@@ -1,0 +1,81 @@
+// Ablation (DESIGN.md A1): extended baseline comparison — the proposed
+// subspace detector against MLR [4],[14], the PCA dominant-variance
+// detector [9], and the pilot-PMU scheme [10], under complete data and
+// under missing outage data.
+
+#include <cstdio>
+#include <iostream>
+
+#include "baselines/pca_variance.h"
+#include "baselines/pilot_pmu.h"
+#include "bench/bench_common.h"
+#include "common/rng.h"
+#include "common/table_printer.h"
+#include "eval/metrics.h"
+#include "grid/ieee_cases.h"
+#include "sim/missing_data.h"
+
+namespace pw = phasorwatch;
+
+int main(int argc, char** argv) {
+  pw::bench::BenchConfig config = pw::bench::ParseConfig(argc, argv);
+  pw::bench::PrintHeader("AblationBaselines",
+                         "Extended baseline comparison", config);
+
+  pw::TablePrinter table(
+      {"system", "scenario", "method", "IA", "FA"});
+  for (int buses : config.systems) {
+    auto grid = pw::grid::EvaluationSystem(buses);
+    if (!grid.ok()) return 1;
+    auto dataset = pw::bench::BuildSystemDataset(*grid, config);
+    if (!dataset.ok()) return 1;
+    auto methods = pw::eval::TrainedMethods::Train(*dataset, config.experiment);
+    if (!methods.ok()) {
+      std::fprintf(stderr, "train %d: %s\n", buses,
+                   methods.status().ToString().c_str());
+      return 1;
+    }
+    auto pca = pw::baselines::PcaVarianceDetector::Train(
+        *grid, dataset->normal.train, {});
+    auto pilot = pw::baselines::PilotPmuDetector::Train(
+        *grid, dataset->normal.train, {});
+    if (!pca.ok() || !pilot.ok()) return 1;
+
+    for (bool missing : {false, true}) {
+      pw::eval::MetricAccumulator acc_sub, acc_mlr, acc_pca, acc_pilot;
+      pw::Rng rng(config.experiment.seed + (missing ? 1 : 0));
+      for (const auto& c : dataset->outages) {
+        size_t take = std::min<size_t>(config.experiment.test_samples_per_case,
+                                       c.test.num_samples());
+        pw::sim::MissingMask mask =
+            missing ? pw::sim::MissingAtOutage(grid->num_buses(), c.line)
+                    : pw::sim::MissingMask::None(grid->num_buses());
+        for (size_t t = 0; t < take; ++t) {
+          auto [vm, va] = c.test.Sample(t);
+          std::vector<pw::grid::LineId> truth = {c.line};
+          auto det = methods->detector().Detect(vm, va, mask);
+          if (!det.ok()) return 1;
+          acc_sub.Add(pw::eval::ScoreSample(truth, det->lines));
+          acc_mlr.Add(pw::eval::ScoreSample(
+              truth, methods->mlr().PredictLines(vm, va, mask)));
+          acc_pca.Add(pw::eval::ScoreSample(
+              truth, pca->PredictLines(vm, va, mask)));
+          acc_pilot.Add(pw::eval::ScoreSample(
+              truth, pilot->PredictLines(vm, va, mask)));
+        }
+      }
+      const char* scenario = missing ? "missing-outage" : "complete";
+      auto add = [&](const char* name, pw::eval::MetricAccumulator& acc) {
+        table.AddRow({grid->name(), scenario, name,
+                      pw::TablePrinter::Num(acc.MeanIdentificationAccuracy()),
+                      pw::TablePrinter::Num(acc.MeanFalseAlarm())});
+      };
+      add("subspace (proposed)", acc_sub);
+      add("MLR [4],[14]", acc_mlr);
+      add("PCA variance [9]", acc_pca);
+      add("pilot PMU [10]", acc_pilot);
+    }
+  }
+  table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Ablation: recover-then-detect vs detect-around-the-gap. The paper
+// argues (Secs. I and III-B) that reconstructing missing samples before
+// detection costs time and can compromise accuracy; this harness
+// measures both sides: the proposed subspace detector (no recovery)
+// against the MLR peer fed by zero imputation and by low-rank recovery
+// in the spirit of [8], under the missing-outage-data scenario, plus
+// the per-sample recovery latency.
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+
+#include "baselines/imputation.h"
+#include "bench/bench_common.h"
+#include "common/rng.h"
+#include "common/table_printer.h"
+#include "eval/metrics.h"
+#include "grid/ieee_cases.h"
+#include "sim/missing_data.h"
+
+namespace pw = phasorwatch;
+
+int main(int argc, char** argv) {
+  pw::bench::BenchConfig config = pw::bench::ParseConfig(argc, argv);
+  pw::bench::PrintHeader("AblationImputation",
+                         "Recover-then-detect vs robust detection", config);
+
+  pw::TablePrinter table(
+      {"system", "method", "IA", "FA", "us/sample overhead"});
+  for (int buses : config.systems) {
+    auto grid = pw::grid::EvaluationSystem(buses);
+    if (!grid.ok()) return 1;
+    auto dataset = pw::bench::BuildSystemDataset(*grid, config);
+    if (!dataset.ok()) return 1;
+    auto methods = pw::eval::TrainedMethods::Train(*dataset, config.experiment);
+    if (!methods.ok()) {
+      std::fprintf(stderr, "train %d: %s\n", buses,
+                   methods.status().ToString().c_str());
+      return 1;
+    }
+    pw::baselines::LowRankImputer::Options iopts;
+    auto imputer =
+        pw::baselines::LowRankImputer::Train(dataset->normal.train, iopts);
+    if (!imputer.ok()) return 1;
+
+    pw::eval::MetricAccumulator acc_sub, acc_zero, acc_lowrank;
+    const size_t n = grid->num_buses();
+    pw::sim::MissingMask none = pw::sim::MissingMask::None(n);
+    double impute_ns = 0.0;
+    size_t impute_count = 0;
+    for (const auto& c : dataset->outages) {
+      pw::sim::MissingMask mask = pw::sim::MissingAtOutage(n, c.line);
+      size_t take = std::min<size_t>(config.experiment.test_samples_per_case,
+                                     c.test.num_samples());
+      for (size_t t = 0; t < take; ++t) {
+        auto [vm, va] = c.test.Sample(t);
+        std::vector<pw::grid::LineId> truth = {c.line};
+
+        auto det = methods->detector().Detect(vm, va, mask);
+        if (!det.ok()) return 1;
+        acc_sub.Add(pw::eval::ScoreSample(truth, det->lines));
+
+        acc_zero.Add(pw::eval::ScoreSample(
+            truth, methods->mlr().PredictLines(vm, va, mask)));
+
+        pw::linalg::Vector vm_f = vm, va_f = va;
+        auto start = std::chrono::steady_clock::now();
+        imputer->Impute(vm_f, va_f, mask);
+        impute_ns += std::chrono::duration<double, std::nano>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+        ++impute_count;
+        // After recovery, the classifier sees a "complete" sample.
+        acc_lowrank.Add(pw::eval::ScoreSample(
+            truth, methods->mlr().PredictLines(vm_f, va_f, none)));
+      }
+    }
+    auto add = [&](const char* name, pw::eval::MetricAccumulator& acc,
+                   double overhead_us) {
+      table.AddRow({grid->name(), name,
+                    pw::TablePrinter::Num(acc.MeanIdentificationAccuracy()),
+                    pw::TablePrinter::Num(acc.MeanFalseAlarm()),
+                    pw::TablePrinter::Num(overhead_us, 1)});
+    };
+    add("subspace (no recovery)", acc_sub, 0.0);
+    add("MLR + zero fill", acc_zero, 0.0);
+    add("MLR + low-rank recovery [8]", acc_lowrank,
+        impute_ns / 1e3 / static_cast<double>(impute_count));
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nReading: low-rank recovery helps MLR relative to zero filling but\n"
+      "cannot reconstruct the outage signature it never observed; the\n"
+      "group-based subspace detector needs no recovery step at all.\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+#ifndef PHASORWATCH_BENCH_BENCH_COMMON_H_
+#define PHASORWATCH_BENCH_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "eval/dataset.h"
+#include "eval/experiments.h"
+#include "grid/grid.h"
+
+namespace phasorwatch::bench {
+
+/// Scale of a figure-harness run, selectable via argv[1]:
+///   --quick  : IEEE 14 + 30, small sample counts (smoke, < ~1 min)
+///   --full   : all four systems with paper-scale sample counts
+/// Default is --quick so `for b in build/bench/*; do $b; done` stays
+/// tractable; EXPERIMENTS.md records --full runs.
+struct BenchConfig {
+  std::vector<int> systems;        ///< bus counts to evaluate
+  eval::DatasetOptions dataset;
+  eval::ExperimentOptions experiment;
+  bool full = false;
+};
+
+/// Parses --quick / --full (and optional --seed N).
+BenchConfig ParseConfig(int argc, char** argv);
+
+/// Builds the dataset for one system with the config's sizing.
+Result<eval::Dataset> BuildSystemDataset(const grid::Grid& grid,
+                                         const BenchConfig& config);
+
+/// Prints the standard harness header (paper banner + config line).
+void PrintHeader(const std::string& experiment_id, const std::string& title,
+                 const BenchConfig& config);
+
+/// Shared driver for the scenario figures (Figs. 7-9): runs `scenario`
+/// on every configured system and prints the IA/FA table. Returns a
+/// process exit code.
+int RunScenarioHarness(const std::string& experiment_id,
+                       const std::string& title,
+                       eval::MissingScenario scenario, int argc, char** argv);
+
+}  // namespace phasorwatch::bench
+
+#endif  // PHASORWATCH_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,10 @@
+// Reproduces Fig. 7 (a, b): IA / FA when the phasor data of both
+// endpoints of the outaged line are missing (Fig. 6, top pattern).
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  return phasorwatch::bench::RunScenarioHarness(
+      "Fig7", "Missing outage data case (endpoints dark)",
+      phasorwatch::eval::MissingScenario::kOutageEndpoints, argc, argv);
+}

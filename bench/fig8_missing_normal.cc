@@ -1,0 +1,11 @@
+// Reproduces Fig. 8 (a, b): normal-operation samples with random
+// missing data (Fig. 6, middle pattern). Tests whether methods confuse
+// data problems with physical outages: IA = 1 iff no line is flagged.
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  return phasorwatch::bench::RunScenarioHarness(
+      "Fig8", "Random missing data, normal-operations samples",
+      phasorwatch::eval::MissingScenario::kRandomOnNormal, argc, argv);
+}

@@ -1,0 +1,11 @@
+// Reproduces Fig. 9 (a, b): outage samples with random missing data
+// away from the outage location (Fig. 6, bottom pattern) — missing data
+// and outages uncorrelated.
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  return phasorwatch::bench::RunScenarioHarness(
+      "Fig9", "Random missing data, outage samples (off-outage drops)",
+      phasorwatch::eval::MissingScenario::kRandomOffOutage, argc, argv);
+}

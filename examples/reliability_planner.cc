@@ -1,0 +1,76 @@
+// Reliability-planning demo: given candidate PMU hardware tiers with
+// different device/link availabilities, estimate the effective
+// false-alarm and accuracy of the outage-detection application (the
+// Fig. 10 machinery used as a procurement tool).
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/table_printer.h"
+#include "eval/dataset.h"
+#include "eval/experiments.h"
+#include "grid/ieee_cases.h"
+
+namespace pw = phasorwatch;
+
+int main() {
+  auto grid = pw::grid::IeeeCase14();
+  if (!grid.ok()) return 1;
+
+  pw::eval::DatasetOptions dopts;
+  dopts.train_states = 12;
+  dopts.train_samples_per_state = 6;
+  dopts.test_states = 5;
+  dopts.test_samples_per_state = 6;
+  auto dataset = pw::eval::BuildDataset(*grid, dopts, 314);
+  if (!dataset.ok()) return 1;
+
+  pw::eval::ExperimentOptions opts;
+  opts.mlr.epochs = 80;
+  auto methods = pw::eval::TrainedMethods::Train(*dataset, opts);
+  if (!methods.ok()) {
+    std::fprintf(stderr, "train: %s\n",
+                 methods.status().ToString().c_str());
+    return 1;
+  }
+
+  struct Tier {
+    const char* name;
+    double availability;  // r_PMU * r_link per device
+  };
+  // Availability range reported for commercial PMUs and links [18].
+  std::vector<Tier> tiers = {
+      {"premium (dual-redundant)", 0.9999},
+      {"standard utility grade", 0.999},
+      {"budget hardware", 0.99},
+      {"aging fleet", 0.95},
+  };
+  std::vector<double> availabilities;
+  for (const Tier& t : tiers) availabilities.push_back(t.availability);
+
+  auto points = pw::eval::RunReliabilitySweep(*dataset, *methods,
+                                              availabilities, 150, opts);
+  if (!points.ok()) {
+    std::fprintf(stderr, "sweep: %s\n", points.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Outage-detection quality vs PMU fleet reliability (%s)\n\n",
+              grid->name().c_str());
+  pw::TablePrinter table({"hardware tier", "device avail", "system r",
+                          "effective FA", "effective IA"});
+  for (size_t i = 0; i < tiers.size(); ++i) {
+    const auto& p = (*points)[i];
+    table.AddRow({tiers[i].name,
+                  pw::TablePrinter::Num(p.device_availability, 4),
+                  pw::TablePrinter::Num(p.system_reliability, 4),
+                  pw::TablePrinter::Num(p.effective_false_alarm),
+                  pw::TablePrinter::Num(p.effective_accuracy)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nReading: the subspace detector's false-alarm rate stays nearly\n"
+      "flat across tiers, so cheaper hardware mainly costs localization\n"
+      "accuracy, not alarm integrity.\n");
+  return 0;
+}

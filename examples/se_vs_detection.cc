@@ -1,0 +1,162 @@
+// Model-based vs data-based: the paper's Sec. II argument, executable.
+//
+// A linear PMU state estimator (model-based) running with the control
+// center's admittance model notices that POST-outage measurements are
+// inconsistent with the PRE-outage model — its chi-square test fails —
+// but it cannot say which line is gone, and with missing PMUs it may
+// not even stay observable. The data-based subspace detector both
+// detects and localizes the outage from whatever measurements arrive.
+
+#include <cmath>
+#include <complex>
+#include <cstdio>
+
+#include "detect/detector.h"
+#include "common/table_printer.h"
+#include "eval/dataset.h"
+#include "grid/ieee_cases.h"
+#include "powerflow/powerflow.h"
+#include "se/state_estimator.h"
+#include "sim/missing_data.h"
+#include "sim/pmu_network.h"
+
+namespace pw = phasorwatch;
+
+int main() {
+  auto grid = pw::grid::IeeeCase14();
+  if (!grid.ok()) return 1;
+  auto network = pw::sim::PmuNetwork::Build(*grid, 3);
+  if (!network.ok()) return 1;
+
+  // Train the data-based detector.
+  pw::eval::DatasetOptions dopts;
+  dopts.train_states = 16;
+  dopts.train_samples_per_state = 8;
+  dopts.test_states = 5;
+  dopts.test_samples_per_state = 5;
+  auto dataset = pw::eval::BuildDataset(*grid, dopts, 2718);
+  if (!dataset.ok()) return 1;
+  pw::detect::TrainingData training;
+  training.normal = &dataset->normal.train;
+  for (const auto& c : dataset->outages) {
+    training.case_lines.push_back(c.line);
+    training.outage.push_back(&c.train);
+  }
+  auto detector =
+      pw::detect::OutageDetector::Train(*grid, *network, training, {});
+  if (!detector.ok()) return 1;
+
+  // The model-based application: SE with the pre-outage model. Branch
+  // current phasors carry the admittance model into the measurement
+  // set (voltage-only full coverage has zero redundancy, so it can
+  // never contradict anything).
+  pw::se::LinearStateEstimator estimator(*grid);
+
+  auto current_measurements = [&](const pw::grid::Grid& actual,
+                                  const pw::linalg::Vector& vm,
+                                  const pw::linalg::Vector& va,
+                                  const pw::sim::MissingMask& mask) {
+    std::vector<pw::se::PhasorMeasurement> out;
+    using C = std::complex<double>;
+    for (size_t k = 0; k < actual.num_branches(); ++k) {
+      const pw::grid::Branch& br = actual.branches()[k];
+      auto f = actual.BusIndex(br.from_bus);
+      auto t = actual.BusIndex(br.to_bus);
+      if (!f.ok() || !t.ok()) continue;
+      if (mask.missing[*f] || mask.missing[*t]) continue;
+      C current(0.0, 0.0);
+      if (br.in_service) {
+        double tap = br.tap == 0.0 ? 1.0 : br.tap;
+        C ys = 1.0 / C(br.r, br.x);
+        C charging(0.0, br.b / 2.0);
+        C ratio = tap * std::exp(C(0.0, br.shift_deg * M_PI / 180.0));
+        C vf = std::polar(vm[*f], va[*f]);
+        C vt = std::polar(vm[*t], va[*t]);
+        current = (ys + charging) * (vf / (tap * tap)) -
+                  ys * (vt / std::conj(ratio));
+      }
+      // A dead line reads zero current on its CT — which the pre-outage
+      // model cannot explain. That is the model-based outage symptom.
+      pw::se::PhasorMeasurement m;
+      m.kind = pw::se::PhasorMeasurement::Kind::kBranchCurrentFrom;
+      m.index = k;
+      m.real = current.real();
+      m.imag = current.imag();
+      m.sigma = 0.01;
+      out.push_back(m);
+    }
+    return out;
+  };
+
+  auto evaluate = [&](const char* label, const pw::sim::PhasorDataSet& data,
+                      const pw::grid::Grid& actual,
+                      const pw::grid::LineId* true_line,
+                      const pw::sim::MissingMask& mask) {
+    auto [vm, va] = data.Sample(0);
+
+    auto measurements = pw::se::LinearStateEstimator::VoltageMeasurements(
+        vm, va, mask.missing);
+    for (const auto& m : current_measurements(actual, vm, va, mask)) {
+      measurements.push_back(m);
+    }
+    auto se_result = estimator.Estimate(measurements);
+    std::string se_verdict;
+    if (!se_result.ok()) {
+      se_verdict = "UNOBSERVABLE (" + se_result.status().ToString() + ")";
+    } else if (se_result->ChiSquareTestPasses()) {
+      se_verdict = "consistent with the model (J=" +
+                   pw::TablePrinter::Num(se_result->weighted_residual_sq, 1) +
+                   ")";
+    } else {
+      se_verdict = "MODEL MISMATCH (J=" +
+                   pw::TablePrinter::Num(se_result->weighted_residual_sq, 1) +
+                   "), location unknown";
+    }
+
+    auto det_result = detector->Detect(vm, va, mask);
+    std::string det_verdict;
+    if (!det_result.ok()) {
+      det_verdict = det_result.status().ToString();
+    } else if (!det_result->outage_detected) {
+      det_verdict = "normal operation";
+    } else {
+      det_verdict = "outage at {";
+      for (const auto& line : det_result->lines) {
+        det_verdict += " " + grid->LineName(line);
+      }
+      det_verdict += " }";
+    }
+
+    std::printf("%s\n", label);
+    if (true_line != nullptr) {
+      std::printf("  ground truth   : %s out\n",
+                  grid->LineName(*true_line).c_str());
+    } else {
+      std::printf("  ground truth   : no outage\n");
+    }
+    std::printf("  state estimator: %s\n", se_verdict.c_str());
+    std::printf("  subspace detect: %s\n\n", det_verdict.c_str());
+  };
+
+  const auto& outage_case = dataset->outages[1];
+  auto outage_grid = grid->WithLineOut(outage_case.line);
+  if (!outage_grid.ok()) return 1;
+  pw::sim::MissingMask none = pw::sim::MissingMask::None(grid->num_buses());
+  pw::sim::MissingMask at_outage =
+      pw::sim::MissingAtOutage(grid->num_buses(), outage_case.line);
+
+  std::printf("IEEE 14-bus: model-based SE vs data-based detection\n\n");
+  evaluate("[1] Normal operation, all PMUs reporting:",
+           dataset->normal.test, *grid, nullptr, none);
+  evaluate("[2] Line outage, all PMUs reporting:", outage_case.test,
+           *outage_grid, &outage_case.line, none);
+  evaluate("[3] Line outage, outage-endpoint PMUs dark:", outage_case.test,
+           *outage_grid, &outage_case.line, at_outage);
+
+  std::printf(
+      "Reading: the estimator's chi-square flag only says the grid no\n"
+      "longer matches the stored model; localization requires the\n"
+      "data-based detector, which also keeps working when the most\n"
+      "informative PMUs disappear with the line they monitor.\n");
+  return 0;
+}

@@ -1,0 +1,14 @@
+#!/bin/sh
+# Full-scale reproduction runs; results recorded in EXPERIMENTS.md.
+# full_report covers Figs. 5/7/8/9/10 on all four systems with shared
+# training; fig4 and the ablations retrain per variant, so they run on
+# the systems where that is affordable.
+set -e
+cd "$(dirname "$0")/.."
+echo "=== full_report ==="
+./build/tools/full_report > results/full_report.txt 2>results/full_report.log
+for b in fig4_detection_groups ablation_scaling ablation_baselines \
+         ablation_imputation; do
+  echo "=== $b (quick systems) ==="
+  ./build/bench/$b > results/${b}_quick.txt 2>/dev/null
+done

@@ -1,0 +1,18 @@
+#!/bin/sh
+# Developer pre-submit check: configure, build, run the full test suite,
+# then smoke the examples and quick-mode figure harnesses.
+set -e
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+for example in build/examples/*; do
+  [ -x "$example" ] || continue
+  echo "=== $example ==="
+  "$example" > /dev/null
+done
+for bench in build/bench/fig*; do
+  echo "=== $bench (quick) ==="
+  "$bench" > /dev/null
+done
+echo "all checks passed"

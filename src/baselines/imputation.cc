@@ -1,0 +1,123 @@
+#include "baselines/imputation.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "linalg/lu.h"
+#include "linalg/svd.h"
+
+namespace phasorwatch::baselines {
+
+Result<LowRankImputer> LowRankImputer::Train(
+    const sim::PhasorDataSet& normal_data, const Options& options) {
+  const size_t n = normal_data.num_nodes();
+  const size_t t = normal_data.num_samples();
+  if (n == 0 || t < 4) {
+    return Status::InvalidArgument("imputer training needs more samples");
+  }
+  if (options.rank == 0) {
+    return Status::InvalidArgument("imputer rank must be positive");
+  }
+
+  LowRankImputer imp;
+  imp.ridge_ = options.ridge;
+
+  // Stack both channels and center.
+  linalg::Matrix x(2 * n, t);
+  for (size_t s = 0; s < t; ++s) {
+    for (size_t i = 0; i < n; ++i) {
+      x(i, s) = normal_data.vm(i, s);
+      x(n + i, s) = normal_data.va(i, s);
+    }
+  }
+  imp.mean_ = linalg::Vector(2 * n);
+  for (size_t i = 0; i < 2 * n; ++i) {
+    double m = 0.0;
+    for (size_t s = 0; s < t; ++s) m += x(i, s);
+    m /= static_cast<double>(t);
+    imp.mean_[i] = m;
+    for (size_t s = 0; s < t; ++s) x(i, s) -= m;
+  }
+
+  PW_ASSIGN_OR_RETURN(linalg::SvdResult svd, linalg::ComputeSvd(x));
+  size_t r = std::min(options.rank, svd.singular_values.size());
+  std::vector<size_t> cols(r);
+  for (size_t j = 0; j < r; ++j) cols[j] = j;
+  imp.basis_ = svd.u.SelectCols(cols);
+  return imp;
+}
+
+void LowRankImputer::Impute(linalg::Vector& vm, linalg::Vector& va,
+                            const sim::MissingMask& mask) const {
+  const size_t n = vm.size();
+  PW_CHECK_EQ(va.size(), n);
+  PW_CHECK_EQ(2 * n, mean_.size());
+  if (!mask.any()) return;
+
+  std::vector<size_t> observed;
+  std::vector<size_t> hidden;
+  for (size_t i = 0; i < n; ++i) {
+    if (i < mask.size() && mask.missing[i]) {
+      hidden.push_back(i);
+      hidden.push_back(n + i);
+    } else {
+      observed.push_back(i);
+      observed.push_back(n + i);
+    }
+  }
+  if (hidden.empty()) return;
+
+  auto feature = [&](size_t idx) {
+    return idx < n ? vm[idx] : va[idx - n];
+  };
+  auto set_feature = [&](size_t idx, double value) {
+    if (idx < n) {
+      vm[idx] = value;
+    } else {
+      va[idx - n] = value;
+    }
+  };
+
+  if (observed.empty()) {
+    // Nothing to regress from: the best estimate is the training mean.
+    for (size_t idx : hidden) set_feature(idx, mean_[idx]);
+    return;
+  }
+
+  // Ridge regression of the subspace coefficients from the observed
+  // coordinates: (U_o^T U_o + ridge I) c = U_o^T z_o.
+  const size_t r = basis_.cols();
+  linalg::Matrix normal_eq(r, r);
+  linalg::Vector rhs(r);
+  for (size_t a = 0; a < r; ++a) {
+    for (size_t b = a; b < r; ++b) {
+      double dot = 0.0;
+      for (size_t idx : observed) dot += basis_(idx, a) * basis_(idx, b);
+      normal_eq(a, b) = dot;
+      normal_eq(b, a) = dot;
+    }
+    normal_eq(a, a) += ridge_;
+    double dot = 0.0;
+    for (size_t idx : observed) {
+      dot += basis_(idx, a) * (feature(idx) - mean_[idx]);
+    }
+    rhs[a] = dot;
+  }
+  auto lu = linalg::LuDecomposition::Factor(normal_eq);
+  if (!lu.ok()) {
+    for (size_t idx : hidden) set_feature(idx, mean_[idx]);
+    return;
+  }
+  auto coeff = lu->Solve(rhs);
+  if (!coeff.ok()) {
+    for (size_t idx : hidden) set_feature(idx, mean_[idx]);
+    return;
+  }
+  for (size_t idx : hidden) {
+    double value = mean_[idx];
+    for (size_t a = 0; a < r; ++a) value += basis_(idx, a) * (*coeff)[a];
+    set_feature(idx, value);
+  }
+}
+
+}  // namespace phasorwatch::baselines

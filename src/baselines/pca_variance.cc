@@ -1,0 +1,164 @@
+#include "baselines/pca_variance.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "linalg/svd.h"
+
+namespace phasorwatch::baselines {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+Vector Features(const Vector& vm, const Vector& va) {
+  Vector f(vm.size() * 2);
+  for (size_t i = 0; i < vm.size(); ++i) {
+    f[i] = vm[i];
+    f[vm.size() + i] = va[i];
+  }
+  return f;
+}
+
+}  // namespace
+
+Result<PcaVarianceDetector> PcaVarianceDetector::Train(
+    const grid::Grid& grid, const sim::PhasorDataSet& normal_data,
+    const Options& options) {
+  const size_t n = grid.num_buses();
+  if (normal_data.num_nodes() != n) {
+    return Status::InvalidArgument("normal data node-count mismatch");
+  }
+  const size_t t = normal_data.num_samples();
+  if (t < 4) {
+    return Status::InvalidArgument("PCA training needs more samples");
+  }
+
+  PcaVarianceDetector det;
+  det.grid_ = &grid;
+  det.options_ = options;
+
+  // Stack the 2N-feature samples as columns, center, and take the top
+  // principal directions of the normal operation.
+  Matrix x(2 * n, t);
+  for (size_t s = 0; s < t; ++s) {
+    for (size_t i = 0; i < n; ++i) {
+      x(i, s) = normal_data.vm(i, s);
+      x(n + i, s) = normal_data.va(i, s);
+    }
+  }
+  det.mean_ = Vector(2 * n);
+  for (size_t i = 0; i < 2 * n; ++i) {
+    double m = 0.0;
+    for (size_t s = 0; s < t; ++s) m += x(i, s);
+    m /= static_cast<double>(t);
+    det.mean_[i] = m;
+    for (size_t s = 0; s < t; ++s) x(i, s) -= m;
+  }
+  PW_ASSIGN_OR_RETURN(linalg::SvdResult svd, linalg::ComputeSvd(x));
+  size_t k = std::min(options.num_components, svd.singular_values.size());
+  std::vector<size_t> cols(k);
+  for (size_t i = 0; i < k; ++i) cols[i] = i;
+  det.components_ = svd.u.SelectCols(cols);
+
+  // Residual scale per feature from the training data.
+  det.residual_std_ = Vector(2 * n, 1e-9);
+  for (size_t s = 0; s < t; ++s) {
+    Vector col = x.Col(s);
+    Vector coeff(k);
+    for (size_t j = 0; j < k; ++j) {
+      double d = 0.0;
+      for (size_t i = 0; i < 2 * n; ++i) d += det.components_(i, j) * col[i];
+      coeff[j] = d;
+    }
+    for (size_t i = 0; i < 2 * n; ++i) {
+      double recon = 0.0;
+      for (size_t j = 0; j < k; ++j) recon += det.components_(i, j) * coeff[j];
+      double resid = col[i] - recon;
+      det.residual_std_[i] += resid * resid;
+    }
+  }
+  for (size_t i = 0; i < 2 * n; ++i) {
+    det.residual_std_[i] =
+        std::sqrt(det.residual_std_[i] / static_cast<double>(t));
+  }
+  return det;
+}
+
+std::vector<grid::LineId> PcaVarianceDetector::PredictLines(
+    const Vector& vm, const Vector& va, const sim::MissingMask& mask) const {
+  const size_t n = grid_->num_buses();
+  Vector f = Features(vm, va);
+  // Mean imputation for missing entries — the known weak spot.
+  for (size_t i = 0; i < n; ++i) {
+    if (i < mask.size() && mask.missing[i]) {
+      f[i] = mean_[i];
+      f[n + i] = mean_[n + i];
+    }
+  }
+  for (size_t i = 0; i < f.size(); ++i) f[i] -= mean_[i];
+
+  const size_t k = components_.cols();
+  Vector coeff(k);
+  for (size_t j = 0; j < k; ++j) {
+    double d = 0.0;
+    for (size_t i = 0; i < f.size(); ++i) d += components_(i, j) * f[i];
+    coeff[j] = d;
+  }
+  // Per-bus residual z-score: max over the bus's two channels.
+  std::vector<double> bus_score(n, 0.0);
+  for (size_t i = 0; i < f.size(); ++i) {
+    double recon = 0.0;
+    for (size_t j = 0; j < k; ++j) recon += components_(i, j) * coeff[j];
+    double z = std::fabs(f[i] - recon) / residual_std_[i];
+    bus_score[i % n] = std::max(bus_score[i % n], z);
+  }
+
+  // Buses with dominant variance beyond the threshold.
+  std::vector<size_t> flagged;
+  for (size_t i = 0; i < n; ++i) {
+    if (bus_score[i] > options_.threshold_sigma) flagged.push_back(i);
+  }
+  if (flagged.empty()) return {};
+
+  // Keep the two most dominant buses, then report lines between flagged
+  // buses (or the dominant bus's worst neighbor when only one flags).
+  std::sort(flagged.begin(), flagged.end(), [&](size_t a, size_t b) {
+    return bus_score[a] > bus_score[b];
+  });
+  if (flagged.size() > 2) flagged.resize(2);
+  if (flagged.size() == 1) {
+    size_t seed = flagged[0];
+    size_t best = n;
+    for (size_t nb : grid_->Neighbors(seed)) {
+      if (best == n || bus_score[nb] > bus_score[best]) best = nb;
+    }
+    if (best != n) flagged.push_back(best);
+  }
+  std::vector<grid::LineId> lines;
+  for (size_t a = 0; a < flagged.size(); ++a) {
+    for (size_t b = a + 1; b < flagged.size(); ++b) {
+      grid::LineId line(flagged[a], flagged[b]);
+      for (const grid::LineId& known : grid_->lines()) {
+        if (known == line) {
+          lines.push_back(line);
+          break;
+        }
+      }
+    }
+  }
+  if (lines.empty() && flagged.size() >= 2) {
+    // Flagged buses not directly connected: report the dominant bus's
+    // incident line toward its highest-scoring neighbor.
+    size_t seed = flagged[0];
+    size_t best = n;
+    for (size_t nb : grid_->Neighbors(seed)) {
+      if (best == n || bus_score[nb] > bus_score[best]) best = nb;
+    }
+    if (best != n) lines.push_back(grid::LineId(seed, best));
+  }
+  return lines;
+}
+
+}  // namespace phasorwatch::baselines

@@ -1,0 +1,48 @@
+#ifndef PHASORWATCH_BASELINES_PCA_VARIANCE_H_
+#define PHASORWATCH_BASELINES_PCA_VARIANCE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "grid/grid.h"
+#include "linalg/matrix.h"
+#include "sim/measurement.h"
+#include "sim/missing_data.h"
+
+namespace phasorwatch::baselines {
+
+/// PCA "dominant variance" event detector in the spirit of [9] (Xu &
+/// Overbye 2015): learns the normal-operation PCA model and flags the
+/// buses whose residual deviation dominates; their incident lines form
+/// the candidate set. Depends on a manually set variance threshold and
+/// inherits SVD's sensitivity to missing entries (missing values are
+/// mean-imputed, which is exactly what degrades it).
+class PcaVarianceDetector {
+ public:
+  struct Options {
+    size_t num_components = 4;     ///< retained principal components
+    double threshold_sigma = 5.0;  ///< residual z-score flag level
+  };
+
+  static Result<PcaVarianceDetector> Train(const grid::Grid& grid,
+                                           const sim::PhasorDataSet& normal_data,
+                                           const Options& options);
+
+  /// Candidate outaged lines (empty = normal).
+  std::vector<grid::LineId> PredictLines(const linalg::Vector& vm,
+                                         const linalg::Vector& va,
+                                         const sim::MissingMask& mask) const;
+
+ private:
+  PcaVarianceDetector() = default;
+
+  const grid::Grid* grid_ = nullptr;  // not owned
+  Options options_;
+  linalg::Vector mean_;        // over 2N features
+  linalg::Matrix components_;  // 2N x k principal directions
+  linalg::Vector residual_std_;// per-feature residual scale
+};
+
+}  // namespace phasorwatch::baselines
+
+#endif  // PHASORWATCH_BASELINES_PCA_VARIANCE_H_

@@ -1,0 +1,141 @@
+#include "baselines/pilot_pmu.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "linalg/svd.h"
+
+namespace phasorwatch::baselines {
+
+Result<PilotPmuDetector> PilotPmuDetector::Train(
+    const grid::Grid& grid, const sim::PhasorDataSet& normal_data,
+    const Options& options) {
+  const size_t n = grid.num_buses();
+  if (normal_data.num_nodes() != n) {
+    return Status::InvalidArgument("normal data node-count mismatch");
+  }
+  if (options.num_pilots == 0 || options.num_pilots > n) {
+    return Status::InvalidArgument("pilot count out of range");
+  }
+  const size_t t = normal_data.num_samples();
+  if (t < 4) {
+    return Status::InvalidArgument("pilot training needs more samples");
+  }
+
+  PilotPmuDetector det;
+  det.grid_ = &grid;
+  det.options_ = options;
+
+  // Angle-channel statistics per bus.
+  det.mean_va_ = linalg::Vector(n);
+  det.std_va_ = linalg::Vector(n);
+  linalg::Matrix centered(n, t);
+  for (size_t i = 0; i < n; ++i) {
+    double m = 0.0;
+    for (size_t s = 0; s < t; ++s) m += normal_data.va(i, s);
+    m /= static_cast<double>(t);
+    det.mean_va_[i] = m;
+    double var = 0.0;
+    for (size_t s = 0; s < t; ++s) {
+      double d = normal_data.va(i, s) - m;
+      centered(i, s) = d;
+      var += d * d;
+    }
+    det.std_va_[i] = std::max(std::sqrt(var / static_cast<double>(t)), 1e-9);
+  }
+
+  // Pilot selection by dimensionality reduction: buses with the largest
+  // loadings on the leading principal components (one pilot per
+  // component, duplicates skipped).
+  PW_ASSIGN_OR_RETURN(linalg::SvdResult svd, linalg::ComputeSvd(centered));
+  for (size_t j = 0; j < svd.u.cols() && det.pilots_.size() < options.num_pilots;
+       ++j) {
+    size_t best = 0;
+    double best_abs = -1.0;
+    for (size_t i = 0; i < n; ++i) {
+      double a = std::fabs(svd.u(i, j));
+      if (a > best_abs) {
+        best_abs = a;
+        best = i;
+      }
+    }
+    if (std::find(det.pilots_.begin(), det.pilots_.end(), best) ==
+        det.pilots_.end()) {
+      det.pilots_.push_back(best);
+    }
+  }
+  // Top-variance buses fill any remaining pilot slots.
+  std::vector<size_t> by_var(n);
+  for (size_t i = 0; i < n; ++i) by_var[i] = i;
+  std::sort(by_var.begin(), by_var.end(), [&](size_t a, size_t b) {
+    return det.std_va_[a] > det.std_va_[b];
+  });
+  for (size_t i : by_var) {
+    if (det.pilots_.size() >= options.num_pilots) break;
+    if (std::find(det.pilots_.begin(), det.pilots_.end(), i) ==
+        det.pilots_.end()) {
+      det.pilots_.push_back(i);
+    }
+  }
+
+  det.pilot_mean_va_ = linalg::Vector(det.pilots_.size());
+  det.pilot_std_va_ = linalg::Vector(det.pilots_.size());
+  for (size_t p = 0; p < det.pilots_.size(); ++p) {
+    det.pilot_mean_va_[p] = det.mean_va_[det.pilots_[p]];
+    det.pilot_std_va_[p] = det.std_va_[det.pilots_[p]];
+  }
+  return det;
+}
+
+bool PilotPmuDetector::DetectEvent(const linalg::Vector& vm,
+                                   const linalg::Vector& va,
+                                   const sim::MissingMask& mask) const {
+  (void)vm;
+  for (size_t p = 0; p < pilots_.size(); ++p) {
+    size_t bus = pilots_[p];
+    if (bus < mask.size() && mask.missing[bus]) continue;  // pilot dark
+    double z = std::fabs(va[bus] - pilot_mean_va_[p]) / pilot_std_va_[p];
+    if (z > options_.threshold_sigma) return true;
+  }
+  return false;
+}
+
+std::vector<grid::LineId> PilotPmuDetector::PredictLines(
+    const linalg::Vector& vm, const linalg::Vector& va,
+    const sim::MissingMask& mask) const {
+  if (!DetectEvent(vm, va, mask)) return {};
+  const size_t n = grid_->num_buses();
+  // Localization: the available bus with the largest angle deviation and
+  // its worst-deviating neighbor.
+  size_t worst = n;
+  double worst_z = -1.0;
+  for (size_t i = 0; i < n; ++i) {
+    if (i < mask.size() && mask.missing[i]) continue;
+    double z = std::fabs(va[i] - mean_va_[i]) / std_va_[i];
+    if (z > worst_z) {
+      worst_z = z;
+      worst = i;
+    }
+  }
+  if (worst == n) return {};
+  size_t partner = n;
+  double partner_z = -1.0;
+  for (size_t nb : grid_->Neighbors(worst)) {
+    if (nb < mask.size() && mask.missing[nb]) continue;
+    double z = std::fabs(va[nb] - mean_va_[nb]) / std_va_[nb];
+    if (z > partner_z) {
+      partner_z = z;
+      partner = nb;
+    }
+  }
+  if (partner == n) {
+    // All neighbors dark: fall back to the first incident line.
+    const auto& neighbors = grid_->Neighbors(worst);
+    if (neighbors.empty()) return {};
+    partner = neighbors.front();
+  }
+  return {grid::LineId(worst, partner)};
+}
+
+}  // namespace phasorwatch::baselines

@@ -1,0 +1,58 @@
+#ifndef PHASORWATCH_BASELINES_PILOT_PMU_H_
+#define PHASORWATCH_BASELINES_PILOT_PMU_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "grid/grid.h"
+#include "linalg/matrix.h"
+#include "sim/measurement.h"
+#include "sim/missing_data.h"
+
+namespace phasorwatch::baselines {
+
+/// Pilot-PMU early-event detector in the spirit of [10] (Xie, Chen &
+/// Kumar 2014): dimensionality reduction selects a small set of "pilot"
+/// buses whose deviations flag an event. Fast and cheap, but with only
+/// a handful of pilots the scheme stalls when pilot data is missing —
+/// the failure mode the paper's Sec. II points out.
+class PilotPmuDetector {
+ public:
+  struct Options {
+    size_t num_pilots = 4;
+    double threshold_sigma = 5.0;
+  };
+
+  static Result<PilotPmuDetector> Train(const grid::Grid& grid,
+                                        const sim::PhasorDataSet& normal_data,
+                                        const Options& options);
+
+  /// True when the available pilots flag an event. Missing pilots are
+  /// skipped; when every pilot is missing the detector reports "no
+  /// event" (it has nothing to test — the documented weakness).
+  bool DetectEvent(const linalg::Vector& vm, const linalg::Vector& va,
+                   const sim::MissingMask& mask) const;
+
+  /// Event localization: the flagged pilot's highest-deviation incident
+  /// line (coarse, as in the source scheme).
+  std::vector<grid::LineId> PredictLines(const linalg::Vector& vm,
+                                         const linalg::Vector& va,
+                                         const sim::MissingMask& mask) const;
+
+  const std::vector<size_t>& pilots() const { return pilots_; }
+
+ private:
+  PilotPmuDetector() = default;
+
+  const grid::Grid* grid_ = nullptr;  // not owned
+  Options options_;
+  std::vector<size_t> pilots_;
+  linalg::Vector pilot_mean_va_;
+  linalg::Vector pilot_std_va_;
+  linalg::Vector mean_va_;  // all buses, for localization
+  linalg::Vector std_va_;
+};
+
+}  // namespace phasorwatch::baselines
+
+#endif  // PHASORWATCH_BASELINES_PILOT_PMU_H_

@@ -1,0 +1,37 @@
+#ifndef PHASORWATCH_COMMON_CHECK_H_
+#define PHASORWATCH_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Internal-invariant checks. These abort on failure in all build modes:
+/// a violated invariant in numerical code silently corrupts every result
+/// downstream, so failing fast is the only safe behavior. Use Status for
+/// errors callers can act on; use PW_CHECK for programmer errors.
+
+#define PW_CHECK(cond)                                                     \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "PW_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define PW_CHECK_MSG(cond, msg)                                            \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "PW_CHECK failed at %s:%d: %s (%s)\n",          \
+                   __FILE__, __LINE__, #cond, (msg));                      \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define PW_CHECK_EQ(a, b) PW_CHECK((a) == (b))
+#define PW_CHECK_NE(a, b) PW_CHECK((a) != (b))
+#define PW_CHECK_LT(a, b) PW_CHECK((a) < (b))
+#define PW_CHECK_LE(a, b) PW_CHECK((a) <= (b))
+#define PW_CHECK_GT(a, b) PW_CHECK((a) > (b))
+#define PW_CHECK_GE(a, b) PW_CHECK((a) >= (b))
+
+#endif  // PHASORWATCH_COMMON_CHECK_H_

@@ -1,0 +1,45 @@
+#ifndef PHASORWATCH_COMMON_LOGGING_H_
+#define PHASORWATCH_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace phasorwatch {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log sink that writes one line to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace phasorwatch
+
+#define PW_LOG(level)                                                   \
+  ::phasorwatch::internal_logging::LogMessage(                          \
+      ::phasorwatch::LogLevel::k##level, __FILE__, __LINE__)
+
+#endif  // PHASORWATCH_COMMON_LOGGING_H_

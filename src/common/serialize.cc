@@ -1,0 +1,112 @@
+#include "common/serialize.h"
+
+#include <cstring>
+
+namespace phasorwatch {
+namespace {
+
+// Serialize through explicit byte copies; the host is little-endian on
+// every supported platform, and memcpy avoids aliasing pitfalls.
+template <typename T>
+void WriteRaw(std::ostream& out, T value) {
+  char bytes[sizeof(T)];
+  std::memcpy(bytes, &value, sizeof(T));
+  out.write(bytes, sizeof(T));
+}
+
+template <typename T>
+Result<T> ReadRaw(std::istream& in, const char* what) {
+  char bytes[sizeof(T)];
+  in.read(bytes, sizeof(T));
+  if (!in.good() && !in.eof()) {
+    return Status::InvalidArgument(std::string("stream error reading ") +
+                                   what);
+  }
+  if (in.gcount() != static_cast<std::streamsize>(sizeof(T))) {
+    return Status::InvalidArgument(std::string("truncated input reading ") +
+                                   what);
+  }
+  T value;
+  std::memcpy(&value, bytes, sizeof(T));
+  return value;
+}
+
+}  // namespace
+
+void BinaryWriter::WriteU64(uint64_t value) { WriteRaw(out_, value); }
+void BinaryWriter::WriteI64(int64_t value) { WriteRaw(out_, value); }
+void BinaryWriter::WriteDouble(double value) { WriteRaw(out_, value); }
+void BinaryWriter::WriteBool(bool value) {
+  WriteRaw(out_, static_cast<uint8_t>(value ? 1 : 0));
+}
+
+void BinaryWriter::WriteString(const std::string& value) {
+  WriteU64(value.size());
+  out_.write(value.data(), static_cast<std::streamsize>(value.size()));
+}
+
+void BinaryWriter::WriteDoubleVector(const std::vector<double>& values) {
+  WriteU64(values.size());
+  for (double v : values) WriteDouble(v);
+}
+
+void BinaryWriter::WriteSizeVector(const std::vector<size_t>& values) {
+  WriteU64(values.size());
+  for (size_t v : values) WriteU64(v);
+}
+
+Result<uint64_t> BinaryReader::ReadU64() {
+  return ReadRaw<uint64_t>(in_, "u64");
+}
+Result<int64_t> BinaryReader::ReadI64() { return ReadRaw<int64_t>(in_, "i64"); }
+Result<double> BinaryReader::ReadDouble() {
+  return ReadRaw<double>(in_, "double");
+}
+
+Result<bool> BinaryReader::ReadBool() {
+  PW_ASSIGN_OR_RETURN(uint8_t raw, ReadRaw<uint8_t>(in_, "bool"));
+  if (raw > 1) {
+    return Status::InvalidArgument("corrupt bool value");
+  }
+  return raw == 1;
+}
+
+Result<std::string> BinaryReader::ReadString(size_t max_length) {
+  PW_ASSIGN_OR_RETURN(uint64_t size, ReadU64());
+  if (size > max_length) {
+    return Status::InvalidArgument("string length exceeds limit");
+  }
+  std::string value(size, '\0');
+  in_.read(value.data(), static_cast<std::streamsize>(size));
+  if (in_.gcount() != static_cast<std::streamsize>(size)) {
+    return Status::InvalidArgument("truncated string");
+  }
+  return value;
+}
+
+Result<std::vector<double>> BinaryReader::ReadDoubleVector(size_t max_size) {
+  PW_ASSIGN_OR_RETURN(uint64_t size, ReadU64());
+  if (size > max_size) {
+    return Status::InvalidArgument("vector length exceeds limit");
+  }
+  std::vector<double> values(size);
+  for (uint64_t i = 0; i < size; ++i) {
+    PW_ASSIGN_OR_RETURN(values[i], ReadDouble());
+  }
+  return values;
+}
+
+Result<std::vector<size_t>> BinaryReader::ReadSizeVector(size_t max_size) {
+  PW_ASSIGN_OR_RETURN(uint64_t size, ReadU64());
+  if (size > max_size) {
+    return Status::InvalidArgument("vector length exceeds limit");
+  }
+  std::vector<size_t> values(size);
+  for (uint64_t i = 0; i < size; ++i) {
+    PW_ASSIGN_OR_RETURN(uint64_t v, ReadU64());
+    values[i] = static_cast<size_t>(v);
+  }
+  return values;
+}
+
+}  // namespace phasorwatch

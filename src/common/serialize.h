@@ -1,0 +1,56 @@
+#ifndef PHASORWATCH_COMMON_SERIALIZE_H_
+#define PHASORWATCH_COMMON_SERIALIZE_H_
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace phasorwatch {
+
+/// Little binary writer for model persistence. The format is
+/// little-endian, fixed-width, with no alignment padding; every
+/// compound structure is length-prefixed so readers can validate
+/// buffers before allocating.
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(std::ostream& out) : out_(out) {}
+
+  void WriteU64(uint64_t value);
+  void WriteI64(int64_t value);
+  void WriteDouble(double value);
+  void WriteBool(bool value);
+  void WriteString(const std::string& value);
+  void WriteDoubleVector(const std::vector<double>& values);
+  void WriteSizeVector(const std::vector<size_t>& values);
+
+  bool ok() const { return out_.good(); }
+
+ private:
+  std::ostream& out_;
+};
+
+/// Counterpart reader; every method validates stream state and sizes,
+/// returning kInvalidArgument on truncated or corrupt input.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::istream& in) : in_(in) {}
+
+  Result<uint64_t> ReadU64();
+  Result<int64_t> ReadI64();
+  Result<double> ReadDouble();
+  Result<bool> ReadBool();
+  Result<std::string> ReadString(size_t max_length = 1 << 20);
+  Result<std::vector<double>> ReadDoubleVector(size_t max_size = 1 << 28);
+  Result<std::vector<size_t>> ReadSizeVector(size_t max_size = 1 << 28);
+
+ private:
+  std::istream& in_;
+};
+
+}  // namespace phasorwatch
+
+#endif  // PHASORWATCH_COMMON_SERIALIZE_H_

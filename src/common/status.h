@@ -1,0 +1,134 @@
+#ifndef PHASORWATCH_COMMON_STATUS_H_
+#define PHASORWATCH_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace phasorwatch {
+
+/// Error categories used across the library. Mirrors the RocksDB/Arrow
+/// convention of returning rich status objects instead of throwing.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kNotConverged,   ///< Iterative solver exhausted its iteration budget.
+  kSingular,       ///< A matrix factorization hit a (near-)singular pivot.
+  kIslanded,       ///< A grid operation would disconnect the network.
+  kDataMissing,    ///< Required measurements are unavailable.
+  kInternal,
+};
+
+/// Returns a human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// Result of a fallible operation without a payload.
+///
+/// A default-constructed Status is OK. Errors carry a code and a message.
+/// Statuses are cheap to copy (OK carries no allocation).
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotConverged(std::string msg) {
+    return Status(StatusCode::kNotConverged, std::move(msg));
+  }
+  static Status Singular(std::string msg) {
+    return Status(StatusCode::kSingular, std::move(msg));
+  }
+  static Status Islanded(std::string msg) {
+    return Status(StatusCode::kIslanded, std::move(msg));
+  }
+  static Status DataMissing(std::string msg) {
+    return Status(StatusCode::kDataMissing, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Modeled after
+/// absl::StatusOr but dependency-free.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value and from error status, so functions can
+  /// `return value;` or `return Status::...;` directly.
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : data_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    // An OK status without a value is a bug at the call site.
+    if (std::get<Status>(data_).ok()) {
+      data_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(data_);
+  }
+
+  const T& value() const& { return std::get<T>(data_); }
+  T& value() & { return std::get<T>(data_); }
+  T&& value() && { return std::get<T>(std::move(data_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+/// Propagates a non-OK Status from an expression, RocksDB-style.
+#define PW_RETURN_IF_ERROR(expr)                        \
+  do {                                                  \
+    ::phasorwatch::Status pw_status_ = (expr);          \
+    if (!pw_status_.ok()) return pw_status_;            \
+  } while (0)
+
+/// Evaluates a Result<T> expression; on error returns its Status,
+/// otherwise moves the value into `lhs`.
+#define PW_STATUS_CONCAT_INNER_(a, b) a##b
+#define PW_STATUS_CONCAT_(a, b) PW_STATUS_CONCAT_INNER_(a, b)
+#define PW_ASSIGN_OR_RETURN(lhs, expr) \
+  PW_ASSIGN_OR_RETURN_IMPL_(PW_STATUS_CONCAT_(pw_result_, __LINE__), lhs, expr)
+#define PW_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).value()
+
+}  // namespace phasorwatch
+
+#endif  // PHASORWATCH_COMMON_STATUS_H_

@@ -1,0 +1,36 @@
+#ifndef PHASORWATCH_COMMON_TABLE_PRINTER_H_
+#define PHASORWATCH_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace phasorwatch {
+
+/// Collects rows of string cells and renders an aligned ASCII table.
+/// Used by the benchmark harnesses to print the paper's figure series in
+/// a stable, diffable format.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends one row; pads or truncates to the header width.
+  void AddRow(std::vector<std::string> row);
+
+  /// Formats a double with fixed precision for table cells.
+  static std::string Num(double value, int precision = 4);
+
+  /// Renders the table with a header rule to `os`.
+  void Print(std::ostream& os) const;
+
+  /// Renders as comma-separated values (for plotting scripts).
+  void PrintCsv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace phasorwatch
+
+#endif  // PHASORWATCH_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,50 @@
+#ifndef PHASORWATCH_COMMON_UNION_FIND_H_
+#define PHASORWATCH_COMMON_UNION_FIND_H_
+
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+namespace phasorwatch {
+
+/// Disjoint-set forest with union by rank and path halving. Used for
+/// grid connectivity and islanding checks.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n), rank_(n, 0), components_(n) {
+    std::iota(parent_.begin(), parent_.end(), size_t{0});
+  }
+
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Merges the sets of a and b; returns false if already joined.
+  bool Union(size_t a, size_t b) {
+    size_t ra = Find(a);
+    size_t rb = Find(b);
+    if (ra == rb) return false;
+    if (rank_[ra] < rank_[rb]) std::swap(ra, rb);
+    parent_[rb] = ra;
+    if (rank_[ra] == rank_[rb]) ++rank_[ra];
+    --components_;
+    return true;
+  }
+
+  bool Connected(size_t a, size_t b) { return Find(a) == Find(b); }
+
+  size_t NumComponents() const { return components_; }
+
+ private:
+  std::vector<size_t> parent_;
+  std::vector<size_t> rank_;
+  size_t components_;
+};
+
+}  // namespace phasorwatch
+
+#endif  // PHASORWATCH_COMMON_UNION_FIND_H_

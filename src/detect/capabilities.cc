@@ -1,0 +1,119 @@
+#include "detect/capabilities.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace phasorwatch::detect {
+
+Result<CapabilityTable> CapabilityTable::Build(
+    const grid::Grid& grid, const std::vector<EllipseModel>& ellipses,
+    const sim::PhasorDataSet& normal_data,
+    const std::vector<grid::LineId>& case_lines,
+    const std::vector<const sim::PhasorDataSet*>& outage_data) {
+  const size_t n = grid.num_buses();
+  if (ellipses.size() != n) {
+    return Status::InvalidArgument("one ellipse per node required");
+  }
+  if (case_lines.size() != outage_data.size()) {
+    return Status::InvalidArgument("case/line count mismatch");
+  }
+  if (normal_data.num_nodes() != n) {
+    return Status::InvalidArgument("normal data node-count mismatch");
+  }
+
+  CapabilityTable table;
+  table.per_case_.assign(case_lines.size(), std::vector<double>(n, 0.0));
+
+  // Eq. 5 denominator: per node, the count of normal samples inside the
+  // node's ellipse. Practically ~T by construction of the ellipse fit.
+  std::vector<double> inside_normal(n, 0.0);
+  for (size_t k = 0; k < n; ++k) {
+    for (size_t t = 0; t < normal_data.num_samples(); ++t) {
+      PhasorPoint p{normal_data.vm(k, t), normal_data.va(k, t)};
+      if (ellipses[k].Contains(p)) inside_normal[k] += 1.0;
+    }
+    // Guard: an ellipse that rejects all normal data would divide by
+    // zero; treat it as having no detection capability instead.
+    inside_normal[k] = std::max(inside_normal[k], 1.0);
+  }
+
+  for (size_t c = 0; c < case_lines.size(); ++c) {
+    const sim::PhasorDataSet& data = *outage_data[c];
+    if (data.num_nodes() != n) {
+      return Status::InvalidArgument("outage data node-count mismatch");
+    }
+    for (size_t k = 0; k < n; ++k) {
+      double outside = 0.0;
+      for (size_t t = 0; t < data.num_samples(); ++t) {
+        PhasorPoint p{data.vm(k, t), data.va(k, t)};
+        if (!ellipses[k].Contains(p)) outside += 1.0;
+      }
+      // Eq. 5, clamped into [0, 1]: the ratio can exceed 1 when the
+      // denominator undercounts, but a probability is intended.
+      table.per_case_[c][k] =
+          std::min(1.0, outside * (static_cast<double>(data.num_samples()) /
+                                   inside_normal[k]) /
+                            static_cast<double>(data.num_samples()));
+    }
+  }
+
+  // Eqs. 6-7: aggregate per affected node i over all cases involving i.
+  table.node_level_ = linalg::Matrix(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    // Cases whose outaged line touches node i (the super set F_i).
+    std::vector<size_t> involved;
+    for (size_t c = 0; c < case_lines.size(); ++c) {
+      if (case_lines[c].i == i || case_lines[c].j == i) involved.push_back(c);
+    }
+    for (size_t k = 0; k < n; ++k) {
+      if (involved.empty()) {
+        table.node_level_(i, k) = 0.0;
+        continue;
+      }
+      // Union probability under independence; equal to the literal
+      // inclusion-exclusion sum of Eq. 7 (verified in tests).
+      double miss_all = 1.0;
+      for (size_t c : involved) miss_all *= 1.0 - table.per_case_[c][k];
+      table.node_level_(i, k) = 1.0 - miss_all;
+    }
+  }
+  return table;
+}
+
+CapabilityTable CapabilityTable::FromData(
+    std::vector<std::vector<double>> per_case, linalg::Matrix node_level) {
+  CapabilityTable table;
+  table.per_case_ = std::move(per_case);
+  table.node_level_ = std::move(node_level);
+  return table;
+}
+
+double CapabilityTable::PerCase(size_t case_idx, size_t node_k) const {
+  PW_CHECK_LT(case_idx, per_case_.size());
+  PW_CHECK_LT(node_k, per_case_[case_idx].size());
+  return per_case_[case_idx][node_k];
+}
+
+double CapabilityTable::InclusionExclusion(const std::vector<double>& probs) {
+  PW_CHECK_LE(probs.size(), 20u);
+  const size_t m = probs.size();
+  double total = 0.0;
+  // Sum over all non-empty subsets; sign alternates with cardinality
+  // (Eq. 7's (-1)^{l-1} inner sum over l-subsets).
+  for (size_t mask = 1; mask < (size_t{1} << m); ++mask) {
+    double product = 1.0;
+    int bits = 0;
+    for (size_t b = 0; b < m; ++b) {
+      if (mask & (size_t{1} << b)) {
+        product *= probs[b];
+        ++bits;
+      }
+    }
+    total += (bits % 2 == 1 ? 1.0 : -1.0) * product;
+  }
+  return total;
+}
+
+}  // namespace phasorwatch::detect

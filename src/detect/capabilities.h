@@ -1,0 +1,75 @@
+#ifndef PHASORWATCH_DETECT_CAPABILITIES_H_
+#define PHASORWATCH_DETECT_CAPABILITIES_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "detect/ellipse.h"
+#include "grid/grid.h"
+#include "linalg/matrix.h"
+#include "sim/measurement.h"
+
+namespace phasorwatch::detect {
+
+/// Per-case detection capabilities (Eq. 5) and their node-level
+/// aggregation (Eqs. 6-7).
+///
+/// For a training outage case F = {e_ij}, node k's capability p_k(F) is
+/// the fraction of outage samples whose 2-D phasor point at node k falls
+/// outside k's normal-operation ellipse, normalized by the fraction of
+/// normal samples that fall inside (Eq. 5). The node-level p_{i,k}
+/// aggregates over every training case involving node i with the
+/// inclusion-exclusion formula of Eq. 7.
+class CapabilityTable {
+ public:
+  /// Builds capabilities from per-node ellipses, the normal-operation
+  /// data (for Eq. 5's denominator), and the outage training data of
+  /// every valid line case. `case_lines[c]` names the outaged line of
+  /// `outage_data[c]`.
+  static Result<CapabilityTable> Build(
+      const grid::Grid& grid, const std::vector<EllipseModel>& ellipses,
+      const sim::PhasorDataSet& normal_data,
+      const std::vector<grid::LineId>& case_lines,
+      const std::vector<const sim::PhasorDataSet*>& outage_data);
+
+  size_t num_nodes() const { return per_case_.empty() ? node_level_.rows() : per_case_[0].size(); }
+  size_t num_cases() const { return per_case_.size(); }
+
+  /// p_k(F_c): capability of node k for training case c (Eq. 5).
+  double PerCase(size_t case_idx, size_t node_k) const;
+
+  /// p_{i,k}: capability of node k for any outage involving node i
+  /// (Eq. 7). Rows index the affected node i, columns the detector k.
+  const linalg::Matrix& NodeLevel() const { return node_level_; }
+  double NodeLevel(size_t node_i, size_t node_k) const {
+    return node_level_(node_i, node_k);
+  }
+
+  /// Literal inclusion-exclusion evaluation of Eq. 7 over explicit
+  /// per-case probabilities. Exposed for testing: with independent
+  /// cases it equals 1 - prod(1 - p). Requires |probs| <= 20.
+  static double InclusionExclusion(const std::vector<double>& probs);
+
+  /// An empty table; populate via Build().
+  CapabilityTable() = default;
+
+  /// Rebuilds a table from stored data (model persistence).
+  /// `per_case[c]` holds p_k(F_c) by node; `node_level` is the Eq.-7
+  /// aggregation (rows: affected node, cols: detector).
+  static CapabilityTable FromData(std::vector<std::vector<double>> per_case,
+                                  linalg::Matrix node_level);
+
+  /// All per-case capability rows (persistence; aligned with the
+  /// training case order).
+  const std::vector<std::vector<double>>& PerCaseRows() const {
+    return per_case_;
+  }
+
+ private:
+  std::vector<std::vector<double>> per_case_;  // [case][node]
+  linalg::Matrix node_level_;                  // [affected node][detector]
+};
+
+}  // namespace phasorwatch::detect
+
+#endif  // PHASORWATCH_DETECT_CAPABILITIES_H_

@@ -1,0 +1,545 @@
+#include "detect/detector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace phasorwatch::detect {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+// Stable model keys for the proximity cache. Node keys occupy the even
+// and odd slots after the normal model; line-case keys start past the
+// node range (grids here are far below 2^20 nodes).
+constexpr uint64_t kNormalModelKey = 0;
+uint64_t UnionKey(size_t node) { return 1 + 2 * node; }
+uint64_t IntersectionKey(size_t node) { return 2 + 2 * node; }
+// All whitened classification models share one coefficient matrix, so
+// they share a single cache family key.
+constexpr uint64_t kClassFamilyKey = uint64_t{1} << 21;
+
+// Floor keeping the Eq. 11 ratio finite when the normal residual is
+// numerically zero.
+constexpr double kProxFloor = 1e-15;
+
+}  // namespace
+
+Result<OutageDetector> OutageDetector::Train(const grid::Grid& grid,
+                                             const sim::PmuNetwork& network,
+                                             const TrainingData& data,
+                                             const DetectorOptions& options) {
+  const size_t n = grid.num_buses();
+  if (data.normal == nullptr || data.normal->num_nodes() != n) {
+    return Status::InvalidArgument("normal training data missing or wrong size");
+  }
+  if (data.case_lines.size() != data.outage.size() || data.outage.empty()) {
+    return Status::InvalidArgument("outage training cases malformed");
+  }
+  if (network.num_nodes() != n) {
+    return Status::InvalidArgument("PMU network size mismatch");
+  }
+
+  OutageDetector det;
+  det.grid_ = &grid;
+  det.network_ = &network;
+  det.options_ = options;
+  det.case_lines_ = data.case_lines;
+
+  // 1. Subspace model per condition. The normal model keeps its full
+  // basis: the whitened classification models are built from it.
+  SubspaceModelOptions normal_opts = options.subspace;
+  normal_opts.keep_full_basis = true;
+  PW_ASSIGN_OR_RETURN(det.normal_model_,
+                      LearnSubspaceModel(*data.normal, normal_opts));
+  det.line_models_.reserve(data.outage.size());
+  for (const sim::PhasorDataSet* block : data.outage) {
+    if (block == nullptr || block->num_nodes() != n) {
+      return Status::InvalidArgument("outage training block missing/wrong size");
+    }
+    PW_ASSIGN_OR_RETURN(SubspaceModel model,
+                        LearnSubspaceModel(*block, options.subspace));
+    det.line_models_.push_back(std::move(model));
+  }
+  const size_t normal_samples = data.normal->num_samples();
+  det.normal_class_model_ = MakeWhitenedClassModel(
+      det.normal_model_, det.normal_model_.mean, normal_samples);
+  det.line_class_models_.reserve(det.line_models_.size());
+  for (const SubspaceModel& m : det.line_models_) {
+    det.line_class_models_.push_back(
+        MakeWhitenedClassModel(det.normal_model_, m.mean, normal_samples));
+  }
+
+  // 2. Node-based union/intersection subspaces (Eq. 3). Nodes with no
+  // valid outage case fall back to the normal model's constraints so
+  // their scores stay defined (they simply never rank first).
+  det.node_models_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<const SubspaceModel*> incident;
+    for (size_t c = 0; c < det.case_lines_.size(); ++c) {
+      if (det.case_lines_[c].i == i || det.case_lines_[c].j == i) {
+        incident.push_back(&det.line_models_[c]);
+      }
+    }
+    if (incident.empty()) {
+      det.node_models_[i].union_model = det.normal_model_;
+      det.node_models_[i].intersection_model = det.normal_model_;
+    } else {
+      det.node_models_[i] =
+          BuildNodeSubspaces(incident, options.soft_intersection_tol);
+    }
+  }
+
+  // 3. Normal-operation ellipses (Eq. 4).
+  det.ellipses_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<PhasorPoint> points;
+    points.reserve(data.normal->num_samples());
+    for (size_t t = 0; t < data.normal->num_samples(); ++t) {
+      points.push_back({data.normal->vm(i, t), data.normal->va(i, t)});
+    }
+    PW_ASSIGN_OR_RETURN(EllipseModel ellipse,
+                        EllipseModel::Fit(points, options.ellipse_margin));
+    det.ellipses_.push_back(ellipse);
+  }
+
+  // 4. Detection capabilities (Eqs. 5-7).
+  PW_ASSIGN_OR_RETURN(
+      det.capabilities_,
+      CapabilityTable::Build(grid, det.ellipses_, *data.normal,
+                             det.case_lines_, data.outage));
+
+  // 5. Per-cluster detection groups (Eq. 8 + naive PCA seed).
+  DetectionGroupBuilder builder(network, det.capabilities_, options.groups);
+  det.groups_.reserve(network.num_clusters());
+  for (size_t c = 0; c < network.num_clusters(); ++c) {
+    // Loading matrix: stack the constraint bases of the cluster nodes'
+    // union subspaces; rows are node loadings for the naive pick.
+    Matrix loadings;
+    for (size_t node : network.Cluster(c)) {
+      loadings =
+          loadings.ConcatCols(det.node_models_[node].union_model
+                                  .constraints.basis());
+    }
+    det.groups_.push_back(builder.Build(c, loadings));
+  }
+
+  // 6. Calibrate the per-cluster outage gates: the largest
+  // normal-subspace residual observed on normal training samples, for
+  // each detection-group variant, inflated by the gate margin. A test
+  // sample whose residual exceeds a gate is declared an outage.
+  const size_t num_clusters = network.num_clusters();
+  det.gates_.assign(num_clusters, {});
+  size_t normal_take =
+      std::min(options.calibration_samples, data.normal->num_samples());
+  if (normal_take == 0) {
+    return Status::InvalidArgument("no calibration samples available");
+  }
+  det.node_baseline_in_ = Vector(n, 1.0);
+  det.node_baseline_out_ = Vector(n, 1.0);
+  for (int variant = 0; variant < 2; ++variant) {
+    // variant 0: in-cluster groups (complete data); variant 1:
+    // out-of-cluster groups (cluster data missing).
+    std::vector<SelectedGroup> groups(num_clusters);
+    for (size_t c = 0; c < num_clusters; ++c) {
+      sim::MissingMask mask = sim::MissingMask::None(n);
+      if (variant == 1) {
+        // Force the out-of-cluster variant by marking one member of the
+        // cluster missing (its own group members remain available).
+        mask.missing[network.Cluster(c).front()] = true;
+        groups[c] = det.SelectGroup(c, mask);
+        groups[c].used_out_of_cluster = true;
+      } else {
+        groups[c] = det.SelectGroup(c, mask);
+      }
+    }
+    std::vector<double> worst(num_clusters, kProxFloor);
+    std::vector<std::vector<double>> raw_scores(n);
+    for (size_t t = 0; t < normal_take; ++t) {
+      auto [vm, va] = data.normal->Sample(t);
+      Vector features = FeatureVector(vm, va, options.subspace.channel);
+      PW_ASSIGN_OR_RETURN(Vector residuals,
+                          det.ClusterNormalResiduals(features, groups));
+      for (size_t c = 0; c < num_clusters; ++c) {
+        worst[c] = std::max(worst[c], residuals[c]);
+      }
+      PW_ASSIGN_OR_RETURN(Vector scores,
+                          det.RawNodeScores(features, groups));
+      for (size_t i = 0; i < n; ++i) raw_scores[i].push_back(scores[i]);
+    }
+    for (size_t c = 0; c < num_clusters; ++c) {
+      double gate = worst[c] * options.gate_margin;
+      if (variant == 0) {
+        det.gates_[c].in_cluster = gate;
+      } else {
+        det.gates_[c].out_of_cluster = gate;
+      }
+    }
+    // Per-node baselines: median raw score on normal data.
+    Vector& baseline =
+        variant == 0 ? det.node_baseline_in_ : det.node_baseline_out_;
+    for (size_t i = 0; i < n; ++i) {
+      std::vector<double>& samples = raw_scores[i];
+      std::nth_element(samples.begin(),
+                       samples.begin() + samples.size() / 2, samples.end());
+      baseline[i] = std::max(samples[samples.size() / 2], kProxFloor);
+    }
+  }
+
+  // Calibrate the ratio gate: on normal data the best line-model
+  // residual should stay well above ratio_gate * normal residual; pull
+  // the gate down if any normal calibration sample gets close.
+  det.ratio_gate_ = options.ratio_gate;
+  {
+    // Evaluate normal calibration samples both complete and under a
+    // rotating random mask: missing entries shift the ratio statistic
+    // slightly and the gate must stay quiet for both.
+    Rng mask_rng(0x9A7E5EEDull);
+    double lowest_normal_ratio = 1e300;
+    auto ratio_for = [&](const Vector& features,
+                         const std::vector<size_t>& avail) -> Result<double> {
+      PW_ASSIGN_OR_RETURN(double r0,
+                          det.engine_.Evaluate(det.normal_class_model_,
+                                               kClassFamilyKey, features,
+                                               det.GroupCoordinates(avail)));
+      double best = -1.0;
+      for (size_t c = 0; c < det.case_lines_.size(); ++c) {
+        PW_ASSIGN_OR_RETURN(
+            double prox,
+            det.engine_.Evaluate(det.line_class_models_[c], kClassFamilyKey,
+                                 features, det.GroupCoordinates(avail)));
+        if (best < 0.0 || prox < best) best = prox;
+      }
+      return best / std::max(r0, kProxFloor);
+    };
+    std::vector<size_t> all_nodes(n);
+    std::iota(all_nodes.begin(), all_nodes.end(), size_t{0});
+    for (size_t t = 0; t < normal_take; ++t) {
+      auto [vm, va] = data.normal->Sample(t);
+      Vector features = FeatureVector(vm, va, options.subspace.channel);
+      PW_ASSIGN_OR_RETURN(double complete_ratio,
+                          ratio_for(features, all_nodes));
+      lowest_normal_ratio = std::min(lowest_normal_ratio, complete_ratio);
+      sim::MissingMask mask =
+          sim::MissingRandom(n, 1 + mask_rng.UniformInt(4), {}, mask_rng);
+      PW_ASSIGN_OR_RETURN(double masked_ratio,
+                          ratio_for(features, mask.AvailableIndices()));
+      lowest_normal_ratio = std::min(lowest_normal_ratio, masked_ratio);
+    }
+    det.ratio_gate_ =
+        std::min(det.ratio_gate_, 0.9 * lowest_normal_ratio);
+    if (lowest_normal_ratio < options.ratio_gate) {
+      PW_LOG(Warning) << "ratio gate pulled down to " << det.ratio_gate_
+                      << " on " << grid.name()
+                      << " (normal data approaches a line model)";
+    }
+  }
+
+  // Diagnostic: check separation on a few outage calibration samples.
+  {
+    std::vector<SelectedGroup> groups =
+        det.SelectGroups(sim::MissingMask::None(n));
+    size_t per_case = std::max<size_t>(
+        1, options.calibration_samples / data.outage.size());
+    size_t gated = 0, total = 0;
+    for (const sim::PhasorDataSet* block : data.outage) {
+      size_t take = std::min(per_case, block->num_samples());
+      for (size_t t = 0; t < take; ++t) {
+        auto [vm, va] = block->Sample(t);
+        Vector features = FeatureVector(vm, va, options.subspace.channel);
+        PW_ASSIGN_OR_RETURN(Vector residuals,
+                            det.ClusterNormalResiduals(features, groups));
+        ++total;
+        for (size_t c = 0; c < num_clusters; ++c) {
+          if (residuals[c] > det.gates_[c].in_cluster) {
+            ++gated;
+            break;
+          }
+        }
+      }
+    }
+    if (total > 0 && gated < total / 2) {
+      PW_LOG(Warning) << "weak gate separation on " << grid.name() << ": only "
+                      << gated << "/" << total
+                      << " outage calibration samples exceed the gate";
+    }
+  }
+  return det;
+}
+
+double OutageDetector::decision_threshold() const {
+  if (gates_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const GateThresholds& g : gates_) sum += g.in_cluster;
+  return sum / static_cast<double>(gates_.size());
+}
+
+OutageDetector::SelectedGroup OutageDetector::SelectGroup(
+    size_t cluster, const sim::MissingMask& mask) const {
+  const ClusterDetectionGroup& group = groups_[cluster];
+  // Eq. 10: cluster data incomplete -> use the out-of-cluster members.
+  SelectedGroup selected;
+  for (size_t node : network_->Cluster(cluster)) {
+    if (mask.missing[node]) {
+      selected.used_out_of_cluster = true;
+      break;
+    }
+  }
+  const std::vector<size_t>& preferred =
+      selected.used_out_of_cluster ? group.out_of_cluster : group.in_cluster;
+  for (size_t node : preferred) {
+    if (!mask.missing[node]) selected.members.push_back(node);
+  }
+  if (!selected.members.empty()) return selected;
+
+  // Both alternatives compromised: fall back to the other side, then to
+  // any available nodes at all.
+  const std::vector<size_t>& alt =
+      selected.used_out_of_cluster ? group.in_cluster : group.out_of_cluster;
+  for (size_t node : alt) {
+    if (!mask.missing[node]) selected.members.push_back(node);
+  }
+  if (!selected.members.empty()) return selected;
+  for (size_t i = 0; i < mask.size() &&
+                     selected.members.size() < options_.groups.max_group_size;
+       ++i) {
+    if (!mask.missing[i]) selected.members.push_back(i);
+  }
+  return selected;
+}
+
+
+std::vector<size_t> OutageDetector::GroupCoordinates(
+    const std::vector<size_t>& nodes) const {
+  if (options_.subspace.channel != PhasorChannel::kBoth) return nodes;
+  const size_t n = grid_->num_buses();
+  std::vector<size_t> coords;
+  coords.reserve(2 * nodes.size());
+  // Keep sorted order: magnitudes occupy [0, n), angles [n, 2n).
+  for (size_t node : nodes) coords.push_back(node);
+  for (size_t node : nodes) coords.push_back(n + node);
+  return coords;
+}
+
+std::vector<OutageDetector::SelectedGroup> OutageDetector::SelectGroups(
+    const sim::MissingMask& mask) const {
+  std::vector<SelectedGroup> groups(network_->num_clusters());
+  for (size_t c = 0; c < network_->num_clusters(); ++c) {
+    groups[c] = SelectGroup(c, mask);
+  }
+  return groups;
+}
+
+Result<Vector> OutageDetector::ClusterNormalResiduals(
+    const Vector& features, const std::vector<SelectedGroup>& groups) {
+  Vector residuals(groups.size());
+  for (size_t c = 0; c < groups.size(); ++c) {
+    if (groups[c].members.empty()) {
+      return Status::DataMissing("no available nodes for cluster " +
+                                 std::to_string(c));
+    }
+    PW_ASSIGN_OR_RETURN(residuals[c],
+                        engine_.Evaluate(normal_model_, kNormalModelKey, features,
+                                         GroupCoordinates(groups[c].members)));
+  }
+  return residuals;
+}
+
+Result<Vector> OutageDetector::RawNodeScores(
+    const Vector& features, const std::vector<SelectedGroup>& groups) {
+  const size_t n = grid_->num_buses();
+  Vector scores(n);
+  for (size_t i = 0; i < n; ++i) {
+    const std::vector<size_t>& group =
+        groups[network_->ClusterOf(i)].members;
+    if (group.empty()) {
+      return Status::DataMissing("no available nodes for node " +
+                                 std::to_string(i));
+    }
+    PW_ASSIGN_OR_RETURN(
+        double prox_union,
+        engine_.Evaluate(node_models_[i].union_model, UnionKey(i), features,
+                         GroupCoordinates(group)));
+    if (!options_.use_scaling) {
+      scores[i] = prox_union;
+      continue;
+    }
+    PW_ASSIGN_OR_RETURN(
+        double prox_intersection,
+        engine_.Evaluate(node_models_[i].intersection_model,
+                         IntersectionKey(i), features, GroupCoordinates(group)));
+    PW_ASSIGN_OR_RETURN(
+        double prox_normal,
+        engine_.Evaluate(normal_model_, kNormalModelKey, features,
+                         GroupCoordinates(group)));
+    // Eq. 11: scale the union proximity by intersection/normal.
+    scores[i] = prox_union * prox_intersection /
+                std::max(prox_normal, kProxFloor);
+  }
+  return scores;
+}
+
+Result<Vector> OutageDetector::NodeScores(
+    const Vector& features, const std::vector<SelectedGroup>& groups) {
+  PW_ASSIGN_OR_RETURN(Vector scores, RawNodeScores(features, groups));
+  for (size_t i = 0; i < scores.size(); ++i) {
+    const SelectedGroup& group = groups[network_->ClusterOf(i)];
+    const Vector& baseline =
+        group.used_out_of_cluster ? node_baseline_out_ : node_baseline_in_;
+    scores[i] /= baseline[i];
+  }
+  return scores;
+}
+
+Result<DetectionResult> OutageDetector::Detect(const Vector& vm,
+                                               const Vector& va,
+                                               const sim::MissingMask& mask) {
+  const size_t n = grid_->num_buses();
+  if (vm.size() != n || va.size() != n || mask.size() != n) {
+    return Status::InvalidArgument("sample size mismatch");
+  }
+
+  Vector features = FeatureVector(vm, va, options_.subspace.channel);
+  DetectionResult result;
+
+  // Gate 1: does any cluster's normal-subspace residual exceed its
+  // calibrated level? This separates "data looks normal (possibly with
+  // gaps)" from "the grid state violates the normal model".
+  std::vector<SelectedGroup> groups = SelectGroups(mask);
+  PW_ASSIGN_OR_RETURN(Vector residuals,
+                      ClusterNormalResiduals(features, groups));
+  result.decision_score = 0.0;
+  for (size_t c = 0; c < groups.size(); ++c) {
+    double gate = groups[c].used_out_of_cluster
+                      ? gates_[c].out_of_cluster
+                      : gates_[c].in_cluster;
+    result.decision_score =
+        std::max(result.decision_score, residuals[c] / std::max(gate, kProxFloor));
+  }
+
+  // Gate 2 (scale-free): is the sample better explained by some line's
+  // outage subspace than by the normal subspace? Uses every available
+  // measurement — the group machinery protects the node ranking, but
+  // classification should never discard observed data.
+  std::vector<size_t> pooled = mask.AvailableIndices();
+  if (pooled.empty()) {
+    return Status::DataMissing("all measurements missing");
+  }
+  PW_ASSIGN_OR_RETURN(
+      double normal_residual,
+      engine_.Evaluate(normal_class_model_, kClassFamilyKey, features,
+                       GroupCoordinates(pooled)));
+  double best_line_residual = -1.0;
+  for (size_t c = 0; c < case_lines_.size(); ++c) {
+    PW_ASSIGN_OR_RETURN(double prox,
+                        engine_.Evaluate(line_class_models_[c], kClassFamilyKey,
+                                         features, GroupCoordinates(pooled)));
+    if (best_line_residual < 0.0 || prox < best_line_residual) {
+      best_line_residual = prox;
+    }
+  }
+  double ratio =
+      best_line_residual / std::max(normal_residual, kProxFloor);
+  result.decision_score =
+      std::max(result.decision_score, ratio_gate_ / std::max(ratio, 1e-9));
+
+  PW_ASSIGN_OR_RETURN(result.node_scores, NodeScores(features, groups));
+  if (result.decision_score <= 1.0) {
+    result.outage_detected = false;
+    return result;  // normal operation: F-hat is empty
+  }
+  result.outage_detected = true;
+
+  // Sorted node list N_t by scaled proximity, ascending (closest first).
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return result.node_scores[a] < result.node_scores[b];
+  });
+
+  // Proximity rule: extend the prefix while nodes stay graph-connected
+  // to the selected set and the score trend does not jump.
+  std::vector<bool> selected(n, false);
+  std::vector<size_t>& affected = result.affected_nodes;
+  affected.push_back(order[0]);
+  selected[order[0]] = true;
+  double prev_score = std::max(result.node_scores[order[0]], kProxFloor);
+  for (size_t rank = 1;
+       rank < n && affected.size() < options_.max_affected_nodes; ++rank) {
+    size_t node = order[rank];
+    double score = result.node_scores[node];
+    if (score > prev_score * options_.gap_factor) break;  // elbow
+    bool adjacent = false;
+    for (size_t nb : grid_->Neighbors(node)) {
+      if (selected[nb]) {
+        adjacent = true;
+        break;
+      }
+    }
+    if (!adjacent) break;  // must form a connected sub-component
+    selected[node] = true;
+    affected.push_back(node);
+    prev_score = std::max(score, kProxFloor);
+  }
+
+  // A line outage always involves two endpoints: if only one node
+  // cleared the rule, pull in its best-scoring neighbor.
+  if (affected.size() == 1) {
+    size_t seed = affected[0];
+    size_t best = n;
+    double best_score = 0.0;
+    for (size_t nb : grid_->Neighbors(seed)) {
+      double s = result.node_scores[nb];
+      if (best == n || s < best_score) {
+        best = nb;
+        best_score = s;
+      }
+    }
+    if (best != n) {
+      selected[best] = true;
+      affected.push_back(best);
+    }
+  }
+
+  if (options_.localization == LocalizationMode::kProximityRule) {
+    // Paper's pure pipeline: F-hat = lines whose both endpoints joined
+    // the affected prefix.
+    for (const grid::LineId& line : grid_->lines()) {
+      if (selected[line.i] && selected[line.j]) {
+        result.lines.push_back(line);
+      }
+    }
+    return result;
+  }
+
+  // Line disambiguation: rank the trained line cases by the whitened
+  // distance of the sample to each case's class model (all through the
+  // same available coordinates, so residuals are comparable). The
+  // node-ranking prefix localizes the neighborhood for the operator;
+  // F-hat itself comes from the sharper class-model comparison.
+  std::vector<std::pair<double, size_t>> candidates;  // (residual, case)
+  candidates.reserve(case_lines_.size());
+  for (size_t c = 0; c < case_lines_.size(); ++c) {
+    PW_ASSIGN_OR_RETURN(double prox,
+                        engine_.Evaluate(line_class_models_[c], kClassFamilyKey,
+                                         features, GroupCoordinates(pooled)));
+    candidates.push_back({prox, c});
+  }
+  std::sort(candidates.begin(), candidates.end());
+  if (!candidates.empty()) {
+    double best = std::max(candidates.front().first, kProxFloor);
+    for (const auto& [prox, c] : candidates) {
+      if (prox <= best * options_.line_window) {
+        result.lines.push_back(case_lines_[c]);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace phasorwatch::detect

@@ -1,0 +1,226 @@
+#ifndef PHASORWATCH_DETECT_DETECTOR_H_
+#define PHASORWATCH_DETECT_DETECTOR_H_
+
+#include <vector>
+
+#include <iosfwd>
+
+#include "common/status.h"
+#include "detect/capabilities.h"
+#include "detect/ellipse.h"
+#include "detect/groups.h"
+#include "detect/proximity.h"
+#include "detect/subspace_model.h"
+#include "grid/grid.h"
+#include "linalg/matrix.h"
+#include "sim/measurement.h"
+#include "sim/missing_data.h"
+#include "sim/pmu_network.h"
+
+namespace phasorwatch::detect {
+
+/// Training corpus: normal-operation measurements plus one measurement
+/// block per valid line-outage case (aligned with `case_lines`).
+struct TrainingData {
+  const sim::PhasorDataSet* normal = nullptr;
+  std::vector<grid::LineId> case_lines;
+  std::vector<const sim::PhasorDataSet*> outage;
+};
+
+/// How the candidate line set F-hat is derived once an outage is gated.
+enum class LocalizationMode {
+  /// Whitened per-line class models over all available measurements
+  /// (default; sharpest localization).
+  kClassModel,
+  /// The paper's pure pipeline: scaled node proximities through the
+  /// detection groups, sorted, proximity rule, F-hat = lines whose both
+  /// endpoints join the affected prefix. Detection-group quality
+  /// directly shows here (the Fig. 4 ablation).
+  kProximityRule,
+};
+
+/// End-to-end tuning for the subspace outage detector.
+struct DetectorOptions {
+  SubspaceModelOptions subspace;
+  DetectionGroupOptions groups;
+  LocalizationMode localization = LocalizationMode::kClassModel;
+  /// Eigenvalue threshold of the soft constraint intersection used for
+  /// the node union subspaces (Eq. 3).
+  double soft_intersection_tol = 0.6;
+  /// Ellipse inflation for the capability learning (Eq. 4).
+  double ellipse_margin = 1.15;
+  /// Apply the proximity scaling of Eq. 11 (ablation switch).
+  bool use_scaling = true;
+  /// Stop extending the affected-node prefix when the next score jumps
+  /// by more than this factor (the "proximity rule" elbow).
+  double gap_factor = 12.0;
+  /// Hard cap on the affected-node prefix.
+  size_t max_affected_nodes = 6;
+  /// Calibration samples for the per-cluster normal-residual gates.
+  size_t calibration_samples = 60;
+  /// Line disambiguation: candidate lines whose per-line outage-model
+  /// residual is within this factor of the best line are reported in
+  /// F-hat (values > 1 allow multi-line outage sets).
+  double line_window = 1.5;
+  /// The outage gate fires when a cluster's normal-subspace residual
+  /// exceeds `gate_margin` times the largest residual seen on normal
+  /// calibration data with the same detection-group variant.
+  double gate_margin = 2.5;
+  /// Second, scale-free gate: an outage is also declared when the best
+  /// line-model residual falls below this fraction of the normal-model
+  /// residual (both over the pooled detection group). Calibrated
+  /// downward if normal data ever gets close to a line model.
+  double ratio_gate = 0.8;
+};
+
+/// Output of one detection query.
+struct DetectionResult {
+  bool outage_detected = false;
+  std::vector<grid::LineId> lines;      ///< the candidate set F-hat
+  std::vector<size_t> affected_nodes;   ///< prefix of the sorted node list
+  linalg::Vector node_scores;           ///< scaled proximities (Eq. 11)
+  /// Max over clusters of (normal-subspace residual / calibrated gate);
+  /// > 1 means an outage was declared.
+  double decision_score = 0.0;
+};
+
+/// The paper's robust subspace outage detector (Sec. IV).
+///
+/// Train() learns, from normal and per-line-outage data: the normal
+/// subspace model, per-line outage models, per-node union/intersection
+/// subspaces (Eq. 3), per-node normal-operation ellipses (Eq. 4),
+/// node detection capabilities (Eqs. 5-7), and per-cluster detection
+/// groups (Eq. 8). Detect() evaluates scaled subspace proximities
+/// (Eqs. 9-11) through the groups selected by data availability
+/// (Eq. 10), applies the proximity rule over the grid topology, and
+/// returns the candidate outage line set.
+///
+/// Not thread-safe: Detect() maintains an internal regressor cache.
+class OutageDetector {
+ public:
+  static Result<OutageDetector> Train(const grid::Grid& grid,
+                                      const sim::PmuNetwork& network,
+                                      const TrainingData& data,
+                                      const DetectorOptions& options = {});
+
+  /// Classifies one sample. `mask` marks nodes whose measurements are
+  /// missing; their entries in vm/va are ignored.
+  Result<DetectionResult> Detect(const linalg::Vector& vm,
+                                 const linalg::Vector& va,
+                                 const sim::MissingMask& mask);
+
+  /// Convenience for complete samples.
+  Result<DetectionResult> Detect(const linalg::Vector& vm,
+                                 const linalg::Vector& va) {
+    return Detect(vm, va, sim::MissingMask::None(grid_->num_buses()));
+  }
+
+  // --- introspection for tests, ablations, and figures ---
+  const CapabilityTable& capabilities() const { return capabilities_; }
+  const std::vector<ClusterDetectionGroup>& groups() const { return groups_; }
+  const SubspaceModel& normal_model() const { return normal_model_; }
+  const NodeSubspaces& node_subspaces(size_t node) const {
+    return node_models_[node];
+  }
+  const std::vector<EllipseModel>& ellipses() const { return ellipses_; }
+  /// Mean calibrated gate level over clusters (diagnostic).
+  double decision_threshold() const;
+  size_t proximity_cache_size() const { return engine_.cache_size(); }
+
+  /// An untrained detector; populate via Train().
+  OutageDetector() = default;
+
+  // --- model persistence (train offline, load at the control center) ---
+
+  /// Serializes the trained model (not the grid or PMU network — those
+  /// are configuration the deployment already has; Load verifies that
+  /// the provided ones match what the model was trained on).
+  Status Save(std::ostream& out) const;
+  Status SaveToFile(const std::string& path) const;
+
+  /// Restores a trained detector. `grid` and `network` must match the
+  /// training configuration (checked by fingerprint).
+  static Result<OutageDetector> Load(std::istream& in, const grid::Grid& grid,
+                                     const sim::PmuNetwork& network);
+  static Result<OutageDetector> LoadFromFile(const std::string& path,
+                                             const grid::Grid& grid,
+                                             const sim::PmuNetwork& network);
+
+ private:
+  /// One cluster's detection group under a mask (Eq. 10), plus which
+  /// variant was chosen (true = the cluster itself had missing data, so
+  /// the out-of-cluster members were used).
+  struct SelectedGroup {
+    std::vector<size_t> members;
+    bool used_out_of_cluster = false;
+  };
+  SelectedGroup SelectGroup(size_t cluster,
+                            const sim::MissingMask& mask) const;
+
+  /// Groups for every cluster under this mask.
+  std::vector<SelectedGroup> SelectGroups(const sim::MissingMask& mask) const;
+
+  /// Scaled proximity scores for every node (Eqs. 9-11), given the
+  /// per-cluster groups, before baseline normalization.
+  Result<linalg::Vector> RawNodeScores(
+      const linalg::Vector& features,
+      const std::vector<SelectedGroup>& groups);
+
+  /// Raw scores divided by the per-node normal-data baselines (making
+  /// scores comparable across clusters of different group sizes).
+  Result<linalg::Vector> NodeScores(const linalg::Vector& features,
+                                    const std::vector<SelectedGroup>& groups);
+
+  /// Normal-subspace residual per cluster through its group (the gate
+  /// statistic).
+  Result<linalg::Vector> ClusterNormalResiduals(
+      const linalg::Vector& features,
+      const std::vector<SelectedGroup>& groups);
+
+  const grid::Grid* grid_ = nullptr;          // not owned
+  const sim::PmuNetwork* network_ = nullptr;  // not owned
+  DetectorOptions options_;
+
+  SubspaceModel normal_model_;
+  /// Whitened classification twin of the normal model (shares the
+  /// coefficient matrix with the line class models below).
+  SubspaceModel normal_class_model_;
+  std::vector<SubspaceModel> line_models_;       // per training case
+  /// Classification models for line disambiguation: the normal
+  /// model's (well-estimated) constraint basis paired with each
+  /// line case's mean. Residuals annihilate shared load modes while
+  /// keeping the outage mean shift visible, which is far more robust
+  /// on small training sets than the per-line constraint bases.
+  std::vector<SubspaceModel> line_class_models_;
+  std::vector<grid::LineId> case_lines_;
+  std::vector<NodeSubspaces> node_models_;       // per node
+  std::vector<EllipseModel> ellipses_;           // per node
+  CapabilityTable capabilities_;
+  std::vector<ClusterDetectionGroup> groups_;    // per cluster
+
+  /// Calibrated gate levels per cluster, one per group variant.
+  struct GateThresholds {
+    double in_cluster = 1.0;
+    double out_of_cluster = 1.0;
+  };
+  std::vector<GateThresholds> gates_;
+  /// Calibrated ratio gate (see DetectorOptions::ratio_gate).
+  double ratio_gate_ = 0.5;
+
+  /// Maps a node-index group to feature-coordinate indices (identity
+  /// for single-channel features, {i, N+i} pairs for kBoth).
+  std::vector<size_t> GroupCoordinates(const std::vector<size_t>& nodes) const;
+
+  /// Median scaled proximity of each node over normal calibration
+  /// samples, per group variant. Detection-group compositions differ
+  /// across clusters, so raw proximities are not comparable between
+  /// nodes; scores are reported relative to these baselines.
+  linalg::Vector node_baseline_in_;
+  linalg::Vector node_baseline_out_;
+
+  ProximityEngine engine_;
+};
+
+}  // namespace phasorwatch::detect
+
+#endif  // PHASORWATCH_DETECT_DETECTOR_H_

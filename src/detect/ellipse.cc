@@ -1,0 +1,83 @@
+#include "detect/ellipse.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace phasorwatch::detect {
+
+Result<EllipseModel> EllipseModel::Fit(const std::vector<PhasorPoint>& points,
+                                       double margin) {
+  if (points.size() < 3) {
+    return Status::InvalidArgument("ellipse fit needs at least 3 points");
+  }
+  if (margin <= 0.0) {
+    return Status::InvalidArgument("ellipse margin must be positive");
+  }
+
+  EllipseModel e;
+  const double n = static_cast<double>(points.size());
+  double mx = 0.0, my = 0.0;
+  for (const auto& p : points) {
+    mx += p.vm;
+    my += p.va;
+  }
+  mx /= n;
+  my /= n;
+  e.center_ = {mx, my};
+
+  // Sample covariance with a small ridge so a flat (zero-variance)
+  // channel still yields a valid ellipse.
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (const auto& p : points) {
+    double dx = p.vm - mx;
+    double dy = p.va - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  sxx /= n - 1.0;
+  sxy /= n - 1.0;
+  syy /= n - 1.0;
+  double ridge = 1e-10 + 1e-6 * std::max(sxx, syy);
+  sxx += ridge;
+  syy += ridge;
+
+  // A0 = inverse covariance.
+  double det = sxx * syy - sxy * sxy;
+  double a11 = syy / det;
+  double a12 = -sxy / det;
+  double a22 = sxx / det;
+
+  // Scale so every training point satisfies the form <= 1 even with the
+  // inflation margin applied.
+  double max_form = 0.0;
+  for (const auto& p : points) {
+    double dx = p.vm - mx;
+    double dy = p.va - my;
+    double form = a11 * dx * dx + 2.0 * a12 * dx * dy + a22 * dy * dy;
+    max_form = std::max(max_form, form);
+  }
+  double scale = max_form > 0.0 ? 1.0 / (max_form * margin * margin) : 1.0;
+  e.a11_ = a11 * scale;
+  e.a12_ = a12 * scale;
+  e.a22_ = a22 * scale;
+  return e;
+}
+
+EllipseModel EllipseModel::FromParameters(PhasorPoint center, double a11,
+                                          double a12, double a22) {
+  EllipseModel e;
+  e.center_ = center;
+  e.a11_ = a11;
+  e.a12_ = a12;
+  e.a22_ = a22;
+  return e;
+}
+
+double EllipseModel::QuadraticForm(const PhasorPoint& p) const {
+  double dx = p.vm - center_.vm;
+  double dy = p.va - center_.va;
+  return a11_ * dx * dx + 2.0 * a12_ * dx * dy + a22_ * dy * dy;
+}
+
+}  // namespace phasorwatch::detect

@@ -1,0 +1,56 @@
+#ifndef PHASORWATCH_DETECT_ELLIPSE_H_
+#define PHASORWATCH_DETECT_ELLIPSE_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace phasorwatch::detect {
+
+/// A 2-D phasor point (voltage magnitude, voltage angle) for one node.
+struct PhasorPoint {
+  double vm = 0.0;
+  double va = 0.0;
+};
+
+/// Per-node normal-operation ellipse (Eq. 4):
+///   Omega = { x in R^2 : (x - c)^T A (x - c) <= 1 }.
+///
+/// Fitted from the node's normal-operation phasor points: c is the
+/// sample mean and A the inverse covariance scaled so that every
+/// training point lies inside (the paper requires all normal samples in
+/// the ellipse). A small inflation margin keeps fresh normal samples
+/// from spilling out.
+class EllipseModel {
+ public:
+  /// Fits the ellipse; needs at least 3 points. `margin` inflates the
+  /// fitted radius (1.0 = tight fit to the training hull).
+  static Result<EllipseModel> Fit(const std::vector<PhasorPoint>& points,
+                                  double margin = 1.15);
+
+  /// Rebuilds an ellipse from stored parameters (model persistence).
+  static EllipseModel FromParameters(PhasorPoint center, double a11,
+                                     double a12, double a22);
+
+  /// Squared Mahalanobis-like form value (x-c)^T A (x-c).
+  double QuadraticForm(const PhasorPoint& p) const;
+
+  /// Membership test: inside (or on) the ellipse.
+  bool Contains(const PhasorPoint& p) const {
+    return QuadraticForm(p) <= 1.0;
+  }
+
+  const PhasorPoint& center() const { return center_; }
+  /// Entries of the symmetric 2x2 shape matrix A.
+  double a11() const { return a11_; }
+  double a12() const { return a12_; }
+  double a22() const { return a22_; }
+
+ private:
+  PhasorPoint center_;
+  double a11_ = 1.0, a12_ = 0.0, a22_ = 1.0;
+};
+
+}  // namespace phasorwatch::detect
+
+#endif  // PHASORWATCH_DETECT_ELLIPSE_H_

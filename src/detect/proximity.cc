@@ -1,0 +1,91 @@
+#include "detect/proximity.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "linalg/svd.h"
+
+namespace phasorwatch::detect {
+
+uint64_t GroupCacheKey(uint64_t model_key, const std::vector<size_t>& group) {
+  // FNV-1a over the member indices, mixed with the model key.
+  uint64_t h = 1469598103934665603ull ^ model_key;
+  for (size_t idx : group) {
+    h ^= static_cast<uint64_t>(idx) + 0x9E3779B97F4A7C15ull;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+double ProximityEngine::EvaluateComplete(const SubspaceModel& model,
+                                         const linalg::Vector& sample) {
+  return model.Proximity(sample);
+}
+
+Result<double> ProximityEngine::Evaluate(const SubspaceModel& model,
+                                         uint64_t model_key,
+                                         const linalg::Vector& sample,
+                                         const std::vector<size_t>& group) {
+  const size_t n = model.ambient_dim();
+  if (sample.size() != n) {
+    return Status::InvalidArgument("sample dimension mismatch");
+  }
+  if (group.empty()) {
+    return Status::DataMissing("empty detection group");
+  }
+  if (group.size() == n) {
+    return EvaluateComplete(model, sample);
+  }
+
+  uint64_t key = GroupCacheKey(model_key, group);
+  auto it = cache_.find(key);
+  if (it == cache_.end() || it->second.group != group) {
+    // Build the regressor R = (I - C_M C_M^+) C_D, with C = B^T.
+    const linalg::Matrix& b = model.constraints.basis();  // n x k
+    const size_t k = b.cols();
+
+    std::vector<bool> in_group(n, false);
+    for (size_t idx : group) {
+      PW_CHECK_LT(idx, n);
+      in_group[idx] = true;
+    }
+    std::vector<size_t> hidden;
+    hidden.reserve(n - group.size());
+    for (size_t i = 0; i < n; ++i) {
+      if (!in_group[i]) hidden.push_back(i);
+    }
+
+    // C_D: k x |D| (rows of B for D, transposed); C_M likewise.
+    linalg::Matrix c_d(k, group.size());
+    for (size_t c = 0; c < group.size(); ++c) {
+      for (size_t r = 0; r < k; ++r) c_d(r, c) = b(group[c], r);
+    }
+    linalg::Matrix c_m(k, hidden.size());
+    for (size_t c = 0; c < hidden.size(); ++c) {
+      for (size_t r = 0; r < k; ++r) c_m(r, c) = b(hidden[c], r);
+    }
+
+    linalg::Matrix regressor;
+    if (hidden.empty()) {
+      regressor = c_d;
+    } else {
+      PW_ASSIGN_OR_RETURN(linalg::Matrix c_m_pinv, linalg::PseudoInverse(c_m));
+      regressor = c_d - (c_m * (c_m_pinv * c_d));
+    }
+    it = cache_.insert_or_assign(key, CachedRegressor{std::move(regressor),
+                                                      group}).first;
+  }
+
+  // Residual: || R (x_D - mu_D) ||^2.
+  const CachedRegressor& cached = it->second;
+  linalg::Vector z(group.size());
+  for (size_t c = 0; c < group.size(); ++c) {
+    z[c] = sample[group[c]] - model.mean[group[c]];
+  }
+  linalg::Vector r = cached.r * z;
+  double sum = 0.0;
+  for (size_t i = 0; i < r.size(); ++i) sum += r[i] * r[i];
+  return sum;
+}
+
+}  // namespace phasorwatch::detect

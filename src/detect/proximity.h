@@ -1,0 +1,61 @@
+#ifndef PHASORWATCH_DETECT_PROXIMITY_H_
+#define PHASORWATCH_DETECT_PROXIMITY_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "detect/subspace_model.h"
+#include "linalg/matrix.h"
+#include "sim/missing_data.h"
+
+namespace phasorwatch::detect {
+
+/// Evaluates sample-to-subspace proximities through a detection group,
+/// tolerating missing measurements (Eq. 9).
+///
+/// For a model with constraint basis B (ambient N, dim k) and mean mu,
+/// a complete sample x has proximity ||B^T (x - mu)||^2. When only the
+/// detection-group coordinates D are trusted, split C = B^T by columns
+/// into C_D and C_M (M = complement). The best consistent completion of
+/// the hidden part minimizes ||C_D z_D + C_M z_M||, giving the residual
+///   prox = || (I - C_M C_M^+) C_D z_D ||^2,
+/// i.e. a regressor built from a pseudo-inverse of a row-partition of
+/// the subspace matrix, as in Eq. 9 / [12]. The projector is cached per
+/// (model, D) pair: detection groups repeat heavily across samples.
+class ProximityEngine {
+ public:
+  ProximityEngine() = default;
+
+  /// Proximity of the sample to `model` using only coordinates in
+  /// `group` (must be non-empty and contain no missing nodes).
+  /// `model_key` identifies the model for caching (stable unique id).
+  Result<double> Evaluate(const SubspaceModel& model, uint64_t model_key,
+                          const linalg::Vector& sample,
+                          const std::vector<size_t>& group);
+
+  /// Complete-sample proximity (no group restriction, no cache).
+  static double EvaluateComplete(const SubspaceModel& model,
+                                 const linalg::Vector& sample);
+
+  size_t cache_size() const { return cache_.size(); }
+  void ClearCache() { cache_.clear(); }
+
+ private:
+  struct CachedRegressor {
+    // R = (I - C_M C_M^+) C_D, shaped k x |D|.
+    linalg::Matrix r;
+    std::vector<size_t> group;
+  };
+
+  std::unordered_map<uint64_t, CachedRegressor> cache_;
+};
+
+/// Stable hash key combining a model id and a detection-group member
+/// set (order-insensitive within sorted groups).
+uint64_t GroupCacheKey(uint64_t model_key, const std::vector<size_t>& group);
+
+}  // namespace phasorwatch::detect
+
+#endif  // PHASORWATCH_DETECT_PROXIMITY_H_

@@ -1,0 +1,84 @@
+#include "detect/stream.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace phasorwatch::detect {
+
+StreamingMonitor::StreamingMonitor(OutageDetector* detector,
+                                   const StreamOptions& options)
+    : detector_(detector), options_(options) {
+  PW_CHECK(detector != nullptr);
+  PW_CHECK_GT(options_.alarm_after, 0u);
+  PW_CHECK_GT(options_.clear_after, 0u);
+  PW_CHECK_GT(options_.vote_window, 0u);
+}
+
+Result<StreamEvent> StreamingMonitor::Process(const linalg::Vector& vm,
+                                              const linalg::Vector& va,
+                                              const sim::MissingMask& mask) {
+  StreamEvent event;
+  PW_ASSIGN_OR_RETURN(event.raw, detector_->Detect(vm, va, mask));
+
+  if (event.raw.outage_detected) {
+    ++consecutive_positive_;
+    consecutive_negative_ = 0;
+    recent_votes_.push_back(event.raw.lines);
+    while (recent_votes_.size() > options_.vote_window) {
+      recent_votes_.pop_front();
+    }
+  } else {
+    ++consecutive_negative_;
+    consecutive_positive_ = 0;
+  }
+
+  if (!alarm_active_ && consecutive_positive_ >= options_.alarm_after) {
+    alarm_active_ = true;
+    event.alarm_raised = true;
+  } else if (alarm_active_ && consecutive_negative_ >= options_.clear_after) {
+    alarm_active_ = false;
+    event.alarm_cleared = true;
+    recent_votes_.clear();
+  }
+
+  event.alarm_active = alarm_active_;
+  if (alarm_active_) {
+    event.lines = MajorityLines();
+  }
+  return event;
+}
+
+Result<StreamEvent> StreamingMonitor::Process(const linalg::Vector& vm,
+                                              const linalg::Vector& va) {
+  return Process(vm, va, sim::MissingMask::None(vm.size()));
+}
+
+void StreamingMonitor::Reset() {
+  alarm_active_ = false;
+  consecutive_positive_ = 0;
+  consecutive_negative_ = 0;
+  recent_votes_.clear();
+}
+
+std::vector<grid::LineId> StreamingMonitor::MajorityLines() const {
+  // Count appearances of each candidate line over the window; keep the
+  // lines present in more than half of the votes. Falls back to the
+  // most recent raw candidate set when nothing clears the bar (early in
+  // an event the window is short).
+  std::map<grid::LineId, size_t> counts;
+  for (const auto& vote : recent_votes_) {
+    for (const grid::LineId& line : vote) ++counts[line];
+  }
+  std::vector<grid::LineId> majority;
+  size_t needed = recent_votes_.size() / 2 + 1;
+  for (const auto& [line, count] : counts) {
+    if (count >= needed) majority.push_back(line);
+  }
+  if (majority.empty() && !recent_votes_.empty()) {
+    majority = recent_votes_.back();
+  }
+  return majority;
+}
+
+}  // namespace phasorwatch::detect

@@ -1,0 +1,75 @@
+#ifndef PHASORWATCH_DETECT_STREAM_H_
+#define PHASORWATCH_DETECT_STREAM_H_
+
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+#include "detect/detector.h"
+
+namespace phasorwatch::detect {
+
+/// Debouncing policy for the streaming monitor.
+struct StreamOptions {
+  /// Consecutive outage-positive samples before the alarm is raised.
+  /// PMUs deliver 30-60 samples/s, so even 3 costs only ~100 ms of
+  /// latency while suppressing single-sample flicker.
+  size_t alarm_after = 2;
+  /// Consecutive normal samples before an active alarm clears.
+  size_t clear_after = 3;
+  /// Sliding window of recent positive detections used for the majority
+  /// vote over candidate lines.
+  size_t vote_window = 8;
+};
+
+/// One processed sample's outcome.
+struct StreamEvent {
+  bool alarm_active = false;
+  bool alarm_raised = false;   ///< transitioned to active at this sample
+  bool alarm_cleared = false;  ///< transitioned to inactive at this sample
+  /// Majority-voted candidate lines over the vote window (stable F-hat);
+  /// empty while no alarm is active.
+  std::vector<grid::LineId> lines;
+  /// The raw single-sample detection (for logging/inspection).
+  DetectionResult raw;
+};
+
+/// Stateful wrapper turning the per-sample OutageDetector into an
+/// operator-facing alarm stream: debounces the alarm flag and stabilizes
+/// the candidate line set by majority vote across recent samples.
+///
+/// Single-threaded, like the underlying detector.
+class StreamingMonitor {
+ public:
+  /// The detector must outlive the monitor.
+  StreamingMonitor(OutageDetector* detector, const StreamOptions& options);
+
+  /// Feeds one sample; returns the debounced event.
+  Result<StreamEvent> Process(const linalg::Vector& vm,
+                              const linalg::Vector& va,
+                              const sim::MissingMask& mask);
+
+  /// Complete-sample convenience.
+  Result<StreamEvent> Process(const linalg::Vector& vm,
+                              const linalg::Vector& va);
+
+  bool alarm_active() const { return alarm_active_; }
+  /// Drops all debouncing/voting state (e.g. after operator ack).
+  void Reset();
+
+ private:
+  std::vector<grid::LineId> MajorityLines() const;
+
+  OutageDetector* detector_;  // not owned
+  StreamOptions options_;
+
+  bool alarm_active_ = false;
+  size_t consecutive_positive_ = 0;
+  size_t consecutive_negative_ = 0;
+  std::deque<std::vector<grid::LineId>> recent_votes_;
+};
+
+}  // namespace phasorwatch::detect
+
+#endif  // PHASORWATCH_DETECT_STREAM_H_

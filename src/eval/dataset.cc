@@ -1,0 +1,65 @@
+#include "eval/dataset.h"
+
+#include "common/logging.h"
+
+namespace phasorwatch::eval {
+namespace {
+
+// One condition's train+test blocks from independent scenario draws.
+Result<CaseData> SimulateCase(const grid::Grid& grid,
+                              const DatasetOptions& options, Rng& rng) {
+  CaseData data;
+  sim::SimulationOptions sim_opts = options.simulation;
+
+  sim_opts.load.num_states = options.train_states;
+  sim_opts.samples_per_state = options.train_samples_per_state;
+  Rng train_rng = rng.Fork();
+  PW_ASSIGN_OR_RETURN(data.train,
+                      sim::SimulateMeasurements(grid, sim_opts, train_rng));
+
+  sim_opts.load.num_states = options.test_states;
+  sim_opts.samples_per_state = options.test_samples_per_state;
+  Rng test_rng = rng.Fork();
+  PW_ASSIGN_OR_RETURN(data.test,
+                      sim::SimulateMeasurements(grid, sim_opts, test_rng));
+  return data;
+}
+
+}  // namespace
+
+Result<Dataset> BuildDataset(const grid::Grid& grid,
+                             const DatasetOptions& options, uint64_t seed) {
+  Rng rng(seed);
+  Dataset dataset;
+  dataset.grid = &grid;
+
+  PW_ASSIGN_OR_RETURN(dataset.normal, SimulateCase(grid, options, rng));
+
+  for (const grid::LineId& line : grid.lines()) {
+    // Islanding lines are invalid cases (Sec. V-A).
+    auto outage_grid = grid.WithLineOut(line);
+    if (!outage_grid.ok()) {
+      dataset.skipped_lines.push_back(line);
+      continue;
+    }
+    auto case_data = SimulateCase(*outage_grid, options, rng);
+    if (!case_data.ok()) {
+      // Post-outage power flow failed to converge often enough.
+      dataset.skipped_lines.push_back(line);
+      continue;
+    }
+    case_data->line = line;
+    dataset.outages.push_back(std::move(case_data).value());
+  }
+
+  if (dataset.outages.empty()) {
+    return Status::FailedPrecondition("no valid outage case for " +
+                                      grid.name());
+  }
+  PW_LOG(Info) << grid.name() << ": " << dataset.outages.size()
+               << " valid outage cases, " << dataset.skipped_lines.size()
+               << " skipped";
+  return dataset;
+}
+
+}  // namespace phasorwatch::eval

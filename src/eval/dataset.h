@@ -1,0 +1,49 @@
+#ifndef PHASORWATCH_EVAL_DATASET_H_
+#define PHASORWATCH_EVAL_DATASET_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "grid/grid.h"
+#include "sim/measurement.h"
+
+namespace phasorwatch::eval {
+
+/// Sizing of the synthetic corpus generated per evaluation system.
+struct DatasetOptions {
+  sim::SimulationOptions simulation;          ///< shared noise/load config
+  size_t train_states = 24;                   ///< solved states, training
+  size_t train_samples_per_state = 8;         ///< 192 training samples
+  size_t test_states = 13;                    ///< solved states, testing
+  size_t test_samples_per_state = 8;          ///< ~100 test samples/case
+};
+
+/// Train/test measurement blocks for one condition (normal operation or
+/// one line-outage case).
+struct CaseData {
+  grid::LineId line;  ///< meaningless for the normal case
+  sim::PhasorDataSet train;
+  sim::PhasorDataSet test;
+};
+
+/// The full corpus for one grid: normal condition plus every valid
+/// single-line-outage case (non-islanding, power flow converges), as in
+/// Sec. V-A. Train and test sets come from independent load scenarios,
+/// following the split procedure of [14].
+struct Dataset {
+  const grid::Grid* grid = nullptr;  ///< points at the caller's grid
+  CaseData normal;
+  std::vector<CaseData> outages;     ///< one per valid line
+  std::vector<grid::LineId> skipped_lines;  ///< islanding/non-converging
+
+  size_t num_valid_cases() const { return outages.size(); }
+};
+
+/// Generates the corpus for `grid`. Deterministic given `seed`.
+Result<Dataset> BuildDataset(const grid::Grid& grid,
+                             const DatasetOptions& options, uint64_t seed);
+
+}  // namespace phasorwatch::eval
+
+#endif  // PHASORWATCH_EVAL_DATASET_H_

@@ -1,0 +1,103 @@
+#ifndef PHASORWATCH_EVAL_EXPERIMENTS_H_
+#define PHASORWATCH_EVAL_EXPERIMENTS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/mlr.h"
+#include "common/status.h"
+#include "detect/detector.h"
+#include "eval/dataset.h"
+#include "eval/metrics.h"
+#include "sim/pmu_network.h"
+
+namespace phasorwatch::eval {
+
+/// Which test-time missing-data pattern a run injects (Fig. 6).
+enum class MissingScenario {
+  kNone,               ///< complete data (Fig. 5)
+  kOutageEndpoints,    ///< endpoints of the outaged line dark (Fig. 7)
+  kRandomOnNormal,     ///< random drops, normal samples only (Fig. 8)
+  kRandomOffOutage,    ///< random drops away from the outage (Fig. 9)
+};
+
+/// Shared experiment configuration.
+struct ExperimentOptions {
+  detect::DetectorOptions detector;
+  baselines::MlrOptions mlr;
+  size_t num_clusters = 0;       ///< 0 = PmuNetwork::DefaultClusterCount
+  size_t test_samples_per_case = 100;
+  size_t random_missing_count = 3;  ///< drops per sample in random scenarios
+  uint64_t seed = 42;
+};
+
+/// One method's aggregate result on one system.
+struct MethodResult {
+  std::string method;
+  double identification_accuracy = 0.0;
+  double false_alarm = 0.0;
+  size_t samples = 0;
+};
+
+/// Result rows for one grid under one scenario.
+struct ScenarioResult {
+  std::string system;
+  size_t num_buses = 0;
+  size_t num_valid_cases = 0;
+  std::vector<MethodResult> methods;
+};
+
+/// A trained pair of the proposed detector and the MLR peer over one
+/// dataset, reusable across scenarios. Members live behind stable heap
+/// allocations because the detector keeps a pointer to the PMU network.
+class TrainedMethods {
+ public:
+  static Result<TrainedMethods> Train(const Dataset& dataset,
+                                      const ExperimentOptions& options);
+
+  detect::OutageDetector& detector() { return *detector_; }
+  const baselines::MlrClassifier& mlr() const { return *mlr_; }
+  const sim::PmuNetwork& network() const { return *network_; }
+
+  /// An untrained pair; populate via Train().
+  TrainedMethods() = default;
+
+ private:
+  std::unique_ptr<sim::PmuNetwork> network_;
+  std::unique_ptr<detect::OutageDetector> detector_;
+  std::unique_ptr<baselines::MlrClassifier> mlr_;
+};
+
+/// Runs one scenario (Figs. 5 and 7-9) for both methods on one dataset.
+Result<ScenarioResult> RunScenario(const Dataset& dataset,
+                                   TrainedMethods& methods,
+                                   MissingScenario scenario,
+                                   const ExperimentOptions& options);
+
+/// Fig. 4: sweep of the detection-group learned fraction (0 = naive
+/// orthogonal members only, 1 = proposed Eq. 8 group), complete data.
+/// Returns one ScenarioResult per alpha with method = "alpha=<x>".
+Result<std::vector<ScenarioResult>> RunGroupFormationSweep(
+    const Dataset& dataset, const std::vector<double>& alphas,
+    const ExperimentOptions& options);
+
+/// Fig. 10: effective false-alarm rate FA(r) of the proposed detector
+/// over system reliability levels (Eqs. 13-15). `device_availabilities`
+/// lists per-device reliability r_PMU * r_link values; returns one row
+/// per level with the system-wide r and the weighted FA estimated by
+/// Monte-Carlo over missing patterns.
+struct ReliabilityPoint {
+  double device_availability = 0.0;
+  double system_reliability = 0.0;
+  double effective_false_alarm = 0.0;
+  double effective_accuracy = 0.0;
+};
+Result<std::vector<ReliabilityPoint>> RunReliabilitySweep(
+    const Dataset& dataset, TrainedMethods& methods,
+    const std::vector<double>& device_availabilities, size_t patterns_per_level,
+    const ExperimentOptions& options);
+
+}  // namespace phasorwatch::eval
+
+#endif  // PHASORWATCH_EVAL_EXPERIMENTS_H_

@@ -1,0 +1,33 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+
+namespace phasorwatch::eval {
+
+SampleMetrics ScoreSample(const std::vector<grid::LineId>& truth,
+                          const std::vector<grid::LineId>& predicted) {
+  SampleMetrics m;
+  size_t overlap = 0;
+  for (const grid::LineId& line : predicted) {
+    if (std::find(truth.begin(), truth.end(), line) != truth.end()) {
+      ++overlap;
+    }
+  }
+  if (truth.empty()) {
+    // Normal-operation sample (Sec. V-C2): any prediction is a false
+    // alarm; an empty prediction is a correct identification.
+    m.identification_accuracy = predicted.empty() ? 1.0 : 0.0;
+    m.false_alarm = predicted.empty() ? 0.0 : 1.0;
+    return m;
+  }
+  m.identification_accuracy =
+      static_cast<double>(overlap) / static_cast<double>(truth.size());
+  m.false_alarm =
+      predicted.empty()
+          ? 0.0  // no alarm raised: the miss is penalized through IA
+          : 1.0 - static_cast<double>(overlap) /
+                      static_cast<double>(predicted.size());
+  return m;
+}
+
+}  // namespace phasorwatch::eval

@@ -1,0 +1,47 @@
+#ifndef PHASORWATCH_EVAL_METRICS_H_
+#define PHASORWATCH_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "grid/grid.h"
+
+namespace phasorwatch::eval {
+
+/// Eq. 12 for one test sample: identification accuracy and false-alarm
+/// rate between the true outage set F and the candidate set F-hat.
+/// The |F| = 0 (normal sample) convention follows Sec. V-C2: IA = 1 when
+/// F-hat is empty, FA = 1 when F-hat is non-empty.
+struct SampleMetrics {
+  double identification_accuracy = 0.0;
+  double false_alarm = 0.0;
+};
+
+SampleMetrics ScoreSample(const std::vector<grid::LineId>& truth,
+                          const std::vector<grid::LineId>& predicted);
+
+/// Running average over samples.
+class MetricAccumulator {
+ public:
+  void Add(const SampleMetrics& m) {
+    ia_sum_ += m.identification_accuracy;
+    fa_sum_ += m.false_alarm;
+    ++count_;
+  }
+
+  size_t count() const { return count_; }
+  double MeanIdentificationAccuracy() const {
+    return count_ == 0 ? 0.0 : ia_sum_ / static_cast<double>(count_);
+  }
+  double MeanFalseAlarm() const {
+    return count_ == 0 ? 0.0 : fa_sum_ / static_cast<double>(count_);
+  }
+
+ private:
+  double ia_sum_ = 0.0;
+  double fa_sum_ = 0.0;
+  size_t count_ = 0;
+};
+
+}  // namespace phasorwatch::eval
+
+#endif  // PHASORWATCH_EVAL_METRICS_H_

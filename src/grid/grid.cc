@@ -1,0 +1,224 @@
+#include "grid/grid.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "common/union_find.h"
+
+namespace phasorwatch::grid {
+namespace {
+
+constexpr double kDegToRad = M_PI / 180.0;
+
+}  // namespace
+
+Result<Grid> Grid::Create(std::string name, std::vector<Bus> buses,
+                          std::vector<Branch> branches, double base_mva) {
+  if (buses.empty()) {
+    return Status::InvalidArgument("grid requires at least one bus");
+  }
+  if (base_mva <= 0.0) {
+    return Status::InvalidArgument("base MVA must be positive");
+  }
+
+  Grid g;
+  g.name_ = std::move(name);
+  g.base_mva_ = base_mva;
+  g.buses_ = std::move(buses);
+  g.branches_ = std::move(branches);
+
+  // Index external ids and find the slack bus.
+  std::map<int, size_t> index;
+  size_t slack_count = 0;
+  for (size_t i = 0; i < g.buses_.size(); ++i) {
+    const Bus& b = g.buses_[i];
+    if (!index.emplace(b.id, i).second) {
+      return Status::InvalidArgument("duplicate bus id " +
+                                     std::to_string(b.id));
+    }
+    if (b.type == BusType::kSlack) {
+      g.slack_ = i;
+      ++slack_count;
+    }
+  }
+  if (slack_count != 1) {
+    return Status::InvalidArgument("grid must have exactly one slack bus, has " +
+                                   std::to_string(slack_count));
+  }
+
+  for (const Branch& br : g.branches_) {
+    auto from = index.find(br.from_bus);
+    auto to = index.find(br.to_bus);
+    if (from == index.end() || to == index.end()) {
+      return Status::InvalidArgument("branch references unknown bus " +
+                                     std::to_string(br.from_bus) + "-" +
+                                     std::to_string(br.to_bus));
+    }
+    if (from->second == to->second) {
+      return Status::InvalidArgument("self-loop branch at bus " +
+                                     std::to_string(br.from_bus));
+    }
+    if (br.x <= 0.0) {
+      return Status::InvalidArgument("branch " + std::to_string(br.from_bus) +
+                                     "-" + std::to_string(br.to_bus) +
+                                     " must have positive reactance");
+    }
+    if (br.r < 0.0) {
+      return Status::InvalidArgument("branch " + std::to_string(br.from_bus) +
+                                     "-" + std::to_string(br.to_bus) +
+                                     " has negative resistance");
+    }
+  }
+
+  g.RebuildDerived();
+  if (!g.IsConnected()) {
+    return Status::InvalidArgument("in-service grid topology is disconnected");
+  }
+  return g;
+}
+
+void Grid::RebuildDerived() {
+  std::map<int, size_t> index;
+  for (size_t i = 0; i < buses_.size(); ++i) index[buses_[i].id] = i;
+
+  adjacency_.assign(buses_.size(), {});
+  std::set<LineId> line_set;
+  for (const Branch& br : branches_) {
+    if (!br.in_service) continue;
+    size_t from = index[br.from_bus];
+    size_t to = index[br.to_bus];
+    if (line_set.insert(LineId(from, to)).second) {
+      adjacency_[from].push_back(to);
+      adjacency_[to].push_back(from);
+    }
+  }
+  lines_.assign(line_set.begin(), line_set.end());
+  for (auto& adj : adjacency_) std::sort(adj.begin(), adj.end());
+}
+
+Result<size_t> Grid::BusIndex(int external_id) const {
+  for (size_t i = 0; i < buses_.size(); ++i) {
+    if (buses_[i].id == external_id) return i;
+  }
+  return Status::NotFound("bus id " + std::to_string(external_id));
+}
+
+const std::vector<size_t>& Grid::Neighbors(size_t bus_idx) const {
+  PW_CHECK_LT(bus_idx, adjacency_.size());
+  return adjacency_[bus_idx];
+}
+
+bool Grid::IsConnected() const {
+  UnionFind uf(buses_.size());
+  for (size_t i = 0; i < adjacency_.size(); ++i) {
+    for (size_t j : adjacency_[i]) uf.Union(i, j);
+  }
+  return uf.NumComponents() == 1;
+}
+
+bool Grid::WouldIsland(const LineId& line) const {
+  UnionFind uf(buses_.size());
+  for (size_t i = 0; i < adjacency_.size(); ++i) {
+    for (size_t j : adjacency_[i]) {
+      if (LineId(i, j) == line) continue;
+      uf.Union(i, j);
+    }
+  }
+  return uf.NumComponents() != 1;
+}
+
+Result<Grid> Grid::WithLineOut(const LineId& line,
+                               bool allow_islanding) const {
+  if (!allow_islanding && WouldIsland(line)) {
+    return Status::Islanded("removing " + LineName(line) +
+                            " disconnects the grid");
+  }
+  Grid out = *this;
+  bool found = false;
+  for (Branch& br : out.branches_) {
+    if (!br.in_service) continue;
+    auto from = BusIndex(br.from_bus);
+    auto to = BusIndex(br.to_bus);
+    PW_CHECK(from.ok() && to.ok());
+    if (LineId(from.value(), to.value()) == line) {
+      br.in_service = false;
+      found = true;
+    }
+  }
+  if (!found) {
+    return Status::NotFound("no in-service line " + LineName(line));
+  }
+  out.name_ = name_ + "\\" + LineName(line);
+  out.RebuildDerived();
+  return out;
+}
+
+linalg::ComplexMatrix Grid::BuildAdmittanceMatrix() const {
+  const size_t n = buses_.size();
+  linalg::ComplexMatrix ybus(n, n);
+
+  std::map<int, size_t> index;
+  for (size_t i = 0; i < n; ++i) index[buses_[i].id] = i;
+
+  for (const Branch& br : branches_) {
+    if (!br.in_service) continue;
+    size_t f = index[br.from_bus];
+    size_t t = index[br.to_bus];
+    linalg::Complex ys = 1.0 / linalg::Complex(br.r, br.x);
+    linalg::Complex charging(0.0, br.b / 2.0);
+    double tap = br.tap == 0.0 ? 1.0 : br.tap;
+    linalg::Complex ratio =
+        tap * std::exp(linalg::Complex(0.0, br.shift_deg * kDegToRad));
+    // Standard π-model with an ideal transformer on the "from" side.
+    ybus(f, f) += (ys + charging) / (tap * tap);
+    ybus(t, t) += ys + charging;
+    ybus(f, t) += -ys / std::conj(ratio);
+    ybus(t, f) += -ys / ratio;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    ybus(i, i) +=
+        linalg::Complex(buses_[i].gs_mw, buses_[i].bs_mvar) / base_mva_;
+  }
+  return ybus;
+}
+
+linalg::Matrix Grid::BuildSusceptanceLaplacian() const {
+  const size_t n = buses_.size();
+  linalg::Matrix lap(n, n);
+  std::map<int, size_t> index;
+  for (size_t i = 0; i < n; ++i) index[buses_[i].id] = i;
+  for (const Branch& br : branches_) {
+    if (!br.in_service) continue;
+    size_t f = index[br.from_bus];
+    size_t t = index[br.to_bus];
+    double w = 1.0 / br.x;
+    lap(f, f) += w;
+    lap(t, t) += w;
+    lap(f, t) -= w;
+    lap(t, f) -= w;
+  }
+  return lap;
+}
+
+double Grid::TotalLoadMw() const {
+  double total = 0.0;
+  for (const Bus& b : buses_) total += b.pd_mw;
+  return total;
+}
+
+double Grid::TotalGenMw() const {
+  double total = 0.0;
+  for (const Bus& b : buses_) total += b.pg_mw;
+  return total;
+}
+
+std::string Grid::LineName(const LineId& line) const {
+  PW_CHECK_LT(line.i, buses_.size());
+  PW_CHECK_LT(line.j, buses_.size());
+  return "line " + std::to_string(buses_[line.i].id) + "-" +
+         std::to_string(buses_[line.j].id);
+}
+
+}  // namespace phasorwatch::grid

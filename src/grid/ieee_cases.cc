@@ -1,0 +1,208 @@
+#include "grid/ieee_cases.h"
+
+#include "common/check.h"
+#include "grid/synthetic.h"
+
+namespace phasorwatch::grid {
+namespace {
+
+Bus MakeBus(int id, BusType type, double pd, double qd, double pg, double vm,
+            double bs = 0.0, double qmin = 0.0, double qmax = 0.0) {
+  Bus b;
+  b.id = id;
+  b.type = type;
+  b.pd_mw = pd;
+  b.qd_mvar = qd;
+  b.pg_mw = pg;
+  b.vm_setpoint = vm;
+  b.bs_mvar = bs;
+  b.qmin_mvar = qmin;
+  b.qmax_mvar = qmax;
+  return b;
+}
+
+Branch MakeBranch(int from, int to, double r, double x, double b,
+                  double tap = 0.0) {
+  Branch br;
+  br.from_bus = from;
+  br.to_bus = to;
+  br.r = r;
+  br.x = x;
+  br.b = b;
+  br.tap = tap;
+  return br;
+}
+
+}  // namespace
+
+Result<Grid> IeeeCase14() {
+  std::vector<Bus> buses = {
+      MakeBus(1, BusType::kSlack, 0.0, 0.0, 232.4, 1.060),
+      MakeBus(2, BusType::kPV, 21.7, 12.7, 40.0, 1.045, 0.0, -40.0, 50.0),
+      MakeBus(3, BusType::kPV, 94.2, 19.0, 0.0, 1.010, 0.0, 0.0, 40.0),
+      MakeBus(4, BusType::kPQ, 47.8, -3.9, 0.0, 1.0),
+      MakeBus(5, BusType::kPQ, 7.6, 1.6, 0.0, 1.0),
+      MakeBus(6, BusType::kPV, 11.2, 7.5, 0.0, 1.070, 0.0, -6.0, 24.0),
+      MakeBus(7, BusType::kPQ, 0.0, 0.0, 0.0, 1.0),
+      MakeBus(8, BusType::kPV, 0.0, 0.0, 0.0, 1.090, 0.0, -6.0, 24.0),
+      MakeBus(9, BusType::kPQ, 29.5, 16.6, 0.0, 1.0, /*bs=*/19.0),
+      MakeBus(10, BusType::kPQ, 9.0, 5.8, 0.0, 1.0),
+      MakeBus(11, BusType::kPQ, 3.5, 1.8, 0.0, 1.0),
+      MakeBus(12, BusType::kPQ, 6.1, 1.6, 0.0, 1.0),
+      MakeBus(13, BusType::kPQ, 13.5, 5.8, 0.0, 1.0),
+      MakeBus(14, BusType::kPQ, 14.9, 5.0, 0.0, 1.0),
+  };
+  std::vector<Branch> branches = {
+      MakeBranch(1, 2, 0.01938, 0.05917, 0.0528),
+      MakeBranch(1, 5, 0.05403, 0.22304, 0.0492),
+      MakeBranch(2, 3, 0.04699, 0.19797, 0.0438),
+      MakeBranch(2, 4, 0.05811, 0.17632, 0.0340),
+      MakeBranch(2, 5, 0.05695, 0.17388, 0.0346),
+      MakeBranch(3, 4, 0.06701, 0.17103, 0.0128),
+      MakeBranch(4, 5, 0.01335, 0.04211, 0.0),
+      MakeBranch(4, 7, 0.0, 0.20912, 0.0, 0.978),
+      MakeBranch(4, 9, 0.0, 0.55618, 0.0, 0.969),
+      MakeBranch(5, 6, 0.0, 0.25202, 0.0, 0.932),
+      MakeBranch(6, 11, 0.09498, 0.19890, 0.0),
+      MakeBranch(6, 12, 0.12291, 0.25581, 0.0),
+      MakeBranch(6, 13, 0.06615, 0.13027, 0.0),
+      MakeBranch(7, 8, 0.0, 0.17615, 0.0),
+      MakeBranch(7, 9, 0.0, 0.11001, 0.0),
+      MakeBranch(9, 10, 0.03181, 0.08450, 0.0),
+      MakeBranch(9, 14, 0.12711, 0.27038, 0.0),
+      MakeBranch(10, 11, 0.08205, 0.19207, 0.0),
+      MakeBranch(12, 13, 0.22092, 0.19988, 0.0),
+      MakeBranch(13, 14, 0.17093, 0.34802, 0.0),
+  };
+  return Grid::Create("ieee14", std::move(buses), std::move(branches));
+}
+
+Result<Grid> IeeeCase30() {
+  std::vector<Bus> buses = {
+      MakeBus(1, BusType::kSlack, 0.0, 0.0, 260.2, 1.060),
+      MakeBus(2, BusType::kPV, 21.7, 12.7, 40.0, 1.043),
+      MakeBus(3, BusType::kPQ, 2.4, 1.2, 0.0, 1.0),
+      MakeBus(4, BusType::kPQ, 7.6, 1.6, 0.0, 1.0),
+      MakeBus(5, BusType::kPV, 94.2, 19.0, 0.0, 1.010),
+      MakeBus(6, BusType::kPQ, 0.0, 0.0, 0.0, 1.0),
+      MakeBus(7, BusType::kPQ, 22.8, 10.9, 0.0, 1.0),
+      MakeBus(8, BusType::kPV, 30.0, 30.0, 0.0, 1.010),
+      MakeBus(9, BusType::kPQ, 0.0, 0.0, 0.0, 1.0),
+      MakeBus(10, BusType::kPQ, 5.8, 2.0, 0.0, 1.0, /*bs=*/19.0),
+      MakeBus(11, BusType::kPV, 0.0, 0.0, 0.0, 1.082),
+      MakeBus(12, BusType::kPQ, 11.2, 7.5, 0.0, 1.0),
+      MakeBus(13, BusType::kPV, 0.0, 0.0, 0.0, 1.071),
+      MakeBus(14, BusType::kPQ, 6.2, 1.6, 0.0, 1.0),
+      MakeBus(15, BusType::kPQ, 8.2, 2.5, 0.0, 1.0),
+      MakeBus(16, BusType::kPQ, 3.5, 1.8, 0.0, 1.0),
+      MakeBus(17, BusType::kPQ, 9.0, 5.8, 0.0, 1.0),
+      MakeBus(18, BusType::kPQ, 3.2, 0.9, 0.0, 1.0),
+      MakeBus(19, BusType::kPQ, 9.5, 3.4, 0.0, 1.0),
+      MakeBus(20, BusType::kPQ, 2.2, 0.7, 0.0, 1.0),
+      MakeBus(21, BusType::kPQ, 17.5, 11.2, 0.0, 1.0),
+      MakeBus(22, BusType::kPQ, 0.0, 0.0, 0.0, 1.0),
+      MakeBus(23, BusType::kPQ, 3.2, 1.6, 0.0, 1.0),
+      MakeBus(24, BusType::kPQ, 8.7, 6.7, 0.0, 1.0, /*bs=*/4.3),
+      MakeBus(25, BusType::kPQ, 0.0, 0.0, 0.0, 1.0),
+      MakeBus(26, BusType::kPQ, 3.5, 2.3, 0.0, 1.0),
+      MakeBus(27, BusType::kPQ, 0.0, 0.0, 0.0, 1.0),
+      MakeBus(28, BusType::kPQ, 0.0, 0.0, 0.0, 1.0),
+      MakeBus(29, BusType::kPQ, 2.4, 0.9, 0.0, 1.0),
+      MakeBus(30, BusType::kPQ, 10.6, 1.9, 0.0, 1.0),
+  };
+  std::vector<Branch> branches = {
+      MakeBranch(1, 2, 0.0192, 0.0575, 0.0528),
+      MakeBranch(1, 3, 0.0452, 0.1652, 0.0408),
+      MakeBranch(2, 4, 0.0570, 0.1737, 0.0368),
+      MakeBranch(3, 4, 0.0132, 0.0379, 0.0084),
+      MakeBranch(2, 5, 0.0472, 0.1983, 0.0418),
+      MakeBranch(2, 6, 0.0581, 0.1763, 0.0374),
+      MakeBranch(4, 6, 0.0119, 0.0414, 0.0090),
+      MakeBranch(5, 7, 0.0460, 0.1160, 0.0204),
+      MakeBranch(6, 7, 0.0267, 0.0820, 0.0170),
+      MakeBranch(6, 8, 0.0120, 0.0420, 0.0090),
+      MakeBranch(6, 9, 0.0, 0.2080, 0.0, 0.978),
+      MakeBranch(6, 10, 0.0, 0.5560, 0.0, 0.969),
+      MakeBranch(9, 11, 0.0, 0.2080, 0.0),
+      MakeBranch(9, 10, 0.0, 0.1100, 0.0),
+      MakeBranch(4, 12, 0.0, 0.2560, 0.0, 0.932),
+      MakeBranch(12, 13, 0.0, 0.1400, 0.0),
+      MakeBranch(12, 14, 0.1231, 0.2559, 0.0),
+      MakeBranch(12, 15, 0.0662, 0.1304, 0.0),
+      MakeBranch(12, 16, 0.0945, 0.1987, 0.0),
+      MakeBranch(14, 15, 0.2210, 0.1997, 0.0),
+      MakeBranch(16, 17, 0.0524, 0.1923, 0.0),
+      MakeBranch(15, 18, 0.1073, 0.2185, 0.0),
+      MakeBranch(18, 19, 0.0639, 0.1292, 0.0),
+      MakeBranch(19, 20, 0.0340, 0.0680, 0.0),
+      MakeBranch(10, 20, 0.0936, 0.2090, 0.0),
+      MakeBranch(10, 17, 0.0324, 0.0845, 0.0),
+      MakeBranch(10, 21, 0.0348, 0.0749, 0.0),
+      MakeBranch(10, 22, 0.0727, 0.1499, 0.0),
+      MakeBranch(21, 22, 0.0116, 0.0236, 0.0),
+      MakeBranch(15, 23, 0.1000, 0.2020, 0.0),
+      MakeBranch(22, 24, 0.1150, 0.1790, 0.0),
+      MakeBranch(23, 24, 0.1320, 0.2700, 0.0),
+      MakeBranch(24, 25, 0.1885, 0.3292, 0.0),
+      MakeBranch(25, 26, 0.2544, 0.3800, 0.0),
+      MakeBranch(25, 27, 0.1093, 0.2087, 0.0),
+      MakeBranch(28, 27, 0.0, 0.3960, 0.0, 0.968),
+      MakeBranch(27, 29, 0.2198, 0.4153, 0.0),
+      MakeBranch(27, 30, 0.3202, 0.6027, 0.0),
+      MakeBranch(29, 30, 0.2399, 0.4533, 0.0),
+      MakeBranch(8, 28, 0.0636, 0.2000, 0.0428),
+      MakeBranch(6, 28, 0.0169, 0.0599, 0.0130),
+  };
+  return Grid::Create("ieee30", std::move(buses), std::move(branches));
+}
+
+Result<Grid> IeeeCase57() {
+  SyntheticGridOptions opts;
+  opts.name = "ieee57";
+  opts.num_buses = 57;
+  opts.num_lines = 80;
+  opts.seed = 5757;
+  // Stiffer trunk than the small systems: larger grids interconnect
+  // regions through low-impedance corridors, which lets the same angle
+  // budget carry realistic power levels.
+  opts.mean_x = 0.07;
+  return BuildSyntheticGrid(opts);
+}
+
+Result<Grid> IeeeCase118() {
+  SyntheticGridOptions opts;
+  opts.name = "ieee118";
+  opts.num_buses = 118;
+  opts.num_lines = 186;
+  opts.seed = 118118;
+  opts.mean_x = 0.045;  // see IeeeCase57
+  return BuildSyntheticGrid(opts);
+}
+
+std::vector<Grid> AllEvaluationSystems() {
+  std::vector<Grid> systems;
+  for (auto maker : {IeeeCase14, IeeeCase30, IeeeCase57, IeeeCase118}) {
+    auto grid = maker();
+    PW_CHECK_MSG(grid.ok(), grid.status().ToString().c_str());
+    systems.push_back(std::move(grid).value());
+  }
+  return systems;
+}
+
+Result<Grid> EvaluationSystem(int num_buses) {
+  switch (num_buses) {
+    case 14:
+      return IeeeCase14();
+    case 30:
+      return IeeeCase30();
+    case 57:
+      return IeeeCase57();
+    case 118:
+      return IeeeCase118();
+    default:
+      return Status::NotFound("no evaluation system with " +
+                              std::to_string(num_buses) + " buses");
+  }
+}
+
+}  // namespace phasorwatch::grid

@@ -1,0 +1,43 @@
+#ifndef PHASORWATCH_IO_MATPOWER_H_
+#define PHASORWATCH_IO_MATPOWER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "grid/grid.h"
+
+namespace phasorwatch::io {
+
+/// Reader/writer for MATPOWER case files (the `.m` files with
+/// `mpc.baseMVA`, `mpc.bus`, `mpc.gen`, and `mpc.branch` matrices) —
+/// the de-facto interchange format for steady-state power-system test
+/// cases. The parser accepts the common layout produced by MATPOWER's
+/// `savecase`: matrix rows of whitespace-separated numbers terminated
+/// by `;`, comments starting with `%`, and arbitrary content outside
+/// the four matrices (which is ignored). Column meaning follows the
+/// MATPOWER manual:
+///   bus:    BUS_I TYPE PD QD GS BS AREA VM VA BASE_KV ZONE VMAX VMIN
+///   gen:    GEN_BUS PG QG QMAX QMIN VG MBASE STATUS PMAX PMIN ...
+///   branch: F_BUS T_BUS R X B RATE_A RATE_B RATE_C TAP SHIFT STATUS ...
+/// Trailing columns beyond those used are ignored; missing optional
+/// columns default to zero. Bus types: 1 = PQ, 2 = PV, 3 = slack.
+
+/// Parses a case from file contents. Fails with kInvalidArgument on
+/// malformed matrices and propagates Grid::Create's validation errors
+/// (duplicate buses, missing slack, disconnected topology, ...).
+Result<grid::Grid> ParseMatpowerCase(const std::string& contents,
+                                     const std::string& case_name = "case");
+
+/// Reads and parses a case file from disk.
+Result<grid::Grid> LoadMatpowerCase(const std::string& path);
+
+/// Serializes a grid back to MATPOWER format. Round-trips through
+/// ParseMatpowerCase up to floating-point printing precision.
+std::string WriteMatpowerCase(const grid::Grid& grid);
+
+/// Writes the serialized case to disk.
+Status SaveMatpowerCase(const grid::Grid& grid, const std::string& path);
+
+}  // namespace phasorwatch::io
+
+#endif  // PHASORWATCH_IO_MATPOWER_H_

@@ -1,0 +1,76 @@
+#ifndef PHASORWATCH_LINALG_COMPLEX_MATRIX_H_
+#define PHASORWATCH_LINALG_COMPLEX_MATRIX_H_
+
+#include <complex>
+#include <vector>
+
+#include "common/check.h"
+#include "linalg/matrix.h"
+
+namespace phasorwatch::linalg {
+
+using Complex = std::complex<double>;
+
+/// Dense row-major complex matrix. Used for the grid admittance matrix
+/// (Ybus) and complex power computations; kept intentionally small —
+/// factorizations happen on real matrices only.
+class ComplexMatrix {
+ public:
+  ComplexMatrix() = default;
+  ComplexMatrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  Complex& operator()(size_t r, size_t c) {
+    PW_CHECK_LT(r, rows_);
+    PW_CHECK_LT(c, cols_);
+    return data_[r * cols_ + c];
+  }
+  Complex operator()(size_t r, size_t c) const {
+    PW_CHECK_LT(r, rows_);
+    PW_CHECK_LT(c, cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Matrix-vector product.
+  std::vector<Complex> operator*(const std::vector<Complex>& v) const {
+    PW_CHECK_EQ(cols_, v.size());
+    std::vector<Complex> out(rows_);
+    for (size_t i = 0; i < rows_; ++i) {
+      Complex s = 0.0;
+      for (size_t j = 0; j < cols_; ++j) s += data_[i * cols_ + j] * v[j];
+      out[i] = s;
+    }
+    return out;
+  }
+
+  /// Real part as a real matrix (conductance G for Ybus).
+  Matrix Real() const {
+    Matrix out(rows_, cols_);
+    for (size_t i = 0; i < rows_; ++i) {
+      for (size_t j = 0; j < cols_; ++j) out(i, j) = data_[i * cols_ + j].real();
+    }
+    return out;
+  }
+
+  /// Imaginary part as a real matrix (susceptance B for Ybus).
+  Matrix Imag() const {
+    Matrix out(rows_, cols_);
+    for (size_t i = 0; i < rows_; ++i) {
+      for (size_t j = 0; j < cols_; ++j) out(i, j) = data_[i * cols_ + j].imag();
+    }
+    return out;
+  }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<Complex> data_;
+};
+
+}  // namespace phasorwatch::linalg
+
+#endif  // PHASORWATCH_LINALG_COMPLEX_MATRIX_H_

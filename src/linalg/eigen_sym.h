@@ -1,0 +1,24 @@
+#ifndef PHASORWATCH_LINALG_EIGEN_SYM_H_
+#define PHASORWATCH_LINALG_EIGEN_SYM_H_
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace phasorwatch::linalg {
+
+/// Eigendecomposition of a real symmetric matrix: A = V diag(w) V^T with
+/// eigenvalues sorted descending and orthonormal eigenvectors in V's
+/// columns.
+struct SymmetricEigenResult {
+  Vector eigenvalues;
+  Matrix eigenvectors;
+};
+
+/// Classic cyclic Jacobi eigensolver. Requires `a` symmetric (checked up
+/// to `symmetry_tol` relative to the largest entry).
+Result<SymmetricEigenResult> ComputeSymmetricEigen(
+    const Matrix& a, int max_sweeps = 100, double symmetry_tol = 1e-8);
+
+}  // namespace phasorwatch::linalg
+
+#endif  // PHASORWATCH_LINALG_EIGEN_SYM_H_

@@ -1,0 +1,122 @@
+#include "linalg/lu.h"
+
+#include <cmath>
+#include <numeric>
+#include <string>
+
+namespace phasorwatch::linalg {
+
+Result<LuDecomposition> LuDecomposition::Factor(const Matrix& a,
+                                                double pivot_tol) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("LU requires a square matrix");
+  }
+  const size_t n = a.rows();
+  LuDecomposition out;
+  out.lu_ = a;
+  out.perm_.resize(n);
+  std::iota(out.perm_.begin(), out.perm_.end(), size_t{0});
+
+  Matrix& lu = out.lu_;
+  for (size_t k = 0; k < n; ++k) {
+    // Partial pivoting: bring the largest remaining entry in column k up.
+    size_t pivot_row = k;
+    double pivot_abs = std::fabs(lu(k, k));
+    for (size_t i = k + 1; i < n; ++i) {
+      double v = std::fabs(lu(i, k));
+      if (v > pivot_abs) {
+        pivot_abs = v;
+        pivot_row = i;
+      }
+    }
+    if (pivot_abs < pivot_tol) {
+      return Status::Singular("pivot " + std::to_string(pivot_abs) +
+                              " below tolerance at column " +
+                              std::to_string(k));
+    }
+    if (pivot_row != k) {
+      for (size_t j = 0; j < n; ++j) std::swap(lu(k, j), lu(pivot_row, j));
+      std::swap(out.perm_[k], out.perm_[pivot_row]);
+      out.sign_ = -out.sign_;
+    }
+    const double pivot = lu(k, k);
+    for (size_t i = k + 1; i < n; ++i) {
+      double factor = lu(i, k) / pivot;
+      lu(i, k) = factor;  // store L multiplier in the eliminated slot
+      if (factor == 0.0) continue;
+      for (size_t j = k + 1; j < n; ++j) lu(i, j) -= factor * lu(k, j);
+    }
+  }
+  return out;
+}
+
+Result<Vector> LuDecomposition::Solve(const Vector& b) const {
+  const size_t n = size();
+  if (b.size() != n) {
+    return Status::InvalidArgument("rhs size mismatch in LU solve");
+  }
+  Vector x(n);
+  // Forward substitution with the permuted rhs: L y = P b.
+  for (size_t i = 0; i < n; ++i) {
+    double s = b[perm_[i]];
+    for (size_t j = 0; j < i; ++j) s -= lu_(i, j) * x[j];
+    x[i] = s;
+  }
+  // Back substitution: U x = y.
+  for (size_t i = n; i-- > 0;) {
+    double s = x[i];
+    for (size_t j = i + 1; j < n; ++j) s -= lu_(i, j) * x[j];
+    x[i] = s / lu_(i, i);
+  }
+  return x;
+}
+
+Result<Matrix> LuDecomposition::Solve(const Matrix& b) const {
+  const size_t n = size();
+  if (b.rows() != n) {
+    return Status::InvalidArgument("rhs rows mismatch in LU solve");
+  }
+  Matrix x(n, b.cols());
+  for (size_t c = 0; c < b.cols(); ++c) {
+    PW_ASSIGN_OR_RETURN(Vector col, Solve(b.Col(c)));
+    x.SetCol(c, col);
+  }
+  return x;
+}
+
+Result<Matrix> LuDecomposition::Inverse() const {
+  return Solve(Matrix::Identity(size()));
+}
+
+double LuDecomposition::Determinant() const {
+  double det = static_cast<double>(sign_);
+  for (size_t i = 0; i < size(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+Matrix LuDecomposition::LowerFactor() const {
+  const size_t n = size();
+  Matrix l = Matrix::Identity(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < i; ++j) l(i, j) = lu_(i, j);
+  }
+  return l;
+}
+
+Matrix LuDecomposition::UpperFactor() const {
+  const size_t n = size();
+  Matrix u(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) u(i, j) = lu_(i, j);
+  }
+  return u;
+}
+
+Matrix LuDecomposition::PermutationMatrix() const {
+  const size_t n = size();
+  Matrix p(n, n);
+  for (size_t i = 0; i < n; ++i) p(i, perm_[i]) = 1.0;
+  return p;
+}
+
+}  // namespace phasorwatch::linalg

@@ -1,0 +1,54 @@
+#ifndef PHASORWATCH_LINALG_LU_H_
+#define PHASORWATCH_LINALG_LU_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace phasorwatch::linalg {
+
+/// LU decomposition with partial (row) pivoting: P*A = L*U.
+///
+/// This is the workhorse solver for the Newton-Raphson power-flow
+/// Jacobian systems. Construction factors a copy of A; Solve then costs
+/// O(n^2) per right-hand side.
+class LuDecomposition {
+ public:
+  /// Factors the square matrix `a`. Fails with kSingular when a pivot
+  /// falls below `pivot_tol` (the matrix is numerically singular).
+  static Result<LuDecomposition> Factor(const Matrix& a,
+                                        double pivot_tol = 1e-13);
+
+  /// Solves A x = b for one right-hand side.
+  Result<Vector> Solve(const Vector& b) const;
+
+  /// Solves A X = B column by column.
+  Result<Matrix> Solve(const Matrix& b) const;
+
+  /// Inverse of A; prefer Solve when possible.
+  Result<Matrix> Inverse() const;
+
+  /// det(A), including the pivoting sign.
+  double Determinant() const;
+
+  size_t size() const { return lu_.rows(); }
+
+  /// Reconstructs L (unit lower triangular) for testing.
+  Matrix LowerFactor() const;
+  /// Reconstructs U (upper triangular) for testing.
+  Matrix UpperFactor() const;
+  /// Row permutation as a matrix P with P*A = L*U, for testing.
+  Matrix PermutationMatrix() const;
+
+ private:
+  LuDecomposition() = default;
+
+  Matrix lu_;                 // packed L (below diag, unit) and U
+  std::vector<size_t> perm_;  // perm_[i] = source row of pivoted row i
+  int sign_ = 1;
+};
+
+}  // namespace phasorwatch::linalg
+
+#endif  // PHASORWATCH_LINALG_LU_H_

@@ -1,0 +1,168 @@
+#include "linalg/sparse.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/check.h"
+
+namespace phasorwatch::linalg {
+
+CsrMatrix CsrMatrix::FromTriplets(size_t rows, size_t cols,
+                                  std::vector<Triplet> triplets) {
+  for (const Triplet& t : triplets) {
+    PW_CHECK_LT(t.row, rows);
+    PW_CHECK_LT(t.col, cols);
+  }
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_start_.assign(rows + 1, 0);
+  m.col_index_.reserve(triplets.size());
+  m.values_.reserve(triplets.size());
+  for (size_t k = 0; k < triplets.size();) {
+    size_t row = triplets[k].row;
+    size_t col = triplets[k].col;
+    double sum = 0.0;
+    while (k < triplets.size() && triplets[k].row == row &&
+           triplets[k].col == col) {
+      sum += triplets[k].value;
+      ++k;
+    }
+    if (sum != 0.0) {
+      m.col_index_.push_back(col);
+      m.values_.push_back(sum);
+      ++m.row_start_[row + 1];
+    }
+  }
+  for (size_t r = 0; r < rows; ++r) m.row_start_[r + 1] += m.row_start_[r];
+  return m;
+}
+
+CsrMatrix CsrMatrix::FromDense(const Matrix& dense, double tol) {
+  std::vector<Triplet> triplets;
+  for (size_t i = 0; i < dense.rows(); ++i) {
+    for (size_t j = 0; j < dense.cols(); ++j) {
+      if (std::fabs(dense(i, j)) > tol) {
+        triplets.push_back({i, j, dense(i, j)});
+      }
+    }
+  }
+  return FromTriplets(dense.rows(), dense.cols(), std::move(triplets));
+}
+
+Vector CsrMatrix::Multiply(const Vector& x) const {
+  PW_CHECK_EQ(x.size(), cols_);
+  Vector y(rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    for (size_t k = row_start_[r]; k < row_start_[r + 1]; ++k) {
+      sum += values_[k] * x[col_index_[k]];
+    }
+    y[r] = sum;
+  }
+  return y;
+}
+
+double CsrMatrix::At(size_t row, size_t col) const {
+  PW_CHECK_LT(row, rows_);
+  PW_CHECK_LT(col, cols_);
+  auto begin = col_index_.begin() + static_cast<long>(row_start_[row]);
+  auto end = col_index_.begin() + static_cast<long>(row_start_[row + 1]);
+  auto it = std::lower_bound(begin, end, col);
+  if (it == end || *it != col) return 0.0;
+  return values_[static_cast<size_t>(it - col_index_.begin())];
+}
+
+Matrix CsrMatrix::ToDense() const {
+  Matrix dense(rows_, cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t k = row_start_[r]; k < row_start_[r + 1]; ++k) {
+      dense(r, col_index_[k]) = values_[k];
+    }
+  }
+  return dense;
+}
+
+Vector CsrMatrix::Diagonal() const {
+  size_t n = std::min(rows_, cols_);
+  Vector d(n);
+  for (size_t i = 0; i < n; ++i) d[i] = At(i, i);
+  return d;
+}
+
+bool CsrMatrix::IsSymmetric(double tol) const {
+  PW_CHECK_EQ(rows_, cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t k = row_start_[r]; k < row_start_[r + 1]; ++k) {
+      if (std::fabs(values_[k] - At(col_index_[k], r)) > tol) return false;
+    }
+  }
+  return true;
+}
+
+Result<CgResult> ConjugateGradientSolve(const CsrMatrix& a, const Vector& b,
+                                        const CgOptions& options) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("CG requires a square matrix");
+  }
+  if (b.size() != a.rows()) {
+    return Status::InvalidArgument("rhs size mismatch in CG solve");
+  }
+  const size_t n = a.rows();
+  Vector diag = a.Diagonal();
+  for (size_t i = 0; i < n; ++i) {
+    if (diag[i] <= 0.0) {
+      return Status::InvalidArgument(
+          "CG preconditioner needs a positive diagonal (row " +
+          std::to_string(i) + ")");
+    }
+  }
+
+  double b_norm = b.Norm();
+  CgResult result;
+  result.x = Vector(n);
+  if (b_norm == 0.0) return result;  // x = 0 solves exactly
+
+  size_t max_iter =
+      options.max_iterations != 0 ? options.max_iterations : 4 * n;
+
+  Vector r = b;  // residual (x starts at zero)
+  Vector z(n);   // preconditioned residual
+  for (size_t i = 0; i < n; ++i) z[i] = r[i] / diag[i];
+  Vector p = z;
+  double rz = r.Dot(z);
+
+  for (size_t iter = 0; iter < max_iter; ++iter) {
+    Vector ap = a.Multiply(p);
+    double p_ap = p.Dot(ap);
+    if (p_ap <= 0.0) {
+      return Status::InvalidArgument(
+          "matrix is not positive definite (p^T A p <= 0)");
+    }
+    double alpha = rz / p_ap;
+    for (size_t i = 0; i < n; ++i) {
+      result.x[i] += alpha * p[i];
+      r[i] -= alpha * ap[i];
+    }
+    result.relative_residual = r.Norm() / b_norm;
+    result.iterations = iter + 1;
+    if (result.relative_residual < options.tolerance) return result;
+
+    for (size_t i = 0; i < n; ++i) z[i] = r[i] / diag[i];
+    double rz_next = r.Dot(z);
+    double beta = rz_next / rz;
+    rz = rz_next;
+    for (size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+  }
+  return Status::NotConverged(
+      "CG reached " + std::to_string(max_iter) + " iterations (residual " +
+      std::to_string(result.relative_residual) + ")");
+}
+
+}  // namespace phasorwatch::linalg

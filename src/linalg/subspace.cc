@@ -1,0 +1,124 @@
+#include "linalg/subspace.h"
+
+#include <cmath>
+
+#include "linalg/qr.h"
+#include "linalg/svd.h"
+
+namespace phasorwatch::linalg {
+
+Subspace::Subspace(const Matrix& spanning_columns)
+    : basis_(OrthonormalBasis(spanning_columns)) {}
+
+Subspace Subspace::FromOrthonormal(Matrix basis) {
+  Subspace s;
+  s.basis_ = std::move(basis);
+  return s;
+}
+
+Vector Subspace::Project(const Vector& x) const {
+  PW_CHECK_EQ(x.size(), ambient_dim());
+  Vector out(x.size());
+  // P x = B (B^T x); never materialize the n-by-n projector.
+  for (size_t j = 0; j < dim(); ++j) {
+    double coeff = 0.0;
+    for (size_t i = 0; i < x.size(); ++i) coeff += basis_(i, j) * x[i];
+    for (size_t i = 0; i < x.size(); ++i) out[i] += coeff * basis_(i, j);
+  }
+  return out;
+}
+
+double Subspace::Distance(const Vector& x) const {
+  Vector p = Project(x);
+  double sum = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    double d = x[i] - p[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+double Subspace::OrthonormalityError() const {
+  double err = 0.0;
+  for (size_t i = 0; i < dim(); ++i) {
+    for (size_t j = 0; j < dim(); ++j) {
+      double dot = 0.0;
+      for (size_t r = 0; r < ambient_dim(); ++r) {
+        dot += basis_(r, i) * basis_(r, j);
+      }
+      double expected = (i == j) ? 1.0 : 0.0;
+      err = std::max(err, std::fabs(dot - expected));
+    }
+  }
+  return err;
+}
+
+Subspace Subspace::Union(const Subspace& a, const Subspace& b) {
+  if (a.trivial()) return b;
+  if (b.trivial()) return a;
+  PW_CHECK_EQ(a.ambient_dim(), b.ambient_dim());
+  return Subspace(a.basis_.ConcatCols(b.basis_));
+}
+
+Subspace Subspace::UnionAll(const std::vector<Subspace>& parts) {
+  Matrix stacked;
+  for (const auto& s : parts) {
+    if (s.trivial()) continue;
+    stacked = stacked.ConcatCols(s.basis());
+  }
+  if (stacked.empty()) return Subspace();
+  return Subspace(stacked);
+}
+
+Subspace Subspace::Intersection(const Subspace& a, const Subspace& b,
+                                double cos_tol) {
+  if (a.trivial() || b.trivial()) return Subspace();
+  PW_CHECK_EQ(a.ambient_dim(), b.ambient_dim());
+  // Principal directions: SVD of A^T B. Singular values are the cosines
+  // of the principal angles; cosine ~ 1 means the direction lies in both
+  // subspaces. The corresponding direction in ambient space is A * u_i.
+  Matrix cross = a.basis_.TransposedTimes(b.basis_);
+  auto svd = ComputeSvd(cross);
+  if (!svd.ok()) return Subspace();
+  std::vector<Vector> kept;
+  for (size_t j = 0; j < svd->singular_values.size(); ++j) {
+    if (svd->singular_values[j] >= cos_tol) {
+      kept.push_back(a.basis_ * svd->u.Col(j));
+    }
+  }
+  if (kept.empty()) return Subspace();
+  // Re-orthonormalize to wash out rounding from the products.
+  return Subspace(Matrix::FromColumns(kept));
+}
+
+Subspace Subspace::IntersectAll(const std::vector<Subspace>& parts,
+                                double cos_tol) {
+  if (parts.empty()) return Subspace();
+  Subspace acc = parts[0];
+  for (size_t i = 1; i < parts.size(); ++i) {
+    if (acc.trivial()) return acc;
+    acc = Intersection(acc, parts[i], cos_tol);
+  }
+  return acc;
+}
+
+Result<Vector> Subspace::PrincipalAngleCosines(const Subspace& a,
+                                               const Subspace& b) {
+  if (a.trivial() || b.trivial()) {
+    return Status::InvalidArgument(
+        "principal angles undefined for the trivial subspace");
+  }
+  if (a.ambient_dim() != b.ambient_dim()) {
+    return Status::InvalidArgument("ambient dimension mismatch");
+  }
+  Matrix cross = a.basis_.TransposedTimes(b.basis_);
+  PW_ASSIGN_OR_RETURN(SvdResult svd, ComputeSvd(cross));
+  // Clamp to [0, 1]: rounding can push cosines epsilon above 1.
+  Vector cosines = svd.singular_values;
+  for (size_t i = 0; i < cosines.size(); ++i) {
+    cosines[i] = std::min(1.0, std::max(0.0, cosines[i]));
+  }
+  return cosines;
+}
+
+}  // namespace phasorwatch::linalg

@@ -1,0 +1,62 @@
+#ifndef PHASORWATCH_LINALG_SUBSPACE_H_
+#define PHASORWATCH_LINALG_SUBSPACE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace phasorwatch::linalg {
+
+/// A linear subspace of R^n represented by an orthonormal basis stored
+/// column-wise (n-by-k matrix, k = dim). An empty basis is the trivial
+/// {0} subspace.
+class Subspace {
+ public:
+  Subspace() = default;
+  /// Orthonormalizes `spanning_columns` and keeps its column space.
+  explicit Subspace(const Matrix& spanning_columns);
+
+  /// Wraps a matrix whose columns are already orthonormal (unchecked in
+  /// release; verified by OrthonormalityError in tests).
+  static Subspace FromOrthonormal(Matrix basis);
+
+  size_t ambient_dim() const { return basis_.rows(); }
+  size_t dim() const { return basis_.cols(); }
+  bool trivial() const { return basis_.cols() == 0; }
+  const Matrix& basis() const { return basis_; }
+
+  /// Orthogonal projection of x onto the subspace.
+  Vector Project(const Vector& x) const;
+
+  /// Euclidean distance from x to the subspace: ||x - P x||_2.
+  double Distance(const Vector& x) const;
+
+  /// max_ij |(B^T B - I)_ij| — a diagnostic for tests.
+  double OrthonormalityError() const;
+
+  /// Smallest subspace containing both operands (sum of subspaces).
+  static Subspace Union(const Subspace& a, const Subspace& b);
+  /// Sum over a collection; the trivial subspace is the identity element.
+  static Subspace UnionAll(const std::vector<Subspace>& parts);
+
+  /// Intersection of the two subspaces. Directions are kept when their
+  /// principal angle cosine exceeds `cos_tol` (numerical intersection).
+  static Subspace Intersection(const Subspace& a, const Subspace& b,
+                               double cos_tol = 1.0 - 1e-8);
+  /// Intersection over a collection; folds pairwise.
+  /// An empty collection yields the trivial subspace.
+  static Subspace IntersectAll(const std::vector<Subspace>& parts,
+                               double cos_tol = 1.0 - 1e-8);
+
+  /// Cosines of the principal angles between two subspaces, descending.
+  static Result<Vector> PrincipalAngleCosines(const Subspace& a,
+                                              const Subspace& b);
+
+ private:
+  Matrix basis_;
+};
+
+}  // namespace phasorwatch::linalg
+
+#endif  // PHASORWATCH_LINALG_SUBSPACE_H_

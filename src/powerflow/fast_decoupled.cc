@@ -1,0 +1,186 @@
+#include "powerflow/fast_decoupled.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "linalg/complex_matrix.h"
+#include "linalg/lu.h"
+#include "linalg/matrix.h"
+
+namespace phasorwatch::pf {
+namespace {
+
+using grid::Bus;
+using grid::BusType;
+using grid::Grid;
+using linalg::Matrix;
+using linalg::Vector;
+
+}  // namespace
+
+Result<PowerFlowSolution> SolveFastDecoupled(
+    const Grid& grid, const FastDecoupledOptions& options,
+    const InjectionOverrides& overrides) {
+  const size_t n = grid.num_buses();
+  auto check_size = [&](const std::vector<double>& v,
+                        const char* what) -> Status {
+    if (!v.empty() && v.size() != n) {
+      return Status::InvalidArgument(std::string(what) +
+                                     " override size mismatch");
+    }
+    return Status::OK();
+  };
+  PW_RETURN_IF_ERROR(check_size(overrides.pd_mw, "pd"));
+  PW_RETURN_IF_ERROR(check_size(overrides.qd_mvar, "qd"));
+  PW_RETURN_IF_ERROR(check_size(overrides.pg_mw, "pg"));
+
+  // Scheduled injections (pu).
+  Vector p_sched(n), q_sched(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Bus& bus = grid.bus(i);
+    double pd = overrides.pd_mw.empty() ? bus.pd_mw : overrides.pd_mw[i];
+    double qd = overrides.qd_mvar.empty() ? bus.qd_mvar : overrides.qd_mvar[i];
+    double pg = overrides.pg_mw.empty() ? bus.pg_mw : overrides.pg_mw[i];
+    p_sched[i] = (pg - pd) / grid.base_mva();
+    q_sched[i] = -qd / grid.base_mva();
+  }
+
+  linalg::ComplexMatrix ybus = grid.BuildAdmittanceMatrix();
+  Matrix g = ybus.Real();
+  Matrix b = ybus.Imag();
+
+  std::vector<size_t> p_buses;  // non-slack (angle unknowns)
+  std::vector<size_t> q_buses;  // PQ (magnitude unknowns)
+  for (size_t i = 0; i < n; ++i) {
+    if (grid.bus(i).type != BusType::kSlack) p_buses.push_back(i);
+    if (grid.bus(i).type == BusType::kPQ) q_buses.push_back(i);
+  }
+  const size_t np = p_buses.size();
+  const size_t nq = q_buses.size();
+
+  // XB-scheme matrices. B' uses the series reactance only (ignores
+  // resistance and shunts); B'' is the imaginary Ybus restricted to PQ
+  // buses. Both are constant, factored once.
+  Matrix b_prime(np, np);
+  {
+    Matrix lap = grid.BuildSusceptanceLaplacian();
+    for (size_t a = 0; a < np; ++a) {
+      for (size_t c = 0; c < np; ++c) {
+        b_prime(a, c) = lap(p_buses[a], p_buses[c]);
+      }
+    }
+  }
+  Matrix b_dprime(nq, nq);
+  for (size_t a = 0; a < nq; ++a) {
+    for (size_t c = 0; c < nq; ++c) {
+      b_dprime(a, c) = -b(q_buses[a], q_buses[c]);
+    }
+  }
+
+  auto lu_p = linalg::LuDecomposition::Factor(b_prime);
+  if (!lu_p.ok()) {
+    return Status::Singular("B' factorization failed: " +
+                            lu_p.status().message());
+  }
+  Result<linalg::LuDecomposition> lu_q = Status::OK();
+  if (nq > 0) {
+    lu_q = linalg::LuDecomposition::Factor(b_dprime);
+    if (!lu_q.ok()) {
+      return Status::Singular("B'' factorization failed: " +
+                              lu_q.status().message());
+    }
+  }
+
+  Vector vm(n), va(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Bus& bus = grid.bus(i);
+    bool fixed_vm = bus.type != BusType::kPQ;
+    vm[i] =
+        fixed_vm ? bus.vm_setpoint : (options.flat_start ? 1.0 : bus.vm_setpoint);
+    va[i] = 0.0;
+  }
+
+  Vector p_calc(n), q_calc(n);
+  auto compute_injections = [&]() {
+    for (size_t i = 0; i < n; ++i) {
+      double p = 0.0, q = 0.0;
+      for (size_t k = 0; k < n; ++k) {
+        double gik = g(i, k);
+        double bik = b(i, k);
+        if (gik == 0.0 && bik == 0.0) continue;
+        double theta = va[i] - va[k];
+        double c = std::cos(theta);
+        double s = std::sin(theta);
+        p += vm[k] * (gik * c + bik * s);
+        q += vm[k] * (gik * s - bik * c);
+      }
+      p_calc[i] = vm[i] * p;
+      q_calc[i] = vm[i] * q;
+    }
+  };
+
+  PowerFlowSolution sol;
+  double mismatch = 0.0;
+  int iter = 0;
+  for (; iter < options.max_iterations; ++iter) {
+    compute_injections();
+
+    // P half-iteration: B' dtheta = dP / Vm.
+    Vector dp(np);
+    mismatch = 0.0;
+    for (size_t a = 0; a < np; ++a) {
+      double miss = p_sched[p_buses[a]] - p_calc[p_buses[a]];
+      mismatch = std::max(mismatch, std::fabs(miss));
+      dp[a] = miss / vm[p_buses[a]];
+    }
+    // Q mismatch check uses the same state snapshot.
+    for (size_t a = 0; a < nq; ++a) {
+      mismatch = std::max(
+          mismatch, std::fabs(q_sched[q_buses[a]] - q_calc[q_buses[a]]));
+    }
+    if (mismatch < options.tolerance) break;
+
+    PW_ASSIGN_OR_RETURN(Vector dtheta, lu_p->Solve(dp));
+    for (size_t a = 0; a < np; ++a) va[p_buses[a]] += dtheta[a];
+
+    if (nq > 0) {
+      // Q half-iteration with refreshed injections.
+      compute_injections();
+      Vector dq(nq);
+      for (size_t a = 0; a < nq; ++a) {
+        dq[a] = (q_sched[q_buses[a]] - q_calc[q_buses[a]]) / vm[q_buses[a]];
+      }
+      PW_ASSIGN_OR_RETURN(Vector dvm, lu_q->Solve(dq));
+      for (size_t a = 0; a < nq; ++a) {
+        vm[q_buses[a]] = std::max(vm[q_buses[a]] + dvm[a], 0.05);
+      }
+    }
+  }
+
+  compute_injections();
+  if (mismatch >= options.tolerance) {
+    return Status::NotConverged(
+        "fast-decoupled load flow did not converge after " +
+        std::to_string(options.max_iterations) +
+        " iterations (mismatch=" + std::to_string(mismatch) + ")");
+  }
+
+  sol.vm = vm;
+  sol.va_rad = va;
+  sol.iterations = iter;
+  sol.final_mismatch = mismatch;
+  sol.p_mw = Vector(n);
+  sol.q_mvar = Vector(n);
+  for (size_t i = 0; i < n; ++i) {
+    sol.p_mw[i] = p_calc[i] * grid.base_mva();
+    sol.q_mvar[i] = q_calc[i] * grid.base_mva();
+  }
+  size_t slack = grid.SlackBus();
+  double pd_slack =
+      overrides.pd_mw.empty() ? grid.bus(slack).pd_mw : overrides.pd_mw[slack];
+  sol.slack_p_mw = sol.p_mw[slack] + pd_slack;
+  return sol;
+}
+
+}  // namespace phasorwatch::pf

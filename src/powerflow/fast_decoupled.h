@@ -1,0 +1,38 @@
+#ifndef PHASORWATCH_POWERFLOW_FAST_DECOUPLED_H_
+#define PHASORWATCH_POWERFLOW_FAST_DECOUPLED_H_
+
+#include "common/status.h"
+#include "grid/grid.h"
+#include "powerflow/powerflow.h"
+
+namespace phasorwatch::pf {
+
+/// Options for the fast-decoupled load flow.
+struct FastDecoupledOptions {
+  double tolerance = 1e-8;   ///< max |mismatch| in per-unit power
+  int max_iterations = 100;  ///< P/Q half-iterations together count as 1
+  bool flat_start = true;
+};
+
+/// Fast-decoupled load flow (Stott & Alsac XB scheme).
+///
+/// Exploits the weak P-V / Q-theta coupling of transmission networks:
+/// the polar Jacobian is approximated by two constant susceptance
+/// matrices (B' for the angle update, B'' for the magnitude update)
+/// factored once and reused every iteration. Each iteration is O(N^2)
+/// instead of the Newton-Raphson's O(N^3), which is why utilities run
+/// this solver for repeated studies — exactly the workload of the
+/// measurement simulator (many load states per outage case).
+///
+/// Converges to the same operating point as SolveAcPowerFlow (it solves
+/// the same mismatch equations; only the update direction is
+/// approximate). Needs more iterations, and can fail on very high R/X
+/// networks where the decoupling assumption breaks — callers fall back
+/// to Newton-Raphson on kNotConverged.
+Result<PowerFlowSolution> SolveFastDecoupled(
+    const grid::Grid& grid, const FastDecoupledOptions& options = {},
+    const InjectionOverrides& overrides = {});
+
+}  // namespace phasorwatch::pf
+
+#endif  // PHASORWATCH_POWERFLOW_FAST_DECOUPLED_H_

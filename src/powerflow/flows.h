@@ -1,0 +1,39 @@
+#ifndef PHASORWATCH_POWERFLOW_FLOWS_H_
+#define PHASORWATCH_POWERFLOW_FLOWS_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "grid/grid.h"
+#include "powerflow/powerflow.h"
+
+namespace phasorwatch::pf {
+
+/// Power flow on one branch, evaluated at both ends (per-unit phasors,
+/// MW/MVAr quantities).
+struct BranchFlow {
+  int from_bus = 0;          ///< external ids, matching grid.branches()
+  int to_bus = 0;
+  double p_from_mw = 0.0;    ///< active power entering at the from end
+  double q_from_mvar = 0.0;
+  double p_to_mw = 0.0;      ///< active power entering at the to end
+  double q_to_mvar = 0.0;
+
+  /// Series loss on the branch: P_from + P_to (>= 0 physically).
+  double LossMw() const { return p_from_mw + p_to_mw; }
+  /// Magnitude of the larger end's apparent power (loading proxy).
+  double LoadingMva() const;
+};
+
+/// Computes the flow on every in-service branch of `grid` at the solved
+/// operating point. Out-of-service branches yield zero-flow entries so
+/// indices stay aligned with grid.branches().
+Result<std::vector<BranchFlow>> ComputeBranchFlows(
+    const grid::Grid& grid, const PowerFlowSolution& solution);
+
+/// Total series losses over all branches (MW).
+double TotalLossMw(const std::vector<BranchFlow>& flows);
+
+}  // namespace phasorwatch::pf
+
+#endif  // PHASORWATCH_POWERFLOW_FLOWS_H_

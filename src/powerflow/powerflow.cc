@@ -1,0 +1,333 @@
+#include "powerflow/powerflow.h"
+
+#include <cmath>
+#include <string>
+
+#include "common/check.h"
+#include "linalg/complex_matrix.h"
+#include "linalg/lu.h"
+
+namespace phasorwatch::pf {
+namespace {
+
+using grid::Bus;
+using grid::BusType;
+using grid::Grid;
+using linalg::Matrix;
+using linalg::Vector;
+
+// Resolves the effective per-bus net scheduled injections (generation
+// minus demand, per-unit) after applying overrides.
+struct ScheduledInjections {
+  Vector p_pu;  // net active injection
+  Vector q_pu;  // net reactive injection (meaningful at PQ buses)
+};
+
+Result<ScheduledInjections> ResolveInjections(
+    const Grid& grid, const InjectionOverrides& overrides) {
+  const size_t n = grid.num_buses();
+  auto check_size = [&](const std::vector<double>& v,
+                        const char* what) -> Status {
+    if (!v.empty() && v.size() != n) {
+      return Status::InvalidArgument(std::string(what) +
+                                     " override size mismatch");
+    }
+    return Status::OK();
+  };
+  PW_RETURN_IF_ERROR(check_size(overrides.pd_mw, "pd"));
+  PW_RETURN_IF_ERROR(check_size(overrides.qd_mvar, "qd"));
+  PW_RETURN_IF_ERROR(check_size(overrides.pg_mw, "pg"));
+
+  ScheduledInjections out;
+  out.p_pu = Vector(n);
+  out.q_pu = Vector(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Bus& bus = grid.bus(i);
+    double pd = overrides.pd_mw.empty() ? bus.pd_mw : overrides.pd_mw[i];
+    double qd = overrides.qd_mvar.empty() ? bus.qd_mvar : overrides.qd_mvar[i];
+    double pg = overrides.pg_mw.empty() ? bus.pg_mw : overrides.pg_mw[i];
+    out.p_pu[i] = (pg - pd) / grid.base_mva();
+    out.q_pu[i] = -qd / grid.base_mva();  // PQ buses: generator Q unknown
+  }
+  return out;
+}
+
+}  // namespace
+
+namespace {
+
+// Core Newton-Raphson solve with caller-provided effective bus types
+// and scheduled reactive injections (per-unit). SolveAcPowerFlow wraps
+// it; the Q-limit loop re-enters it with PV buses demoted to PQ.
+Result<PowerFlowSolution> SolveAcCore(const Grid& grid,
+                                      const PowerFlowOptions& options,
+                                      const std::vector<BusType>& types,
+                                      const Vector& p_sched_pu,
+                                      const Vector& q_sched_pu) {
+  const size_t n = grid.num_buses();
+  ScheduledInjections sched;
+  sched.p_pu = p_sched_pu;
+  sched.q_pu = q_sched_pu;
+
+  linalg::ComplexMatrix ybus = grid.BuildAdmittanceMatrix();
+  Matrix g = ybus.Real();
+  Matrix b = ybus.Imag();
+
+  // Index sets: PV+PQ buses contribute a P equation (angle unknown);
+  // PQ buses additionally contribute a Q equation (magnitude unknown).
+  std::vector<size_t> p_buses;   // non-slack
+  std::vector<size_t> q_buses;   // PQ only
+  for (size_t i = 0; i < n; ++i) {
+    if (types[i] != BusType::kSlack) p_buses.push_back(i);
+    if (types[i] == BusType::kPQ) q_buses.push_back(i);
+  }
+  const size_t np = p_buses.size();
+  const size_t nq = q_buses.size();
+
+  Vector vm(n), va(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Bus& bus = grid.bus(i);
+    bool fixed_vm = types[i] != BusType::kPQ;
+    vm[i] = fixed_vm ? bus.vm_setpoint : (options.flat_start ? 1.0 : bus.vm_setpoint);
+    va[i] = 0.0;
+  }
+
+  // Computed injections at the current state.
+  Vector p_calc(n), q_calc(n);
+  auto compute_injections = [&]() {
+    for (size_t i = 0; i < n; ++i) {
+      double p = 0.0, q = 0.0;
+      for (size_t k = 0; k < n; ++k) {
+        double gik = g(i, k);
+        double bik = b(i, k);
+        if (gik == 0.0 && bik == 0.0) continue;
+        double theta = va[i] - va[k];
+        double c = std::cos(theta);
+        double s = std::sin(theta);
+        p += vm[k] * (gik * c + bik * s);
+        q += vm[k] * (gik * s - bik * c);
+      }
+      p_calc[i] = vm[i] * p;
+      q_calc[i] = vm[i] * q;
+    }
+  };
+
+  PowerFlowSolution sol;
+  double mismatch_norm = 0.0;
+  int iter = 0;
+  for (; iter < options.max_iterations; ++iter) {
+    compute_injections();
+
+    Vector mismatch(np + nq);
+    mismatch_norm = 0.0;
+    for (size_t a = 0; a < np; ++a) {
+      mismatch[a] = sched.p_pu[p_buses[a]] - p_calc[p_buses[a]];
+      mismatch_norm = std::max(mismatch_norm, std::fabs(mismatch[a]));
+    }
+    for (size_t a = 0; a < nq; ++a) {
+      mismatch[np + a] = sched.q_pu[q_buses[a]] - q_calc[q_buses[a]];
+      mismatch_norm = std::max(mismatch_norm, std::fabs(mismatch[np + a]));
+    }
+    if (mismatch_norm < options.tolerance) break;
+
+    // Assemble the polar-form Jacobian [[H, N], [J, L]].
+    Matrix jac(np + nq, np + nq);
+    for (size_t a = 0; a < np; ++a) {
+      size_t i = p_buses[a];
+      for (size_t c = 0; c < np; ++c) {
+        size_t j = p_buses[c];
+        if (i == j) {
+          jac(a, c) = -q_calc[i] - b(i, i) * vm[i] * vm[i];
+        } else {
+          double theta = va[i] - va[j];
+          jac(a, c) = vm[i] * vm[j] *
+                      (g(i, j) * std::sin(theta) - b(i, j) * std::cos(theta));
+        }
+      }
+      for (size_t c = 0; c < nq; ++c) {
+        size_t j = q_buses[c];
+        if (i == j) {
+          jac(a, np + c) = p_calc[i] / vm[i] + g(i, i) * vm[i];
+        } else {
+          double theta = va[i] - va[j];
+          jac(a, np + c) = vm[i] * (g(i, j) * std::cos(theta) +
+                                    b(i, j) * std::sin(theta));
+        }
+      }
+    }
+    for (size_t r = 0; r < nq; ++r) {
+      size_t i = q_buses[r];
+      for (size_t c = 0; c < np; ++c) {
+        size_t j = p_buses[c];
+        if (i == j) {
+          jac(np + r, c) = p_calc[i] - g(i, i) * vm[i] * vm[i];
+        } else {
+          double theta = va[i] - va[j];
+          jac(np + r, c) = -vm[i] * vm[j] *
+                           (g(i, j) * std::cos(theta) +
+                            b(i, j) * std::sin(theta));
+        }
+      }
+      for (size_t c = 0; c < nq; ++c) {
+        size_t j = q_buses[c];
+        if (i == j) {
+          jac(np + r, np + c) = q_calc[i] / vm[i] - b(i, i) * vm[i];
+        } else {
+          double theta = va[i] - va[j];
+          jac(np + r, np + c) = vm[i] * (g(i, j) * std::sin(theta) -
+                                         b(i, j) * std::cos(theta));
+        }
+      }
+    }
+
+    auto lu = linalg::LuDecomposition::Factor(jac);
+    if (!lu.ok()) {
+      return Status::Singular("power-flow Jacobian is singular: " +
+                              lu.status().message());
+    }
+    PW_ASSIGN_OR_RETURN(Vector delta, lu->Solve(mismatch));
+
+    for (size_t a = 0; a < np; ++a) va[p_buses[a]] += delta[a];
+    for (size_t a = 0; a < nq; ++a) {
+      vm[q_buses[a]] += delta[np + a];
+      // A magnitude collapsing toward zero signals voltage instability;
+      // clamp so the iteration either recovers or fails to converge
+      // rather than producing NaNs.
+      vm[q_buses[a]] = std::max(vm[q_buses[a]], 0.05);
+    }
+  }
+
+  compute_injections();
+  if (mismatch_norm >= options.tolerance) {
+    return Status::NotConverged(
+        "power flow did not converge after " +
+        std::to_string(options.max_iterations) +
+        " iterations (mismatch=" + std::to_string(mismatch_norm) + ")");
+  }
+
+  sol.vm = vm;
+  sol.va_rad = va;
+  sol.iterations = iter;
+  sol.final_mismatch = mismatch_norm;
+  sol.p_mw = Vector(n);
+  sol.q_mvar = Vector(n);
+  for (size_t i = 0; i < n; ++i) {
+    sol.p_mw[i] = p_calc[i] * grid.base_mva();
+    sol.q_mvar[i] = q_calc[i] * grid.base_mva();
+  }
+  sol.slack_p_mw = 0.0;  // filled by the wrapper (needs the pd override)
+  return sol;
+}
+
+}  // namespace
+
+Result<PowerFlowSolution> SolveAcPowerFlow(const Grid& grid,
+                                           const PowerFlowOptions& options,
+                                           const InjectionOverrides& overrides) {
+  const size_t n = grid.num_buses();
+  PW_ASSIGN_OR_RETURN(ScheduledInjections sched,
+                      ResolveInjections(grid, overrides));
+
+  std::vector<BusType> types(n);
+  for (size_t i = 0; i < n; ++i) types[i] = grid.bus(i).type;
+
+  // Q-limit enforcement: solve, then demote PV buses whose generator
+  // reactive output violates its declared capability to PQ pinned at
+  // the limit, and re-solve. One-way switching, bounded rounds.
+  const int kMaxRounds = options.enforce_q_limits ? 6 : 1;
+  Result<PowerFlowSolution> sol = Status::Internal("unsolved");
+  for (int round = 0; round < kMaxRounds; ++round) {
+    sol = SolveAcCore(grid, options, types, sched.p_pu, sched.q_pu);
+    if (!sol.ok() || !options.enforce_q_limits) break;
+    bool switched = false;
+    for (size_t i = 0; i < n; ++i) {
+      const Bus& bus = grid.bus(i);
+      if (types[i] != BusType::kPV || !bus.HasQLimits()) continue;
+      double qd = overrides.qd_mvar.empty() ? bus.qd_mvar
+                                            : overrides.qd_mvar[i];
+      double qg = sol->q_mvar[i] + qd;  // generator output at this bus
+      double pinned = 0.0;
+      if (qg > bus.qmax_mvar) {
+        pinned = bus.qmax_mvar;
+      } else if (qg < bus.qmin_mvar) {
+        pinned = bus.qmin_mvar;
+      } else {
+        continue;
+      }
+      types[i] = BusType::kPQ;
+      sched.q_pu[i] = (pinned - qd) / grid.base_mva();
+      switched = true;
+    }
+    if (!switched) break;
+  }
+  if (!sol.ok()) return sol;
+
+  size_t slack = grid.SlackBus();
+  double pd_slack = overrides.pd_mw.empty() ? grid.bus(slack).pd_mw
+                                            : overrides.pd_mw[slack];
+  sol->slack_p_mw = sol->p_mw[slack] + pd_slack;
+  return sol;
+}
+
+Result<PowerFlowSolution> SolveDcPowerFlow(const Grid& grid,
+                                           const InjectionOverrides& overrides) {
+  const size_t n = grid.num_buses();
+  PW_ASSIGN_OR_RETURN(ScheduledInjections sched,
+                      ResolveInjections(grid, overrides));
+
+  Matrix lap = grid.BuildSusceptanceLaplacian();
+  size_t slack = grid.SlackBus();
+
+  // Reduce out the slack row/column, solve B' theta = P.
+  std::vector<size_t> keep;
+  keep.reserve(n - 1);
+  for (size_t i = 0; i < n; ++i) {
+    if (i != slack) keep.push_back(i);
+  }
+  Matrix reduced = lap.SelectRows(keep).SelectCols(keep);
+  Vector p_reduced(n - 1);
+  for (size_t a = 0; a < keep.size(); ++a) p_reduced[a] = sched.p_pu[keep[a]];
+
+  auto lu = linalg::LuDecomposition::Factor(reduced);
+  if (!lu.ok()) {
+    return Status::Singular("DC susceptance matrix is singular: " +
+                            lu.status().message());
+  }
+  PW_ASSIGN_OR_RETURN(Vector theta_reduced, lu->Solve(p_reduced));
+
+  PowerFlowSolution sol;
+  sol.vm = Vector(n, 1.0);
+  sol.va_rad = Vector(n, 0.0);
+  for (size_t a = 0; a < keep.size(); ++a) {
+    sol.va_rad[keep[a]] = theta_reduced[a];
+  }
+  sol.p_mw = Vector(n);
+  sol.q_mvar = Vector(n);
+  Vector p_injected = lap * sol.va_rad;
+  for (size_t i = 0; i < n; ++i) sol.p_mw[i] = p_injected[i] * grid.base_mva();
+  sol.iterations = 1;
+  double pd_slack = overrides.pd_mw.empty() ? grid.bus(slack).pd_mw
+                                            : overrides.pd_mw[slack];
+  sol.slack_p_mw = sol.p_mw[slack] + pd_slack;
+  return sol;
+}
+
+std::vector<double> BalanceGeneration(const Grid& grid,
+                                      const std::vector<double>& pd_mw) {
+  PW_CHECK_EQ(pd_mw.size(), grid.num_buses());
+  double new_load = 0.0;
+  for (double pd : pd_mw) new_load += pd;
+  double base_gen = grid.TotalGenMw();
+  double scale = base_gen > 0.0 ? new_load / grid.TotalLoadMw() : 1.0;
+
+  std::vector<double> pg(grid.num_buses(), 0.0);
+  for (size_t i = 0; i < grid.num_buses(); ++i) {
+    const Bus& bus = grid.bus(i);
+    // The slack bus absorbs the residual imbalance during the solve, so
+    // its schedule is irrelevant; scale PV generation with demand.
+    pg[i] = bus.pg_mw * scale;
+  }
+  return pg;
+}
+
+}  // namespace phasorwatch::pf

@@ -1,0 +1,74 @@
+#ifndef PHASORWATCH_POWERFLOW_POWERFLOW_H_
+#define PHASORWATCH_POWERFLOW_POWERFLOW_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "grid/grid.h"
+#include "linalg/matrix.h"
+
+namespace phasorwatch::pf {
+
+/// Options for the Newton-Raphson AC power-flow solver.
+struct PowerFlowOptions {
+  double tolerance = 1e-8;  ///< max |mismatch| in per-unit power
+  int max_iterations = 30;
+  bool flat_start = true;   ///< start from Vm=1, Va=0 (else bus setpoints)
+  /// Enforce generator reactive capability: PV buses whose solved Q
+  /// violates [qmin, qmax] are demoted to PQ pinned at the limit and
+  /// the case is re-solved (classic one-way PV->PQ switching). Only
+  /// buses with declared limits (Bus::HasQLimits) participate.
+  bool enforce_q_limits = false;
+};
+
+/// Per-bus operating point overrides. Empty vectors mean "use the values
+/// stored in the Grid". Used by the measurement simulator to sweep load
+/// scenarios without rebuilding grids.
+struct InjectionOverrides {
+  std::vector<double> pd_mw;    ///< demand overrides, size num_buses
+  std::vector<double> qd_mvar;  ///< demand overrides, size num_buses
+  std::vector<double> pg_mw;    ///< generation overrides, size num_buses
+};
+
+/// Solved AC operating point.
+struct PowerFlowSolution {
+  linalg::Vector vm;        ///< voltage magnitudes (pu), by bus index
+  linalg::Vector va_rad;    ///< voltage angles (radians), by bus index
+  linalg::Vector p_mw;      ///< net active injection per bus (MW)
+  linalg::Vector q_mvar;    ///< net reactive injection per bus (MVAr)
+  int iterations = 0;
+  double final_mismatch = 0.0;
+
+  /// Residual of the AC power balance at PQ/PV buses, recomputed from
+  /// scratch (diagnostic for tests).
+  double slack_p_mw = 0.0;  ///< active power picked up by the slack bus
+};
+
+/// Full AC power flow via Newton-Raphson in polar form.
+///
+/// Solves for voltage magnitudes at PQ buses and angles at all non-slack
+/// buses so that specified injections match computed injections through
+/// the admittance matrix. Fails with kNotConverged when the mismatch does
+/// not reach tolerance within the iteration budget (heavily loaded
+/// post-outage states legitimately diverge — the caller treats these as
+/// invalid outage cases, matching the paper's case filtering) and with
+/// kSingular when the Jacobian degenerates.
+Result<PowerFlowSolution> SolveAcPowerFlow(
+    const grid::Grid& grid, const PowerFlowOptions& options = {},
+    const InjectionOverrides& overrides = {});
+
+/// Linear DC power-flow approximation: angles from B' theta = P with the
+/// slack angle fixed at zero; magnitudes are all 1 pu. Used for baseline
+/// comparisons and as a fast sanity oracle in tests.
+Result<PowerFlowSolution> SolveDcPowerFlow(
+    const grid::Grid& grid, const InjectionOverrides& overrides = {});
+
+/// Scales PV-bus generation so total scheduled generation tracks the
+/// scaled demand (the paper adjusts output power to follow daily load).
+/// Returns pg overrides aligned with the grid's bus indexing.
+std::vector<double> BalanceGeneration(const grid::Grid& grid,
+                                      const std::vector<double>& pd_mw);
+
+}  // namespace phasorwatch::pf
+
+#endif  // PHASORWATCH_POWERFLOW_POWERFLOW_H_

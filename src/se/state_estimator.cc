@@ -1,0 +1,197 @@
+#include "se/state_estimator.h"
+
+#include <cmath>
+#include <complex>
+#include <string>
+
+#include "common/check.h"
+#include "linalg/complex_matrix.h"
+#include "linalg/lu.h"
+
+namespace phasorwatch::se {
+namespace {
+
+using grid::Branch;
+using grid::Grid;
+using linalg::Matrix;
+using linalg::Vector;
+
+constexpr double kDegToRad = M_PI / 180.0;
+
+// Terminal admittances of one branch (same pi-model as the Ybus
+// builder): I_from = yff * V_from + yft * V_to.
+struct BranchAdmittance {
+  std::complex<double> yff;
+  std::complex<double> yft;
+};
+
+BranchAdmittance FromEndAdmittance(const Branch& br) {
+  using C = std::complex<double>;
+  C ys = 1.0 / C(br.r, br.x);
+  C charging(0.0, br.b / 2.0);
+  double tap = br.tap == 0.0 ? 1.0 : br.tap;
+  C ratio = tap * std::exp(C(0.0, br.shift_deg * kDegToRad));
+  BranchAdmittance out;
+  out.yff = (ys + charging) / (tap * tap);
+  out.yft = -ys / std::conj(ratio);
+  return out;
+}
+
+// Adds the two rows (real and imaginary component) of a linear complex
+// relation m = sum_k c_k * V_k to H, and the measured values to z/w.
+struct RowBuilder {
+  Matrix& h;
+  Vector& z;
+  Vector& weight;
+  size_t row = 0;
+  size_t n = 0;
+
+  void AddComplexTerm(size_t real_row, size_t bus,
+                      std::complex<double> coeff) {
+    // m_re += Re(c)Re(V) - Im(c)Im(V); m_im += Im(c)Re(V) + Re(c)Im(V).
+    h(real_row, bus) += coeff.real();
+    h(real_row, n + bus) += -coeff.imag();
+    h(real_row + 1, bus) += coeff.imag();
+    h(real_row + 1, n + bus) += coeff.real();
+  }
+};
+
+}  // namespace
+
+bool EstimationResult::ChiSquareTestPasses() const {
+  if (redundancy == 0) return true;  // no consistency information
+  // Wilson-Hilferty: chi2_k(q) ~ k (1 - 2/(9k) + z_q sqrt(2/(9k)))^3,
+  // z_{0.975} = 1.96.
+  double k = static_cast<double>(redundancy);
+  double term = 1.0 - 2.0 / (9.0 * k) + 1.96 * std::sqrt(2.0 / (9.0 * k));
+  double threshold = k * term * term * term;
+  return weighted_residual_sq <= threshold;
+}
+
+LinearStateEstimator::LinearStateEstimator(const Grid& grid) : grid_(&grid) {
+  linalg::ComplexMatrix ybus = grid.BuildAdmittanceMatrix();
+  g_ = ybus.Real();
+  b_ = ybus.Imag();
+}
+
+Result<EstimationResult> LinearStateEstimator::Estimate(
+    const std::vector<PhasorMeasurement>& measurements) const {
+  const size_t n = grid_->num_buses();
+  const size_t state_dim = 2 * n;
+  const size_t rows = 2 * measurements.size();
+  if (rows < state_dim) {
+    return Status::FailedPrecondition(
+        "unobservable: fewer measurement rows than states");
+  }
+
+  Matrix h(rows, state_dim);
+  Vector z(rows);
+  Vector weight(rows);
+  RowBuilder builder{h, z, weight, 0, n};
+
+  for (const PhasorMeasurement& m : measurements) {
+    if (m.sigma <= 0.0) {
+      return Status::InvalidArgument("measurement sigma must be positive");
+    }
+    size_t row = builder.row;
+    switch (m.kind) {
+      case PhasorMeasurement::Kind::kBusVoltage: {
+        if (m.index >= n) {
+          return Status::InvalidArgument("voltage measurement at unknown bus");
+        }
+        builder.AddComplexTerm(row, m.index, {1.0, 0.0});
+        break;
+      }
+      case PhasorMeasurement::Kind::kBranchCurrentFrom: {
+        if (m.index >= grid_->num_branches()) {
+          return Status::InvalidArgument(
+              "current measurement at unknown branch");
+        }
+        const Branch& br = grid_->branches()[m.index];
+        if (!br.in_service) {
+          return Status::InvalidArgument(
+              "current measurement on out-of-service branch");
+        }
+        PW_ASSIGN_OR_RETURN(size_t f, grid_->BusIndex(br.from_bus));
+        PW_ASSIGN_OR_RETURN(size_t t, grid_->BusIndex(br.to_bus));
+        BranchAdmittance adm = FromEndAdmittance(br);
+        builder.AddComplexTerm(row, f, adm.yff);
+        builder.AddComplexTerm(row, t, adm.yft);
+        break;
+      }
+    }
+    z[row] = m.real;
+    z[row + 1] = m.imag;
+    weight[row] = 1.0 / (m.sigma * m.sigma);
+    weight[row + 1] = weight[row];
+    builder.row += 2;
+  }
+
+  // Normal equations: (H^T W H) x = H^T W z.
+  Matrix hw = h;  // rows scaled by weight
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < state_dim; ++c) hw(r, c) *= weight[r];
+  }
+  Matrix gain = h.TransposedTimes(hw);
+  Vector rhs(state_dim);
+  for (size_t c = 0; c < state_dim; ++c) {
+    double sum = 0.0;
+    for (size_t r = 0; r < rows; ++r) sum += hw(r, c) * z[r];
+    rhs[c] = sum;
+  }
+  auto lu = linalg::LuDecomposition::Factor(gain);
+  if (!lu.ok()) {
+    return Status::FailedPrecondition(
+        "unobservable measurement configuration (singular gain matrix): " +
+        lu.status().message());
+  }
+  PW_ASSIGN_OR_RETURN(Vector x, lu->Solve(rhs));
+
+  EstimationResult result;
+  result.vm = Vector(n);
+  result.va_rad = Vector(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::complex<double> v(x[i], x[n + i]);
+    result.vm[i] = std::abs(v);
+    result.va_rad[i] = std::arg(v);
+  }
+
+  // Residual analysis.
+  Vector residual(rows);
+  result.weighted_residual_sq = 0.0;
+  result.worst_normalized_residual = 0.0;
+  for (size_t r = 0; r < rows; ++r) {
+    double predicted = 0.0;
+    for (size_t c = 0; c < state_dim; ++c) predicted += h(r, c) * x[c];
+    residual[r] = z[r] - predicted;
+    double normalized = residual[r] * std::sqrt(weight[r]);
+    result.weighted_residual_sq += normalized * normalized;
+    if (std::fabs(normalized) > result.worst_normalized_residual) {
+      result.worst_normalized_residual = std::fabs(normalized);
+      result.worst_measurement = r / 2;  // back to measurement index
+    }
+  }
+  result.redundancy = rows - state_dim;
+  return result;
+}
+
+std::vector<PhasorMeasurement> LinearStateEstimator::VoltageMeasurements(
+    const Vector& vm, const Vector& va_rad, const std::vector<bool>& missing,
+    double sigma) {
+  PW_CHECK_EQ(vm.size(), va_rad.size());
+  std::vector<PhasorMeasurement> out;
+  out.reserve(vm.size());
+  for (size_t i = 0; i < vm.size(); ++i) {
+    if (i < missing.size() && missing[i]) continue;
+    PhasorMeasurement m;
+    m.kind = PhasorMeasurement::Kind::kBusVoltage;
+    m.index = i;
+    m.real = vm[i] * std::cos(va_rad[i]);
+    m.imag = vm[i] * std::sin(va_rad[i]);
+    m.sigma = sigma;
+    out.push_back(m);
+  }
+  return out;
+}
+
+}  // namespace phasorwatch::se

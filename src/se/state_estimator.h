@@ -1,0 +1,83 @@
+#ifndef PHASORWATCH_SE_STATE_ESTIMATOR_H_
+#define PHASORWATCH_SE_STATE_ESTIMATOR_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "grid/grid.h"
+#include "linalg/matrix.h"
+
+namespace phasorwatch::se {
+
+/// Linear PMU-only state estimation (Sec. III-B of the paper discusses
+/// SE as the classic consumer of synchrophasors that can afford missing
+/// -data reconstruction; this module provides that application as a
+/// substrate).
+///
+/// With PMUs, both bus voltage phasors and branch current phasors are
+/// linear in the rectangular state x = [Re(V); Im(V)], so weighted
+/// least squares solves the estimation problem in one factorization —
+/// no Newton iterations. The estimator also carries the classical
+/// bad-data machinery: chi-square consistency test on the weighted
+/// residual and largest-normalized-residual identification.
+
+/// One phasor measurement. Voltage measurements reference a bus;
+/// current measurements reference a branch index into grid.branches()
+/// and measure the current flowing INTO the branch at its from end.
+struct PhasorMeasurement {
+  enum class Kind { kBusVoltage, kBranchCurrentFrom };
+  Kind kind = Kind::kBusVoltage;
+  size_t index = 0;       ///< bus index or branch index
+  double real = 0.0;      ///< measured real part (pu)
+  double imag = 0.0;      ///< measured imaginary part (pu)
+  double sigma = 0.01;    ///< per-component standard deviation (pu)
+};
+
+/// Estimation output.
+struct EstimationResult {
+  linalg::Vector vm;       ///< estimated voltage magnitudes (pu)
+  linalg::Vector va_rad;   ///< estimated voltage angles (rad)
+  double weighted_residual_sq = 0.0;  ///< J(x) = sum (r_i / sigma_i)^2
+  size_t redundancy = 0;   ///< measurement rows minus state dimension
+
+  /// Chi-square consistency: J(x) compared against the 97.5% quantile
+  /// of chi2 with `redundancy` degrees of freedom (Wilson-Hilferty
+  /// approximation). True when the measurement set is self-consistent.
+  bool ChiSquareTestPasses() const;
+
+  /// Index (into the measurement list) of the measurement with the
+  /// largest normalized residual component, and that residual value.
+  size_t worst_measurement = 0;
+  double worst_normalized_residual = 0.0;
+};
+
+/// Weighted-least-squares PMU state estimator for a fixed grid.
+/// Construction builds the admittance structures; Estimate() solves one
+/// measurement set (the measurement configuration may change per call —
+/// e.g. when PMUs drop out).
+class LinearStateEstimator {
+ public:
+  explicit LinearStateEstimator(const grid::Grid& grid);
+
+  /// Solves WLS for the given measurements. Fails with
+  /// kFailedPrecondition when the system is unobservable (rank of H
+  /// below the state dimension) and kInvalidArgument on malformed
+  /// measurements.
+  Result<EstimationResult> Estimate(
+      const std::vector<PhasorMeasurement>& measurements) const;
+
+  /// Convenience: builds a full voltage-measurement set from simulator
+  /// output (one voltage phasor per non-missing bus).
+  static std::vector<PhasorMeasurement> VoltageMeasurements(
+      const linalg::Vector& vm, const linalg::Vector& va_rad,
+      const std::vector<bool>& missing, double sigma = 0.005);
+
+ private:
+  const grid::Grid* grid_;  // not owned
+  linalg::Matrix g_;        // Re(Ybus)
+  linalg::Matrix b_;        // Im(Ybus)
+};
+
+}  // namespace phasorwatch::se
+
+#endif  // PHASORWATCH_SE_STATE_ESTIMATOR_H_

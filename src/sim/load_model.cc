@@ -1,0 +1,43 @@
+#include "sim/load_model.h"
+
+#include <cmath>
+
+#include "sim/ou_process.h"
+
+namespace phasorwatch::sim {
+
+linalg::Matrix GenerateLoadMultipliers(const grid::Grid& grid,
+                                       const LoadModelOptions& options,
+                                       Rng& rng) {
+  const size_t n = grid.num_buses();
+  const size_t t_states = options.num_states;
+  linalg::Matrix mult(n, t_states, 1.0);
+
+  // Random phase so scenarios start at different points of the day.
+  double phase = rng.Uniform(0.0, 2.0 * M_PI);
+
+  OrnsteinUhlenbeck::Params params;
+  params.mean = 1.0;
+  params.reversion = options.ou_reversion;
+  params.volatility = options.ou_volatility;
+  params.dt = 1.0;
+
+  for (size_t i = 0; i < n; ++i) {
+    // Start each bus at a stationary draw so early states are not biased
+    // toward the mean.
+    OrnsteinUhlenbeck ou(
+        params, 1.0 + OrnsteinUhlenbeck(params).StationaryStdDev() *
+                          rng.Normal());
+    for (size_t t = 0; t < t_states; ++t) {
+      double diurnal =
+          options.diurnal_amplitude *
+          std::sin(2.0 * M_PI * static_cast<double>(t) /
+                       static_cast<double>(t_states) + phase);
+      double m = ou.Step(rng) + diurnal;
+      mult(i, t) = std::max(options.min_multiplier, m);
+    }
+  }
+  return mult;
+}
+
+}  // namespace phasorwatch::sim

@@ -1,0 +1,30 @@
+#ifndef PHASORWATCH_SIM_LOAD_MODEL_H_
+#define PHASORWATCH_SIM_LOAD_MODEL_H_
+
+#include "common/rng.h"
+#include "grid/grid.h"
+#include "linalg/matrix.h"
+
+namespace phasorwatch::sim {
+
+/// Configuration for the stochastic daily load model. The case-file
+/// demands are treated as the expected demand over one day; each bus gets
+/// an independent OU multiplier plus an optional shared diurnal swing.
+struct LoadModelOptions {
+  size_t num_states = 24;        ///< operating states per scenario ("hours")
+  double ou_reversion = 0.4;
+  double ou_volatility = 0.03;   ///< ~4.7% stationary load std dev
+  double diurnal_amplitude = 0.08;///< shared day/night swing (0 disables)
+  double min_multiplier = 0.5;   ///< floor to keep loads physical
+};
+
+/// Generates per-bus load multipliers: an (num_buses x num_states)
+/// matrix m where demand at state t is pd_mw * m(bus, t). Deterministic
+/// given the Rng state.
+linalg::Matrix GenerateLoadMultipliers(const grid::Grid& grid,
+                                       const LoadModelOptions& options,
+                                       Rng& rng);
+
+}  // namespace phasorwatch::sim
+
+#endif  // PHASORWATCH_SIM_LOAD_MODEL_H_

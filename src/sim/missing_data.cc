@@ -1,0 +1,68 @@
+#include "sim/missing_data.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace phasorwatch::sim {
+
+std::vector<size_t> MissingMask::AvailableIndices() const {
+  std::vector<size_t> out;
+  out.reserve(missing.size());
+  for (size_t i = 0; i < missing.size(); ++i) {
+    if (!missing[i]) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<size_t> MissingMask::MissingIndices() const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < missing.size(); ++i) {
+    if (missing[i]) out.push_back(i);
+  }
+  return out;
+}
+
+MissingMask MissingAtOutage(size_t num_nodes, const grid::LineId& line) {
+  MissingMask m = MissingMask::None(num_nodes);
+  PW_CHECK_LT(line.i, num_nodes);
+  PW_CHECK_LT(line.j, num_nodes);
+  m.missing[line.i] = true;
+  m.missing[line.j] = true;
+  return m;
+}
+
+MissingMask MissingRandom(size_t num_nodes, size_t count,
+                          const std::vector<size_t>& exclude, Rng& rng) {
+  MissingMask m = MissingMask::None(num_nodes);
+  std::vector<size_t> eligible;
+  eligible.reserve(num_nodes);
+  for (size_t i = 0; i < num_nodes; ++i) {
+    if (std::find(exclude.begin(), exclude.end(), i) == exclude.end()) {
+      eligible.push_back(i);
+    }
+  }
+  count = std::min(count, eligible.size());
+  for (size_t pick : rng.SampleWithoutReplacement(eligible.size(), count)) {
+    m.missing[eligible[pick]] = true;
+  }
+  return m;
+}
+
+MissingMask MissingCluster(const PmuNetwork& network, size_t cluster) {
+  PW_CHECK_LT(cluster, network.num_clusters());
+  MissingMask m = MissingMask::None(network.num_nodes());
+  for (size_t node : network.Cluster(cluster)) m.missing[node] = true;
+  return m;
+}
+
+MissingMask MissingFromReliability(const PmuNetwork& network,
+                                   const PmuReliability& reliability,
+                                   Rng& rng) {
+  std::vector<bool> available = network.DrawAvailability(reliability, rng);
+  MissingMask m = MissingMask::None(network.num_nodes());
+  for (size_t i = 0; i < available.size(); ++i) m.missing[i] = !available[i];
+  return m;
+}
+
+}  // namespace phasorwatch::sim

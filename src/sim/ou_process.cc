@@ -1,0 +1,33 @@
+#include "sim/ou_process.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace phasorwatch::sim {
+
+OrnsteinUhlenbeck::OrnsteinUhlenbeck(const Params& params)
+    : OrnsteinUhlenbeck(params, params.mean) {}
+
+OrnsteinUhlenbeck::OrnsteinUhlenbeck(const Params& params, double initial)
+    : params_(params), value_(initial) {
+  PW_CHECK_GT(params_.reversion, 0.0);
+  PW_CHECK_GE(params_.volatility, 0.0);
+  PW_CHECK_GT(params_.dt, 0.0);
+  decay_ = std::exp(-params_.reversion * params_.dt);
+  // Exact transition variance of the OU process over one step.
+  step_stddev_ = params_.volatility *
+                 std::sqrt((1.0 - decay_ * decay_) / (2.0 * params_.reversion));
+}
+
+double OrnsteinUhlenbeck::Step(Rng& rng) {
+  value_ = params_.mean + (value_ - params_.mean) * decay_ +
+           step_stddev_ * rng.Normal();
+  return value_;
+}
+
+double OrnsteinUhlenbeck::StationaryStdDev() const {
+  return params_.volatility / std::sqrt(2.0 * params_.reversion);
+}
+
+}  // namespace phasorwatch::sim

@@ -1,0 +1,45 @@
+#ifndef PHASORWATCH_SIM_OU_PROCESS_H_
+#define PHASORWATCH_SIM_OU_PROCESS_H_
+
+#include "common/rng.h"
+
+namespace phasorwatch::sim {
+
+/// Ornstein-Uhlenbeck process used to model stochastic load variation
+/// around a forecast level (dX = theta (mu - X) dt + sigma dW).
+///
+/// Steps use the exact discretization of the SDE, so statistics are
+/// correct for any step size. The stationary distribution is
+/// N(mu, sigma^2 / (2 theta)).
+class OrnsteinUhlenbeck {
+ public:
+  struct Params {
+    double mean = 1.0;       ///< long-run level (load multiplier)
+    double reversion = 0.5;  ///< theta: pull strength toward the mean
+    double volatility = 0.05;///< sigma: diffusion scale
+    double dt = 1.0;         ///< time step (hours in the load model)
+  };
+
+  /// Starts the process at `initial` (defaults to the mean).
+  explicit OrnsteinUhlenbeck(const Params& params);
+  OrnsteinUhlenbeck(const Params& params, double initial);
+
+  /// Advances one step and returns the new value.
+  double Step(Rng& rng);
+
+  double value() const { return value_; }
+  const Params& params() const { return params_; }
+
+  /// Standard deviation of the stationary distribution.
+  double StationaryStdDev() const;
+
+ private:
+  Params params_;
+  double value_;
+  double decay_;       // e^{-theta dt}
+  double step_stddev_; // sqrt(sigma^2 (1 - e^{-2 theta dt}) / (2 theta))
+};
+
+}  // namespace phasorwatch::sim
+
+#endif  // PHASORWATCH_SIM_OU_PROCESS_H_

@@ -1,0 +1,113 @@
+#include "sim/pmu_network.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <string>
+
+#include "common/check.h"
+
+namespace phasorwatch::sim {
+namespace {
+
+// Hop distances from `source` over the grid adjacency (BFS).
+std::vector<int> HopDistances(const grid::Grid& grid, size_t source) {
+  std::vector<int> dist(grid.num_buses(), -1);
+  std::queue<size_t> frontier;
+  dist[source] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    size_t u = frontier.front();
+    frontier.pop();
+    for (size_t v : grid.Neighbors(u)) {
+      if (dist[v] < 0) {
+        dist[v] = dist[u] + 1;
+        frontier.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+size_t PmuNetwork::DefaultClusterCount(size_t num_buses) {
+  return std::max<size_t>(2, (num_buses + 11) / 12);
+}
+
+Result<PmuNetwork> PmuNetwork::Build(const grid::Grid& grid,
+                                     size_t num_clusters) {
+  const size_t n = grid.num_buses();
+  if (num_clusters == 0 || num_clusters > n) {
+    return Status::InvalidArgument("cluster count must be in [1, num_buses]");
+  }
+
+  // Greedy farthest-point seeding: the first seed is the slack bus, each
+  // next seed maximizes hop distance to the chosen seeds.
+  std::vector<size_t> seeds = {grid.SlackBus()};
+  std::vector<std::vector<int>> seed_dist = {HopDistances(grid, seeds[0])};
+  while (seeds.size() < num_clusters) {
+    size_t best = 0;
+    int best_min = -1;
+    for (size_t i = 0; i < n; ++i) {
+      int min_d = 1 << 30;
+      for (const auto& dist : seed_dist) min_d = std::min(min_d, dist[i]);
+      if (min_d > best_min) {
+        best_min = min_d;
+        best = i;
+      }
+    }
+    seeds.push_back(best);
+    seed_dist.push_back(HopDistances(grid, best));
+  }
+
+  PmuNetwork net;
+  net.clusters_.resize(num_clusters);
+  net.node_cluster_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    size_t best_cluster = 0;
+    int best_d = 1 << 30;
+    for (size_t c = 0; c < num_clusters; ++c) {
+      int d = seed_dist[c][i];
+      PW_CHECK_GE(d, 0);  // grid is connected by construction
+      if (d < best_d) {
+        best_d = d;
+        best_cluster = c;
+      }
+    }
+    net.node_cluster_[i] = best_cluster;
+    net.clusters_[best_cluster].push_back(i);
+  }
+
+  for (size_t c = 0; c < num_clusters; ++c) {
+    // Non-empty by seeding: each seed is distance 0 from itself.
+    PW_CHECK(!net.clusters_[c].empty());
+  }
+  return net;
+}
+
+double PmuNetwork::SystemReliability(const PmuReliability& reliability) const {
+  return std::pow(reliability.DeviceAvailability(),
+                  static_cast<double>(num_nodes()));
+}
+
+std::vector<bool> PmuNetwork::DrawAvailability(
+    const PmuReliability& reliability, Rng& rng) const {
+  std::vector<bool> available(num_nodes());
+  double p = reliability.DeviceAvailability();
+  for (size_t i = 0; i < available.size(); ++i) {
+    available[i] = rng.Bernoulli(p);
+  }
+  return available;
+}
+
+double PmuNetwork::PatternProbability(const std::vector<bool>& available,
+                                      const PmuReliability& reliability) const {
+  PW_CHECK_EQ(available.size(), num_nodes());
+  double p = reliability.DeviceAvailability();
+  double prob = 1.0;
+  for (bool up : available) prob *= up ? p : (1.0 - p);
+  return prob;
+}
+
+}  // namespace phasorwatch::sim

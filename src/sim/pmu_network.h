@@ -1,0 +1,70 @@
+#ifndef PHASORWATCH_SIM_PMU_NETWORK_H_
+#define PHASORWATCH_SIM_PMU_NETWORK_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "grid/grid.h"
+
+namespace phasorwatch::sim {
+
+/// Reliability figures for one PMU device and its PMU->PDC link (the
+/// PDC->control-center links are assumed reliable, following the paper).
+struct PmuReliability {
+  double r_pmu = 0.99;
+  double r_link = 0.995;
+
+  /// Per-device availability r_PMU * r_link.
+  double DeviceAvailability() const { return r_pmu * r_link; }
+};
+
+/// The hierarchical PMU monitoring network of Fig. 1: every bus hosts a
+/// PMU; PMUs are grouped into clusters, each reporting to a PDC that
+/// forwards to the control center. Clusters are the unit of correlated
+/// data loss (a PDC failure or a targeted attack takes out a region).
+class PmuNetwork {
+ public:
+  /// Partitions the grid into `num_clusters` spatially contiguous
+  /// regions: seeds are chosen by greedy farthest-point hop distance and
+  /// buses join their nearest seed. Every cluster is non-empty.
+  static Result<PmuNetwork> Build(const grid::Grid& grid, size_t num_clusters);
+
+  /// Default cluster count used across the evaluation: about one PDC per
+  /// 12 buses, at least 2.
+  static size_t DefaultClusterCount(size_t num_buses);
+
+  size_t num_nodes() const { return node_cluster_.size(); }
+  size_t num_clusters() const { return clusters_.size(); }
+
+  /// Bus indices in cluster c.
+  const std::vector<size_t>& Cluster(size_t c) const { return clusters_[c]; }
+  /// Cluster id for a bus index.
+  size_t ClusterOf(size_t node) const { return node_cluster_[node]; }
+
+  /// System-wide reliability (Eq. 14): every device and link up,
+  /// r = (r_pmu r_link)^L with L = number of PMUs.
+  double SystemReliability(const PmuReliability& reliability) const;
+
+  /// Draws an availability realization: element i is true when PMU i's
+  /// data arrives (probability r_pmu * r_link, independent per device,
+  /// Eq. 15's Bernoulli product).
+  std::vector<bool> DrawAvailability(const PmuReliability& reliability,
+                                     Rng& rng) const;
+
+  /// Probability of a specific availability pattern under Eq. 15.
+  double PatternProbability(const std::vector<bool>& available,
+                            const PmuReliability& reliability) const;
+
+  /// An empty network; populate via Build().
+  PmuNetwork() = default;
+
+ private:
+  std::vector<std::vector<size_t>> clusters_;
+  std::vector<size_t> node_cluster_;
+};
+
+}  // namespace phasorwatch::sim
+
+#endif  // PHASORWATCH_SIM_PMU_NETWORK_H_

@@ -1,0 +1,174 @@
+#include "detect/capabilities.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "grid/ieee_cases.h"
+#include "sim/measurement.h"
+
+namespace phasorwatch::detect {
+namespace {
+
+using linalg::Matrix;
+
+// Builds a small corpus on the IEEE 14-bus grid: normal data plus two
+// outage cases with synthetic deviations injected at the endpoints.
+struct Corpus {
+  grid::Grid grid;
+  sim::PhasorDataSet normal;
+  std::vector<grid::LineId> lines;
+  std::vector<sim::PhasorDataSet> outages;
+  std::vector<EllipseModel> ellipses;
+};
+
+Corpus MakeCorpus() {
+  auto grid = grid::IeeeCase14();
+  PW_CHECK(grid.ok());
+  const size_t n = grid->num_buses();
+  Rng rng(10);
+
+  Corpus c{std::move(grid).value(), {}, {}, {}, {}};
+  const size_t t = 120;
+  c.normal.vm = Matrix(n, t);
+  c.normal.va = Matrix(n, t);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t s = 0; s < t; ++s) {
+      c.normal.vm(i, s) = 1.0 + rng.Normal(0.0, 0.002);
+      c.normal.va(i, s) = -0.1 + rng.Normal(0.0, 0.003);
+    }
+  }
+
+  c.lines = {grid::LineId(0, 1), grid::LineId(3, 6)};
+  for (const grid::LineId& line : c.lines) {
+    sim::PhasorDataSet d;
+    d.vm = Matrix(n, t);
+    d.va = Matrix(n, t);
+    for (size_t i = 0; i < n; ++i) {
+      // Endpoints shift far outside the normal cloud; everyone else
+      // stays near normal.
+      double shift = (i == line.i || i == line.j) ? 0.08 : 0.0;
+      for (size_t s = 0; s < t; ++s) {
+        d.vm(i, s) = 1.0 + shift + rng.Normal(0.0, 0.002);
+        d.va(i, s) = -0.1 - shift + rng.Normal(0.0, 0.003);
+      }
+    }
+    c.outages.push_back(std::move(d));
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<PhasorPoint> pts;
+    for (size_t s = 0; s < t; ++s) {
+      pts.push_back({c.normal.vm(i, s), c.normal.va(i, s)});
+    }
+    auto e = EllipseModel::Fit(pts);
+    PW_CHECK(e.ok());
+    c.ellipses.push_back(*e);
+  }
+  return c;
+}
+
+TEST(CapabilityTableTest, EndpointsDetectTheirOutage) {
+  Corpus c = MakeCorpus();
+  std::vector<const sim::PhasorDataSet*> blocks = {&c.outages[0],
+                                                   &c.outages[1]};
+  auto table = CapabilityTable::Build(c.grid, c.ellipses, c.normal, c.lines,
+                                      blocks);
+  ASSERT_TRUE(table.ok());
+  // Case 0 shifts nodes 0 and 1: their per-case capability is ~1.
+  EXPECT_GT(table->PerCase(0, 0), 0.95);
+  EXPECT_GT(table->PerCase(0, 1), 0.95);
+  // Unaffected node sees nothing.
+  EXPECT_LT(table->PerCase(0, 10), 0.3);
+}
+
+TEST(CapabilityTableTest, ValuesAreProbabilities) {
+  Corpus c = MakeCorpus();
+  std::vector<const sim::PhasorDataSet*> blocks = {&c.outages[0],
+                                                   &c.outages[1]};
+  auto table = CapabilityTable::Build(c.grid, c.ellipses, c.normal, c.lines,
+                                      blocks);
+  ASSERT_TRUE(table.ok());
+  for (size_t case_idx = 0; case_idx < 2; ++case_idx) {
+    for (size_t k = 0; k < c.grid.num_buses(); ++k) {
+      double p = table->PerCase(case_idx, k);
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.0);
+    }
+  }
+  const Matrix& node_level = table->NodeLevel();
+  for (size_t i = 0; i < node_level.rows(); ++i) {
+    for (size_t k = 0; k < node_level.cols(); ++k) {
+      EXPECT_GE(node_level(i, k), 0.0);
+      EXPECT_LE(node_level(i, k), 1.0);
+    }
+  }
+}
+
+TEST(CapabilityTableTest, NodeLevelAggregatesIncidentCases) {
+  Corpus c = MakeCorpus();
+  std::vector<const sim::PhasorDataSet*> blocks = {&c.outages[0],
+                                                   &c.outages[1]};
+  auto table = CapabilityTable::Build(c.grid, c.ellipses, c.normal, c.lines,
+                                      blocks);
+  ASSERT_TRUE(table.ok());
+  // Node 0 participates only in case 0; p_{0,k} == per-case value.
+  EXPECT_NEAR(table->NodeLevel(0, 0), table->PerCase(0, 0), 1e-12);
+  // A node with no incident training case has zero capability row.
+  // Node 9 (bus 10) touches neither line 1-2 nor line 4-7.
+  for (size_t k = 0; k < c.grid.num_buses(); ++k) {
+    EXPECT_DOUBLE_EQ(table->NodeLevel(9, k), 0.0);
+  }
+}
+
+TEST(CapabilityTableTest, RejectsMalformedInputs) {
+  Corpus c = MakeCorpus();
+  std::vector<const sim::PhasorDataSet*> blocks = {&c.outages[0]};
+  // case/line count mismatch
+  EXPECT_FALSE(CapabilityTable::Build(c.grid, c.ellipses, c.normal, c.lines,
+                                      blocks)
+                   .ok());
+  // wrong ellipse count
+  std::vector<EllipseModel> few(c.ellipses.begin(), c.ellipses.end() - 1);
+  std::vector<const sim::PhasorDataSet*> both = {&c.outages[0], &c.outages[1]};
+  EXPECT_FALSE(
+      CapabilityTable::Build(c.grid, few, c.normal, c.lines, both).ok());
+}
+
+TEST(InclusionExclusionTest, MatchesComplementProduct) {
+  std::vector<double> probs = {0.9, 0.5, 0.25};
+  double expected = 1.0 - (1.0 - 0.9) * (1.0 - 0.5) * (1.0 - 0.25);
+  EXPECT_NEAR(CapabilityTable::InclusionExclusion(probs), expected, 1e-12);
+}
+
+TEST(InclusionExclusionTest, SingleEvent) {
+  EXPECT_DOUBLE_EQ(CapabilityTable::InclusionExclusion({0.42}), 0.42);
+}
+
+TEST(InclusionExclusionTest, CertainEventDominates) {
+  EXPECT_NEAR(CapabilityTable::InclusionExclusion({1.0, 0.3, 0.7}), 1.0,
+              1e-12);
+}
+
+TEST(InclusionExclusionTest, EmptySetIsZero) {
+  EXPECT_DOUBLE_EQ(CapabilityTable::InclusionExclusion({}), 0.0);
+}
+
+TEST(InclusionExclusionTest, StaysInUnitInterval) {
+  Rng rng(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> probs(1 + rng.UniformInt(8));
+    for (double& p : probs) p = rng.Uniform();
+    double u = CapabilityTable::InclusionExclusion(probs);
+    EXPECT_GE(u, -1e-12);
+    EXPECT_LE(u, 1.0 + 1e-12);
+    // Union probability is at least the max individual probability.
+    double max_p = 0.0;
+    for (double p : probs) max_p = std::max(max_p, p);
+    EXPECT_GE(u, max_p - 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace phasorwatch::detect

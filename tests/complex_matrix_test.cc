@@ -1,0 +1,49 @@
+#include "linalg/complex_matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace phasorwatch::linalg {
+namespace {
+
+TEST(ComplexMatrixTest, DefaultIsEmpty) {
+  ComplexMatrix m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+}
+
+TEST(ComplexMatrixTest, ElementAccess) {
+  ComplexMatrix m(2, 3);
+  m(0, 1) = Complex(1.0, -2.0);
+  m(1, 2) = Complex(0.0, 5.0);
+  EXPECT_EQ(m(0, 1), Complex(1.0, -2.0));
+  EXPECT_EQ(m(1, 2), Complex(0.0, 5.0));
+  EXPECT_EQ(m(0, 0), Complex(0.0, 0.0));
+}
+
+TEST(ComplexMatrixTest, MatrixVectorProduct) {
+  // [[j, 0], [0, 2]] * [1, 1+j] = [j, 2+2j]
+  ComplexMatrix m(2, 2);
+  m(0, 0) = Complex(0.0, 1.0);
+  m(1, 1) = Complex(2.0, 0.0);
+  std::vector<Complex> v = {Complex(1.0, 0.0), Complex(1.0, 1.0)};
+  auto out = m * v;
+  EXPECT_NEAR(std::abs(out[0] - Complex(0.0, 1.0)), 0.0, 1e-15);
+  EXPECT_NEAR(std::abs(out[1] - Complex(2.0, 2.0)), 0.0, 1e-15);
+}
+
+TEST(ComplexMatrixTest, RealAndImagParts) {
+  ComplexMatrix m(2, 2);
+  m(0, 0) = Complex(3.0, -4.0);
+  m(1, 0) = Complex(-1.0, 2.0);
+  Matrix g = m.Real();
+  Matrix b = m.Imag();
+  EXPECT_DOUBLE_EQ(g(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(b(0, 0), -4.0);
+  EXPECT_DOUBLE_EQ(g(1, 0), -1.0);
+  EXPECT_DOUBLE_EQ(b(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(g(1, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace phasorwatch::linalg

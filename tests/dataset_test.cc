@@ -1,0 +1,98 @@
+#include "eval/dataset.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "grid/ieee_cases.h"
+
+namespace phasorwatch::eval {
+namespace {
+
+DatasetOptions TinyOptions() {
+  DatasetOptions opts;
+  opts.train_states = 6;
+  opts.train_samples_per_state = 4;
+  opts.test_states = 3;
+  opts.test_samples_per_state = 4;
+  return opts;
+}
+
+TEST(DatasetTest, BuildsNormalAndOutageCases) {
+  auto grid = grid::IeeeCase14();
+  ASSERT_TRUE(grid.ok());
+  auto dataset = BuildDataset(*grid, TinyOptions(), 1);
+  ASSERT_TRUE(dataset.ok()) << dataset.status().ToString();
+  EXPECT_GT(dataset->num_valid_cases(), 10u);
+  EXPECT_EQ(dataset->normal.train.num_nodes(), 14u);
+  EXPECT_EQ(dataset->normal.train.num_samples(), 24u);
+  EXPECT_EQ(dataset->normal.test.num_samples(), 12u);
+}
+
+TEST(DatasetTest, ValidPlusSkippedCoversAllLines) {
+  auto grid = grid::IeeeCase14();
+  ASSERT_TRUE(grid.ok());
+  auto dataset = BuildDataset(*grid, TinyOptions(), 2);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->outages.size() + dataset->skipped_lines.size(),
+            grid->num_lines());
+}
+
+TEST(DatasetTest, SkippedLinesAreExactlyTheIslandingOrNonConverging) {
+  auto grid = grid::IeeeCase14();
+  ASSERT_TRUE(grid.ok());
+  auto dataset = BuildDataset(*grid, TinyOptions(), 3);
+  ASSERT_TRUE(dataset.ok());
+  for (const grid::LineId& line : dataset->skipped_lines) {
+    // Every islanding line must be among the skipped ones; skipped
+    // non-islanding lines mean non-convergence, which is allowed.
+    if (grid->WouldIsland(line)) continue;
+    auto out = grid->WithLineOut(line);
+    EXPECT_TRUE(out.ok());  // must have been a convergence skip
+  }
+  // No valid case is an islanding line.
+  for (const CaseData& c : dataset->outages) {
+    EXPECT_FALSE(grid->WouldIsland(c.line));
+  }
+}
+
+TEST(DatasetTest, DeterministicBySeed) {
+  auto grid = grid::IeeeCase14();
+  ASSERT_TRUE(grid.ok());
+  auto a = BuildDataset(*grid, TinyOptions(), 7);
+  auto b = BuildDataset(*grid, TinyOptions(), 7);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->num_valid_cases(), b->num_valid_cases());
+  EXPECT_TRUE(a->normal.train.vm.AlmostEquals(b->normal.train.vm, 0.0));
+  EXPECT_TRUE(a->outages[0].test.va.AlmostEquals(b->outages[0].test.va, 0.0));
+}
+
+TEST(DatasetTest, TrainAndTestAreIndependentDraws) {
+  auto grid = grid::IeeeCase14();
+  ASSERT_TRUE(grid.ok());
+  auto dataset = BuildDataset(*grid, TinyOptions(), 8);
+  ASSERT_TRUE(dataset.ok());
+  // Same shape family but different values.
+  const auto& tr = dataset->normal.train.vm;
+  const auto& te = dataset->normal.test.vm;
+  double diff = 0.0;
+  for (size_t i = 0; i < tr.rows(); ++i) {
+    diff += std::fabs(tr(i, 0) - te(i, 0));
+  }
+  EXPECT_GT(diff, 0.0);
+}
+
+TEST(DatasetTest, CaseLinesMatchGridLines) {
+  auto grid = grid::IeeeCase14();
+  ASSERT_TRUE(grid.ok());
+  auto dataset = BuildDataset(*grid, TinyOptions(), 9);
+  ASSERT_TRUE(dataset.ok());
+  for (const CaseData& c : dataset->outages) {
+    EXPECT_NE(std::find(grid->lines().begin(), grid->lines().end(), c.line),
+              grid->lines().end());
+  }
+}
+
+}  // namespace
+}  // namespace phasorwatch::eval

@@ -1,0 +1,106 @@
+#include "linalg/eigen_sym.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace phasorwatch::linalg {
+namespace {
+
+Matrix RandomSymmetric(size_t n, Rng& rng) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      double v = rng.Uniform(-1.0, 1.0);
+      m(i, j) = v;
+      m(j, i) = v;
+    }
+  }
+  return m;
+}
+
+TEST(EigenSymTest, DiagonalMatrixEigenvalues) {
+  Matrix a = Matrix::Diag(Vector{1.0, 5.0, 3.0});
+  auto eig = ComputeSymmetricEigen(a);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_NEAR(eig->eigenvalues[0], 5.0, 1e-12);
+  EXPECT_NEAR(eig->eigenvalues[1], 3.0, 1e-12);
+  EXPECT_NEAR(eig->eigenvalues[2], 1.0, 1e-12);
+}
+
+TEST(EigenSymTest, KnownTwoByTwo) {
+  // Eigenvalues of [[2,1],[1,2]] are 3 and 1.
+  Matrix a = {{2.0, 1.0}, {1.0, 2.0}};
+  auto eig = ComputeSymmetricEigen(a);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_NEAR(eig->eigenvalues[0], 3.0, 1e-10);
+  EXPECT_NEAR(eig->eigenvalues[1], 1.0, 1e-10);
+}
+
+TEST(EigenSymTest, RejectsNonSquare) {
+  Matrix a(2, 3);
+  EXPECT_FALSE(ComputeSymmetricEigen(a).ok());
+}
+
+TEST(EigenSymTest, RejectsAsymmetric) {
+  Matrix a = {{1.0, 2.0}, {0.0, 1.0}};
+  auto eig = ComputeSymmetricEigen(a);
+  EXPECT_FALSE(eig.ok());
+  EXPECT_EQ(eig.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EigenSymTest, ProjectorEigenvaluesAreZeroOrOne) {
+  // P = v v^T for a unit vector has eigenvalues {1, 0, 0}.
+  Vector v = {3.0 / 5.0, 4.0 / 5.0, 0.0};
+  Matrix p(3, 3);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 3; ++j) p(i, j) = v[i] * v[j];
+  }
+  auto eig = ComputeSymmetricEigen(p);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_NEAR(eig->eigenvalues[0], 1.0, 1e-10);
+  EXPECT_NEAR(eig->eigenvalues[1], 0.0, 1e-10);
+  EXPECT_NEAR(eig->eigenvalues[2], 0.0, 1e-10);
+}
+
+class EigenSymPropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(EigenSymPropertyTest, Reconstruction) {
+  Rng rng(GetParam() * 7 + 1);
+  Matrix a = RandomSymmetric(GetParam(), rng);
+  auto eig = ComputeSymmetricEigen(a);
+  ASSERT_TRUE(eig.ok());
+  const Matrix& v = eig->eigenvectors;
+  Matrix recon = v * Matrix::Diag(eig->eigenvalues) * v.Transposed();
+  EXPECT_TRUE(recon.AlmostEquals(a, 1e-9));
+}
+
+TEST_P(EigenSymPropertyTest, EigenvectorsOrthonormal) {
+  Rng rng(GetParam() * 11 + 3);
+  Matrix a = RandomSymmetric(GetParam(), rng);
+  auto eig = ComputeSymmetricEigen(a);
+  ASSERT_TRUE(eig.ok());
+  Matrix gram = eig->eigenvectors.TransposedTimes(eig->eigenvectors);
+  EXPECT_LT((gram - Matrix::Identity(GetParam())).MaxAbs(), 1e-9);
+}
+
+TEST_P(EigenSymPropertyTest, SatisfiesEigenEquation) {
+  Rng rng(GetParam() * 13 + 5);
+  Matrix a = RandomSymmetric(GetParam(), rng);
+  auto eig = ComputeSymmetricEigen(a);
+  ASSERT_TRUE(eig.ok());
+  for (size_t k = 0; k < GetParam(); ++k) {
+    Vector v = eig->eigenvectors.Col(k);
+    Vector av = a * v;
+    Vector lv = v * eig->eigenvalues[k];
+    EXPECT_LT((av - lv).InfNorm(), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigenSymPropertyTest,
+                         ::testing::Values(1, 2, 4, 8, 16, 32, 60));
+
+}  // namespace
+}  // namespace phasorwatch::linalg

@@ -1,0 +1,123 @@
+#include "detect/ellipse.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace phasorwatch::detect {
+namespace {
+
+std::vector<PhasorPoint> GaussianCloud(double cx, double cy, double sx,
+                                       double sy, size_t n, Rng& rng) {
+  std::vector<PhasorPoint> points;
+  points.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    points.push_back({rng.Normal(cx, sx), rng.Normal(cy, sy)});
+  }
+  return points;
+}
+
+TEST(EllipseTest, RejectsTooFewPoints) {
+  EXPECT_FALSE(EllipseModel::Fit({{0, 0}, {1, 1}}).ok());
+}
+
+TEST(EllipseTest, RejectsNonPositiveMargin) {
+  Rng rng(1);
+  auto pts = GaussianCloud(0, 0, 1, 1, 10, rng);
+  EXPECT_FALSE(EllipseModel::Fit(pts, 0.0).ok());
+}
+
+TEST(EllipseTest, ContainsAllTrainingPoints) {
+  Rng rng(2);
+  auto pts = GaussianCloud(1.0, -0.5, 0.02, 0.01, 200, rng);
+  auto ellipse = EllipseModel::Fit(pts);
+  ASSERT_TRUE(ellipse.ok());
+  for (const auto& p : pts) {
+    EXPECT_TRUE(ellipse->Contains(p));
+  }
+}
+
+TEST(EllipseTest, CenterNearCloudMean) {
+  Rng rng(3);
+  auto pts = GaussianCloud(1.05, 0.2, 0.01, 0.02, 500, rng);
+  auto ellipse = EllipseModel::Fit(pts);
+  ASSERT_TRUE(ellipse.ok());
+  EXPECT_NEAR(ellipse->center().vm, 1.05, 0.005);
+  EXPECT_NEAR(ellipse->center().va, 0.2, 0.005);
+}
+
+TEST(EllipseTest, FarPointOutside) {
+  Rng rng(4);
+  auto pts = GaussianCloud(1.0, 0.0, 0.005, 0.005, 100, rng);
+  auto ellipse = EllipseModel::Fit(pts);
+  ASSERT_TRUE(ellipse.ok());
+  EXPECT_FALSE(ellipse->Contains({1.2, 0.0}));
+  EXPECT_FALSE(ellipse->Contains({1.0, 0.3}));
+  EXPECT_GT(ellipse->QuadraticForm({1.2, 0.0}), 1.0);
+}
+
+TEST(EllipseTest, QuadraticFormZeroAtCenter) {
+  Rng rng(5);
+  auto pts = GaussianCloud(0.5, 0.5, 0.01, 0.01, 50, rng);
+  auto ellipse = EllipseModel::Fit(pts);
+  ASSERT_TRUE(ellipse.ok());
+  EXPECT_NEAR(ellipse->QuadraticForm(ellipse->center()), 0.0, 1e-12);
+}
+
+TEST(EllipseTest, HandlesDegenerateFlatChannel) {
+  // All points share the same vm: covariance is singular without the
+  // ridge; the fit must still succeed and contain the data.
+  std::vector<PhasorPoint> pts;
+  Rng rng(6);
+  for (int i = 0; i < 50; ++i) {
+    pts.push_back({1.0, rng.Normal(0.0, 0.01)});
+  }
+  auto ellipse = EllipseModel::Fit(pts);
+  ASSERT_TRUE(ellipse.ok());
+  for (const auto& p : pts) EXPECT_TRUE(ellipse->Contains(p));
+}
+
+TEST(EllipseTest, AnisotropyReflectedInShape) {
+  Rng rng(7);
+  // Much larger spread along va than vm.
+  auto pts = GaussianCloud(0.0, 0.0, 0.001, 0.1, 400, rng);
+  auto ellipse = EllipseModel::Fit(pts);
+  ASSERT_TRUE(ellipse.ok());
+  // A deviation of the same size must cost much more along vm.
+  double form_vm = ellipse->QuadraticForm({0.01, 0.0});
+  double form_va = ellipse->QuadraticForm({0.0, 0.01});
+  EXPECT_GT(form_vm, 10.0 * form_va);
+}
+
+TEST(EllipseTest, MarginInflatesAcceptanceRegion) {
+  Rng rng(8);
+  auto pts = GaussianCloud(0.0, 0.0, 0.01, 0.01, 100, rng);
+  auto tight = EllipseModel::Fit(pts, 1.0);
+  auto loose = EllipseModel::Fit(pts, 2.0);
+  ASSERT_TRUE(tight.ok());
+  ASSERT_TRUE(loose.ok());
+  PhasorPoint probe{0.04, 0.0};
+  EXPECT_LE(loose->QuadraticForm(probe), tight->QuadraticForm(probe));
+}
+
+TEST(EllipseTest, CorrelatedCloudUsesCrossTerm) {
+  Rng rng(9);
+  std::vector<PhasorPoint> pts;
+  for (int i = 0; i < 300; ++i) {
+    double u = rng.Normal(0.0, 0.05);
+    double v = rng.Normal(0.0, 0.002);
+    pts.push_back({u + v, u - v});  // strong diagonal correlation
+  }
+  auto ellipse = EllipseModel::Fit(pts);
+  ASSERT_TRUE(ellipse.ok());
+  // Moving along the anti-correlated diagonal exits quickly; along the
+  // correlated diagonal it stays inside longer.
+  double along = ellipse->QuadraticForm({0.03, 0.03});
+  double across = ellipse->QuadraticForm({0.03, -0.03});
+  EXPECT_GT(across, 5.0 * along);
+}
+
+}  // namespace
+}  // namespace phasorwatch::detect

@@ -1,0 +1,132 @@
+#include "eval/experiments.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "grid/ieee_cases.h"
+
+namespace phasorwatch::eval {
+namespace {
+
+// Shared tiny dataset: experiments are expensive, so build once.
+class ExperimentsTest : public ::testing::Test {
+ protected:
+  struct Shared {
+    grid::Grid grid;
+    std::unique_ptr<Dataset> dataset;
+    ExperimentOptions options;
+    std::unique_ptr<TrainedMethods> methods;
+  };
+  static Shared* shared_;
+
+  static void SetUpTestSuite() {
+    auto grid = grid::IeeeCase14();
+    PW_CHECK(grid.ok());
+    shared_ = new Shared{std::move(grid).value(), nullptr, {}, nullptr};
+
+    DatasetOptions dopts;
+    dopts.train_states = 8;
+    dopts.train_samples_per_state = 6;
+    dopts.test_states = 4;
+    dopts.test_samples_per_state = 6;
+    auto dataset = BuildDataset(shared_->grid, dopts, 12345);
+    PW_CHECK(dataset.ok());
+    shared_->dataset = std::make_unique<Dataset>(std::move(dataset).value());
+
+    shared_->options.test_samples_per_case = 10;
+    shared_->options.mlr.epochs = 60;
+    auto methods = TrainedMethods::Train(*shared_->dataset, shared_->options);
+    PW_CHECK_MSG(methods.ok(), methods.status().ToString().c_str());
+    shared_->methods =
+        std::make_unique<TrainedMethods>(std::move(methods).value());
+  }
+
+  static void TearDownTestSuite() {
+    delete shared_;
+    shared_ = nullptr;
+  }
+};
+
+ExperimentsTest::Shared* ExperimentsTest::shared_ = nullptr;
+
+TEST_F(ExperimentsTest, CompleteDataScenarioRunsBothMethods) {
+  auto result = RunScenario(*shared_->dataset, *shared_->methods,
+                            MissingScenario::kNone, shared_->options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->system, "ieee14");
+  ASSERT_EQ(result->methods.size(), 2u);
+  EXPECT_EQ(result->methods[0].method, "subspace");
+  EXPECT_EQ(result->methods[1].method, "mlr");
+  for (const MethodResult& m : result->methods) {
+    EXPECT_GE(m.identification_accuracy, 0.0);
+    EXPECT_LE(m.identification_accuracy, 1.0);
+    EXPECT_GE(m.false_alarm, 0.0);
+    EXPECT_LE(m.false_alarm, 1.0);
+    EXPECT_GT(m.samples, 0u);
+  }
+}
+
+TEST_F(ExperimentsTest, CompleteDataAccuracyIsReasonable) {
+  auto result = RunScenario(*shared_->dataset, *shared_->methods,
+                            MissingScenario::kNone, shared_->options);
+  ASSERT_TRUE(result.ok());
+  // Both methods must identify most complete-data outages (paper: both
+  // are comparable and high).
+  EXPECT_GT(result->methods[0].identification_accuracy, 0.6);
+  EXPECT_GT(result->methods[1].identification_accuracy, 0.6);
+}
+
+TEST_F(ExperimentsTest, MissingOutageDataHurtsMlrMore) {
+  auto result = RunScenario(*shared_->dataset, *shared_->methods,
+                            MissingScenario::kOutageEndpoints,
+                            shared_->options);
+  ASSERT_TRUE(result.ok());
+  double subspace_ia = result->methods[0].identification_accuracy;
+  double mlr_ia = result->methods[1].identification_accuracy;
+  // Fig. 7's headline: the subspace method dominates under missing
+  // outage data.
+  EXPECT_GT(subspace_ia, mlr_ia);
+}
+
+TEST_F(ExperimentsTest, RandomMissingNormalScenarioScoresAlarms) {
+  auto result = RunScenario(*shared_->dataset, *shared_->methods,
+                            MissingScenario::kRandomOnNormal,
+                            shared_->options);
+  ASSERT_TRUE(result.ok());
+  // Subspace FA should stay small (Fig. 8).
+  EXPECT_LT(result->methods[0].false_alarm, 0.4);
+}
+
+TEST_F(ExperimentsTest, GroupFormationSweepImprovesWithAlpha) {
+  auto sweep = RunGroupFormationSweep(*shared_->dataset, {0.0, 1.0},
+                                      shared_->options);
+  ASSERT_TRUE(sweep.ok()) << sweep.status().ToString();
+  ASSERT_EQ(sweep->size(), 2u);
+  EXPECT_EQ((*sweep)[0].methods[0].method, "alpha=0.00");
+  EXPECT_EQ((*sweep)[1].methods[0].method, "alpha=1.00");
+  // Fig. 4: the proposed group (alpha = 1) is no worse than naive.
+  EXPECT_GE((*sweep)[1].methods[0].identification_accuracy,
+            (*sweep)[0].methods[0].identification_accuracy - 0.05);
+}
+
+TEST_F(ExperimentsTest, ReliabilitySweepMonotoneStructure) {
+  auto points = RunReliabilitySweep(*shared_->dataset, *shared_->methods,
+                                    {1.0, 0.98, 0.90}, 60, shared_->options);
+  ASSERT_TRUE(points.ok()) << points.status().ToString();
+  ASSERT_EQ(points->size(), 3u);
+  // System reliability r = p^L decreases with device availability.
+  EXPECT_GT((*points)[0].system_reliability,
+            (*points)[1].system_reliability);
+  EXPECT_GT((*points)[1].system_reliability,
+            (*points)[2].system_reliability);
+  for (const auto& p : *points) {
+    EXPECT_GE(p.effective_false_alarm, 0.0);
+    EXPECT_LE(p.effective_false_alarm, 1.0);
+  }
+  // With perfect devices the sweep reduces to the complete-data case.
+  EXPECT_GT((*points)[0].effective_accuracy, 0.5);
+}
+
+}  // namespace
+}  // namespace phasorwatch::eval

@@ -1,0 +1,105 @@
+#include "powerflow/fast_decoupled.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "grid/ieee_cases.h"
+
+namespace phasorwatch::pf {
+namespace {
+
+class FastDecoupledTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FastDecoupledTest, ConvergesOnEvaluationSystem) {
+  auto grid = grid::EvaluationSystem(GetParam());
+  ASSERT_TRUE(grid.ok());
+  auto sol = SolveFastDecoupled(*grid);
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  EXPECT_LT(sol->final_mismatch, 1e-8);
+}
+
+TEST_P(FastDecoupledTest, AgreesWithNewtonRaphson) {
+  auto grid = grid::EvaluationSystem(GetParam());
+  ASSERT_TRUE(grid.ok());
+  auto nr = SolveAcPowerFlow(*grid);
+  auto fd = SolveFastDecoupled(*grid);
+  ASSERT_TRUE(nr.ok());
+  ASSERT_TRUE(fd.ok());
+  // Both solve the same mismatch equations to the same tolerance, so
+  // the operating points must coincide.
+  for (size_t i = 0; i < grid->num_buses(); ++i) {
+    EXPECT_NEAR(fd->vm[i], nr->vm[i], 1e-6) << "bus " << i;
+    EXPECT_NEAR(fd->va_rad[i], nr->va_rad[i], 1e-6) << "bus " << i;
+  }
+}
+
+TEST_P(FastDecoupledTest, TakesMoreButCheaperIterations) {
+  auto grid = grid::EvaluationSystem(GetParam());
+  ASSERT_TRUE(grid.ok());
+  auto nr = SolveAcPowerFlow(*grid);
+  auto fd = SolveFastDecoupled(*grid);
+  ASSERT_TRUE(nr.ok());
+  ASSERT_TRUE(fd.ok());
+  EXPECT_GE(fd->iterations, nr->iterations);
+}
+
+INSTANTIATE_TEST_SUITE_P(Systems, FastDecoupledTest,
+                         ::testing::Values(14, 30, 57, 118));
+
+TEST(FastDecoupledTest, RespectsOverrides) {
+  auto grid = grid::IeeeCase14();
+  ASSERT_TRUE(grid.ok());
+  InjectionOverrides overrides;
+  overrides.pd_mw.assign(grid->num_buses(), 0.0);
+  overrides.qd_mvar.assign(grid->num_buses(), 0.0);
+  for (size_t i = 0; i < grid->num_buses(); ++i) {
+    overrides.pd_mw[i] = grid->bus(i).pd_mw * 1.1;
+    overrides.qd_mvar[i] = grid->bus(i).qd_mvar * 1.1;
+  }
+  overrides.pg_mw = BalanceGeneration(*grid, overrides.pd_mw);
+  auto base = SolveFastDecoupled(*grid);
+  auto heavy = SolveFastDecoupled(*grid, {}, overrides);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(heavy.ok());
+  // Heavier loading sags the weakest bus further.
+  EXPECT_LT(heavy->vm[13], base->vm[13]);
+}
+
+TEST(FastDecoupledTest, OverrideSizeMismatchRejected) {
+  auto grid = grid::IeeeCase14();
+  ASSERT_TRUE(grid.ok());
+  InjectionOverrides overrides;
+  overrides.qd_mvar = {1.0, 2.0};
+  auto sol = SolveFastDecoupled(*grid, {}, overrides);
+  EXPECT_FALSE(sol.ok());
+  EXPECT_EQ(sol.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FastDecoupledTest, InfeasibleLoadReportsNotConverged) {
+  auto grid = grid::IeeeCase14();
+  ASSERT_TRUE(grid.ok());
+  InjectionOverrides overrides;
+  overrides.pd_mw.assign(grid->num_buses(), 0.0);
+  overrides.pd_mw[13] = 2500.0;  // far beyond transfer capability
+  auto sol = SolveFastDecoupled(*grid, {}, overrides);
+  EXPECT_FALSE(sol.ok());
+  EXPECT_EQ(sol.status().code(), StatusCode::kNotConverged);
+}
+
+TEST(FastDecoupledTest, AgreesOnOutageGrid) {
+  auto grid = grid::IeeeCase14();
+  ASSERT_TRUE(grid.ok());
+  auto outage = grid->WithLineOut(grid::LineId(0, 1));
+  ASSERT_TRUE(outage.ok());
+  auto nr = SolveAcPowerFlow(*outage);
+  auto fd = SolveFastDecoupled(*outage);
+  ASSERT_TRUE(nr.ok());
+  ASSERT_TRUE(fd.ok());
+  for (size_t i = 0; i < outage->num_buses(); ++i) {
+    EXPECT_NEAR(fd->va_rad[i], nr->va_rad[i], 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace phasorwatch::pf

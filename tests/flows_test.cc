@@ -1,0 +1,126 @@
+#include "powerflow/flows.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "grid/ieee_cases.h"
+
+namespace phasorwatch::pf {
+namespace {
+
+class FlowsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FlowsTest, FlowsBalanceAtEveryBus) {
+  auto grid = grid::EvaluationSystem(GetParam());
+  ASSERT_TRUE(grid.ok());
+  auto sol = SolveAcPowerFlow(*grid);
+  ASSERT_TRUE(sol.ok());
+  auto flows = ComputeBranchFlows(*grid, *sol);
+  ASSERT_TRUE(flows.ok());
+
+  // Kirchhoff check: at every bus, net branch power leaving the bus
+  // plus the bus shunt consumption equals the bus's net injection.
+  const size_t n = grid->num_buses();
+  std::vector<double> p_out(n, 0.0);
+  std::vector<double> q_out(n, 0.0);
+  for (const BranchFlow& flow : *flows) {
+    auto f = grid->BusIndex(flow.from_bus);
+    auto t = grid->BusIndex(flow.to_bus);
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE(t.ok());
+    p_out[*f] += flow.p_from_mw;
+    q_out[*f] += flow.q_from_mvar;
+    p_out[*t] += flow.p_to_mw;
+    q_out[*t] += flow.q_to_mvar;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const grid::Bus& bus = grid->bus(i);
+    double vm2 = sol->vm[i] * sol->vm[i];
+    double shunt_p = bus.gs_mw * vm2;
+    double shunt_q = -bus.bs_mvar * vm2;
+    EXPECT_NEAR(p_out[i] + shunt_p, sol->p_mw[i], 1e-4) << "bus " << bus.id;
+    EXPECT_NEAR(q_out[i] + shunt_q, sol->q_mvar[i], 1e-4) << "bus " << bus.id;
+  }
+}
+
+TEST_P(FlowsTest, LossesArePositiveAndSmall) {
+  auto grid = grid::EvaluationSystem(GetParam());
+  ASSERT_TRUE(grid.ok());
+  auto sol = SolveAcPowerFlow(*grid);
+  ASSERT_TRUE(sol.ok());
+  auto flows = ComputeBranchFlows(*grid, *sol);
+  ASSERT_TRUE(flows.ok());
+  for (const BranchFlow& flow : *flows) {
+    EXPECT_GE(flow.LossMw(), -1e-6)
+        << "line " << flow.from_bus << "-" << flow.to_bus;
+  }
+  double total = TotalLossMw(*flows);
+  EXPECT_GT(total, 0.0);
+  EXPECT_LT(total, 0.1 * grid->TotalLoadMw());
+}
+
+INSTANTIATE_TEST_SUITE_P(Systems, FlowsTest, ::testing::Values(14, 30, 57));
+
+TEST(FlowsTest, OutOfServiceBranchHasZeroFlow) {
+  auto grid = grid::IeeeCase14();
+  ASSERT_TRUE(grid.ok());
+  auto outage = grid->WithLineOut(grid::LineId(0, 1));
+  ASSERT_TRUE(outage.ok());
+  auto sol = SolveAcPowerFlow(*outage);
+  ASSERT_TRUE(sol.ok());
+  auto flows = ComputeBranchFlows(*outage, *sol);
+  ASSERT_TRUE(flows.ok());
+  // The disabled branch is still listed (index-aligned) with zero flow.
+  ASSERT_EQ(flows->size(), outage->num_branches());
+  bool found_disabled = false;
+  for (size_t k = 0; k < flows->size(); ++k) {
+    if (!outage->branches()[k].in_service) {
+      found_disabled = true;
+      EXPECT_DOUBLE_EQ((*flows)[k].p_from_mw, 0.0);
+      EXPECT_DOUBLE_EQ((*flows)[k].q_to_mvar, 0.0);
+    }
+  }
+  EXPECT_TRUE(found_disabled);
+}
+
+TEST(FlowsTest, SolutionSizeMismatchRejected) {
+  auto grid = grid::IeeeCase14();
+  ASSERT_TRUE(grid.ok());
+  PowerFlowSolution bogus;
+  bogus.vm = linalg::Vector(3);
+  bogus.va_rad = linalg::Vector(3);
+  EXPECT_FALSE(ComputeBranchFlows(*grid, bogus).ok());
+}
+
+TEST(FlowsTest, LoadingMvaIsMaxOfEnds) {
+  BranchFlow flow;
+  flow.p_from_mw = 30.0;
+  flow.q_from_mvar = 40.0;  // 50 MVA
+  flow.p_to_mw = -29.0;
+  flow.q_to_mvar = -39.0;   // ~48.6 MVA
+  EXPECT_NEAR(flow.LoadingMva(), 50.0, 1e-12);
+}
+
+TEST(FlowsTest, HeavyCorridorCarriesMostPower) {
+  // In IEEE-14 the line 1-2 carries the bulk of the slack generation.
+  auto grid = grid::IeeeCase14();
+  ASSERT_TRUE(grid.ok());
+  auto sol = SolveAcPowerFlow(*grid);
+  ASSERT_TRUE(sol.ok());
+  auto flows = ComputeBranchFlows(*grid, *sol);
+  ASSERT_TRUE(flows.ok());
+  double line12 = 0.0, max_other = 0.0;
+  for (const BranchFlow& flow : *flows) {
+    if (flow.from_bus == 1 && flow.to_bus == 2) {
+      line12 = std::fabs(flow.p_from_mw);
+    } else {
+      max_other = std::max(max_other, std::fabs(flow.p_from_mw));
+    }
+  }
+  EXPECT_GT(line12, 100.0);       // published solution: ~157 MW
+  EXPECT_GT(line12, max_other);   // the heaviest corridor
+}
+
+}  // namespace
+}  // namespace phasorwatch::pf

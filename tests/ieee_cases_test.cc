@@ -1,0 +1,118 @@
+#include "grid/ieee_cases.h"
+
+#include <gtest/gtest.h>
+
+namespace phasorwatch::grid {
+namespace {
+
+TEST(IeeeCasesTest, Case14Shape) {
+  auto grid = IeeeCase14();
+  ASSERT_TRUE(grid.ok());
+  EXPECT_EQ(grid->num_buses(), 14u);
+  EXPECT_EQ(grid->num_lines(), 20u);
+  EXPECT_TRUE(grid->IsConnected());
+}
+
+TEST(IeeeCasesTest, Case14SlackIsBusOne) {
+  auto grid = IeeeCase14();
+  ASSERT_TRUE(grid.ok());
+  EXPECT_EQ(grid->bus(grid->SlackBus()).id, 1);
+}
+
+TEST(IeeeCasesTest, Case14LoadGeneration) {
+  auto grid = IeeeCase14();
+  ASSERT_TRUE(grid.ok());
+  // The standard case serves 259 MW of load.
+  EXPECT_NEAR(grid->TotalLoadMw(), 259.0, 0.5);
+  EXPECT_GT(grid->TotalGenMw(), grid->TotalLoadMw());
+}
+
+TEST(IeeeCasesTest, Case30Shape) {
+  auto grid = IeeeCase30();
+  ASSERT_TRUE(grid.ok());
+  EXPECT_EQ(grid->num_buses(), 30u);
+  EXPECT_EQ(grid->num_lines(), 41u);
+  EXPECT_TRUE(grid->IsConnected());
+}
+
+TEST(IeeeCasesTest, Case30LoadTotal) {
+  auto grid = IeeeCase30();
+  ASSERT_TRUE(grid.ok());
+  EXPECT_NEAR(grid->TotalLoadMw(), 283.4, 0.5);
+}
+
+TEST(IeeeCasesTest, Case57Shape) {
+  auto grid = IeeeCase57();
+  ASSERT_TRUE(grid.ok());
+  EXPECT_EQ(grid->num_buses(), 57u);
+  EXPECT_EQ(grid->num_lines(), 80u);
+  EXPECT_TRUE(grid->IsConnected());
+}
+
+TEST(IeeeCasesTest, Case118Shape) {
+  auto grid = IeeeCase118();
+  ASSERT_TRUE(grid.ok());
+  EXPECT_EQ(grid->num_buses(), 118u);
+  EXPECT_EQ(grid->num_lines(), 186u);
+  EXPECT_TRUE(grid->IsConnected());
+}
+
+TEST(IeeeCasesTest, SyntheticCasesAreDeterministic) {
+  auto a = IeeeCase57();
+  auto b = IeeeCase57();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->num_branches(), b->num_branches());
+  for (size_t k = 0; k < a->num_branches(); ++k) {
+    EXPECT_EQ(a->branches()[k].from_bus, b->branches()[k].from_bus);
+    EXPECT_EQ(a->branches()[k].to_bus, b->branches()[k].to_bus);
+    EXPECT_DOUBLE_EQ(a->branches()[k].x, b->branches()[k].x);
+  }
+}
+
+TEST(IeeeCasesTest, AllEvaluationSystemsPaperOrder) {
+  auto systems = AllEvaluationSystems();
+  ASSERT_EQ(systems.size(), 4u);
+  EXPECT_EQ(systems[0].num_buses(), 14u);
+  EXPECT_EQ(systems[1].num_buses(), 30u);
+  EXPECT_EQ(systems[2].num_buses(), 57u);
+  EXPECT_EQ(systems[3].num_buses(), 118u);
+  // Paper: "These systems have 20, 41, 80, and 186 power lines".
+  EXPECT_EQ(systems[0].num_lines(), 20u);
+  EXPECT_EQ(systems[1].num_lines(), 41u);
+  EXPECT_EQ(systems[2].num_lines(), 80u);
+  EXPECT_EQ(systems[3].num_lines(), 186u);
+}
+
+TEST(IeeeCasesTest, EvaluationSystemLookup) {
+  EXPECT_TRUE(EvaluationSystem(14).ok());
+  EXPECT_TRUE(EvaluationSystem(118).ok());
+  EXPECT_FALSE(EvaluationSystem(99).ok());
+}
+
+class EvaluationSystemTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EvaluationSystemTest, MostLinesAreNonIslanding) {
+  auto grid = EvaluationSystem(GetParam());
+  ASSERT_TRUE(grid.ok());
+  size_t islanding = 0;
+  for (const LineId& line : grid->lines()) {
+    if (grid->WouldIsland(line)) ++islanding;
+  }
+  // Meshed transmission systems keep most single-line outages viable.
+  EXPECT_LT(islanding, grid->num_lines() / 2);
+}
+
+TEST_P(EvaluationSystemTest, EveryBusTouched) {
+  auto grid = EvaluationSystem(GetParam());
+  ASSERT_TRUE(grid.ok());
+  for (size_t i = 0; i < grid->num_buses(); ++i) {
+    EXPECT_FALSE(grid->Neighbors(i).empty()) << "bus " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Systems, EvaluationSystemTest,
+                         ::testing::Values(14, 30, 57, 118));
+
+}  // namespace
+}  // namespace phasorwatch::grid

@@ -1,0 +1,149 @@
+#include <algorithm>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "eval/dataset.h"
+#include "eval/experiments.h"
+#include "eval/metrics.h"
+#include "grid/ieee_cases.h"
+#include "sim/missing_data.h"
+
+namespace phasorwatch {
+namespace {
+
+// End-to-end: dataset generation -> training -> detection across all
+// missing-data scenarios, on the IEEE 30-bus system (larger than the
+// per-module tests, still fast enough for CI).
+class IntegrationTest : public ::testing::Test {
+ protected:
+  struct Shared {
+    grid::Grid grid;
+    std::unique_ptr<eval::Dataset> dataset;
+    eval::ExperimentOptions options;
+    std::unique_ptr<eval::TrainedMethods> methods;
+  };
+  static Shared* shared_;
+
+  static void SetUpTestSuite() {
+    auto grid = grid::IeeeCase30();
+    PW_CHECK(grid.ok());
+    shared_ = new Shared{std::move(grid).value(), nullptr, {}, nullptr};
+
+    eval::DatasetOptions dopts;
+    dopts.train_states = 8;
+    dopts.train_samples_per_state = 5;
+    dopts.test_states = 4;
+    dopts.test_samples_per_state = 5;
+    auto dataset = eval::BuildDataset(shared_->grid, dopts, 777);
+    PW_CHECK(dataset.ok());
+    shared_->dataset =
+        std::make_unique<eval::Dataset>(std::move(dataset).value());
+
+    shared_->options.test_samples_per_case = 8;
+    shared_->options.mlr.epochs = 50;
+    auto methods =
+        eval::TrainedMethods::Train(*shared_->dataset, shared_->options);
+    PW_CHECK_MSG(methods.ok(), methods.status().ToString().c_str());
+    shared_->methods =
+        std::make_unique<eval::TrainedMethods>(std::move(methods).value());
+  }
+
+  static void TearDownTestSuite() {
+    delete shared_;
+    shared_ = nullptr;
+  }
+};
+
+IntegrationTest::Shared* IntegrationTest::shared_ = nullptr;
+
+TEST_F(IntegrationTest, DatasetCoversMostLines) {
+  EXPECT_GT(shared_->dataset->num_valid_cases(),
+            shared_->grid.num_lines() / 2);
+}
+
+TEST_F(IntegrationTest, AllFourScenariosComplete) {
+  for (auto scenario :
+       {eval::MissingScenario::kNone, eval::MissingScenario::kOutageEndpoints,
+        eval::MissingScenario::kRandomOnNormal,
+        eval::MissingScenario::kRandomOffOutage}) {
+    auto result = eval::RunScenario(*shared_->dataset, *shared_->methods,
+                                    scenario, shared_->options);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result->methods.size(), 2u);
+    EXPECT_GT(result->methods[0].samples, 0u);
+  }
+}
+
+TEST_F(IntegrationTest, PaperOrderingHolds) {
+  // The paper's qualitative claims, checked end to end on IEEE 30:
+  auto complete =
+      eval::RunScenario(*shared_->dataset, *shared_->methods,
+                        eval::MissingScenario::kNone, shared_->options);
+  auto missing =
+      eval::RunScenario(*shared_->dataset, *shared_->methods,
+                        eval::MissingScenario::kOutageEndpoints,
+                        shared_->options);
+  ASSERT_TRUE(complete.ok());
+  ASSERT_TRUE(missing.ok());
+
+  double sub_complete = complete->methods[0].identification_accuracy;
+  double mlr_complete = complete->methods[1].identification_accuracy;
+  double sub_missing = missing->methods[0].identification_accuracy;
+  double mlr_missing = missing->methods[1].identification_accuracy;
+
+  // 1. Complete data: both methods work (comparable performance).
+  EXPECT_GT(sub_complete, 0.55);
+  EXPECT_GT(mlr_complete, 0.55);
+  // 2. Missing outage data: subspace degrades mildly...
+  EXPECT_GT(sub_missing, sub_complete - 0.35);
+  // ...and beats MLR clearly.
+  EXPECT_GT(sub_missing, mlr_missing + 0.1);
+}
+
+TEST_F(IntegrationTest, DetectorDifferentiatesDataProblemsFromOutages) {
+  // Feed normal samples with increasingly many missing nodes; the
+  // detector must keep the false-alarm rate bounded (it never confuses
+  // missing data alone with an outage).
+  auto& detector = shared_->methods->detector();
+  Rng rng(4242);
+  const auto& test = shared_->dataset->normal.test;
+  for (size_t missing_count : {1u, 3u, 6u}) {
+    size_t alarms = 0;
+    const size_t total = 25;
+    for (size_t t = 0; t < total; ++t) {
+      size_t col = static_cast<size_t>(rng.UniformInt(test.num_samples()));
+      auto [vm, va] = test.Sample(col);
+      sim::MissingMask mask = sim::MissingRandom(shared_->grid.num_buses(),
+                                                 missing_count, {}, rng);
+      auto result = detector.Detect(vm, va, mask);
+      ASSERT_TRUE(result.ok());
+      if (result->outage_detected) ++alarms;
+    }
+    EXPECT_LE(alarms, total / 3) << "missing=" << missing_count;
+  }
+}
+
+TEST_F(IntegrationTest, ReliabilitySweepEndToEnd) {
+  auto points = eval::RunReliabilitySweep(
+      *shared_->dataset, *shared_->methods, {1.0, 0.95}, 40, shared_->options);
+  ASSERT_TRUE(points.ok());
+  EXPECT_EQ(points->size(), 2u);
+}
+
+TEST_F(IntegrationTest, RepeatedDetectionIsDeterministic) {
+  auto& detector = shared_->methods->detector();
+  auto [vm, va] = shared_->dataset->outages[0].test.Sample(0);
+  auto a = detector.Detect(vm, va);
+  auto b = detector.Detect(vm, va);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->outage_detected, b->outage_detected);
+  ASSERT_EQ(a->lines.size(), b->lines.size());
+  for (size_t i = 0; i < a->lines.size(); ++i) {
+    EXPECT_EQ(a->lines[i], b->lines[i]);
+  }
+}
+
+}  // namespace
+}  // namespace phasorwatch

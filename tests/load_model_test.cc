@@ -1,0 +1,106 @@
+#include "sim/load_model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "grid/ieee_cases.h"
+
+namespace phasorwatch::sim {
+namespace {
+
+TEST(LoadModelTest, ShapeMatchesGridAndStates) {
+  auto grid = grid::IeeeCase14();
+  ASSERT_TRUE(grid.ok());
+  LoadModelOptions opts;
+  opts.num_states = 24;
+  Rng rng(1);
+  linalg::Matrix m = GenerateLoadMultipliers(*grid, opts, rng);
+  EXPECT_EQ(m.rows(), 14u);
+  EXPECT_EQ(m.cols(), 24u);
+}
+
+TEST(LoadModelTest, MultipliersStayAboveFloor) {
+  auto grid = grid::IeeeCase30();
+  ASSERT_TRUE(grid.ok());
+  LoadModelOptions opts;
+  opts.num_states = 48;
+  opts.min_multiplier = 0.5;
+  Rng rng(2);
+  linalg::Matrix m = GenerateLoadMultipliers(*grid, opts, rng);
+  for (size_t i = 0; i < m.rows(); ++i) {
+    for (size_t t = 0; t < m.cols(); ++t) {
+      EXPECT_GE(m(i, t), 0.5);
+    }
+  }
+}
+
+TEST(LoadModelTest, MultipliersCenterNearOne) {
+  auto grid = grid::IeeeCase30();
+  ASSERT_TRUE(grid.ok());
+  LoadModelOptions opts;
+  opts.num_states = 200;
+  opts.diurnal_amplitude = 0.0;  // isolate the OU component
+  Rng rng(3);
+  linalg::Matrix m = GenerateLoadMultipliers(*grid, opts, rng);
+  double sum = 0.0;
+  for (size_t i = 0; i < m.rows(); ++i) {
+    for (size_t t = 0; t < m.cols(); ++t) sum += m(i, t);
+  }
+  double mean = sum / static_cast<double>(m.rows() * m.cols());
+  EXPECT_NEAR(mean, 1.0, 0.02);
+}
+
+TEST(LoadModelTest, VariationIsNonTrivial) {
+  auto grid = grid::IeeeCase14();
+  ASSERT_TRUE(grid.ok());
+  LoadModelOptions opts;
+  opts.num_states = 24;
+  Rng rng(4);
+  linalg::Matrix m = GenerateLoadMultipliers(*grid, opts, rng);
+  double min_v = 10.0, max_v = -10.0;
+  for (size_t i = 0; i < m.rows(); ++i) {
+    for (size_t t = 0; t < m.cols(); ++t) {
+      min_v = std::min(min_v, m(i, t));
+      max_v = std::max(max_v, m(i, t));
+    }
+  }
+  EXPECT_GT(max_v - min_v, 0.01);
+}
+
+TEST(LoadModelTest, DeterministicForSameRngState) {
+  auto grid = grid::IeeeCase14();
+  ASSERT_TRUE(grid.ok());
+  LoadModelOptions opts;
+  Rng a(5), b(5);
+  linalg::Matrix ma = GenerateLoadMultipliers(*grid, opts, a);
+  linalg::Matrix mb = GenerateLoadMultipliers(*grid, opts, b);
+  EXPECT_TRUE(ma.AlmostEquals(mb, 0.0));
+}
+
+TEST(LoadModelTest, DiurnalSwingWidensRange) {
+  auto grid = grid::IeeeCase14();
+  ASSERT_TRUE(grid.ok());
+  LoadModelOptions flat, swing;
+  flat.num_states = swing.num_states = 96;
+  flat.diurnal_amplitude = 0.0;
+  flat.ou_volatility = swing.ou_volatility = 0.001;
+  swing.diurnal_amplitude = 0.10;
+  Rng ra(6), rb(6);
+  linalg::Matrix mf = GenerateLoadMultipliers(*grid, flat, ra);
+  linalg::Matrix ms = GenerateLoadMultipliers(*grid, swing, rb);
+  auto spread = [](const linalg::Matrix& m) {
+    double lo = 10.0, hi = -10.0;
+    for (size_t i = 0; i < m.rows(); ++i) {
+      for (size_t t = 0; t < m.cols(); ++t) {
+        lo = std::min(lo, m(i, t));
+        hi = std::max(hi, m(i, t));
+      }
+    }
+    return hi - lo;
+  };
+  EXPECT_GT(spread(ms), spread(mf) + 0.05);
+}
+
+}  // namespace
+}  // namespace phasorwatch::sim

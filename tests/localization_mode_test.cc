@@ -1,0 +1,156 @@
+#include <algorithm>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "detect/detector.h"
+#include "eval/dataset.h"
+#include "grid/ieee_cases.h"
+#include "sim/missing_data.h"
+
+namespace phasorwatch::detect {
+namespace {
+
+// Shared corpus for both localization modes.
+class LocalizationModeTest : public ::testing::Test {
+ protected:
+  struct Shared {
+    grid::Grid grid;
+    sim::PmuNetwork network;
+    std::unique_ptr<eval::Dataset> dataset;
+    std::unique_ptr<OutageDetector> class_model;
+    std::unique_ptr<OutageDetector> proximity_rule;
+  };
+  static Shared* shared_;
+
+  static void SetUpTestSuite() {
+    auto grid = grid::IeeeCase14();
+    PW_CHECK(grid.ok());
+    auto network = sim::PmuNetwork::Build(*grid, 3);
+    PW_CHECK(network.ok());
+    shared_ = new Shared{std::move(grid).value(),
+                         std::move(network).value(), nullptr, nullptr,
+                         nullptr};
+
+    eval::DatasetOptions dopts;
+    dopts.train_states = 16;
+    dopts.train_samples_per_state = 8;
+    dopts.test_states = 5;
+    dopts.test_samples_per_state = 5;
+    auto dataset = eval::BuildDataset(shared_->grid, dopts, 4321);
+    PW_CHECK(dataset.ok());
+    shared_->dataset =
+        std::make_unique<eval::Dataset>(std::move(dataset).value());
+
+    TrainingData training;
+    training.normal = &shared_->dataset->normal.train;
+    for (const auto& c : shared_->dataset->outages) {
+      training.case_lines.push_back(c.line);
+      training.outage.push_back(&c.train);
+    }
+    DetectorOptions class_opts;
+    class_opts.localization = LocalizationMode::kClassModel;
+    auto a = OutageDetector::Train(shared_->grid, shared_->network, training,
+                                   class_opts);
+    PW_CHECK(a.ok());
+    shared_->class_model =
+        std::make_unique<OutageDetector>(std::move(a).value());
+
+    DetectorOptions prox_opts;
+    prox_opts.localization = LocalizationMode::kProximityRule;
+    auto b = OutageDetector::Train(shared_->grid, shared_->network, training,
+                                   prox_opts);
+    PW_CHECK(b.ok());
+    shared_->proximity_rule =
+        std::make_unique<OutageDetector>(std::move(b).value());
+  }
+
+  static void TearDownTestSuite() {
+    delete shared_;
+    shared_ = nullptr;
+  }
+};
+
+LocalizationModeTest::Shared* LocalizationModeTest::shared_ = nullptr;
+
+TEST_F(LocalizationModeTest, BothModesDetectOutages) {
+  size_t class_hits = 0, prox_hits = 0, total = 0;
+  for (const auto& c : shared_->dataset->outages) {
+    for (size_t t = 0; t < 5; ++t) {
+      auto [vm, va] = c.test.Sample(t);
+      auto ra = shared_->class_model->Detect(vm, va);
+      auto rb = shared_->proximity_rule->Detect(vm, va);
+      ASSERT_TRUE(ra.ok());
+      ASSERT_TRUE(rb.ok());
+      ++total;
+      if (ra->outage_detected) ++class_hits;
+      if (rb->outage_detected) ++prox_hits;
+    }
+  }
+  // The gates are shared between the modes, so detection rates match.
+  EXPECT_EQ(class_hits, prox_hits);
+  EXPECT_GT(class_hits, total * 3 / 4);
+}
+
+TEST_F(LocalizationModeTest, ProximityRuleLinesComeFromPrefix) {
+  for (const auto& c : shared_->dataset->outages) {
+    auto [vm, va] = c.test.Sample(0);
+    auto result = shared_->proximity_rule->Detect(vm, va);
+    ASSERT_TRUE(result.ok());
+    if (!result->outage_detected) continue;
+    for (const grid::LineId& line : result->lines) {
+      auto in_prefix = [&](size_t node) {
+        return std::find(result->affected_nodes.begin(),
+                         result->affected_nodes.end(),
+                         node) != result->affected_nodes.end();
+      };
+      EXPECT_TRUE(in_prefix(line.i));
+      EXPECT_TRUE(in_prefix(line.j));
+    }
+  }
+}
+
+TEST_F(LocalizationModeTest, ClassModelLocalizesAtLeastAsWell) {
+  size_t class_correct = 0, prox_correct = 0;
+  for (const auto& c : shared_->dataset->outages) {
+    for (size_t t = 0; t < 5; ++t) {
+      auto [vm, va] = c.test.Sample(t);
+      auto ra = shared_->class_model->Detect(vm, va);
+      auto rb = shared_->proximity_rule->Detect(vm, va);
+      ASSERT_TRUE(ra.ok());
+      ASSERT_TRUE(rb.ok());
+      if (std::find(ra->lines.begin(), ra->lines.end(), c.line) !=
+          ra->lines.end()) {
+        ++class_correct;
+      }
+      if (std::find(rb->lines.begin(), rb->lines.end(), c.line) !=
+          rb->lines.end()) {
+        ++prox_correct;
+      }
+    }
+  }
+  EXPECT_GE(class_correct, prox_correct);
+  EXPECT_GT(class_correct, 0u);
+}
+
+TEST_F(LocalizationModeTest, UseScalingOffStillWorks) {
+  TrainingData training;
+  training.normal = &shared_->dataset->normal.train;
+  for (const auto& c : shared_->dataset->outages) {
+    training.case_lines.push_back(c.line);
+    training.outage.push_back(&c.train);
+  }
+  DetectorOptions opts;
+  opts.use_scaling = false;
+  auto det = OutageDetector::Train(shared_->grid, shared_->network, training,
+                                   opts);
+  ASSERT_TRUE(det.ok());
+  auto [vm, va] = shared_->dataset->outages[0].test.Sample(0);
+  auto result = det->Detect(vm, va);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->node_scores.size(), shared_->grid.num_buses());
+}
+
+}  // namespace
+}  // namespace phasorwatch::detect

@@ -1,0 +1,45 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace phasorwatch {
+namespace {
+
+// RAII guard restoring the global log level after each test.
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(GetLogLevel()) {}
+  ~LogLevelGuard() { SetLogLevel(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(LoggingTest, LevelRoundTrips) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+}
+
+TEST(LoggingTest, MacroCompilesAndStreams) {
+  LogLevelGuard guard;
+  // Route below the threshold so the test stays quiet; the point is the
+  // streaming interface accepting mixed types.
+  SetLogLevel(LogLevel::kError);
+  PW_LOG(Info) << "value=" << 42 << " pi=" << 3.14 << " s=" << std::string("x");
+  PW_LOG(Debug) << "suppressed";
+  SUCCEED();
+}
+
+TEST(LoggingTest, ErrorAlwaysAboveInfoThreshold) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kInfo);
+  // Just exercise the enabled path (writes one line to stderr).
+  PW_LOG(Error) << "test error line (expected in test output)";
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace phasorwatch

@@ -1,0 +1,117 @@
+#include "linalg/lu.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace phasorwatch::linalg {
+namespace {
+
+Matrix RandomMatrix(size_t n, Rng& rng) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) m(i, j) = rng.Uniform(-1.0, 1.0);
+  }
+  return m;
+}
+
+TEST(LuTest, SolvesKnownSystem) {
+  Matrix a = {{2.0, 1.0}, {1.0, 3.0}};
+  auto lu = LuDecomposition::Factor(a);
+  ASSERT_TRUE(lu.ok());
+  auto x = lu->Solve(Vector{5.0, 10.0});
+  ASSERT_TRUE(x.ok());
+  // 2x + y = 5, x + 3y = 10 -> x = 1, y = 3.
+  EXPECT_NEAR((*x)[0], 1.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 3.0, 1e-12);
+}
+
+TEST(LuTest, RejectsNonSquare) {
+  Matrix a(2, 3);
+  auto lu = LuDecomposition::Factor(a);
+  EXPECT_FALSE(lu.ok());
+  EXPECT_EQ(lu.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LuTest, DetectsSingularMatrix) {
+  Matrix a = {{1.0, 2.0}, {2.0, 4.0}};
+  auto lu = LuDecomposition::Factor(a);
+  EXPECT_FALSE(lu.ok());
+  EXPECT_EQ(lu.status().code(), StatusCode::kSingular);
+}
+
+TEST(LuTest, PivotingHandlesZeroLeadingEntry) {
+  Matrix a = {{0.0, 1.0}, {1.0, 0.0}};
+  auto lu = LuDecomposition::Factor(a);
+  ASSERT_TRUE(lu.ok());
+  auto x = lu->Solve(Vector{2.0, 3.0});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 3.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 2.0, 1e-12);
+}
+
+TEST(LuTest, DeterminantOfKnownMatrix) {
+  Matrix a = {{1.0, 2.0}, {3.0, 4.0}};
+  auto lu = LuDecomposition::Factor(a);
+  ASSERT_TRUE(lu.ok());
+  EXPECT_NEAR(lu->Determinant(), -2.0, 1e-12);
+}
+
+TEST(LuTest, DeterminantSignWithPermutation) {
+  Matrix a = {{0.0, 1.0}, {1.0, 0.0}};
+  auto lu = LuDecomposition::Factor(a);
+  ASSERT_TRUE(lu.ok());
+  EXPECT_NEAR(lu->Determinant(), -1.0, 1e-12);
+}
+
+TEST(LuTest, InverseTimesOriginalIsIdentity) {
+  Rng rng(42);
+  Matrix a = RandomMatrix(6, rng);
+  auto lu = LuDecomposition::Factor(a);
+  ASSERT_TRUE(lu.ok());
+  auto inv = lu->Inverse();
+  ASSERT_TRUE(inv.ok());
+  EXPECT_TRUE((a * *inv).AlmostEquals(Matrix::Identity(6), 1e-9));
+}
+
+TEST(LuTest, RhsSizeMismatchRejected) {
+  Matrix a = Matrix::Identity(3);
+  auto lu = LuDecomposition::Factor(a);
+  ASSERT_TRUE(lu.ok());
+  auto x = lu->Solve(Vector{1.0, 2.0});
+  EXPECT_FALSE(x.ok());
+}
+
+class LuPropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(LuPropertyTest, FactorsReconstructPA) {
+  Rng rng(100 + GetParam());
+  Matrix a = RandomMatrix(GetParam(), rng);
+  auto lu = LuDecomposition::Factor(a);
+  ASSERT_TRUE(lu.ok());
+  Matrix pa = lu->PermutationMatrix() * a;
+  Matrix recon = lu->LowerFactor() * lu->UpperFactor();
+  EXPECT_TRUE(recon.AlmostEquals(pa, 1e-10))
+      << "n=" << GetParam();
+}
+
+TEST_P(LuPropertyTest, SolveResidualIsTiny) {
+  Rng rng(200 + GetParam());
+  Matrix a = RandomMatrix(GetParam(), rng);
+  Vector b(GetParam());
+  for (size_t i = 0; i < b.size(); ++i) b[i] = rng.Uniform(-5.0, 5.0);
+  auto lu = LuDecomposition::Factor(a);
+  ASSERT_TRUE(lu.ok());
+  auto x = lu->Solve(b);
+  ASSERT_TRUE(x.ok());
+  Vector residual = a * *x - b;
+  EXPECT_LT(residual.InfNorm(), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 40, 80));
+
+}  // namespace
+}  // namespace phasorwatch::linalg

@@ -1,0 +1,174 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace phasorwatch::linalg {
+namespace {
+
+TEST(VectorTest, ArithmeticOps) {
+  Vector a = {1.0, 2.0, 3.0};
+  Vector b = {4.0, 5.0, 6.0};
+  Vector sum = a + b;
+  EXPECT_DOUBLE_EQ(sum[0], 5.0);
+  EXPECT_DOUBLE_EQ(sum[2], 9.0);
+  Vector diff = b - a;
+  EXPECT_DOUBLE_EQ(diff[1], 3.0);
+  Vector scaled = a * 2.0;
+  EXPECT_DOUBLE_EQ(scaled[2], 6.0);
+  Vector scaled2 = 3.0 * a;
+  EXPECT_DOUBLE_EQ(scaled2[0], 3.0);
+}
+
+TEST(VectorTest, NormAndDot) {
+  Vector v = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(v.Norm(), 5.0);
+  EXPECT_DOUBLE_EQ(v.InfNorm(), 4.0);
+  Vector w = {1.0, -1.0};
+  EXPECT_DOUBLE_EQ(v.Dot(w), -1.0);
+}
+
+TEST(VectorTest, NormHandlesLargeValuesWithoutOverflow) {
+  Vector v = {1e200, 1e200};
+  EXPECT_NEAR(v.Norm() / (std::sqrt(2.0) * 1e200), 1.0, 1e-12);
+}
+
+TEST(VectorTest, EmptyNorms) {
+  Vector v;
+  EXPECT_DOUBLE_EQ(v.Norm(), 0.0);
+  EXPECT_DOUBLE_EQ(v.InfNorm(), 0.0);
+  EXPECT_DOUBLE_EQ(v.Sum(), 0.0);
+}
+
+TEST(VectorTest, SumAndMean) {
+  Vector v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(v.Sum(), 10.0);
+  EXPECT_DOUBLE_EQ(v.Mean(), 2.5);
+}
+
+TEST(VectorTest, Gather) {
+  Vector v = {10.0, 20.0, 30.0, 40.0};
+  Vector g = v.Gather({3, 1});
+  ASSERT_EQ(g.size(), 2u);
+  EXPECT_DOUBLE_EQ(g[0], 40.0);
+  EXPECT_DOUBLE_EQ(g[1], 20.0);
+}
+
+TEST(MatrixTest, InitializerListLayout) {
+  Matrix m = {{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(2, 0), 5.0);
+}
+
+TEST(MatrixTest, IdentityAndDiag) {
+  Matrix eye = Matrix::Identity(3);
+  EXPECT_DOUBLE_EQ(eye(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(eye(0, 2), 0.0);
+  Matrix d = Matrix::Diag(Vector{2.0, 3.0});
+  EXPECT_DOUBLE_EQ(d(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(d(1, 1), 3.0);
+  EXPECT_DOUBLE_EQ(d(0, 1), 0.0);
+}
+
+TEST(MatrixTest, MatrixProduct) {
+  Matrix a = {{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b = {{5.0, 6.0}, {7.0, 8.0}};
+  Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(MatrixTest, MatrixVectorProduct) {
+  Matrix a = {{1.0, 0.0, 2.0}, {0.0, 3.0, 0.0}};
+  Vector x = {1.0, 2.0, 3.0};
+  Vector y = a * x;
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 7.0);
+  EXPECT_DOUBLE_EQ(y[1], 6.0);
+}
+
+TEST(MatrixTest, TransposeRoundTrip) {
+  Matrix a = {{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  Matrix at = a.Transposed();
+  EXPECT_EQ(at.rows(), 3u);
+  EXPECT_EQ(at.cols(), 2u);
+  EXPECT_TRUE(at.Transposed().AlmostEquals(a));
+}
+
+TEST(MatrixTest, TransposedTimesMatchesExplicit) {
+  Matrix a = {{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  Matrix b = {{1.0, 0.0}, {0.0, 1.0}, {1.0, 1.0}};
+  Matrix expected = a.Transposed() * b;
+  EXPECT_TRUE(a.TransposedTimes(b).AlmostEquals(expected));
+}
+
+TEST(MatrixTest, RowColAccessors) {
+  Matrix a = {{1.0, 2.0}, {3.0, 4.0}};
+  Vector r = a.Row(1);
+  EXPECT_DOUBLE_EQ(r[0], 3.0);
+  Vector c = a.Col(0);
+  EXPECT_DOUBLE_EQ(c[1], 3.0);
+  a.SetRow(0, Vector{9.0, 8.0});
+  EXPECT_DOUBLE_EQ(a(0, 1), 8.0);
+  a.SetCol(1, Vector{7.0, 6.0});
+  EXPECT_DOUBLE_EQ(a(1, 1), 6.0);
+}
+
+TEST(MatrixTest, SelectRowsAndCols) {
+  Matrix a = {{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}, {7.0, 8.0, 9.0}};
+  Matrix sub = a.SelectRows({2, 0});
+  EXPECT_DOUBLE_EQ(sub(0, 0), 7.0);
+  EXPECT_DOUBLE_EQ(sub(1, 2), 3.0);
+  Matrix cols = a.SelectCols({1});
+  EXPECT_EQ(cols.cols(), 1u);
+  EXPECT_DOUBLE_EQ(cols(2, 0), 8.0);
+}
+
+TEST(MatrixTest, ConcatCols) {
+  Matrix a = {{1.0}, {2.0}};
+  Matrix b = {{3.0, 4.0}, {5.0, 6.0}};
+  Matrix c = a.ConcatCols(b);
+  EXPECT_EQ(c.cols(), 3u);
+  EXPECT_DOUBLE_EQ(c(1, 2), 6.0);
+  // Concatenation with empty operands is identity.
+  Matrix empty;
+  EXPECT_TRUE(empty.ConcatCols(a).AlmostEquals(a));
+  EXPECT_TRUE(a.ConcatCols(empty).AlmostEquals(a));
+}
+
+TEST(MatrixTest, FromColumns) {
+  Matrix m = Matrix::FromColumns({Vector{1.0, 2.0}, Vector{3.0, 4.0}});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(0, 1), 3.0);
+}
+
+TEST(MatrixTest, FrobeniusNormAndMaxAbs) {
+  Matrix a = {{3.0, 0.0}, {0.0, -4.0}};
+  EXPECT_DOUBLE_EQ(a.FrobeniusNorm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.MaxAbs(), 4.0);
+}
+
+TEST(MatrixTest, ColMeans) {
+  Matrix a = {{1.0, 10.0}, {3.0, 20.0}};
+  Vector m = a.ColMeans();
+  EXPECT_DOUBLE_EQ(m[0], 2.0);
+  EXPECT_DOUBLE_EQ(m[1], 15.0);
+}
+
+TEST(MatrixTest, AlmostEqualsRespectsTolerance) {
+  Matrix a = {{1.0}};
+  Matrix b = {{1.0 + 1e-12}};
+  EXPECT_TRUE(a.AlmostEquals(b, 1e-9));
+  EXPECT_FALSE(a.AlmostEquals(b, 1e-15));
+  Matrix c = {{1.0, 2.0}};
+  EXPECT_FALSE(a.AlmostEquals(c));  // shape mismatch
+}
+
+}  // namespace
+}  // namespace phasorwatch::linalg

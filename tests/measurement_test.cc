@@ -1,0 +1,141 @@
+#include "sim/measurement.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "grid/ieee_cases.h"
+
+namespace phasorwatch::sim {
+namespace {
+
+SimulationOptions SmallSim() {
+  SimulationOptions opts;
+  opts.load.num_states = 6;
+  opts.samples_per_state = 4;
+  return opts;
+}
+
+TEST(MeasurementTest, ShapeAndDeterminism) {
+  auto grid = grid::IeeeCase14();
+  ASSERT_TRUE(grid.ok());
+  Rng a(11), b(11);
+  auto da = SimulateMeasurements(*grid, SmallSim(), a);
+  auto db = SimulateMeasurements(*grid, SmallSim(), b);
+  ASSERT_TRUE(da.ok()) << da.status().ToString();
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(da->num_nodes(), 14u);
+  EXPECT_EQ(da->num_samples(), 24u);
+  EXPECT_TRUE(da->vm.AlmostEquals(db->vm, 0.0));
+  EXPECT_TRUE(da->va.AlmostEquals(db->va, 0.0));
+}
+
+TEST(MeasurementTest, ValuesNearPowerFlowSolution) {
+  auto grid = grid::IeeeCase14();
+  ASSERT_TRUE(grid.ok());
+  auto forecast = SolveForecastState(*grid);
+  ASSERT_TRUE(forecast.ok());
+  Rng rng(12);
+  auto data = SimulateMeasurements(*grid, SmallSim(), rng);
+  ASSERT_TRUE(data.ok());
+  // Magnitudes hover near the forecast state (load swings + noise stay
+  // within a few percent).
+  for (size_t i = 0; i < data->num_nodes(); ++i) {
+    for (size_t t = 0; t < data->num_samples(); ++t) {
+      EXPECT_NEAR(data->vm(i, t), forecast->vm(i, 0), 0.1);
+    }
+  }
+}
+
+TEST(MeasurementTest, NoiseVariesWithinState) {
+  auto grid = grid::IeeeCase14();
+  ASSERT_TRUE(grid.ok());
+  SimulationOptions opts = SmallSim();
+  opts.load.ou_volatility = 0.0;   // freeze the load
+  opts.load.diurnal_amplitude = 0.0;
+  Rng rng(13);
+  auto data = SimulateMeasurements(*grid, opts, rng);
+  ASSERT_TRUE(data.ok());
+  // Columns in the same state differ only by noise, which must be
+  // non-degenerate.
+  double diff = 0.0;
+  for (size_t i = 0; i < data->num_nodes(); ++i) {
+    diff += std::fabs(data->vm(i, 0) - data->vm(i, 1));
+  }
+  EXPECT_GT(diff, 0.0);
+}
+
+TEST(MeasurementTest, RejectsEmptyRequest) {
+  auto grid = grid::IeeeCase14();
+  ASSERT_TRUE(grid.ok());
+  SimulationOptions opts = SmallSim();
+  opts.samples_per_state = 0;
+  Rng rng(14);
+  EXPECT_FALSE(SimulateMeasurements(*grid, opts, rng).ok());
+}
+
+TEST(MeasurementTest, OutageGridProducesShiftedData) {
+  auto grid = grid::IeeeCase14();
+  ASSERT_TRUE(grid.ok());
+  grid::LineId line(0, 1);
+  auto outage_grid = grid->WithLineOut(line);
+  ASSERT_TRUE(outage_grid.ok());
+  SimulationOptions opts = SmallSim();
+  Rng ra(15), rb(15);
+  auto normal = SimulateMeasurements(*grid, opts, ra);
+  auto outage = SimulateMeasurements(*outage_grid, opts, rb);
+  ASSERT_TRUE(normal.ok());
+  ASSERT_TRUE(outage.ok());
+  // Mean angle must move visibly at some bus.
+  double max_shift = 0.0;
+  for (size_t i = 0; i < normal->num_nodes(); ++i) {
+    double mean_n = 0.0, mean_o = 0.0;
+    for (size_t t = 0; t < normal->num_samples(); ++t) {
+      mean_n += normal->va(i, t);
+    }
+    for (size_t t = 0; t < outage->num_samples(); ++t) {
+      mean_o += outage->va(i, t);
+    }
+    mean_n /= static_cast<double>(normal->num_samples());
+    mean_o /= static_cast<double>(outage->num_samples());
+    max_shift = std::max(max_shift, std::fabs(mean_n - mean_o));
+  }
+  EXPECT_GT(max_shift, 0.005);
+}
+
+TEST(MeasurementTest, AppendConcatenatesSamples) {
+  auto grid = grid::IeeeCase14();
+  ASSERT_TRUE(grid.ok());
+  Rng rng(16);
+  auto a = SimulateMeasurements(*grid, SmallSim(), rng);
+  ASSERT_TRUE(a.ok());
+  PhasorDataSet combined = *a;
+  combined.Append(*a);
+  EXPECT_EQ(combined.num_samples(), 2 * a->num_samples());
+  EXPECT_EQ(combined.num_nodes(), a->num_nodes());
+}
+
+TEST(MeasurementTest, SampleAccessorsMatchColumns) {
+  auto grid = grid::IeeeCase14();
+  ASSERT_TRUE(grid.ok());
+  Rng rng(17);
+  auto data = SimulateMeasurements(*grid, SmallSim(), rng);
+  ASSERT_TRUE(data.ok());
+  auto [vm, va] = data->Sample(3);
+  for (size_t i = 0; i < data->num_nodes(); ++i) {
+    EXPECT_DOUBLE_EQ(vm[i], data->vm(i, 3));
+    EXPECT_DOUBLE_EQ(va[i], data->va(i, 3));
+  }
+}
+
+TEST(SolveForecastStateTest, SingleColumn) {
+  auto grid = grid::IeeeCase30();
+  ASSERT_TRUE(grid.ok());
+  auto data = SolveForecastState(*grid);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->num_samples(), 1u);
+  EXPECT_EQ(data->num_nodes(), 30u);
+}
+
+}  // namespace
+}  // namespace phasorwatch::sim

@@ -1,0 +1,74 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace phasorwatch::eval {
+namespace {
+
+using grid::LineId;
+
+TEST(ScoreSampleTest, PerfectSingleLineIdentification) {
+  SampleMetrics m = ScoreSample({LineId(1, 2)}, {LineId(1, 2)});
+  EXPECT_DOUBLE_EQ(m.identification_accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(m.false_alarm, 0.0);
+}
+
+TEST(ScoreSampleTest, MissedOutage) {
+  SampleMetrics m = ScoreSample({LineId(1, 2)}, {});
+  EXPECT_DOUBLE_EQ(m.identification_accuracy, 0.0);
+  EXPECT_DOUBLE_EQ(m.false_alarm, 0.0);
+}
+
+TEST(ScoreSampleTest, WrongLinePredicted) {
+  SampleMetrics m = ScoreSample({LineId(1, 2)}, {LineId(3, 4)});
+  EXPECT_DOUBLE_EQ(m.identification_accuracy, 0.0);
+  EXPECT_DOUBLE_EQ(m.false_alarm, 1.0);
+}
+
+TEST(ScoreSampleTest, ExtraLinesDiluteFalseAlarm) {
+  SampleMetrics m =
+      ScoreSample({LineId(1, 2)}, {LineId(1, 2), LineId(3, 4)});
+  EXPECT_DOUBLE_EQ(m.identification_accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(m.false_alarm, 0.5);
+}
+
+TEST(ScoreSampleTest, MultiLineTruthPartialRecovery) {
+  SampleMetrics m = ScoreSample({LineId(1, 2), LineId(3, 4)}, {LineId(1, 2)});
+  EXPECT_DOUBLE_EQ(m.identification_accuracy, 0.5);
+  EXPECT_DOUBLE_EQ(m.false_alarm, 0.0);
+}
+
+TEST(ScoreSampleTest, NormalSampleConventions) {
+  // Sec. V-C2: |F| = 0 -> IA = 1 iff F-hat empty; FA = 1 iff non-empty.
+  SampleMetrics quiet = ScoreSample({}, {});
+  EXPECT_DOUBLE_EQ(quiet.identification_accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(quiet.false_alarm, 0.0);
+  SampleMetrics noisy = ScoreSample({}, {LineId(0, 1)});
+  EXPECT_DOUBLE_EQ(noisy.identification_accuracy, 0.0);
+  EXPECT_DOUBLE_EQ(noisy.false_alarm, 1.0);
+}
+
+TEST(ScoreSampleTest, EndpointOrderIrrelevant) {
+  SampleMetrics m = ScoreSample({LineId(2, 1)}, {LineId(1, 2)});
+  EXPECT_DOUBLE_EQ(m.identification_accuracy, 1.0);
+}
+
+TEST(MetricAccumulatorTest, StartsEmpty) {
+  MetricAccumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.MeanIdentificationAccuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.MeanFalseAlarm(), 0.0);
+}
+
+TEST(MetricAccumulatorTest, AveragesSamples) {
+  MetricAccumulator acc;
+  acc.Add({1.0, 0.0});
+  acc.Add({0.0, 1.0});
+  acc.Add({1.0, 0.5});
+  EXPECT_EQ(acc.count(), 3u);
+  EXPECT_NEAR(acc.MeanIdentificationAccuracy(), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(acc.MeanFalseAlarm(), 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace phasorwatch::eval

@@ -1,0 +1,171 @@
+#include "baselines/mlr.h"
+
+#include <algorithm>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "grid/ieee_cases.h"
+
+namespace phasorwatch::baselines {
+namespace {
+
+using linalg::Matrix;
+
+// Synthetic corpus with crisp per-class signatures so MLR training
+// behavior is testable without power-flow simulation.
+class MlrTest : public ::testing::Test {
+ protected:
+  struct Shared {
+    grid::Grid grid;
+    sim::PhasorDataSet normal;
+    std::vector<grid::LineId> lines;
+    std::vector<sim::PhasorDataSet> outages;
+    std::unique_ptr<MlrClassifier> clf;
+  };
+  static Shared* shared_;
+
+  static sim::PhasorDataSet MakeBlock(size_t n, size_t t, double vm_shift,
+                                      double va_shift, size_t node_a,
+                                      size_t node_b, Rng& rng) {
+    sim::PhasorDataSet d;
+    d.vm = Matrix(n, t);
+    d.va = Matrix(n, t);
+    for (size_t i = 0; i < n; ++i) {
+      double sv = (i == node_a || i == node_b) ? vm_shift : 0.0;
+      double sa = (i == node_a || i == node_b) ? va_shift : 0.0;
+      for (size_t s = 0; s < t; ++s) {
+        d.vm(i, s) = 1.0 + sv + rng.Normal(0.0, 0.002);
+        d.va(i, s) = -0.1 + sa + rng.Normal(0.0, 0.003);
+      }
+    }
+    return d;
+  }
+
+  static void SetUpTestSuite() {
+    auto grid = grid::IeeeCase14();
+    PW_CHECK(grid.ok());
+    Rng rng(7);
+    const size_t n = grid->num_buses();
+    shared_ = new Shared{std::move(grid).value(), {}, {}, {}, nullptr};
+    shared_->normal = MakeBlock(n, 150, 0.0, 0.0, 0, 0, rng);
+    shared_->lines = {grid::LineId(0, 1), grid::LineId(2, 3),
+                      grid::LineId(5, 10)};
+    double shift = 0.04;
+    for (const auto& line : shared_->lines) {
+      shared_->outages.push_back(
+          MakeBlock(n, 150, shift, -shift, line.i, line.j, rng));
+      shift += 0.03;  // distinct signature per class
+    }
+    std::vector<const sim::PhasorDataSet*> blocks;
+    for (const auto& b : shared_->outages) blocks.push_back(&b);
+    MlrOptions opts;
+    opts.epochs = 150;
+    Rng train_rng(8);
+    auto clf = MlrClassifier::Train(shared_->grid, shared_->normal,
+                                    shared_->lines, blocks, opts, train_rng);
+    PW_CHECK_MSG(clf.ok(), clf.status().ToString().c_str());
+    shared_->clf = std::make_unique<MlrClassifier>(std::move(clf).value());
+  }
+
+  static void TearDownTestSuite() {
+    delete shared_;
+    shared_ = nullptr;
+  }
+};
+
+MlrTest::Shared* MlrTest::shared_ = nullptr;
+
+TEST_F(MlrTest, ClassCountIncludesNormal) {
+  EXPECT_EQ(shared_->clf->num_classes(), 4u);
+}
+
+TEST_F(MlrTest, TrainingLossIsLow) {
+  EXPECT_LT(shared_->clf->final_training_loss(), 0.2);
+}
+
+TEST_F(MlrTest, ClassifiesTrainingDistributionCorrectly) {
+  Rng rng(9);
+  const size_t n = shared_->grid.num_buses();
+  sim::MissingMask none = sim::MissingMask::None(n);
+  // Fresh draws from the same distributions.
+  auto normal = MakeBlock(n, 30, 0.0, 0.0, 0, 0, rng);
+  size_t correct = 0;
+  for (size_t t = 0; t < 30; ++t) {
+    auto [vm, va] = normal.Sample(t);
+    if (shared_->clf->Predict(vm, va, none) == 0) ++correct;
+  }
+  EXPECT_GE(correct, 27u);
+
+  double shift = 0.04;
+  for (size_t c = 0; c < shared_->lines.size(); ++c) {
+    auto block = MakeBlock(n, 30, shift, -shift, shared_->lines[c].i,
+                           shared_->lines[c].j, rng);
+    shift += 0.03;
+    size_t hits = 0;
+    for (size_t t = 0; t < 30; ++t) {
+      auto [vm, va] = block.Sample(t);
+      if (shared_->clf->Predict(vm, va, none) == c + 1) ++hits;
+    }
+    EXPECT_GE(hits, 24u) << "class " << c + 1;
+  }
+}
+
+TEST_F(MlrTest, PredictLinesMapsClasses) {
+  Rng rng(10);
+  const size_t n = shared_->grid.num_buses();
+  sim::MissingMask none = sim::MissingMask::None(n);
+  auto block = MakeBlock(n, 5, 0.04, -0.04, 0, 1, rng);
+  auto [vm, va] = block.Sample(0);
+  auto lines = shared_->clf->PredictLines(vm, va, none);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], grid::LineId(0, 1));
+}
+
+TEST_F(MlrTest, ProbabilitiesSumToOne) {
+  Rng rng(11);
+  const size_t n = shared_->grid.num_buses();
+  auto block = MakeBlock(n, 3, 0.0, 0.0, 0, 0, rng);
+  auto [vm, va] = block.Sample(0);
+  auto probs =
+      shared_->clf->Probabilities(vm, va, sim::MissingMask::None(n));
+  double sum = 0.0;
+  for (size_t c = 0; c < probs.size(); ++c) {
+    EXPECT_GE(probs[c], 0.0);
+    sum += probs[c];
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST_F(MlrTest, MissingEndpointsDegradeOutageClassification) {
+  // The paper's core observation: with the outage endpoints dark, the
+  // complete-data classifier loses its signature.
+  Rng rng(12);
+  const size_t n = shared_->grid.num_buses();
+  const grid::LineId line = shared_->lines[0];
+  auto block = MakeBlock(n, 40, 0.04, -0.04, line.i, line.j, rng);
+  sim::MissingMask none = sim::MissingMask::None(n);
+  sim::MissingMask masked = sim::MissingMask::None(n);
+  masked.missing[line.i] = true;
+  masked.missing[line.j] = true;
+  size_t complete_hits = 0, masked_hits = 0;
+  for (size_t t = 0; t < 40; ++t) {
+    auto [vm, va] = block.Sample(t);
+    if (shared_->clf->Predict(vm, va, none) == 1) ++complete_hits;
+    if (shared_->clf->Predict(vm, va, masked) == 1) ++masked_hits;
+  }
+  EXPECT_GT(complete_hits, 35u);
+  EXPECT_LT(masked_hits, complete_hits);
+}
+
+TEST_F(MlrTest, RejectsMalformedTraining) {
+  Rng rng(13);
+  std::vector<const sim::PhasorDataSet*> empty;
+  auto clf = MlrClassifier::Train(shared_->grid, shared_->normal, {}, empty,
+                                  {}, rng);
+  EXPECT_FALSE(clf.ok());
+}
+
+}  // namespace
+}  // namespace phasorwatch::baselines

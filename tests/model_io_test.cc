@@ -1,0 +1,193 @@
+#include <cstdio>
+#include <memory>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/serialize.h"
+#include "detect/detector.h"
+#include "eval/dataset.h"
+#include "grid/ieee_cases.h"
+#include "sim/missing_data.h"
+
+namespace phasorwatch::detect {
+namespace {
+
+class ModelIoTest : public ::testing::Test {
+ protected:
+  struct Shared {
+    grid::Grid grid;
+    sim::PmuNetwork network;
+    std::unique_ptr<eval::Dataset> dataset;
+    std::unique_ptr<OutageDetector> detector;
+  };
+  static Shared* shared_;
+
+  static void SetUpTestSuite() {
+    auto grid = grid::IeeeCase14();
+    PW_CHECK(grid.ok());
+    auto network = sim::PmuNetwork::Build(*grid, 3);
+    PW_CHECK(network.ok());
+    shared_ = new Shared{std::move(grid).value(), std::move(network).value(),
+                         nullptr, nullptr};
+
+    eval::DatasetOptions dopts;
+    dopts.train_states = 14;
+    dopts.train_samples_per_state = 8;
+    dopts.test_states = 5;
+    dopts.test_samples_per_state = 5;
+    auto dataset = eval::BuildDataset(shared_->grid, dopts, 808);
+    PW_CHECK(dataset.ok());
+    shared_->dataset =
+        std::make_unique<eval::Dataset>(std::move(dataset).value());
+
+    TrainingData training;
+    training.normal = &shared_->dataset->normal.train;
+    for (const auto& c : shared_->dataset->outages) {
+      training.case_lines.push_back(c.line);
+      training.outage.push_back(&c.train);
+    }
+    auto det = OutageDetector::Train(shared_->grid, shared_->network,
+                                     training, {});
+    PW_CHECK(det.ok());
+    shared_->detector =
+        std::make_unique<OutageDetector>(std::move(det).value());
+  }
+
+  static void TearDownTestSuite() {
+    delete shared_;
+    shared_ = nullptr;
+  }
+};
+
+ModelIoTest::Shared* ModelIoTest::shared_ = nullptr;
+
+TEST_F(ModelIoTest, SaveLoadRoundTripPreservesDecisions) {
+  std::stringstream buffer;
+  ASSERT_TRUE(shared_->detector->Save(buffer).ok());
+
+  auto loaded =
+      OutageDetector::Load(buffer, shared_->grid, shared_->network);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  // Every decision the loaded detector makes must match the original,
+  // complete and masked, across several cases.
+  for (size_t c = 0; c < 5 && c < shared_->dataset->outages.size(); ++c) {
+    const auto& outage = shared_->dataset->outages[c];
+    for (size_t t = 0; t < 4; ++t) {
+      auto [vm, va] = outage.test.Sample(t);
+      sim::MissingMask mask =
+          sim::MissingAtOutage(shared_->grid.num_buses(), outage.line);
+      for (const auto& m :
+           {sim::MissingMask::None(shared_->grid.num_buses()), mask}) {
+        auto a = shared_->detector->Detect(vm, va, m);
+        auto b = loaded->Detect(vm, va, m);
+        ASSERT_TRUE(a.ok());
+        ASSERT_TRUE(b.ok());
+        EXPECT_EQ(a->outage_detected, b->outage_detected);
+        ASSERT_EQ(a->lines.size(), b->lines.size());
+        for (size_t k = 0; k < a->lines.size(); ++k) {
+          EXPECT_EQ(a->lines[k], b->lines[k]);
+        }
+        EXPECT_NEAR(a->decision_score, b->decision_score, 1e-12);
+      }
+    }
+  }
+  // Normal samples too.
+  auto [vm, va] = shared_->dataset->normal.test.Sample(0);
+  auto a = shared_->detector->Detect(vm, va);
+  auto b = loaded->Detect(vm, va);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->outage_detected, b->outage_detected);
+}
+
+TEST_F(ModelIoTest, FileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/pw_model.bin";
+  ASSERT_TRUE(shared_->detector->SaveToFile(path).ok());
+  auto loaded =
+      OutageDetector::LoadFromFile(path, shared_->grid, shared_->network);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->ellipses().size(), shared_->grid.num_buses());
+  std::remove(path.c_str());
+}
+
+TEST_F(ModelIoTest, RejectsWrongMagic) {
+  std::stringstream buffer;
+  BinaryWriter w(buffer);
+  w.WriteU64(0xDEADBEEFull);
+  auto loaded =
+      OutageDetector::Load(buffer, shared_->grid, shared_->network);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ModelIoTest, RejectsMismatchedGrid) {
+  std::stringstream buffer;
+  ASSERT_TRUE(shared_->detector->Save(buffer).ok());
+  auto other_grid = grid::IeeeCase30();
+  ASSERT_TRUE(other_grid.ok());
+  auto other_network = sim::PmuNetwork::Build(*other_grid, 3);
+  ASSERT_TRUE(other_network.ok());
+  auto loaded = OutageDetector::Load(buffer, *other_grid, *other_network);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ModelIoTest, RejectsMismatchedClustering) {
+  std::stringstream buffer;
+  ASSERT_TRUE(shared_->detector->Save(buffer).ok());
+  auto other_network = sim::PmuNetwork::Build(shared_->grid, 4);
+  ASSERT_TRUE(other_network.ok());
+  auto loaded =
+      OutageDetector::Load(buffer, shared_->grid, *other_network);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ModelIoTest, RejectsTruncatedStream) {
+  std::stringstream buffer;
+  ASSERT_TRUE(shared_->detector->Save(buffer).ok());
+  std::string full = buffer.str();
+  std::stringstream truncated(full.substr(0, full.size() / 3));
+  auto loaded =
+      OutageDetector::Load(truncated, shared_->grid, shared_->network);
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST_F(ModelIoTest, UntrainedDetectorRefusesToSave) {
+  OutageDetector untrained;
+  std::stringstream buffer;
+  EXPECT_FALSE(untrained.Save(buffer).ok());
+}
+
+TEST(BinaryRoundTripTest, PrimitivesRoundTrip) {
+  std::stringstream buffer;
+  BinaryWriter w(buffer);
+  w.WriteU64(42);
+  w.WriteI64(-7);
+  w.WriteDouble(3.25);
+  w.WriteBool(true);
+  w.WriteString("phasor");
+  w.WriteDoubleVector({1.0, -2.0});
+  w.WriteSizeVector({9, 0, 5});
+
+  BinaryReader r(buffer);
+  EXPECT_EQ(r.ReadU64().value(), 42u);
+  EXPECT_EQ(r.ReadI64().value(), -7);
+  EXPECT_DOUBLE_EQ(r.ReadDouble().value(), 3.25);
+  EXPECT_TRUE(r.ReadBool().value());
+  EXPECT_EQ(r.ReadString().value(), "phasor");
+  EXPECT_EQ(r.ReadDoubleVector().value(), (std::vector<double>{1.0, -2.0}));
+  EXPECT_EQ(r.ReadSizeVector().value(), (std::vector<size_t>{9, 0, 5}));
+}
+
+TEST(BinaryRoundTripTest, ReaderFailsOnEmptyStream) {
+  std::stringstream buffer;
+  BinaryReader r(buffer);
+  EXPECT_FALSE(r.ReadU64().ok());
+  EXPECT_FALSE(r.ReadString().ok());
+}
+
+}  // namespace
+}  // namespace phasorwatch::detect

@@ -1,0 +1,160 @@
+#include <algorithm>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "detect/detector.h"
+#include "eval/dataset.h"
+#include "grid/ieee_cases.h"
+#include "sim/measurement.h"
+#include "sim/missing_data.h"
+
+namespace phasorwatch::detect {
+namespace {
+
+// The paper's goal statement covers multiple simultaneous outages; the
+// detector is trained on single-line cases only (the realistic corpus)
+// and must still raise an alarm and point at the affected area when two
+// lines drop together.
+class MultiOutageTest : public ::testing::Test {
+ protected:
+  struct Shared {
+    grid::Grid grid;
+    sim::PmuNetwork network;
+    std::unique_ptr<eval::Dataset> dataset;
+    std::unique_ptr<OutageDetector> detector;
+    std::vector<std::pair<grid::LineId, grid::LineId>> double_cases;
+    std::vector<sim::PhasorDataSet> double_data;
+  };
+  static Shared* shared_;
+
+  static void SetUpTestSuite() {
+    auto grid = grid::IeeeCase14();
+    PW_CHECK(grid.ok());
+    auto network = sim::PmuNetwork::Build(*grid, 3);
+    PW_CHECK(network.ok());
+    shared_ = new Shared{std::move(grid).value(), std::move(network).value(),
+                         nullptr, nullptr, {}, {}};
+
+    eval::DatasetOptions dopts;
+    dopts.train_states = 16;
+    dopts.train_samples_per_state = 8;
+    dopts.test_states = 4;
+    dopts.test_samples_per_state = 5;
+    auto dataset = eval::BuildDataset(shared_->grid, dopts, 616);
+    PW_CHECK(dataset.ok());
+    shared_->dataset =
+        std::make_unique<eval::Dataset>(std::move(dataset).value());
+
+    TrainingData training;
+    training.normal = &shared_->dataset->normal.train;
+    for (const auto& c : shared_->dataset->outages) {
+      training.case_lines.push_back(c.line);
+      training.outage.push_back(&c.train);
+    }
+    DetectorOptions opts;
+    opts.line_window = 3.0;  // allow multi-line candidate sets
+    auto det = OutageDetector::Train(shared_->grid, shared_->network,
+                                     training, opts);
+    PW_CHECK(det.ok());
+    shared_->detector =
+        std::make_unique<OutageDetector>(std::move(det).value());
+
+    // Build a few double-outage scenarios: pairs of trained lines whose
+    // joint removal keeps the grid connected and solvable.
+    Rng rng(99);
+    sim::SimulationOptions sim_opts;
+    sim_opts.load.num_states = 4;
+    sim_opts.samples_per_state = 5;
+    const auto& cases = shared_->dataset->outages;
+    for (size_t a = 0; a < cases.size() && shared_->double_cases.size() < 4;
+         ++a) {
+      for (size_t b = a + 1;
+           b < cases.size() && shared_->double_cases.size() < 4; ++b) {
+        auto first = shared_->grid.WithLineOut(cases[a].line);
+        if (!first.ok()) continue;
+        auto second = first->WithLineOut(cases[b].line);
+        if (!second.ok()) continue;
+        Rng sim_rng = rng.Fork();
+        auto data = sim::SimulateMeasurements(*second, sim_opts, sim_rng);
+        if (!data.ok()) continue;
+        shared_->double_cases.push_back({cases[a].line, cases[b].line});
+        shared_->double_data.push_back(std::move(data).value());
+      }
+    }
+    PW_CHECK_GE(shared_->double_cases.size(), 2u);
+  }
+
+  static void TearDownTestSuite() {
+    delete shared_;
+    shared_ = nullptr;
+  }
+};
+
+MultiOutageTest::Shared* MultiOutageTest::shared_ = nullptr;
+
+TEST_F(MultiOutageTest, DoubleOutagesAlwaysRaiseAlarm) {
+  size_t alarms = 0, total = 0;
+  for (const auto& data : shared_->double_data) {
+    for (size_t t = 0; t < data.num_samples(); ++t) {
+      auto [vm, va] = data.Sample(t);
+      auto result = shared_->detector->Detect(vm, va);
+      ASSERT_TRUE(result.ok());
+      ++total;
+      if (result->outage_detected) ++alarms;
+    }
+  }
+  // A double outage is a larger disturbance than anything calibrated as
+  // normal; the gate must fire essentially always.
+  EXPECT_GE(alarms, total * 9 / 10);
+}
+
+TEST_F(MultiOutageTest, CandidateSetOverlapsTruth) {
+  size_t overlapping = 0, fired = 0;
+  for (size_t d = 0; d < shared_->double_data.size(); ++d) {
+    const auto& [line_a, line_b] = shared_->double_cases[d];
+    const auto& data = shared_->double_data[d];
+    for (size_t t = 0; t < data.num_samples(); ++t) {
+      auto [vm, va] = data.Sample(t);
+      auto result = shared_->detector->Detect(vm, va);
+      ASSERT_TRUE(result.ok());
+      if (!result->outage_detected) continue;
+      ++fired;
+      bool hit = false;
+      for (const grid::LineId& line : result->lines) {
+        if (line == line_a || line == line_b) hit = true;
+      }
+      if (hit) ++overlapping;
+    }
+  }
+  ASSERT_GT(fired, 0u);
+  // Trained only on single-line signatures, the detector should still
+  // put one of the two true lines into F-hat most of the time.
+  EXPECT_GE(static_cast<double>(overlapping) / static_cast<double>(fired),
+            0.5);
+}
+
+TEST_F(MultiOutageTest, DoubleOutageSurvivesEndpointLoss) {
+  size_t alarms = 0, total = 0;
+  for (size_t d = 0; d < shared_->double_data.size(); ++d) {
+    const auto& [line_a, line_b] = shared_->double_cases[d];
+    sim::MissingMask mask =
+        sim::MissingAtOutage(shared_->grid.num_buses(), line_a);
+    mask.missing[line_b.i] = true;
+    mask.missing[line_b.j] = true;
+    const auto& data = shared_->double_data[d];
+    for (size_t t = 0; t < data.num_samples(); ++t) {
+      auto [vm, va] = data.Sample(t);
+      auto result = shared_->detector->Detect(vm, va, mask);
+      ASSERT_TRUE(result.ok());
+      ++total;
+      if (result->outage_detected) ++alarms;
+    }
+  }
+  // All four endpoints dark: detection must still mostly fire.
+  EXPECT_GE(alarms, total * 3 / 4);
+}
+
+}  // namespace
+}  // namespace phasorwatch::detect

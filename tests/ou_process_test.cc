@@ -1,0 +1,88 @@
+#include "sim/ou_process.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace phasorwatch::sim {
+namespace {
+
+TEST(OuProcessTest, StartsAtMeanByDefault) {
+  OrnsteinUhlenbeck::Params p;
+  p.mean = 1.0;
+  OrnsteinUhlenbeck ou(p);
+  EXPECT_DOUBLE_EQ(ou.value(), 1.0);
+}
+
+TEST(OuProcessTest, ZeroVolatilityDecaysToMean) {
+  OrnsteinUhlenbeck::Params p;
+  p.mean = 2.0;
+  p.reversion = 1.0;
+  p.volatility = 0.0;
+  OrnsteinUhlenbeck ou(p, /*initial=*/5.0);
+  Rng rng(1);
+  double prev_gap = 3.0;
+  for (int i = 0; i < 10; ++i) {
+    double v = ou.Step(rng);
+    double gap = std::fabs(v - 2.0);
+    EXPECT_LT(gap, prev_gap);
+    prev_gap = gap;
+  }
+  EXPECT_LT(prev_gap, 0.01);
+}
+
+TEST(OuProcessTest, StationaryStdDevFormula) {
+  OrnsteinUhlenbeck::Params p;
+  p.reversion = 0.5;
+  p.volatility = 0.1;
+  OrnsteinUhlenbeck ou(p);
+  EXPECT_NEAR(ou.StationaryStdDev(), 0.1 / std::sqrt(1.0), 1e-12);
+}
+
+TEST(OuProcessTest, LongRunMomentsMatchStationaryDistribution) {
+  OrnsteinUhlenbeck::Params p;
+  p.mean = 1.0;
+  p.reversion = 0.8;
+  p.volatility = 0.05;
+  p.dt = 1.0;
+  OrnsteinUhlenbeck ou(p);
+  Rng rng(42);
+  // Burn in, then sample.
+  for (int i = 0; i < 100; ++i) ou.Step(rng);
+  const int n = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double v = ou.Step(rng);
+    sum += v;
+    sum_sq += v * v;
+  }
+  double mean = sum / n;
+  double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 1.0, 0.005);
+  double expected_var = ou.StationaryStdDev() * ou.StationaryStdDev();
+  EXPECT_NEAR(var, expected_var, 0.15 * expected_var);
+}
+
+TEST(OuProcessTest, DeterministicGivenRngSeed) {
+  OrnsteinUhlenbeck::Params p;
+  OrnsteinUhlenbeck a(p), b(p);
+  Rng ra(9), rb(9);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(a.Step(ra), b.Step(rb));
+  }
+}
+
+TEST(OuProcessTest, MeanReversionPullsBothDirections) {
+  OrnsteinUhlenbeck::Params p;
+  p.mean = 0.0;
+  p.reversion = 2.0;
+  p.volatility = 0.0;
+  Rng rng(1);
+  OrnsteinUhlenbeck high(p, 1.0);
+  OrnsteinUhlenbeck low(p, -1.0);
+  EXPECT_LT(high.Step(rng), 1.0);
+  EXPECT_GT(low.Step(rng), -1.0);
+}
+
+}  // namespace
+}  // namespace phasorwatch::sim

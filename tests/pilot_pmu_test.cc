@@ -1,0 +1,102 @@
+#include "baselines/pilot_pmu.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "grid/ieee_cases.h"
+
+namespace phasorwatch::baselines {
+namespace {
+
+using linalg::Matrix;
+
+class PilotPmuTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto grid = grid::IeeeCase14();
+    ASSERT_TRUE(grid.ok());
+    grid_ = std::make_unique<grid::Grid>(std::move(grid).value());
+    Rng rng(31);
+    const size_t n = grid_->num_buses();
+    normal_.vm = Matrix(n, 100);
+    normal_.va = Matrix(n, 100);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t t = 0; t < 100; ++t) {
+        normal_.vm(i, t) = 1.0 + rng.Normal(0.0, 0.002);
+        normal_.va(i, t) = -0.1 + rng.Normal(0.0, 0.003);
+      }
+    }
+    PilotPmuDetector::Options opts;
+    opts.num_pilots = 4;
+    auto det = PilotPmuDetector::Train(*grid_, normal_, opts);
+    ASSERT_TRUE(det.ok());
+    det_ = std::make_unique<PilotPmuDetector>(std::move(det).value());
+  }
+
+  std::unique_ptr<grid::Grid> grid_;
+  sim::PhasorDataSet normal_;
+  std::unique_ptr<PilotPmuDetector> det_;
+};
+
+TEST_F(PilotPmuTest, SelectsRequestedPilotCount) {
+  EXPECT_EQ(det_->pilots().size(), 4u);
+  for (size_t p : det_->pilots()) {
+    EXPECT_LT(p, grid_->num_buses());
+  }
+}
+
+TEST_F(PilotPmuTest, QuietSampleNoEvent) {
+  const size_t n = grid_->num_buses();
+  linalg::Vector vm(n, 1.0);
+  linalg::Vector va(n, -0.1);
+  EXPECT_FALSE(det_->DetectEvent(vm, va, sim::MissingMask::None(n)));
+}
+
+TEST_F(PilotPmuTest, GlobalDisturbanceDetected) {
+  const size_t n = grid_->num_buses();
+  linalg::Vector vm(n, 1.0);
+  linalg::Vector va(n, -0.1);
+  // System-wide angle swing touches every pilot.
+  for (size_t i = 0; i < n; ++i) va[i] += 0.1;
+  EXPECT_TRUE(det_->DetectEvent(vm, va, sim::MissingMask::None(n)));
+  auto lines = det_->PredictLines(vm, va, sim::MissingMask::None(n));
+  EXPECT_FALSE(lines.empty());
+}
+
+TEST_F(PilotPmuTest, MissingPilotsBlindTheScheme) {
+  const size_t n = grid_->num_buses();
+  linalg::Vector vm(n, 1.0);
+  linalg::Vector va(n, -0.1);
+  // Deviation only at the pilots; then hide exactly those pilots.
+  sim::MissingMask mask = sim::MissingMask::None(n);
+  for (size_t p : det_->pilots()) {
+    va[p] += 0.2;
+    mask.missing[p] = true;
+  }
+  EXPECT_TRUE(det_->DetectEvent(vm, va, sim::MissingMask::None(n)));
+  EXPECT_FALSE(det_->DetectEvent(vm, va, mask));
+}
+
+TEST_F(PilotPmuTest, RejectsBadPilotCount) {
+  PilotPmuDetector::Options opts;
+  opts.num_pilots = 0;
+  EXPECT_FALSE(PilotPmuDetector::Train(*grid_, normal_, opts).ok());
+  opts.num_pilots = grid_->num_buses() + 1;
+  EXPECT_FALSE(PilotPmuDetector::Train(*grid_, normal_, opts).ok());
+}
+
+TEST_F(PilotPmuTest, PredictedLineTouchesWorstBus) {
+  const size_t n = grid_->num_buses();
+  linalg::Vector vm(n, 1.0);
+  linalg::Vector va(n, -0.1);
+  size_t pilot = det_->pilots()[0];
+  va[pilot] += 0.3;  // dominant deviation at a pilot bus
+  auto lines = det_->PredictLines(vm, va, sim::MissingMask::None(n));
+  ASSERT_FALSE(lines.empty());
+  EXPECT_TRUE(lines[0].i == pilot || lines[0].j == pilot);
+}
+
+}  // namespace
+}  // namespace phasorwatch::baselines

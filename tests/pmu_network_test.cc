@@ -1,0 +1,123 @@
+#include "sim/pmu_network.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "grid/ieee_cases.h"
+
+namespace phasorwatch::sim {
+namespace {
+
+TEST(PmuNetworkTest, PartitionCoversAllNodesOnce) {
+  auto grid = grid::IeeeCase30();
+  ASSERT_TRUE(grid.ok());
+  auto net = PmuNetwork::Build(*grid, 4);
+  ASSERT_TRUE(net.ok());
+  EXPECT_EQ(net->num_clusters(), 4u);
+  std::set<size_t> seen;
+  for (size_t c = 0; c < net->num_clusters(); ++c) {
+    EXPECT_FALSE(net->Cluster(c).empty());
+    for (size_t node : net->Cluster(c)) {
+      EXPECT_TRUE(seen.insert(node).second) << "node assigned twice";
+      EXPECT_EQ(net->ClusterOf(node), c);
+    }
+  }
+  EXPECT_EQ(seen.size(), grid->num_buses());
+}
+
+TEST(PmuNetworkTest, RejectsBadClusterCount) {
+  auto grid = grid::IeeeCase14();
+  ASSERT_TRUE(grid.ok());
+  EXPECT_FALSE(PmuNetwork::Build(*grid, 0).ok());
+  EXPECT_FALSE(PmuNetwork::Build(*grid, 15).ok());
+}
+
+TEST(PmuNetworkTest, SingleClusterContainsEverything) {
+  auto grid = grid::IeeeCase14();
+  ASSERT_TRUE(grid.ok());
+  auto net = PmuNetwork::Build(*grid, 1);
+  ASSERT_TRUE(net.ok());
+  EXPECT_EQ(net->Cluster(0).size(), 14u);
+}
+
+TEST(PmuNetworkTest, DefaultClusterCountScales) {
+  EXPECT_EQ(PmuNetwork::DefaultClusterCount(14), 2u);
+  EXPECT_GE(PmuNetwork::DefaultClusterCount(118), 8u);
+  EXPECT_GE(PmuNetwork::DefaultClusterCount(5), 2u);
+}
+
+TEST(PmuNetworkTest, SystemReliabilityFormula) {
+  auto grid = grid::IeeeCase14();
+  ASSERT_TRUE(grid.ok());
+  auto net = PmuNetwork::Build(*grid, 2);
+  ASSERT_TRUE(net.ok());
+  PmuReliability rel;
+  rel.r_pmu = 0.99;
+  rel.r_link = 0.995;
+  // Eq. 14: r = (r_pmu * r_link)^L.
+  double expected = std::pow(0.99 * 0.995, 14.0);
+  EXPECT_NEAR(net->SystemReliability(rel), expected, 1e-12);
+}
+
+TEST(PmuNetworkTest, AvailabilityDrawMatchesProbability) {
+  auto grid = grid::IeeeCase30();
+  ASSERT_TRUE(grid.ok());
+  auto net = PmuNetwork::Build(*grid, 3);
+  ASSERT_TRUE(net.ok());
+  PmuReliability rel;
+  rel.r_pmu = 0.9;
+  rel.r_link = 1.0;
+  Rng rng(77);
+  size_t up = 0, total = 0;
+  for (int draw = 0; draw < 2000; ++draw) {
+    auto avail = net->DrawAvailability(rel, rng);
+    for (bool b : avail) {
+      up += b ? 1 : 0;
+      ++total;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(up) / static_cast<double>(total), 0.9, 0.01);
+}
+
+TEST(PmuNetworkTest, PatternProbabilitySumsToOneOverComplement) {
+  auto grid = grid::IeeeCase14();
+  ASSERT_TRUE(grid.ok());
+  auto net = PmuNetwork::Build(*grid, 2);
+  ASSERT_TRUE(net.ok());
+  PmuReliability rel;
+  rel.r_pmu = 0.95;
+  rel.r_link = 1.0;
+  // All-up pattern has probability p^L; a pattern and its complement
+  // probabilities are consistent with the Bernoulli product (Eq. 15).
+  std::vector<bool> all_up(14, true);
+  EXPECT_NEAR(net->PatternProbability(all_up, rel), std::pow(0.95, 14.0),
+              1e-12);
+  std::vector<bool> one_down = all_up;
+  one_down[3] = false;
+  EXPECT_NEAR(net->PatternProbability(one_down, rel),
+              std::pow(0.95, 13.0) * 0.05, 1e-12);
+}
+
+TEST(PmuNetworkTest, ClustersAreSpatiallyCoherent) {
+  auto grid = grid::IeeeCase118();
+  ASSERT_TRUE(grid.ok());
+  auto net = PmuNetwork::Build(*grid, 8);
+  ASSERT_TRUE(net.ok());
+  // Most nodes should have at least one grid neighbor in their own
+  // cluster (regions, not random assignments).
+  size_t coherent = 0;
+  for (size_t i = 0; i < grid->num_buses(); ++i) {
+    for (size_t nb : grid->Neighbors(i)) {
+      if (net->ClusterOf(nb) == net->ClusterOf(i)) {
+        ++coherent;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(coherent, grid->num_buses() * 3 / 4);
+}
+
+}  // namespace
+}  // namespace phasorwatch::sim

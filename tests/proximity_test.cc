@@ -1,0 +1,147 @@
+#include "detect/proximity.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace phasorwatch::detect {
+namespace {
+
+using linalg::Matrix;
+using linalg::Subspace;
+using linalg::Vector;
+
+// Model in R^4 constraining e2 and e3 (variation allowed in e0, e1).
+SubspaceModel MakeModel() {
+  SubspaceModel model;
+  model.mean = Vector(4);
+  Matrix basis(4, 2);
+  basis(2, 0) = 1.0;
+  basis(3, 1) = 1.0;
+  model.constraints = Subspace::FromOrthonormal(basis);
+  model.singular_values = Vector{1.0, 1.0, 0.0, 0.0};
+  return model;
+}
+
+TEST(ProximityEngineTest, CompleteSampleMatchesModelProximity) {
+  SubspaceModel model = MakeModel();
+  Vector x = {0.5, -0.3, 0.2, -0.1};
+  EXPECT_NEAR(ProximityEngine::EvaluateComplete(model, x),
+              model.Proximity(x), 1e-12);
+  EXPECT_NEAR(model.Proximity(x), 0.2 * 0.2 + 0.1 * 0.1, 1e-12);
+}
+
+TEST(ProximityEngineTest, FullGroupEqualsComplete) {
+  SubspaceModel model = MakeModel();
+  ProximityEngine engine;
+  Vector x = {1.0, 2.0, 0.3, 0.4};
+  auto prox = engine.Evaluate(model, 1, x, {0, 1, 2, 3});
+  ASSERT_TRUE(prox.ok());
+  EXPECT_NEAR(*prox, model.Proximity(x), 1e-12);
+}
+
+TEST(ProximityEngineTest, EmptyGroupRejected) {
+  SubspaceModel model = MakeModel();
+  ProximityEngine engine;
+  auto prox = engine.Evaluate(model, 1, Vector(4), {});
+  EXPECT_FALSE(prox.ok());
+  EXPECT_EQ(prox.status().code(), StatusCode::kDataMissing);
+}
+
+TEST(ProximityEngineTest, SizeMismatchRejected) {
+  SubspaceModel model = MakeModel();
+  ProximityEngine engine;
+  EXPECT_FALSE(engine.Evaluate(model, 1, Vector(3), {0, 1}).ok());
+}
+
+TEST(ProximityEngineTest, RestrictedGroupSeesOnlyItsConstraints) {
+  SubspaceModel model = MakeModel();
+  ProximityEngine engine;
+  // Group {0, 1, 2}: the hidden coordinate is 3, whose constraint can
+  // always be satisfied by completion, so only the e2 violation remains.
+  Vector x = {0.0, 0.0, 0.7, 100.0};  // hidden value is ignored
+  auto prox = engine.Evaluate(model, 2, x, {0, 1, 2});
+  ASSERT_TRUE(prox.ok());
+  EXPECT_NEAR(*prox, 0.49, 1e-10);
+}
+
+TEST(ProximityEngineTest, HiddenViolationInvisible) {
+  SubspaceModel model = MakeModel();
+  ProximityEngine engine;
+  // Only e3 violated, but node 3 is hidden: the completion can explain
+  // it, so proximity is ~0.
+  Vector x = {0.2, -0.1, 0.0, 5.0};
+  auto prox = engine.Evaluate(model, 3, x, {0, 1, 2});
+  ASSERT_TRUE(prox.ok());
+  EXPECT_NEAR(*prox, 0.0, 1e-10);
+}
+
+TEST(ProximityEngineTest, ProximityNeverNegative) {
+  Rng rng(1);
+  SubspaceModel model = MakeModel();
+  ProximityEngine engine;
+  for (int trial = 0; trial < 30; ++trial) {
+    Vector x(4);
+    for (size_t i = 0; i < 4; ++i) x[i] = rng.Uniform(-2.0, 2.0);
+    auto prox = engine.Evaluate(model, 4, x, {0, 2, 3});
+    ASSERT_TRUE(prox.ok());
+    EXPECT_GE(*prox, 0.0);
+  }
+}
+
+TEST(ProximityEngineTest, CompletionResidualIsLowerBoundedByComplete) {
+  // The restricted residual minimizes over hidden coordinates, so it can
+  // never exceed the complete-sample violation.
+  Rng rng(2);
+  SubspaceModel model = MakeModel();
+  ProximityEngine engine;
+  for (int trial = 0; trial < 30; ++trial) {
+    Vector x(4);
+    for (size_t i = 0; i < 4; ++i) x[i] = rng.Uniform(-2.0, 2.0);
+    auto restricted = engine.Evaluate(model, 5, x, {0, 1, 2});
+    ASSERT_TRUE(restricted.ok());
+    EXPECT_LE(*restricted, model.Proximity(x) + 1e-10);
+  }
+}
+
+TEST(ProximityEngineTest, CacheReusedForSameGroup) {
+  SubspaceModel model = MakeModel();
+  ProximityEngine engine;
+  EXPECT_EQ(engine.cache_size(), 0u);
+  ASSERT_TRUE(engine.Evaluate(model, 6, Vector(4), {0, 1}).ok());
+  EXPECT_EQ(engine.cache_size(), 1u);
+  ASSERT_TRUE(engine.Evaluate(model, 6, Vector(4), {0, 1}).ok());
+  EXPECT_EQ(engine.cache_size(), 1u);
+  ASSERT_TRUE(engine.Evaluate(model, 6, Vector(4), {0, 2}).ok());
+  EXPECT_EQ(engine.cache_size(), 2u);
+  engine.ClearCache();
+  EXPECT_EQ(engine.cache_size(), 0u);
+}
+
+TEST(ProximityEngineTest, DistinctModelsDoNotCollide) {
+  SubspaceModel a = MakeModel();
+  SubspaceModel b = MakeModel();
+  // Model b constrains e0 instead of e2/e3.
+  Matrix basis(4, 1);
+  basis(0, 0) = 1.0;
+  b.constraints = Subspace::FromOrthonormal(basis);
+  ProximityEngine engine;
+  Vector x = {1.0, 0.0, 0.0, 0.0};
+  auto pa = engine.Evaluate(a, 100, x, {0, 1, 2});
+  auto pb = engine.Evaluate(b, 200, x, {0, 1, 2});
+  ASSERT_TRUE(pa.ok());
+  ASSERT_TRUE(pb.ok());
+  EXPECT_NEAR(*pa, 0.0, 1e-10);
+  EXPECT_NEAR(*pb, 1.0, 1e-10);
+}
+
+TEST(GroupCacheKeyTest, SensitiveToModelAndGroup) {
+  EXPECT_NE(GroupCacheKey(1, {0, 1}), GroupCacheKey(2, {0, 1}));
+  EXPECT_NE(GroupCacheKey(1, {0, 1}), GroupCacheKey(1, {0, 2}));
+  EXPECT_EQ(GroupCacheKey(1, {0, 1}), GroupCacheKey(1, {0, 1}));
+}
+
+}  // namespace
+}  // namespace phasorwatch::detect

@@ -1,0 +1,133 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace phasorwatch {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.Uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.UniformInt(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all values hit over 1000 draws
+}
+
+TEST(RngTest, NormalMomentsMatchStandard) {
+  Rng rng(13);
+  const int n = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.Normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  double mean = sum / n;
+  double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, NormalWithParams) {
+  Rng rng(17);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Normal(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(23);
+  auto sample = rng.SampleWithoutReplacement(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (size_t s : sample) EXPECT_LT(s, 100u);
+}
+
+TEST(RngTest, SampleFullRangeIsPermutation) {
+  Rng rng(29);
+  auto sample = rng.SampleWithoutReplacement(10, 10);
+  std::sort(sample.begin(), sample.end());
+  for (size_t i = 0; i < 10; ++i) EXPECT_EQ(sample[i], i);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(31);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  auto original = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(37);
+  Rng child = a.Fork();
+  // The child stream should not replay the parent's stream.
+  Rng b(37);
+  b.Fork();
+  uint64_t parent_next = a.NextU64();
+  uint64_t child_next = child.NextU64();
+  EXPECT_NE(parent_next, child_next);
+}
+
+}  // namespace
+}  // namespace phasorwatch

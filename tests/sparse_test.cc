@@ -1,0 +1,148 @@
+#include "linalg/sparse.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "grid/ieee_cases.h"
+#include "linalg/lu.h"
+
+namespace phasorwatch::linalg {
+namespace {
+
+TEST(CsrMatrixTest, FromTripletsBasicLayout) {
+  CsrMatrix m = CsrMatrix::FromTriplets(
+      3, 3, {{0, 0, 2.0}, {1, 2, -1.0}, {2, 1, 4.0}});
+  EXPECT_EQ(m.NumNonZeros(), 3u);
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 2), -1.0);
+  EXPECT_DOUBLE_EQ(m.At(2, 1), 4.0);
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 0.0);
+}
+
+TEST(CsrMatrixTest, DuplicateTripletsAreSummed) {
+  // The branch-stamping idiom: several contributions to one entry.
+  CsrMatrix m = CsrMatrix::FromTriplets(
+      2, 2, {{0, 0, 1.0}, {0, 0, 2.5}, {0, 0, -0.5}});
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 3.0);
+  EXPECT_EQ(m.NumNonZeros(), 1u);
+}
+
+TEST(CsrMatrixTest, ExactCancellationDropsEntry) {
+  CsrMatrix m = CsrMatrix::FromTriplets(2, 2, {{0, 1, 1.0}, {0, 1, -1.0}});
+  EXPECT_EQ(m.NumNonZeros(), 0u);
+}
+
+TEST(CsrMatrixTest, DenseRoundTrip) {
+  Rng rng(1);
+  Matrix dense(5, 4);
+  for (size_t i = 0; i < 5; ++i) {
+    for (size_t j = 0; j < 4; ++j) {
+      dense(i, j) = rng.Bernoulli(0.4) ? rng.Uniform(-2.0, 2.0) : 0.0;
+    }
+  }
+  CsrMatrix sparse = CsrMatrix::FromDense(dense);
+  EXPECT_TRUE(sparse.ToDense().AlmostEquals(dense, 0.0));
+}
+
+TEST(CsrMatrixTest, MultiplyMatchesDense) {
+  Rng rng(2);
+  Matrix dense(8, 8);
+  for (size_t i = 0; i < 8; ++i) {
+    for (size_t j = 0; j < 8; ++j) {
+      dense(i, j) = rng.Bernoulli(0.3) ? rng.Uniform(-1.0, 1.0) : 0.0;
+    }
+  }
+  CsrMatrix sparse = CsrMatrix::FromDense(dense);
+  Vector x(8);
+  for (size_t i = 0; i < 8; ++i) x[i] = rng.Uniform(-1.0, 1.0);
+  Vector dense_y = dense * x;
+  Vector sparse_y = sparse.Multiply(x);
+  EXPECT_LT((dense_y - sparse_y).InfNorm(), 1e-12);
+}
+
+TEST(CsrMatrixTest, DiagonalAndSymmetry) {
+  Matrix dense = {{2.0, -1.0, 0.0}, {-1.0, 3.0, -1.0}, {0.0, -1.0, 2.0}};
+  CsrMatrix sparse = CsrMatrix::FromDense(dense);
+  Vector d = sparse.Diagonal();
+  EXPECT_DOUBLE_EQ(d[0], 2.0);
+  EXPECT_DOUBLE_EQ(d[1], 3.0);
+  EXPECT_TRUE(sparse.IsSymmetric());
+
+  Matrix asym = {{1.0, 2.0}, {0.0, 1.0}};
+  EXPECT_FALSE(CsrMatrix::FromDense(asym).IsSymmetric());
+}
+
+TEST(ConjugateGradientTest, SolvesSmallSpdSystem) {
+  Matrix dense = {{4.0, 1.0}, {1.0, 3.0}};
+  CsrMatrix a = CsrMatrix::FromDense(dense);
+  auto result = ConjugateGradientSolve(a, Vector{1.0, 2.0});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Solution of [[4,1],[1,3]] x = [1,2] is [1/11, 7/11].
+  EXPECT_NEAR(result->x[0], 1.0 / 11.0, 1e-8);
+  EXPECT_NEAR(result->x[1], 7.0 / 11.0, 1e-8);
+}
+
+TEST(ConjugateGradientTest, RejectsBadInputs) {
+  CsrMatrix rect = CsrMatrix::FromTriplets(2, 3, {{0, 0, 1.0}});
+  EXPECT_FALSE(ConjugateGradientSolve(rect, Vector(2)).ok());
+  CsrMatrix square = CsrMatrix::FromTriplets(2, 2, {{0, 0, 1.0}, {1, 1, 1.0}});
+  EXPECT_FALSE(ConjugateGradientSolve(square, Vector(3)).ok());
+  // Zero diagonal breaks the Jacobi preconditioner.
+  CsrMatrix zero_diag = CsrMatrix::FromTriplets(2, 2, {{0, 1, 1.0}, {1, 0, 1.0}});
+  EXPECT_FALSE(ConjugateGradientSolve(zero_diag, Vector(2, 1.0)).ok());
+}
+
+TEST(ConjugateGradientTest, ZeroRhsIsZeroSolution) {
+  CsrMatrix a = CsrMatrix::FromTriplets(2, 2, {{0, 0, 2.0}, {1, 1, 2.0}});
+  auto result = ConjugateGradientSolve(a, Vector(2));
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->x[0], 0.0);
+  EXPECT_EQ(result->iterations, 0u);
+}
+
+TEST(ConjugateGradientTest, IndefiniteMatrixRejected) {
+  // [[1, 2], [2, 1]] has a negative eigenvalue.
+  Matrix dense = {{1.0, 2.0}, {2.0, 1.0}};
+  CsrMatrix a = CsrMatrix::FromDense(dense);
+  auto result = ConjugateGradientSolve(a, Vector{1.0, -1.0});
+  EXPECT_FALSE(result.ok());
+}
+
+class SparseLaplacianTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SparseLaplacianTest, CgMatchesDenseLuOnReducedLaplacian) {
+  auto grid = grid::EvaluationSystem(GetParam());
+  ASSERT_TRUE(grid.ok());
+  Matrix lap = grid->BuildSusceptanceLaplacian();
+  const size_t n = grid->num_buses();
+  std::vector<size_t> keep;
+  for (size_t i = 0; i < n; ++i) {
+    if (i != grid->SlackBus()) keep.push_back(i);
+  }
+  Matrix reduced = lap.SelectRows(keep).SelectCols(keep);
+  CsrMatrix sparse = CsrMatrix::FromDense(reduced);
+  // The DC Laplacian is sparse: for meshed grids nnz ~ n + 2 lines.
+  EXPECT_LT(sparse.NumNonZeros(),
+            keep.size() + 2 * grid->num_lines() + 4);
+
+  Rng rng(GetParam());
+  Vector b(keep.size());
+  for (size_t i = 0; i < b.size(); ++i) b[i] = rng.Uniform(-1.0, 1.0);
+
+  auto lu = LuDecomposition::Factor(reduced);
+  ASSERT_TRUE(lu.ok());
+  auto dense_x = lu->Solve(b);
+  ASSERT_TRUE(dense_x.ok());
+
+  auto cg = ConjugateGradientSolve(sparse, b);
+  ASSERT_TRUE(cg.ok()) << cg.status().ToString();
+  EXPECT_LT((cg->x - *dense_x).InfNorm(), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Systems, SparseLaplacianTest,
+                         ::testing::Values(14, 30, 57, 118));
+
+}  // namespace
+}  // namespace phasorwatch::linalg

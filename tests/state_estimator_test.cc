@@ -1,0 +1,180 @@
+#include "se/state_estimator.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "grid/ieee_cases.h"
+#include "powerflow/powerflow.h"
+
+namespace phasorwatch::se {
+namespace {
+
+using linalg::Vector;
+
+// Shared true operating point on IEEE-14.
+class StateEstimatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto grid = grid::IeeeCase14();
+    ASSERT_TRUE(grid.ok());
+    grid_ = std::make_unique<grid::Grid>(std::move(grid).value());
+    auto sol = pf::SolveAcPowerFlow(*grid_);
+    ASSERT_TRUE(sol.ok());
+    vm_ = sol->vm;
+    va_ = sol->va_rad;
+  }
+
+  std::unique_ptr<grid::Grid> grid_;
+  Vector vm_;
+  Vector va_;
+};
+
+TEST_F(StateEstimatorTest, ExactRecoveryFromNoiselessVoltages) {
+  LinearStateEstimator est(*grid_);
+  auto measurements = LinearStateEstimator::VoltageMeasurements(
+      vm_, va_, std::vector<bool>(14, false));
+  auto result = est.Estimate(measurements);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  for (size_t i = 0; i < 14; ++i) {
+    EXPECT_NEAR(result->vm[i], vm_[i], 1e-10);
+    EXPECT_NEAR(result->va_rad[i], va_[i], 1e-10);
+  }
+  EXPECT_NEAR(result->weighted_residual_sq, 0.0, 1e-12);
+  EXPECT_TRUE(result->ChiSquareTestPasses());
+}
+
+TEST_F(StateEstimatorTest, CurrentsRestoreObservabilityForDarkBuses) {
+  // Hide buses 6 and 7 (indices 5, 6); add current measurements on
+  // branches incident to them so the estimator can still see them.
+  LinearStateEstimator est(*grid_);
+  std::vector<bool> missing(14, false);
+  missing[5] = missing[6] = true;
+  auto measurements =
+      LinearStateEstimator::VoltageMeasurements(vm_, va_, missing);
+
+  // Voltage-only with holes: unobservable.
+  EXPECT_FALSE(est.Estimate(measurements).ok());
+
+  // Add the currents of every in-service branch (noiseless, from the
+  // admittance model directly).
+  using C = std::complex<double>;
+  std::vector<C> v(14);
+  for (size_t i = 0; i < 14; ++i) v[i] = std::polar(vm_[i], va_[i]);
+  auto ybus = grid_->BuildAdmittanceMatrix();
+  for (size_t k = 0; k < grid_->num_branches(); ++k) {
+    const grid::Branch& br = grid_->branches()[k];
+    auto f = grid_->BusIndex(br.from_bus);
+    auto t = grid_->BusIndex(br.to_bus);
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE(t.ok());
+    // I_from from the same pi-model the estimator assumes: use the
+    // published relation via Ybus terms of this single branch. Simplest
+    // correct source: estimate with a one-branch grid relation is
+    // internal to the estimator, so here reuse its own matrix by
+    // finite difference: measure current via the full Ybus row only
+    // when the branch is the only connection — instead compute from
+    // branch parameters directly.
+    double tap = br.tap == 0.0 ? 1.0 : br.tap;
+    C ys = 1.0 / C(br.r, br.x);
+    C charging(0.0, br.b / 2.0);
+    C ratio = tap * std::exp(C(0.0, br.shift_deg * M_PI / 180.0));
+    C current = (ys + charging) * (v[*f] / (tap * tap)) -
+                ys * (v[*t] / std::conj(ratio));
+    PhasorMeasurement m;
+    m.kind = PhasorMeasurement::Kind::kBranchCurrentFrom;
+    m.index = k;
+    m.real = current.real();
+    m.imag = current.imag();
+    m.sigma = 0.005;
+    measurements.push_back(m);
+  }
+  auto result = est.Estimate(measurements);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_NEAR(result->vm[5], vm_[5], 1e-8);
+  EXPECT_NEAR(result->va_rad[6], va_[6], 1e-8);
+  (void)ybus;
+}
+
+TEST_F(StateEstimatorTest, NoiseIsFilteredByRedundancy) {
+  LinearStateEstimator est(*grid_);
+  Rng rng(7);
+  const double sigma = 0.01;
+  // Duplicate every voltage measurement 4x with independent noise: the
+  // WLS estimate must beat a single noisy snapshot.
+  std::vector<PhasorMeasurement> measurements;
+  for (int copy = 0; copy < 4; ++copy) {
+    for (size_t i = 0; i < 14; ++i) {
+      PhasorMeasurement m;
+      m.kind = PhasorMeasurement::Kind::kBusVoltage;
+      m.index = i;
+      m.real = vm_[i] * std::cos(va_[i]) + rng.Normal(0.0, sigma);
+      m.imag = vm_[i] * std::sin(va_[i]) + rng.Normal(0.0, sigma);
+      m.sigma = sigma;
+      measurements.push_back(m);
+    }
+  }
+  auto result = est.Estimate(measurements);
+  ASSERT_TRUE(result.ok());
+  double err = 0.0;
+  for (size_t i = 0; i < 14; ++i) {
+    err = std::max(err, std::fabs(result->vm[i] - vm_[i]));
+  }
+  // 4x redundancy halves the error scale; allow 2.5 sigma of the mean.
+  EXPECT_LT(err, 2.5 * sigma / 2.0);
+  EXPECT_TRUE(result->ChiSquareTestPasses());
+  EXPECT_EQ(result->redundancy, 4u * 28u - 28u);
+}
+
+TEST_F(StateEstimatorTest, BadDataDetectedAndIdentified) {
+  LinearStateEstimator est(*grid_);
+  Rng rng(9);
+  const double sigma = 0.005;
+  std::vector<PhasorMeasurement> measurements;
+  for (int copy = 0; copy < 3; ++copy) {
+    for (size_t i = 0; i < 14; ++i) {
+      PhasorMeasurement m;
+      m.kind = PhasorMeasurement::Kind::kBusVoltage;
+      m.index = i;
+      m.real = vm_[i] * std::cos(va_[i]) + rng.Normal(0.0, sigma);
+      m.imag = vm_[i] * std::sin(va_[i]) + rng.Normal(0.0, sigma);
+      m.sigma = sigma;
+      measurements.push_back(m);
+    }
+  }
+  // Corrupt one measurement grossly (false data injection).
+  const size_t corrupted = 17;
+  measurements[corrupted].real += 0.3;
+
+  auto result = est.Estimate(measurements);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->ChiSquareTestPasses());
+  EXPECT_EQ(result->worst_measurement, corrupted);
+  EXPECT_GT(result->worst_normalized_residual, 10.0);
+}
+
+TEST_F(StateEstimatorTest, RejectsMalformedMeasurements) {
+  LinearStateEstimator est(*grid_);
+  auto measurements = LinearStateEstimator::VoltageMeasurements(
+      vm_, va_, std::vector<bool>(14, false));
+  measurements[0].sigma = 0.0;
+  EXPECT_FALSE(est.Estimate(measurements).ok());
+  measurements[0].sigma = 0.01;
+  measurements[0].index = 99;
+  EXPECT_FALSE(est.Estimate(measurements).ok());
+}
+
+TEST_F(StateEstimatorTest, UnderdeterminedRejected) {
+  LinearStateEstimator est(*grid_);
+  std::vector<bool> missing(14, true);
+  missing[0] = false;  // single PMU
+  auto measurements =
+      LinearStateEstimator::VoltageMeasurements(vm_, va_, missing);
+  auto result = est.Estimate(measurements);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace phasorwatch::se

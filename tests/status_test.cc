@@ -1,0 +1,93 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace phasorwatch {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotConverged("iteration budget exhausted");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotConverged);
+  EXPECT_EQ(s.message(), "iteration budget exhausted");
+  EXPECT_EQ(s.ToString(), "NotConverged: iteration budget exhausted");
+}
+
+TEST(StatusTest, AllFactoryCodesRoundTrip) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Singular("x").code(), StatusCode::kSingular);
+  EXPECT_EQ(Status::Islanded("x").code(), StatusCode::kIslanded);
+  EXPECT_EQ(Status::DataMissing("x").code(), StatusCode::kDataMissing);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusCodeNameTest, NamesAreDistinct) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kSingular), "Singular");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kIslanded), "Islanded");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nothing here");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, OkStatusConversionBecomesInternalError) {
+  Result<int> r = Status::OK();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+Status FailingHelper() { return Status::OutOfRange("boom"); }
+
+Status PropagatingFunction() {
+  PW_RETURN_IF_ERROR(FailingHelper());
+  return Status::Internal("should not reach");
+}
+
+TEST(StatusMacroTest, ReturnIfErrorPropagates) {
+  Status s = PropagatingFunction();
+  EXPECT_EQ(s.code(), StatusCode::kOutOfRange);
+}
+
+Result<int> ProduceValue() { return 7; }
+
+Status ConsumesValue(int* out) {
+  PW_ASSIGN_OR_RETURN(*out, ProduceValue());
+  return Status::OK();
+}
+
+TEST(StatusMacroTest, AssignOrReturnAssigns) {
+  int v = 0;
+  ASSERT_TRUE(ConsumesValue(&v).ok());
+  EXPECT_EQ(v, 7);
+}
+
+}  // namespace
+}  // namespace phasorwatch

@@ -1,0 +1,187 @@
+#include "detect/stream.h"
+
+#include <algorithm>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "eval/dataset.h"
+#include "grid/ieee_cases.h"
+#include "sim/missing_data.h"
+
+namespace phasorwatch::detect {
+namespace {
+
+class StreamTest : public ::testing::Test {
+ protected:
+  struct Shared {
+    grid::Grid grid;
+    sim::PmuNetwork network;
+    std::unique_ptr<eval::Dataset> dataset;
+    std::unique_ptr<OutageDetector> detector;
+  };
+  static Shared* shared_;
+
+  static void SetUpTestSuite() {
+    auto grid = grid::IeeeCase14();
+    PW_CHECK(grid.ok());
+    auto network = sim::PmuNetwork::Build(*grid, 3);
+    PW_CHECK(network.ok());
+    shared_ = new Shared{std::move(grid).value(), std::move(network).value(),
+                         nullptr, nullptr};
+
+    eval::DatasetOptions dopts;
+    dopts.train_states = 16;
+    dopts.train_samples_per_state = 8;
+    dopts.test_states = 6;
+    dopts.test_samples_per_state = 6;
+    auto dataset = eval::BuildDataset(shared_->grid, dopts, 55);
+    PW_CHECK(dataset.ok());
+    shared_->dataset =
+        std::make_unique<eval::Dataset>(std::move(dataset).value());
+
+    TrainingData training;
+    training.normal = &shared_->dataset->normal.train;
+    for (const auto& c : shared_->dataset->outages) {
+      training.case_lines.push_back(c.line);
+      training.outage.push_back(&c.train);
+    }
+    auto det = OutageDetector::Train(shared_->grid, shared_->network,
+                                     training, {});
+    PW_CHECK(det.ok());
+    shared_->detector =
+        std::make_unique<OutageDetector>(std::move(det).value());
+  }
+
+  static void TearDownTestSuite() {
+    delete shared_;
+    shared_ = nullptr;
+  }
+};
+
+StreamTest::Shared* StreamTest::shared_ = nullptr;
+
+TEST_F(StreamTest, NormalStreamNeverAlarms) {
+  StreamingMonitor monitor(shared_->detector.get(), {});
+  for (size_t t = 0; t < 30; ++t) {
+    auto [vm, va] = shared_->dataset->normal.test.Sample(
+        t % shared_->dataset->normal.test.num_samples());
+    auto event = monitor.Process(vm, va);
+    ASSERT_TRUE(event.ok());
+    EXPECT_FALSE(event->alarm_active);
+    EXPECT_FALSE(event->alarm_raised);
+    EXPECT_TRUE(event->lines.empty());
+  }
+}
+
+TEST_F(StreamTest, AlarmRaisedAfterDebounceAndCleared) {
+  StreamOptions opts;
+  opts.alarm_after = 3;
+  opts.clear_after = 2;
+  StreamingMonitor monitor(shared_->detector.get(), opts);
+  const auto& outage = shared_->dataset->outages[0];
+
+  // Feed outage samples; the alarm must raise on (at earliest) the
+  // third consecutive positive, not the first.
+  size_t raised_at = 0;
+  for (size_t t = 0; t < 10; ++t) {
+    auto [vm, va] = outage.test.Sample(t % outage.test.num_samples());
+    auto event = monitor.Process(vm, va);
+    ASSERT_TRUE(event.ok());
+    if (event->alarm_raised) {
+      raised_at = t + 1;
+      break;
+    }
+  }
+  ASSERT_GT(raised_at, 0u) << "alarm never raised";
+  EXPECT_GE(raised_at, opts.alarm_after);
+  EXPECT_TRUE(monitor.alarm_active());
+
+  // Back to normal: clears after clear_after consecutive negatives.
+  size_t cleared_at = 0;
+  for (size_t t = 0; t < 10; ++t) {
+    auto [vm, va] = shared_->dataset->normal.test.Sample(
+        t % shared_->dataset->normal.test.num_samples());
+    auto event = monitor.Process(vm, va);
+    ASSERT_TRUE(event.ok());
+    if (event->alarm_cleared) {
+      cleared_at = t + 1;
+      break;
+    }
+  }
+  ASSERT_GT(cleared_at, 0u) << "alarm never cleared";
+  EXPECT_GE(cleared_at, opts.clear_after);
+  EXPECT_FALSE(monitor.alarm_active());
+}
+
+TEST_F(StreamTest, SingleSampleGlitchSuppressed) {
+  StreamOptions opts;
+  opts.alarm_after = 2;
+  StreamingMonitor monitor(shared_->detector.get(), opts);
+  const auto& outage = shared_->dataset->outages[1];
+
+  // normal, outage, normal, normal ... one glitch must not alarm.
+  auto feed = [&](bool from_outage, size_t t) {
+    const auto& src =
+        from_outage ? outage.test : shared_->dataset->normal.test;
+    auto [vm, va] = src.Sample(t % src.num_samples());
+    auto event = monitor.Process(vm, va);
+    PW_CHECK(event.ok());
+    return event->alarm_active;
+  };
+  EXPECT_FALSE(feed(false, 0));
+  EXPECT_FALSE(feed(true, 0));  // single positive: below alarm_after
+  EXPECT_FALSE(feed(false, 1));
+  EXPECT_FALSE(feed(false, 2));
+}
+
+TEST_F(StreamTest, MajorityVoteStabilizesLines) {
+  StreamOptions opts;
+  opts.alarm_after = 2;
+  opts.vote_window = 6;
+  StreamingMonitor monitor(shared_->detector.get(), opts);
+  const auto& outage = shared_->dataset->outages[2];
+
+  std::vector<grid::LineId> last_lines;
+  for (size_t t = 0; t < 8; ++t) {
+    auto [vm, va] = outage.test.Sample(t % outage.test.num_samples());
+    auto event = monitor.Process(vm, va);
+    ASSERT_TRUE(event.ok());
+    if (event->alarm_active) last_lines = event->lines;
+  }
+  ASSERT_FALSE(last_lines.empty());
+  EXPECT_NE(std::find(last_lines.begin(), last_lines.end(), outage.line),
+            last_lines.end());
+}
+
+TEST_F(StreamTest, ResetDropsState) {
+  StreamOptions opts;
+  opts.alarm_after = 1;
+  StreamingMonitor monitor(shared_->detector.get(), opts);
+  const auto& outage = shared_->dataset->outages[0];
+  auto [vm, va] = outage.test.Sample(0);
+  ASSERT_TRUE(monitor.Process(vm, va).ok());
+  EXPECT_TRUE(monitor.alarm_active());
+  monitor.Reset();
+  EXPECT_FALSE(monitor.alarm_active());
+}
+
+TEST_F(StreamTest, WorksThroughMissingData) {
+  StreamOptions opts;
+  opts.alarm_after = 2;
+  StreamingMonitor monitor(shared_->detector.get(), opts);
+  const auto& outage = shared_->dataset->outages[0];
+  sim::MissingMask mask =
+      sim::MissingAtOutage(shared_->grid.num_buses(), outage.line);
+  bool raised = false;
+  for (size_t t = 0; t < 8; ++t) {
+    auto [vm, va] = outage.test.Sample(t % outage.test.num_samples());
+    auto event = monitor.Process(vm, va, mask);
+    ASSERT_TRUE(event.ok());
+    if (event->alarm_raised) raised = true;
+  }
+  EXPECT_TRUE(raised);
+}
+
+}  // namespace
+}  // namespace phasorwatch::detect

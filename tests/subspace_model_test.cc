@@ -1,0 +1,192 @@
+#include "detect/subspace_model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace phasorwatch::detect {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+// Builds a data set whose angle channel varies only inside the span of
+// `directions` around `mean` (plus tiny noise).
+sim::PhasorDataSet StructuredData(const Vector& mean,
+                                  const std::vector<Vector>& directions,
+                                  size_t samples, double noise, Rng& rng) {
+  const size_t n = mean.size();
+  sim::PhasorDataSet data;
+  data.vm = Matrix(n, samples, 1.0);
+  data.va = Matrix(n, samples);
+  for (size_t t = 0; t < samples; ++t) {
+    Vector x = mean;
+    for (const Vector& d : directions) {
+      double coeff = rng.Normal(0.0, 1.0);
+      for (size_t i = 0; i < n; ++i) x[i] += coeff * d[i];
+    }
+    for (size_t i = 0; i < n; ++i) {
+      data.va(i, t) = x[i] + rng.Normal(0.0, noise);
+    }
+  }
+  return data;
+}
+
+
+SubspaceModelOptions AngleOptions() {
+  SubspaceModelOptions opts;
+  opts.channel = PhasorChannel::kAngle;
+  return opts;
+}
+
+Vector Axis(size_t n, size_t i) {
+  Vector v(n);
+  v[i] = 1.0;
+  return v;
+}
+
+TEST(SubspaceModelTest, LearnsMeanOfTrainingData) {
+  Rng rng(1);
+  Vector mean = {0.1, -0.2, 0.3, 0.0, 0.5};
+  auto data = StructuredData(mean, {Axis(5, 0)}, 300, 1e-4, rng);
+  SubspaceModelOptions opts = AngleOptions();
+  auto model = LearnSubspaceModel(data, opts);
+  ASSERT_TRUE(model.ok());
+  // Node 0 carries the unit-variance variation direction, so its
+  // sample mean wanders by ~1/sqrt(300); other nodes only see noise.
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(model->mean[i], mean[i], i == 0 ? 0.2 : 0.02);
+  }
+}
+
+TEST(SubspaceModelTest, ConstraintsAnnihilateTrainingVariation) {
+  Rng rng(2);
+  Vector mean(6);
+  std::vector<Vector> dirs = {Axis(6, 0), Axis(6, 1)};
+  auto data = StructuredData(mean, dirs, 400, 1e-5, rng);
+  SubspaceModelOptions opts = AngleOptions();
+  auto model = LearnSubspaceModel(data, opts);
+  ASSERT_TRUE(model.ok());
+  // Constraint directions must be orthogonal to the variation axes:
+  // proximity of a sample from the model distribution is tiny.
+  Vector sample = mean;
+  sample[0] += 2.0;  // variation inside span(dirs)
+  sample[1] -= 1.0;
+  EXPECT_LT(model->Proximity(sample), 1e-6);
+  // A violation in a constrained direction scores large.
+  Vector bad = mean;
+  bad[4] += 1.0;
+  EXPECT_GT(model->Proximity(bad), 0.1);
+}
+
+TEST(SubspaceModelTest, ProximityZeroAtMean) {
+  Rng rng(3);
+  auto data = StructuredData(Vector(4), {Axis(4, 2)}, 100, 1e-4, rng);
+  auto model = LearnSubspaceModel(data, AngleOptions());
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model->Proximity(Vector(4)), 0.0, 1e-6);
+}
+
+TEST(SubspaceModelTest, ChannelSelection) {
+  sim::PhasorDataSet data;
+  data.vm = Matrix(3, 5, 2.0);
+  data.va = Matrix(3, 5, -1.0);
+  EXPECT_DOUBLE_EQ(FeatureMatrix(data, PhasorChannel::kMagnitude)(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(FeatureMatrix(data, PhasorChannel::kAngle)(0, 0), -1.0);
+  Vector vm = {1.0};
+  Vector va = {5.0};
+  EXPECT_DOUBLE_EQ(FeatureVector(vm, va, PhasorChannel::kMagnitude)[0], 1.0);
+  EXPECT_DOUBLE_EQ(FeatureVector(vm, va, PhasorChannel::kAngle)[0], 5.0);
+}
+
+TEST(SubspaceModelTest, ConstraintCountRespectsBounds) {
+  Rng rng(4);
+  auto data = StructuredData(Vector(8), {Axis(8, 0)}, 200, 1e-4, rng);
+  SubspaceModelOptions opts = AngleOptions();
+  opts.min_constraints = 2;
+  opts.max_constraints = 4;
+  auto model = LearnSubspaceModel(data, opts);
+  ASSERT_TRUE(model.ok());
+  EXPECT_GE(model->constraints.dim(), 2u);
+  EXPECT_LE(model->constraints.dim(), 4u);
+}
+
+TEST(SubspaceModelTest, RejectsTooFewSamples) {
+  sim::PhasorDataSet data;
+  data.vm = Matrix(3, 1);
+  data.va = Matrix(3, 1);
+  EXPECT_FALSE(LearnSubspaceModel(data, AngleOptions()).ok());
+}
+
+TEST(SubspaceModelTest, SingularValuesSorted) {
+  Rng rng(5);
+  auto data = StructuredData(Vector(5), {Axis(5, 0), Axis(5, 3)}, 150,
+                             1e-3, rng);
+  auto model = LearnSubspaceModel(data, AngleOptions());
+  ASSERT_TRUE(model.ok());
+  for (size_t i = 0; i + 1 < model->singular_values.size(); ++i) {
+    EXPECT_GE(model->singular_values[i], model->singular_values[i + 1]);
+  }
+}
+
+TEST(NodeSubspacesTest, SingleModelPassesThrough) {
+  Rng rng(6);
+  auto data = StructuredData(Vector(5), {Axis(5, 1)}, 120, 1e-4, rng);
+  auto model = LearnSubspaceModel(data, AngleOptions());
+  ASSERT_TRUE(model.ok());
+  NodeSubspaces node = BuildNodeSubspaces({&*model});
+  EXPECT_EQ(node.union_model.constraints.dim(), model->constraints.dim());
+  EXPECT_EQ(node.intersection_model.constraints.dim(),
+            model->constraints.dim());
+}
+
+TEST(NodeSubspacesTest, UnionModelKeepsSharedConstraints) {
+  // Two models in R^4: model A varies along e0, model B along e1. Both
+  // constrain e2 and e3. The union (solution-set sense) must keep the
+  // shared constraints e2/e3 so that a sample moving along e0 OR e1
+  // stays close, while e2/e3 violations still score.
+  Rng rng(7);
+  auto data_a = StructuredData(Vector(4), {Axis(4, 0)}, 300, 1e-5, rng);
+  auto data_b = StructuredData(Vector(4), {Axis(4, 1)}, 300, 1e-5, rng);
+  SubspaceModelOptions opts = AngleOptions();
+  opts.min_constraints = 2;
+  opts.max_constraints = 3;
+  auto model_a = LearnSubspaceModel(data_a, opts);
+  auto model_b = LearnSubspaceModel(data_b, opts);
+  ASSERT_TRUE(model_a.ok());
+  ASSERT_TRUE(model_b.ok());
+  NodeSubspaces node = BuildNodeSubspaces({&*model_a, &*model_b}, 0.8);
+
+  Vector along_e0 = {1.0, 0.0, 0.0, 0.0};
+  Vector along_e1 = {0.0, 1.0, 0.0, 0.0};
+  Vector along_e3 = {0.0, 0.0, 0.0, 1.0};
+  EXPECT_LT(node.union_model.Proximity(along_e0), 0.01);
+  EXPECT_LT(node.union_model.Proximity(along_e1), 0.01);
+  EXPECT_GT(node.union_model.Proximity(along_e3), 0.1);
+}
+
+TEST(NodeSubspacesTest, IntersectionModelAccumulatesAllConstraints) {
+  Rng rng(8);
+  auto data_a = StructuredData(Vector(4), {Axis(4, 0)}, 300, 1e-5, rng);
+  auto data_b = StructuredData(Vector(4), {Axis(4, 1)}, 300, 1e-5, rng);
+  SubspaceModelOptions opts = AngleOptions();
+  opts.min_constraints = 2;
+  opts.max_constraints = 3;
+  auto model_a = LearnSubspaceModel(data_a, opts);
+  auto model_b = LearnSubspaceModel(data_b, opts);
+  ASSERT_TRUE(model_a.ok());
+  ASSERT_TRUE(model_b.ok());
+  NodeSubspaces node = BuildNodeSubspaces({&*model_a, &*model_b}, 0.8);
+  // The intersection model (solution sets) carries both models'
+  // constraints: moving along e0 violates model B's constraint on e0.
+  Vector along_e0 = {1.0, 0.0, 0.0, 0.0};
+  EXPECT_GT(node.intersection_model.Proximity(along_e0),
+            node.union_model.Proximity(along_e0));
+  EXPECT_GE(node.intersection_model.constraints.dim(),
+            node.union_model.constraints.dim());
+}
+
+}  // namespace
+}  // namespace phasorwatch::detect

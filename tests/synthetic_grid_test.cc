@@ -1,0 +1,115 @@
+#include "grid/synthetic.h"
+
+#include <gtest/gtest.h>
+
+namespace phasorwatch::grid {
+namespace {
+
+TEST(SyntheticGridTest, ProducesRequestedShape) {
+  SyntheticGridOptions opts;
+  opts.num_buses = 40;
+  opts.num_lines = 60;
+  opts.seed = 7;
+  auto grid = BuildSyntheticGrid(opts);
+  ASSERT_TRUE(grid.ok());
+  EXPECT_EQ(grid->num_buses(), 40u);
+  EXPECT_EQ(grid->num_lines(), 60u);
+  EXPECT_TRUE(grid->IsConnected());
+}
+
+TEST(SyntheticGridTest, RejectsTooFewBuses) {
+  SyntheticGridOptions opts;
+  opts.num_buses = 2;
+  opts.num_lines = 3;
+  EXPECT_FALSE(BuildSyntheticGrid(opts).ok());
+}
+
+TEST(SyntheticGridTest, RejectsTreeBudget) {
+  SyntheticGridOptions opts;
+  opts.num_buses = 10;
+  opts.num_lines = 9;  // fewer than buses: not meshed
+  EXPECT_FALSE(BuildSyntheticGrid(opts).ok());
+}
+
+TEST(SyntheticGridTest, RejectsTooManyLines) {
+  SyntheticGridOptions opts;
+  opts.num_buses = 5;
+  opts.num_lines = 11;  // > 5*4/2
+  EXPECT_FALSE(BuildSyntheticGrid(opts).ok());
+}
+
+TEST(SyntheticGridTest, DeterministicBySeed) {
+  SyntheticGridOptions opts;
+  opts.num_buses = 20;
+  opts.num_lines = 30;
+  opts.seed = 99;
+  auto a = BuildSyntheticGrid(opts);
+  auto b = BuildSyntheticGrid(opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t i = 0; i < a->num_buses(); ++i) {
+    EXPECT_DOUBLE_EQ(a->bus(i).pd_mw, b->bus(i).pd_mw);
+  }
+}
+
+TEST(SyntheticGridTest, DifferentSeedsDiffer) {
+  SyntheticGridOptions a_opts, b_opts;
+  a_opts.num_buses = b_opts.num_buses = 20;
+  a_opts.num_lines = b_opts.num_lines = 30;
+  a_opts.seed = 1;
+  b_opts.seed = 2;
+  auto a = BuildSyntheticGrid(a_opts);
+  auto b = BuildSyntheticGrid(b_opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  bool any_diff = false;
+  for (size_t k = 0; k < a->num_branches(); ++k) {
+    if (a->branches()[k].from_bus != b->branches()[k].from_bus ||
+        a->branches()[k].x != b->branches()[k].x) {
+      any_diff = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SyntheticGridTest, GenerationCoversLoad) {
+  SyntheticGridOptions opts;
+  opts.num_buses = 57;
+  opts.num_lines = 80;
+  opts.seed = 5757;
+  auto grid = BuildSyntheticGrid(opts);
+  ASSERT_TRUE(grid.ok());
+  EXPECT_GT(grid->TotalLoadMw(), 0.0);
+  EXPECT_GT(grid->TotalGenMw(), 0.9 * grid->TotalLoadMw());
+}
+
+TEST(SyntheticGridTest, HasExactlyOneSlack) {
+  SyntheticGridOptions opts;
+  opts.num_buses = 25;
+  opts.num_lines = 38;
+  auto grid = BuildSyntheticGrid(opts);
+  ASSERT_TRUE(grid.ok());
+  size_t slacks = 0;
+  for (const Bus& b : grid->buses()) {
+    if (b.type == BusType::kSlack) ++slacks;
+  }
+  EXPECT_EQ(slacks, 1u);
+}
+
+TEST(SyntheticGridTest, ElectricalParametersRealistic) {
+  SyntheticGridOptions opts;
+  opts.num_buses = 30;
+  opts.num_lines = 45;
+  auto grid = BuildSyntheticGrid(opts);
+  ASSERT_TRUE(grid.ok());
+  for (const Branch& br : grid->branches()) {
+    EXPECT_GT(br.x, 0.0);
+    EXPECT_LT(br.x, 2.0);
+    EXPECT_GE(br.r, 0.0);
+    EXPECT_LT(br.r, br.x);  // transmission lines: X dominates R
+  }
+}
+
+}  // namespace
+}  // namespace phasorwatch::grid

@@ -1,0 +1,47 @@
+#include "common/table_printer.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace phasorwatch {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"system", "IA", "FA"});
+  table.AddRow({"ieee14", "0.95", "0.02"});
+  table.AddRow({"ieee118", "0.9", "0.1"});
+  std::ostringstream os;
+  table.Print(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("system"), std::string::npos);
+  EXPECT_NE(out.find("ieee118"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ShortRowsArePadded) {
+  TablePrinter table({"a", "b", "c"});
+  table.AddRow({"only"});
+  std::ostringstream os;
+  table.Print(os);
+  EXPECT_NE(os.str().find("only"), std::string::npos);
+}
+
+TEST(TablePrinterTest, CsvOutput) {
+  TablePrinter table({"x", "y"});
+  table.AddRow({"1", "2"});
+  table.AddRow({"3", "4"});
+  std::ostringstream os;
+  table.PrintCsv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,2\n3,4\n");
+}
+
+TEST(TablePrinterTest, NumFormatsFixedPrecision) {
+  EXPECT_EQ(TablePrinter::Num(0.123456, 4), "0.1235");
+  EXPECT_EQ(TablePrinter::Num(2.0, 2), "2.00");
+  EXPECT_EQ(TablePrinter::Num(-1.5, 1), "-1.5");
+}
+
+}  // namespace
+}  // namespace phasorwatch

@@ -1,0 +1,54 @@
+#include "common/union_find.h"
+
+#include <gtest/gtest.h>
+
+namespace phasorwatch {
+namespace {
+
+TEST(UnionFindTest, StartsFullyDisjoint) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.NumComponents(), 5u);
+  EXPECT_FALSE(uf.Connected(0, 1));
+}
+
+TEST(UnionFindTest, UnionMerges) {
+  UnionFind uf(5);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_TRUE(uf.Connected(0, 1));
+  EXPECT_EQ(uf.NumComponents(), 4u);
+}
+
+TEST(UnionFindTest, RepeatedUnionReturnsFalse) {
+  UnionFind uf(5);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_FALSE(uf.Union(1, 0));
+  EXPECT_EQ(uf.NumComponents(), 4u);
+}
+
+TEST(UnionFindTest, TransitiveConnectivity) {
+  UnionFind uf(6);
+  uf.Union(0, 1);
+  uf.Union(1, 2);
+  uf.Union(3, 4);
+  EXPECT_TRUE(uf.Connected(0, 2));
+  EXPECT_TRUE(uf.Connected(3, 4));
+  EXPECT_FALSE(uf.Connected(2, 3));
+  EXPECT_EQ(uf.NumComponents(), 3u);  // {0,1,2}, {3,4}, {5}
+}
+
+TEST(UnionFindTest, ChainCollapsesToOneComponent) {
+  const size_t n = 100;
+  UnionFind uf(n);
+  for (size_t i = 0; i + 1 < n; ++i) uf.Union(i, i + 1);
+  EXPECT_EQ(uf.NumComponents(), 1u);
+  EXPECT_TRUE(uf.Connected(0, n - 1));
+}
+
+TEST(UnionFindTest, SingleElement) {
+  UnionFind uf(1);
+  EXPECT_EQ(uf.NumComponents(), 1u);
+  EXPECT_TRUE(uf.Connected(0, 0));
+}
+
+}  // namespace
+}  // namespace phasorwatch
