@@ -4,12 +4,15 @@
 #include <cstring>
 #include <iostream>
 
+#include "common/logging.h"
 #include "common/table_printer.h"
 #include "grid/ieee_cases.h"
+#include "obs/metrics.h"
 
 namespace phasorwatch::bench {
 
 BenchConfig ParseConfig(int argc, char** argv) {
+  SetLogLevelFromEnv();
   BenchConfig config;
   config.full = false;
   for (int i = 1; i < argc; ++i) {
@@ -106,7 +109,14 @@ int RunScenarioHarness(const std::string& experiment_id,
     }
   }
   table.Print(std::cout);
+  PrintMetricsSnapshot();
   return 0;
+}
+
+void PrintMetricsSnapshot() {
+  // With PW_OBS_DISABLED the registry simply holds no instruments and
+  // the snapshot header prints alone.
+  std::printf("\n%s", obs::MetricsRegistry::Global().TextSnapshot().c_str());
 }
 
 }  // namespace phasorwatch::bench

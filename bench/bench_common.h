@@ -40,6 +40,10 @@ int RunScenarioHarness(const std::string& experiment_id,
                        const std::string& title,
                        eval::MissingScenario scenario, int argc, char** argv);
 
+/// Prints the global metrics snapshot (pipeline counters, stage latency
+/// histograms) accumulated over the run.
+void PrintMetricsSnapshot();
+
 }  // namespace phasorwatch::bench
 
 #endif  // PHASORWATCH_BENCH_BENCH_COMMON_H_

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/table_printer.h"
 #include "grid/ieee_cases.h"
 #include "io/matpower.h"
@@ -27,6 +28,7 @@
 namespace pw = phasorwatch;
 
 int main(int argc, char** argv) {
+  pw::SetLogLevelFromEnv();
   // Resolve the grid: bus-count shorthand, file path, or default.
   pw::Result<pw::grid::Grid> grid = pw::grid::IeeeCase14();
   if (argc > 1) {

@@ -2,20 +2,102 @@
 // detector as a stream — normal operation, then a line outage with the
 // local PDC knocked out, then restoration — and prints the alarm log a
 // control-room operator would see.
+//
+// Observability flags:
+//   --metrics                print the metrics snapshot after the run
+//   --metrics-json           same, as one JSON object
+//   --events <path>          write alarm lifecycle events as JSONL
+//   --validate-events <path> standalone: check an emitted JSONL file is
+//                            line-by-line parseable JSON, then exit
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <string>
 
+#include "common/logging.h"
+#include "common/serialize.h"
 #include "detect/detector.h"
 #include "detect/stream.h"
 #include "eval/dataset.h"
 #include "grid/ieee_cases.h"
+#include "obs/event_log.h"
+#include "obs/metrics.h"
 #include "sim/missing_data.h"
 #include "sim/pmu_network.h"
 
 namespace pw = phasorwatch;
 
-int main() {
+namespace {
+
+// Validates that every line of `path` is a standalone JSON value and
+// that at least one alarm event is present. Returns a process exit
+// code; used by scripts/check.sh to gate on event-log well-formedness.
+int ValidateEventsFile(const char* path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return 1;
+  }
+  std::string line;
+  size_t lineno = 0;
+  size_t alarm_events = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) {
+      std::fprintf(stderr, "%s:%zu: empty line\n", path, lineno);
+      return 1;
+    }
+    pw::Status status = pw::ValidateJson(line);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s:%zu: %s\n", path, lineno,
+                   status.ToString().c_str());
+      return 1;
+    }
+    auto type = pw::JsonObjectField(line, "type");
+    if (!type.ok()) {
+      std::fprintf(stderr, "%s:%zu: missing \"type\" field\n", path, lineno);
+      return 1;
+    }
+    if (*type == "\"alarm_raised\"" || *type == "\"alarm_cleared\"") {
+      ++alarm_events;
+    }
+  }
+  if (lineno == 0) {
+    std::fprintf(stderr, "%s: no events emitted\n", path);
+    return 1;
+  }
+  if (alarm_events == 0) {
+    std::fprintf(stderr, "%s: %zu lines but no alarm_raised/alarm_cleared\n",
+                 path, lineno);
+    return 1;
+  }
+  std::printf("%s: %zu events OK (%zu alarm transitions)\n", path, lineno,
+              alarm_events);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pw::SetLogLevelFromEnv();
+  bool print_metrics = false;
+  bool print_metrics_json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics") == 0) print_metrics = true;
+    if (std::strcmp(argv[i], "--metrics-json") == 0) print_metrics_json = true;
+    if (std::strcmp(argv[i], "--validate-events") == 0 && i + 1 < argc) {
+      return ValidateEventsFile(argv[i + 1]);
+    }
+    if (std::strcmp(argv[i], "--events") == 0 && i + 1 < argc) {
+      pw::Status status = pw::obs::EventLog::Global().OpenFile(argv[i + 1]);
+      if (!status.ok()) {
+        std::fprintf(stderr, "--events: %s\n", status.ToString().c_str());
+        return 1;
+      }
+    }
+  }
+
   auto grid = pw::grid::IeeeCase14();
   if (!grid.ok()) return 1;
   auto network = pw::sim::PmuNetwork::Build(*grid, 3);
@@ -101,5 +183,15 @@ int main() {
   std::printf("\nAlarm ticks during the 15 outage ticks: %zu; false-alarm "
               "ticks in 30 normal ticks: %zu\n",
               alarm_ticks_during_outage, false_alarm_ticks);
+
+  if (print_metrics) {
+    std::printf("\n%s",
+                pw::obs::MetricsRegistry::Global().TextSnapshot().c_str());
+  }
+  if (print_metrics_json) {
+    std::printf("%s\n",
+                pw::obs::MetricsRegistry::Global().JsonSnapshot().c_str());
+  }
+  pw::obs::EventLog::Global().Close();
   return 0;
 }

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "common/logging.h"
 #include "common/table_printer.h"
 #include "eval/dataset.h"
 #include "eval/experiments.h"
@@ -15,6 +16,7 @@
 namespace pw = phasorwatch;
 
 int main() {
+  pw::SetLogLevelFromEnv();
   auto grid = pw::grid::IeeeCase30();
   if (!grid.ok()) return 1;
 

@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "common/logging.h"
 #include "detect/detector.h"
 #include "eval/dataset.h"
 #include "grid/ieee_cases.h"
@@ -17,6 +18,7 @@
 namespace pw = phasorwatch;
 
 int main() {
+  pw::SetLogLevelFromEnv();
   // 1. Load the grid and define the PMU monitoring network (3 PDCs).
   auto grid = pw::grid::IeeeCase14();
   if (!grid.ok()) {

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "common/logging.h"
 #include "common/table_printer.h"
 #include "eval/dataset.h"
 #include "eval/experiments.h"
@@ -14,6 +15,7 @@
 namespace pw = phasorwatch;
 
 int main() {
+  pw::SetLogLevelFromEnv();
   auto grid = pw::grid::IeeeCase14();
   if (!grid.ok()) return 1;
 

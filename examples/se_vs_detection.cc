@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "detect/detector.h"
+#include "common/logging.h"
 #include "common/table_printer.h"
 #include "eval/dataset.h"
 #include "grid/ieee_cases.h"
@@ -23,6 +24,7 @@
 namespace pw = phasorwatch;
 
 int main() {
+  pw::SetLogLevelFromEnv();
   auto grid = pw::grid::IeeeCase14();
   if (!grid.ok()) return 1;
   auto network = pw::sim::PmuNetwork::Build(*grid, 3);

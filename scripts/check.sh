@@ -1,6 +1,7 @@
 #!/bin/sh
 # Developer pre-submit check: configure, build, run the full test suite,
-# then smoke the examples and quick-mode figure harnesses.
+# smoke the examples and quick-mode figure harnesses, validate the
+# structured event log, and verify the obs-disabled configuration.
 set -e
 cd "$(dirname "$0")/.."
 cmake -B build -G Ninja
@@ -15,4 +16,19 @@ for bench in build/bench/fig*; do
   echo "=== $bench (quick) ==="
   "$bench" > /dev/null
 done
+
+# The event log must be line-by-line parseable JSON with alarm
+# transitions present; grid_monitor validates with the same JSON
+# machinery the log is written with.
+echo "=== event log round-trip ==="
+events_file="build/check_events.jsonl"
+build/examples/grid_monitor --events "$events_file" > /dev/null
+build/examples/grid_monitor --validate-events "$events_file"
+
+# The instrumentation must compile out cleanly: same tests, hooks gone.
+echo "=== PW_OBS_DISABLED build ==="
+cmake -B build-obs-off -G Ninja -DPW_OBS_DISABLED=ON
+cmake --build build-obs-off
+ctest --test-dir build-obs-off --output-on-failure
+
 echo "all checks passed"

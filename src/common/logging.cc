@@ -1,7 +1,9 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 namespace phasorwatch {
@@ -36,6 +38,37 @@ void SetLogLevel(LogLevel level) {
 
 LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+}
+
+bool ParseLogLevel(std::string_view name, LogLevel* level) {
+  std::string lower(name);
+  for (char& ch : lower) ch = static_cast<char>(std::tolower(
+      static_cast<unsigned char>(ch)));
+  if (lower == "debug") {
+    *level = LogLevel::kDebug;
+  } else if (lower == "info") {
+    *level = LogLevel::kInfo;
+  } else if (lower == "warn" || lower == "warning") {
+    *level = LogLevel::kWarning;
+  } else if (lower == "error") {
+    *level = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool SetLogLevelFromEnv() {
+  const char* value = std::getenv("PW_LOG_LEVEL");
+  if (value == nullptr || value[0] == '\0') return false;
+  LogLevel level;
+  if (!ParseLogLevel(value, &level)) {
+    PW_LOG(Warning) << "ignoring unrecognized PW_LOG_LEVEL=\"" << value
+                    << "\" (want debug/info/warn/error)";
+    return false;
+  }
+  SetLogLevel(level);
+  return true;
 }
 
 namespace internal_logging {

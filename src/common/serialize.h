@@ -5,11 +5,40 @@
 #include <istream>
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
 
 namespace phasorwatch {
+
+// --- JSON text helpers -------------------------------------------------
+//
+// The observability layer (src/obs) emits JSONL event logs and JSON
+// metric snapshots; these helpers keep that output well-formed without
+// pulling in a JSON library.
+
+/// Escapes `s` for embedding inside a JSON string literal (quotes not
+/// included): ", \, control characters.
+std::string JsonEscape(std::string_view s);
+void AppendJsonEscaped(std::string* out, std::string_view s);
+
+/// Formats a double as a valid JSON number token. NaN and infinities
+/// (not representable in JSON) become `null`.
+std::string FormatJsonDouble(double value);
+
+/// Strict validation of one complete JSON value (object, array, string,
+/// number, true/false/null). Returns kInvalidArgument with a position
+/// hint on malformed input. Used by tests and by the `--validate-events`
+/// mode of grid_monitor to verify emitted JSONL files.
+Status ValidateJson(std::string_view text);
+
+/// Extracts the raw value text of a top-level key in a JSON object
+/// (e.g. `"42"`, `"\"raise\""`, `"[1,2]"`). kNotFound when the key is
+/// absent; kInvalidArgument when `text` is not a JSON object. Shallow:
+/// only top-level keys are visible.
+Result<std::string> JsonObjectField(std::string_view text,
+                                    std::string_view key);
 
 /// Little binary writer for model persistence. The format is
 /// little-endian, fixed-width, with no alignment padding; every

@@ -7,6 +7,8 @@
 #include "common/check.h"
 #include "common/logging.h"
 #include "common/rng.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace phasorwatch::detect {
 namespace {
@@ -34,6 +36,7 @@ Result<OutageDetector> OutageDetector::Train(const grid::Grid& grid,
                                              const sim::PmuNetwork& network,
                                              const TrainingData& data,
                                              const DetectorOptions& options) {
+  PW_TRACE_SCOPE("detect.train_us");
   const size_t n = grid.num_buses();
   if (data.normal == nullptr || data.normal->num_nodes() != n) {
     return Status::InvalidArgument("normal training data missing or wrong size");
@@ -290,6 +293,9 @@ OutageDetector::SelectedGroup OutageDetector::SelectGroup(
       break;
     }
   }
+  if (selected.used_out_of_cluster) {
+    PW_OBS_COUNTER_INC("detect.groups.out_of_cluster_selected");
+  }
   const std::vector<size_t>& preferred =
       selected.used_out_of_cluster ? group.out_of_cluster : group.in_cluster;
   for (size_t node : preferred) {
@@ -299,12 +305,14 @@ OutageDetector::SelectedGroup OutageDetector::SelectGroup(
 
   // Both alternatives compromised: fall back to the other side, then to
   // any available nodes at all.
+  PW_OBS_COUNTER_INC("detect.groups.fallback_alternate_side");
   const std::vector<size_t>& alt =
       selected.used_out_of_cluster ? group.in_cluster : group.out_of_cluster;
   for (size_t node : alt) {
     if (!mask.missing[node]) selected.members.push_back(node);
   }
   if (!selected.members.empty()) return selected;
+  PW_OBS_COUNTER_INC("detect.groups.fallback_any_available");
   for (size_t i = 0; i < mask.size() &&
                      selected.members.size() < options_.groups.max_group_size;
        ++i) {
@@ -399,6 +407,8 @@ Result<Vector> OutageDetector::NodeScores(
 Result<DetectionResult> OutageDetector::Detect(const Vector& vm,
                                                const Vector& va,
                                                const sim::MissingMask& mask) {
+  PW_TRACE_SCOPE("detect.total_us");
+  PW_OBS_COUNTER_INC("detect.calls");
   const size_t n = grid_->num_buses();
   if (vm.size() != n || va.size() != n || mask.size() != n) {
     return Status::InvalidArgument("sample size mismatch");
@@ -407,53 +417,74 @@ Result<DetectionResult> OutageDetector::Detect(const Vector& vm,
   Vector features = FeatureVector(vm, va, options_.subspace.channel);
   DetectionResult result;
 
-  // Gate 1: does any cluster's normal-subspace residual exceed its
-  // calibrated level? This separates "data looks normal (possibly with
-  // gaps)" from "the grid state violates the normal model".
-  std::vector<SelectedGroup> groups = SelectGroups(mask);
-  PW_ASSIGN_OR_RETURN(Vector residuals,
-                      ClusterNormalResiduals(features, groups));
-  result.decision_score = 0.0;
-  for (size_t c = 0; c < groups.size(); ++c) {
-    double gate = groups[c].used_out_of_cluster
-                      ? gates_[c].out_of_cluster
-                      : gates_[c].in_cluster;
-    result.decision_score =
-        std::max(result.decision_score, residuals[c] / std::max(gate, kProxFloor));
+  // Stage 1: pick the detection group for every cluster under the
+  // sample's availability mask (Eq. 10).
+  std::vector<SelectedGroup> groups;
+  {
+    PW_TRACE_SCOPE("detect.stage.groups_us");
+    groups = SelectGroups(mask);
   }
 
-  // Gate 2 (scale-free): is the sample better explained by some line's
-  // outage subspace than by the normal subspace? Uses every available
-  // measurement — the group machinery protects the node ranking, but
-  // classification should never discard observed data.
-  std::vector<size_t> pooled = mask.AvailableIndices();
-  if (pooled.empty()) {
-    return Status::DataMissing("all measurements missing");
-  }
-  PW_ASSIGN_OR_RETURN(
-      double normal_residual,
-      engine_.Evaluate(normal_class_model_, kClassFamilyKey, features,
-                       GroupCoordinates(pooled)));
-  double best_line_residual = -1.0;
-  for (size_t c = 0; c < case_lines_.size(); ++c) {
-    PW_ASSIGN_OR_RETURN(double prox,
-                        engine_.Evaluate(line_class_models_[c], kClassFamilyKey,
-                                         features, GroupCoordinates(pooled)));
-    if (best_line_residual < 0.0 || prox < best_line_residual) {
-      best_line_residual = prox;
+  {
+    PW_TRACE_SCOPE("detect.stage.gate_us");
+    // Gate 1: does any cluster's normal-subspace residual exceed its
+    // calibrated level? This separates "data looks normal (possibly with
+    // gaps)" from "the grid state violates the normal model".
+    PW_ASSIGN_OR_RETURN(Vector residuals,
+                        ClusterNormalResiduals(features, groups));
+    result.decision_score = 0.0;
+    for (size_t c = 0; c < groups.size(); ++c) {
+      double gate = groups[c].used_out_of_cluster
+                        ? gates_[c].out_of_cluster
+                        : gates_[c].in_cluster;
+      result.decision_score =
+          std::max(result.decision_score,
+                   residuals[c] / std::max(gate, kProxFloor));
     }
-  }
-  double ratio =
-      best_line_residual / std::max(normal_residual, kProxFloor);
-  result.decision_score =
-      std::max(result.decision_score, ratio_gate_ / std::max(ratio, 1e-9));
 
-  PW_ASSIGN_OR_RETURN(result.node_scores, NodeScores(features, groups));
+    // Gate 2 (scale-free): is the sample better explained by some line's
+    // outage subspace than by the normal subspace? Uses every available
+    // measurement — the group machinery protects the node ranking, but
+    // classification should never discard observed data.
+    std::vector<size_t> pooled = mask.AvailableIndices();
+    if (pooled.empty()) {
+      return Status::DataMissing("all measurements missing");
+    }
+    PW_ASSIGN_OR_RETURN(
+        double normal_residual,
+        engine_.Evaluate(normal_class_model_, kClassFamilyKey, features,
+                         GroupCoordinates(pooled)));
+    double best_line_residual = -1.0;
+    for (size_t c = 0; c < case_lines_.size(); ++c) {
+      PW_ASSIGN_OR_RETURN(
+          double prox,
+          engine_.Evaluate(line_class_models_[c], kClassFamilyKey, features,
+                           GroupCoordinates(pooled)));
+      if (best_line_residual < 0.0 || prox < best_line_residual) {
+        best_line_residual = prox;
+      }
+    }
+    double ratio =
+        best_line_residual / std::max(normal_residual, kProxFloor);
+    result.decision_score =
+        std::max(result.decision_score, ratio_gate_ / std::max(ratio, 1e-9));
+  }
+
+  {
+    PW_TRACE_SCOPE("detect.stage.proximity_us");
+    PW_ASSIGN_OR_RETURN(result.node_scores, NodeScores(features, groups));
+  }
   if (result.decision_score <= 1.0) {
     result.outage_detected = false;
     return result;  // normal operation: F-hat is empty
   }
   result.outage_detected = true;
+  PW_OBS_COUNTER_INC("detect.outages_flagged");
+
+  PW_TRACE_SCOPE("detect.stage.localization_us");
+  // Re-derive the pooled coordinates for the class-model localization
+  // below (scoped out of the gate stage above).
+  std::vector<size_t> pooled = mask.AvailableIndices();
 
   // Sorted node list N_t by scaled proximity, ascending (closest first).
   std::vector<size_t> order(n);

@@ -116,6 +116,8 @@ class OutageDetector {
   }
 
   // --- introspection for tests, ablations, and figures ---
+  /// The grid this detector was trained on (for naming lines in logs).
+  const grid::Grid& grid() const { return *grid_; }
   const CapabilityTable& capabilities() const { return capabilities_; }
   const std::vector<ClusterDetectionGroup>& groups() const { return groups_; }
   const SubspaceModel& normal_model() const { return normal_model_; }

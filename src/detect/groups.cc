@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace phasorwatch::detect {
 namespace {
@@ -130,6 +131,9 @@ ClusterDetectionGroup DetectionGroupBuilder::Build(
     // Ensure a workable group even when the threshold filters everyone:
     // take the best-scoring nodes.
     size_t need = std::min(options_.min_group_size, scored.size());
+    if (learned.size() < need) {
+      PW_OBS_COUNTER_INC("groups.builder.min_size_backfills");
+    }
     for (const auto& [score, k] : scored) {
       if (learned.size() >= need) break;
       if (std::find(learned.begin(), learned.end(), k) == learned.end()) {
@@ -150,6 +154,7 @@ ClusterDetectionGroup DetectionGroupBuilder::Build(
     }
     if (group.empty() && !candidates.empty()) {
       // Last resort: the single best-capability candidate.
+      PW_OBS_COUNTER_INC("groups.builder.last_resort_singletons");
       group.push_back(scored.front().second);
     }
     if (group.size() > options_.max_group_size) {
@@ -162,6 +167,7 @@ ClusterDetectionGroup DetectionGroupBuilder::Build(
   ClusterDetectionGroup out;
   out.in_cluster = build_side(inside);
   out.out_of_cluster = build_side(outside);
+  PW_OBS_COUNTER_INC("groups.builder.clusters_built");
   return out;
 }
 

@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "linalg/svd.h"
+#include "obs/metrics.h"
 
 namespace phasorwatch::detect {
 
@@ -27,6 +28,7 @@ Result<double> ProximityEngine::Evaluate(const SubspaceModel& model,
                                          const linalg::Vector& sample,
                                          const std::vector<size_t>& group) {
   const size_t n = model.ambient_dim();
+  PW_OBS_COUNTER_INC("proximity.evaluations");
   if (sample.size() != n) {
     return Status::InvalidArgument("sample dimension mismatch");
   }
@@ -34,12 +36,17 @@ Result<double> ProximityEngine::Evaluate(const SubspaceModel& model,
     return Status::DataMissing("empty detection group");
   }
   if (group.size() == n) {
+    // Complete data: plain projection, no Eq. 9 regressor needed.
+    PW_OBS_COUNTER_INC("proximity.complete_evaluations");
     return EvaluateComplete(model, sample);
   }
 
   uint64_t key = GroupCacheKey(model_key, group);
   auto it = cache_.find(key);
   if (it == cache_.end() || it->second.group != group) {
+    // Cache miss: build the Eq. 9 missing-data regressor for this
+    // (model, group) pair.
+    PW_OBS_COUNTER_INC("proximity.regressor_builds");
     // Build the regressor R = (I - C_M C_M^+) C_D, with C = B^T.
     const linalg::Matrix& b = model.constraints.basis();  // n x k
     const size_t k = b.cols();
@@ -74,9 +81,14 @@ Result<double> ProximityEngine::Evaluate(const SubspaceModel& model,
     }
     it = cache_.insert_or_assign(key, CachedRegressor{std::move(regressor),
                                                       group}).first;
+    PW_OBS_GAUGE_SET("proximity.cache_size", cache_.size());
+  } else {
+    PW_OBS_COUNTER_INC("proximity.cache_hits");
   }
 
-  // Residual: || R (x_D - mu_D) ||^2.
+  // Residual: || R (x_D - mu_D) ||^2 — one Eq. 9 regressor application
+  // (the missing-data path proper).
+  PW_OBS_COUNTER_INC("proximity.regressor_applications");
   const CachedRegressor& cached = it->second;
   linalg::Vector z(group.size());
   for (size_t c = 0; c < group.size(); ++c) {

@@ -3,6 +3,9 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/logging.h"
+#include "obs/event_log.h"
+#include "obs/metrics.h"
 
 namespace phasorwatch::detect {
 
@@ -19,6 +22,8 @@ Result<StreamEvent> StreamingMonitor::Process(const linalg::Vector& vm,
                                               const linalg::Vector& va,
                                               const sim::MissingMask& mask) {
   StreamEvent event;
+  event.sample_index = next_sample_++;
+  PW_OBS_COUNTER_INC("stream.samples");
   PW_ASSIGN_OR_RETURN(event.raw, detector_->Detect(vm, va, mask));
 
   if (event.raw.outage_detected) {
@@ -46,6 +51,37 @@ Result<StreamEvent> StreamingMonitor::Process(const linalg::Vector& vm,
   if (alarm_active_) {
     event.lines = MajorityLines();
   }
+
+#ifndef PW_OBS_DISABLED
+  PW_OBS_GAUGE_SET("stream.alarm_active", alarm_active_ ? 1 : 0);
+  if (event.alarm_raised) {
+    PW_OBS_COUNTER_INC("stream.alarms_raised");
+    obs::EventLog::Global()
+        .Emit("alarm_raised")
+        .Uint("sample", event.sample_index)
+        .Num("decision_score", event.raw.decision_score)
+        .StrList("candidate_lines", LineNames(event.lines));
+  } else if (event.alarm_cleared) {
+    PW_OBS_COUNTER_INC("stream.alarms_cleared");
+    obs::EventLog::Global()
+        .Emit("alarm_cleared")
+        .Uint("sample", event.sample_index)
+        .Num("decision_score", event.raw.decision_score);
+  } else if (alarm_active_) {
+    // Steady-state alarm tick: record the (possibly re-voted) F-hat so
+    // the JSONL log shows the candidate set evolving sample by sample.
+    obs::EventLog::Global()
+        .Emit("alarm_vote")
+        .Uint("sample", event.sample_index)
+        .Num("decision_score", event.raw.decision_score)
+        .StrList("candidate_lines", LineNames(event.lines));
+  }
+  // Per-sample heartbeat for debugging; rate-limited so a 30-60 Hz PMU
+  // stream cannot flood stderr.
+  PW_LOG_EVERY_N(Debug, 30) << "stream: sample " << event.sample_index
+                            << " score=" << event.raw.decision_score
+                            << (alarm_active_ ? " [ALARM]" : "");
+#endif  // PW_OBS_DISABLED
   return event;
 }
 
@@ -58,7 +94,12 @@ void StreamingMonitor::Reset() {
   alarm_active_ = false;
   consecutive_positive_ = 0;
   consecutive_negative_ = 0;
+  next_sample_ = 0;
   recent_votes_.clear();
+#ifndef PW_OBS_DISABLED
+  obs::EventLog::Global().Emit("monitor_reset");
+  PW_OBS_GAUGE_SET("stream.alarm_active", 0);
+#endif
 }
 
 std::vector<grid::LineId> StreamingMonitor::MajorityLines() const {
@@ -79,6 +120,16 @@ std::vector<grid::LineId> StreamingMonitor::MajorityLines() const {
     majority = recent_votes_.back();
   }
   return majority;
+}
+
+std::vector<std::string> StreamingMonitor::LineNames(
+    const std::vector<grid::LineId>& lines) const {
+  std::vector<std::string> names;
+  names.reserve(lines.size());
+  for (const grid::LineId& line : lines) {
+    names.push_back(detector_->grid().LineName(line));
+  }
+  return names;
 }
 
 }  // namespace phasorwatch::detect

@@ -1,8 +1,10 @@
 #ifndef PHASORWATCH_DETECT_STREAM_H_
 #define PHASORWATCH_DETECT_STREAM_H_
 
+#include <cstdint>
 #include <deque>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
@@ -25,6 +27,9 @@ struct StreamOptions {
 
 /// One processed sample's outcome.
 struct StreamEvent {
+  /// 0-based index of the sample within this monitor's stream (resets
+  /// with Reset()); alarm events in the JSONL log carry the same index.
+  uint64_t sample_index = 0;
   bool alarm_active = false;
   bool alarm_raised = false;   ///< transitioned to active at this sample
   bool alarm_cleared = false;  ///< transitioned to inactive at this sample
@@ -55,15 +60,21 @@ class StreamingMonitor {
                               const linalg::Vector& va);
 
   bool alarm_active() const { return alarm_active_; }
+  /// Samples processed since construction or the last Reset().
+  uint64_t samples_processed() const { return next_sample_; }
   /// Drops all debouncing/voting state (e.g. after operator ack).
   void Reset();
 
  private:
   std::vector<grid::LineId> MajorityLines() const;
+  /// Names for a candidate line set, for event logs ("Bus1-Bus2").
+  std::vector<std::string> LineNames(
+      const std::vector<grid::LineId>& lines) const;
 
   OutageDetector* detector_;  // not owned
   StreamOptions options_;
 
+  uint64_t next_sample_ = 0;
   bool alarm_active_ = false;
   size_t consecutive_positive_ = 0;
   size_t consecutive_negative_ = 0;

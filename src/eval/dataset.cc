@@ -1,6 +1,8 @@
 #include "eval/dataset.h"
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace phasorwatch::eval {
 namespace {
@@ -29,6 +31,7 @@ Result<CaseData> SimulateCase(const grid::Grid& grid,
 
 Result<Dataset> BuildDataset(const grid::Grid& grid,
                              const DatasetOptions& options, uint64_t seed) {
+  PW_TRACE_SCOPE("dataset.build_us");
   Rng rng(seed);
   Dataset dataset;
   dataset.grid = &grid;
@@ -40,22 +43,28 @@ Result<Dataset> BuildDataset(const grid::Grid& grid,
     auto outage_grid = grid.WithLineOut(line);
     if (!outage_grid.ok()) {
       dataset.skipped_lines.push_back(line);
+      PW_OBS_COUNTER_INC("dataset.cases_skipped");
       continue;
     }
     auto case_data = SimulateCase(*outage_grid, options, rng);
     if (!case_data.ok()) {
       // Post-outage power flow failed to converge often enough.
       dataset.skipped_lines.push_back(line);
+      PW_OBS_COUNTER_INC("dataset.cases_skipped");
       continue;
     }
     case_data->line = line;
     dataset.outages.push_back(std::move(case_data).value());
+    PW_OBS_COUNTER_INC("dataset.cases_built");
   }
 
   if (dataset.outages.empty()) {
     return Status::FailedPrecondition("no valid outage case for " +
                                       grid.name());
   }
+  PW_OBS_COUNTER_ADD(
+      "dataset.samples_built",
+      dataset.normal.train.num_samples() + dataset.normal.test.num_samples());
   PW_LOG(Info) << grid.name() << ": " << dataset.outages.size()
                << " valid outage cases, " << dataset.skipped_lines.size()
                << " skipped";

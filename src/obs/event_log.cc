@@ -1,0 +1,142 @@
+#include "obs/event_log.h"
+
+#include "common/serialize.h"
+#include "obs/trace.h"
+
+namespace phasorwatch::obs {
+
+EventLog& EventLog::Global() {
+  static EventLog* log = new EventLog();
+  return *log;
+}
+
+Status EventLog::OpenFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_.is_open()) file_.close();
+  file_.open(path, std::ios::out | std::ios::trunc);
+  if (!file_.good()) {
+    return Status::InvalidArgument("cannot open event log file: " + path);
+  }
+  return Status::OK();
+}
+
+void EventLog::AttachStream(std::ostream* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  out_ = out;
+}
+
+void EventLog::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_.is_open()) file_.close();
+  out_ = nullptr;
+}
+
+bool EventLog::enabled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return out_ != nullptr || file_.is_open();
+}
+
+uint64_t EventLog::events_emitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return emitted_;
+}
+
+EventLog::Event EventLog::Emit(std::string_view type) {
+  return Event(enabled() ? this : nullptr, type);
+}
+
+EventLog::Event::Event(EventLog* log, std::string_view type) : log_(log) {
+  if (log_ == nullptr) return;
+  uint64_t seq;
+  {
+    std::lock_guard<std::mutex> lock(log_->mu_);
+    seq = log_->seq_++;
+  }
+  line_ = "{\"seq\":" + std::to_string(seq);
+  line_ += ",\"ts_us\":" + FormatJsonDouble(MonotonicNowUs());
+  line_ += ",\"type\":\"";
+  AppendJsonEscaped(&line_, type);
+  line_ += "\"";
+}
+
+EventLog::Event::Event(Event&& other) noexcept
+    : log_(other.log_), line_(std::move(other.line_)) {
+  other.log_ = nullptr;
+}
+
+EventLog::Event::~Event() {
+  if (log_ == nullptr) return;
+  line_ += "}";
+  log_->Write(line_);
+}
+
+EventLog::Event& EventLog::Event::Str(std::string_view key,
+                                      std::string_view value) {
+  if (log_ == nullptr) return *this;
+  line_ += ",\"";
+  AppendJsonEscaped(&line_, key);
+  line_ += "\":\"";
+  AppendJsonEscaped(&line_, value);
+  line_ += "\"";
+  return *this;
+}
+
+EventLog::Event& EventLog::Event::Int(std::string_view key, int64_t value) {
+  if (log_ == nullptr) return *this;
+  line_ += ",\"";
+  AppendJsonEscaped(&line_, key);
+  line_ += "\":" + std::to_string(value);
+  return *this;
+}
+
+EventLog::Event& EventLog::Event::Uint(std::string_view key, uint64_t value) {
+  if (log_ == nullptr) return *this;
+  line_ += ",\"";
+  AppendJsonEscaped(&line_, key);
+  line_ += "\":" + std::to_string(value);
+  return *this;
+}
+
+EventLog::Event& EventLog::Event::Num(std::string_view key, double value) {
+  if (log_ == nullptr) return *this;
+  line_ += ",\"";
+  AppendJsonEscaped(&line_, key);
+  line_ += "\":" + FormatJsonDouble(value);
+  return *this;
+}
+
+EventLog::Event& EventLog::Event::Bool(std::string_view key, bool value) {
+  if (log_ == nullptr) return *this;
+  line_ += ",\"";
+  AppendJsonEscaped(&line_, key);
+  line_ += "\":";
+  line_ += value ? "true" : "false";
+  return *this;
+}
+
+EventLog::Event& EventLog::Event::StrList(
+    std::string_view key, const std::vector<std::string>& values) {
+  if (log_ == nullptr) return *this;
+  line_ += ",\"";
+  AppendJsonEscaped(&line_, key);
+  line_ += "\":[";
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) line_ += ",";
+    line_ += "\"";
+    AppendJsonEscaped(&line_, values[i]);
+    line_ += "\"";
+  }
+  line_ += "]";
+  return *this;
+}
+
+void EventLog::Write(const std::string& line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostream* sink = out_ != nullptr ? out_ : (file_.is_open() ? &file_ : nullptr);
+  if (sink == nullptr) return;  // sink closed between Emit() and emission
+  (*sink) << line << "\n";
+  sink->flush();  // alarm events must survive a crash right after
+  ++emitted_;
+}
+
+}  // namespace phasorwatch::obs

@@ -1,0 +1,83 @@
+#ifndef PHASORWATCH_OBS_EVENT_LOG_H_
+#define PHASORWATCH_OBS_EVENT_LOG_H_
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace phasorwatch::obs {
+
+/// Structured JSONL sink for operator-facing lifecycle events (alarm
+/// raised/cleared, votes, run markers). One event = one JSON object on
+/// one line, always carrying "seq" (monotonic per process), "ts_us"
+/// (monotonic microseconds since process start), and "type".
+///
+/// Disabled until a file is opened or a stream attached; building an
+/// event against a disabled log is a no-op costing one branch, so call
+/// sites do not need to guard emission. Thread-safe: lines are
+/// serialized under a mutex so concurrent events never interleave.
+class EventLog {
+ public:
+  static EventLog& Global();
+
+  EventLog() = default;
+
+  /// Opens (truncates) a JSONL file as the sink.
+  Status OpenFile(const std::string& path);
+  /// Attaches a caller-owned stream (tests; must outlive the log or be
+  /// detached with Close()).
+  void AttachStream(std::ostream* out);
+  void Close();
+  bool enabled() const;
+  uint64_t events_emitted() const;
+
+  /// In-flight event builder; emits on destruction. Move-only.
+  class Event {
+   public:
+    Event(Event&& other) noexcept;
+    Event& operator=(Event&&) = delete;
+    Event(const Event&) = delete;
+    Event& operator=(const Event&) = delete;
+    ~Event();
+
+    Event& Str(std::string_view key, std::string_view value);
+    Event& Int(std::string_view key, int64_t value);
+    Event& Uint(std::string_view key, uint64_t value);
+    Event& Num(std::string_view key, double value);
+    Event& Bool(std::string_view key, bool value);
+    Event& StrList(std::string_view key,
+                   const std::vector<std::string>& values);
+
+   private:
+    friend class EventLog;
+    Event(EventLog* log, std::string_view type);
+
+    EventLog* log_;  // nullptr when the sink is disabled or moved-from
+    std::string line_;
+  };
+
+  /// Starts an event of the given type. Chain field setters and let the
+  /// temporary die to emit:
+  ///   EventLog::Global().Emit("alarm_raised").Uint("sample", t);
+  Event Emit(std::string_view type);
+
+ private:
+  friend class Event;
+  void Write(const std::string& line);
+
+  mutable std::mutex mu_;
+  std::ofstream file_;
+  std::ostream* out_ = nullptr;  // not owned; wins over file_ when set
+  uint64_t seq_ = 0;
+  uint64_t emitted_ = 0;
+};
+
+}  // namespace phasorwatch::obs
+
+#endif  // PHASORWATCH_OBS_EVENT_LOG_H_

@@ -1,0 +1,240 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/serialize.h"
+
+namespace phasorwatch::obs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::Observe(double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Inclusive upper bounds: first bound >= value; past-the-end lands in
+  // the overflow bucket.
+  size_t idx =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) - bounds_.begin();
+  ++counts_[idx];
+  ++count_;
+  sum_ += value;
+  if (count_ == 1) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+}
+
+double Histogram::Snapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  double target = q * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < counts.size(); ++b) {
+    uint64_t next = cumulative + counts[b];
+    if (static_cast<double>(next) >= target && counts[b] > 0) {
+      double lo = b == 0 ? std::min(min, bounds.empty() ? min : bounds[0])
+                         : bounds[b - 1];
+      double hi = b < bounds.size() ? bounds[b] : max;
+      if (hi < lo) hi = lo;
+      double within = counts[b] == 0
+                          ? 0.0
+                          : (target - static_cast<double>(cumulative)) /
+                                static_cast<double>(counts[b]);
+      return lo + std::clamp(within, 0.0, 1.0) * (hi - lo);
+    }
+    cumulative = next;
+  }
+  return max;
+}
+
+Histogram::Snapshot Histogram::TakeSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  snap.bounds = bounds_;
+  snap.counts = counts_;
+  snap.count = count_;
+  snap.sum = sum_;
+  snap.min = min_;
+  snap.max = max_;
+  return snap;
+}
+
+void Histogram::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+const std::vector<double>& DefaultLatencyBucketsUs() {
+  static const std::vector<double>* buckets = new std::vector<double>{
+      1,    2.5,   5,     10,    25,     50,     100,    250,
+      500,  1000,  2500,  5000,  10000,  25000,  50000,  100000,
+      250000, 500000, 1000000};
+  return *buckets;
+}
+
+const std::vector<double>& DefaultIterationBuckets() {
+  static const std::vector<double>* buckets = new std::vector<double>{
+      1, 2, 3, 4, 5, 6, 8, 10, 15, 20, 30, 50};
+  return *buckets;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked singleton: instruments must stay alive for static-duration
+  // cached pointers and destructor-time flushes.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(bounds);
+  return slot.get();
+}
+
+const Counter* MetricsRegistry::FindCounter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge* MetricsRegistry::FindGauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const Histogram* MetricsRegistry::FindHistogram(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+namespace {
+
+std::string FormatDouble(double value) {
+  std::ostringstream out;
+  out.precision(6);
+  out << value;
+  return out.str();
+}
+
+}  // namespace
+
+std::string MetricsRegistry::TextSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "--- metrics snapshot ---\n";
+  for (const auto& [name, counter] : counters_) {
+    out << "counter   " << name << " = " << counter->value() << "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out << "gauge     " << name << " = " << FormatDouble(gauge->value())
+        << "\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    Histogram::Snapshot snap = histogram->TakeSnapshot();
+    out << "histogram " << name << " count=" << snap.count;
+    if (snap.count > 0) {
+      out << " mean=" << FormatDouble(snap.mean())
+          << " min=" << FormatDouble(snap.min)
+          << " p50=" << FormatDouble(snap.Quantile(0.5))
+          << " p95=" << FormatDouble(snap.Quantile(0.95))
+          << " max=" << FormatDouble(snap.max);
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string MetricsRegistry::JsonSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"counters\":{";
+  auto append_key = [&out](const std::string& name) {
+    out += "\"";
+    AppendJsonEscaped(&out, name);
+    out += "\":";
+  };
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    append_key(name);
+    out += std::to_string(counter->value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    if (!first) out += ",";
+    first = false;
+    append_key(name);
+    out += FormatJsonDouble(gauge->value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    Histogram::Snapshot snap = histogram->TakeSnapshot();
+    if (!first) out += ",";
+    first = false;
+    append_key(name);
+    out += "{\"count\":";
+    out += std::to_string(snap.count);
+    out += ",\"sum\":";
+    out += FormatJsonDouble(snap.sum);
+    out += ",\"min\":";
+    out += FormatJsonDouble(snap.count ? snap.min : 0.0);
+    out += ",\"max\":";
+    out += FormatJsonDouble(snap.count ? snap.max : 0.0);
+    out += ",\"buckets\":[";
+    for (size_t b = 0; b < snap.counts.size(); ++b) {
+      if (b > 0) out += ",";
+      out += "{\"le\":";
+      out += b < snap.bounds.size() ? FormatJsonDouble(snap.bounds[b])
+                                    : std::string("\"inf\"");
+      out += ",\"count\":";
+      out += std::to_string(snap.counts[b]);
+      out += "}";
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+size_t MetricsRegistry::num_instruments() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+}  // namespace phasorwatch::obs

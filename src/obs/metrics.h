@@ -1,0 +1,177 @@
+#ifndef PHASORWATCH_OBS_METRICS_H_
+#define PHASORWATCH_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace phasorwatch::obs {
+
+/// Monotonic event counter. Lock-free; safe to increment from any
+/// thread. Pointers handed out by the registry stay valid for the
+/// process lifetime, so call sites may cache them in static storage.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-written-value instrument (cache sizes, active-alarm flags).
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: `bounds` are ascending inclusive upper
+/// bounds; one extra overflow bucket catches everything above the last
+/// bound. Thread-safe via an internal mutex (observations are rare
+/// enough — one per timed scope — that contention is negligible).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  struct Snapshot {
+    std::vector<double> bounds;   ///< upper bounds, ascending
+    std::vector<uint64_t> counts; ///< bounds.size() + 1 (last = overflow)
+    uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;  ///< meaningful only when count > 0
+    double max = 0.0;
+    double mean() const { return count == 0 ? 0.0 : sum / count; }
+    /// Linear-interpolated quantile estimate from the bucket counts
+    /// (q in [0, 1]); the overflow bucket clamps to the last bound.
+    double Quantile(double q) const;
+  };
+  Snapshot TakeSnapshot() const;
+  void Reset();
+
+ private:
+  const std::vector<double> bounds_;
+  mutable std::mutex mu_;
+  std::vector<uint64_t> counts_;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Default buckets for latency histograms, in microseconds: roughly
+/// exponential from 1 us to 1 s, matching the spread between a cached
+/// proximity evaluation and a full 118-bus training pass.
+const std::vector<double>& DefaultLatencyBucketsUs();
+
+/// Default buckets for small iteration counts (power-flow solves).
+const std::vector<double>& DefaultIterationBuckets();
+
+/// Process-global registry of named instruments. Get* registers on
+/// first use and returns the same pointer thereafter; instruments are
+/// never deleted, so returned pointers can be cached indefinitely.
+/// All methods are thread-safe.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// `bounds` is used only on first registration; later calls with a
+  /// different shape return the existing histogram unchanged.
+  Histogram* GetHistogram(const std::string& name,
+                          const std::vector<double>& bounds);
+
+  /// Lookup without registration (nullptr when absent). For tests and
+  /// exporters that must not create instruments as a side effect.
+  const Counter* FindCounter(const std::string& name) const;
+  const Gauge* FindGauge(const std::string& name) const;
+  const Histogram* FindHistogram(const std::string& name) const;
+
+  /// Human-readable snapshot: one line per instrument, sorted by name.
+  std::string TextSnapshot() const;
+  /// Machine-readable snapshot: a single JSON object with "counters",
+  /// "gauges", and "histograms" sections.
+  std::string JsonSnapshot() const;
+
+  /// Zeroes every registered instrument (names and pointers survive;
+  /// cached call-site pointers stay valid). Intended for tests and
+  /// between-run resets in benchmark harnesses.
+  void ResetAll();
+
+  size_t num_instruments() const;
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace phasorwatch::obs
+
+// --- instrumentation macros -------------------------------------------
+//
+// Call sites use these rather than the classes directly so that a
+// build with -DPW_OBS_DISABLED=ON compiles every hot-path hook down to
+// nothing. Each expansion caches its instrument pointer in a
+// function-local static: after the first hit the cost is one relaxed
+// atomic add.
+
+#ifndef PW_OBS_DISABLED
+
+#define PW_OBS_COUNTER_INC(name) PW_OBS_COUNTER_ADD(name, 1)
+
+#define PW_OBS_COUNTER_ADD(name, delta)                                   \
+  do {                                                                    \
+    static ::phasorwatch::obs::Counter* pw_obs_counter_ =                 \
+        ::phasorwatch::obs::MetricsRegistry::Global().GetCounter(name);   \
+    pw_obs_counter_->Increment(static_cast<uint64_t>(delta));             \
+  } while (0)
+
+#define PW_OBS_GAUGE_SET(name, value)                                     \
+  do {                                                                    \
+    static ::phasorwatch::obs::Gauge* pw_obs_gauge_ =                     \
+        ::phasorwatch::obs::MetricsRegistry::Global().GetGauge(name);     \
+    pw_obs_gauge_->Set(static_cast<double>(value));                       \
+  } while (0)
+
+#define PW_OBS_HISTOGRAM_OBSERVE(name, value, bounds)                     \
+  do {                                                                    \
+    static ::phasorwatch::obs::Histogram* pw_obs_histogram_ =             \
+        ::phasorwatch::obs::MetricsRegistry::Global().GetHistogram(name,  \
+                                                                   bounds); \
+    pw_obs_histogram_->Observe(static_cast<double>(value));               \
+  } while (0)
+
+#else  // PW_OBS_DISABLED
+
+#define PW_OBS_COUNTER_INC(name) ((void)0)
+#define PW_OBS_COUNTER_ADD(name, delta) ((void)0)
+#define PW_OBS_GAUGE_SET(name, value) ((void)0)
+#define PW_OBS_HISTOGRAM_OBSERVE(name, value, bounds) ((void)0)
+
+#endif  // PW_OBS_DISABLED
+
+#endif  // PHASORWATCH_OBS_METRICS_H_

@@ -1,0 +1,81 @@
+#include "obs/trace.h"
+
+#include <sstream>
+
+namespace phasorwatch::obs {
+
+TraceRing& TraceRing::Global() {
+  static TraceRing* ring = new TraceRing();
+  return *ring;
+}
+
+TraceRing::TraceRing(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
+  spans_.reserve(capacity_);
+}
+
+void TraceRing::Record(const TraceSpan& span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spans_.size() < capacity_) {
+    spans_.push_back(span);
+  } else {
+    spans_[next_ % capacity_] = span;
+  }
+  ++next_;
+}
+
+std::vector<TraceSpan> TraceRing::Dump() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceSpan> out;
+  out.reserve(spans_.size());
+  if (spans_.size() < capacity_) {
+    out = spans_;
+  } else {
+    // `next_ % capacity_` is the oldest slot once the ring has wrapped.
+    for (size_t i = 0; i < capacity_; ++i) {
+      out.push_back(spans_[(next_ + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+std::string TraceRing::DumpText() const {
+  std::vector<TraceSpan> spans = Dump();
+  std::ostringstream out;
+  out << "--- trace ring (" << spans.size() << " spans, oldest first) ---\n";
+  out.precision(3);
+  out << std::fixed;
+  for (const TraceSpan& span : spans) {
+    out << "  +" << span.start_us / 1000.0 << "ms " << span.name << " "
+        << span.duration_us << "us\n";
+  }
+  return out.str();
+}
+
+void TraceRing::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+  next_ = 0;
+}
+
+uint64_t TraceRing::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_;
+}
+
+double MonotonicNowUs() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point origin = Clock::now();
+  return std::chrono::duration<double, std::micro>(Clock::now() - origin)
+      .count();
+}
+
+ScopedTimer::~ScopedTimer() {
+  double end_us = MonotonicNowUs();
+  double elapsed_us =
+      std::chrono::duration<double, std::micro>(Clock::now() - start_).count();
+  if (histogram_ != nullptr) histogram_->Observe(elapsed_us);
+  TraceRing::Global().Record(
+      TraceSpan{name_, end_us - elapsed_us, elapsed_us});
+}
+
+}  // namespace phasorwatch::obs

@@ -1,0 +1,102 @@
+#ifndef PHASORWATCH_OBS_TRACE_H_
+#define PHASORWATCH_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace phasorwatch::obs {
+
+/// One completed timed scope. `name` points at the call site's string
+/// literal, so spans stay trivially copyable.
+struct TraceSpan {
+  const char* name = "";
+  /// Start offset relative to process start (first trace ever taken).
+  double start_us = 0.0;
+  double duration_us = 0.0;
+};
+
+/// Fixed-capacity ring of the most recent completed spans, for
+/// post-mortem "what was the pipeline doing" dumps. Thread-safe.
+class TraceRing {
+ public:
+  static constexpr size_t kDefaultCapacity = 256;
+
+  static TraceRing& Global();
+
+  explicit TraceRing(size_t capacity = kDefaultCapacity);
+
+  void Record(const TraceSpan& span);
+
+  /// Spans oldest-first (at most `capacity` of them).
+  std::vector<TraceSpan> Dump() const;
+  /// Human-readable dump, one span per line, oldest first.
+  std::string DumpText() const;
+
+  void Clear();
+  size_t capacity() const { return capacity_; }
+  uint64_t total_recorded() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<TraceSpan> spans_;  // ring storage
+  uint64_t next_ = 0;             // total spans ever recorded
+};
+
+/// Microseconds since the process's first call (monotonic clock).
+double MonotonicNowUs();
+
+/// RAII wall-clock timer: on destruction records the elapsed time into
+/// the given histogram (microseconds) and appends a span to the global
+/// trace ring. Use via PW_TRACE_SCOPE below so disabled builds compile
+/// the whole thing out.
+class ScopedTimer {
+ public:
+  ScopedTimer(Histogram* histogram, const char* name)
+      : histogram_(histogram), name_(name), start_(Clock::now()) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer();
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Histogram* histogram_;  // not owned; may be nullptr (ring-only span)
+  const char* name_;
+  Clock::time_point start_;
+};
+
+}  // namespace phasorwatch::obs
+
+#define PW_OBS_CONCAT_INNER_(a, b) a##b
+#define PW_OBS_CONCAT_(a, b) PW_OBS_CONCAT_INNER_(a, b)
+
+#ifndef PW_OBS_DISABLED
+
+/// Times the enclosing scope into the latency histogram `name` (unit:
+/// microseconds, default buckets) and the global trace ring. The
+/// histogram pointer is resolved once per call site.
+#define PW_TRACE_SCOPE(name)                                              \
+  ::phasorwatch::obs::ScopedTimer PW_OBS_CONCAT_(pw_trace_scope_,         \
+                                                 __LINE__)(               \
+      [] {                                                                \
+        static ::phasorwatch::obs::Histogram* pw_trace_hist_ =            \
+            ::phasorwatch::obs::MetricsRegistry::Global().GetHistogram(   \
+                name, ::phasorwatch::obs::DefaultLatencyBucketsUs());     \
+        return pw_trace_hist_;                                            \
+      }(),                                                                \
+      name)
+
+#else  // PW_OBS_DISABLED
+
+#define PW_TRACE_SCOPE(name) ((void)0)
+
+#endif  // PW_OBS_DISABLED
+
+#endif  // PHASORWATCH_OBS_TRACE_H_

@@ -7,6 +7,8 @@
 #include "linalg/complex_matrix.h"
 #include "linalg/lu.h"
 #include "linalg/matrix.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace phasorwatch::pf {
 namespace {
@@ -22,6 +24,7 @@ using linalg::Vector;
 Result<PowerFlowSolution> SolveFastDecoupled(
     const Grid& grid, const FastDecoupledOptions& options,
     const InjectionOverrides& overrides) {
+  PW_TRACE_SCOPE("powerflow.fd.solve_us");
   const size_t n = grid.num_buses();
   auto check_size = [&](const std::vector<double>& v,
                         const char* what) -> Status {
@@ -160,11 +163,16 @@ Result<PowerFlowSolution> SolveFastDecoupled(
 
   compute_injections();
   if (mismatch >= options.tolerance) {
+    PW_OBS_COUNTER_INC("powerflow.fd.nonconverged");
     return Status::NotConverged(
         "fast-decoupled load flow did not converge after " +
         std::to_string(options.max_iterations) +
         " iterations (mismatch=" + std::to_string(mismatch) + ")");
   }
+  PW_OBS_COUNTER_INC("powerflow.fd.solves");
+  PW_OBS_COUNTER_ADD("powerflow.fd.iterations_total", iter);
+  PW_OBS_HISTOGRAM_OBSERVE("powerflow.fd.iterations", iter,
+                           ::phasorwatch::obs::DefaultIterationBuckets());
 
   sol.vm = vm;
   sol.va_rad = va;

@@ -6,6 +6,8 @@
 #include "common/check.h"
 #include "linalg/complex_matrix.h"
 #include "linalg/lu.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace phasorwatch::pf {
 namespace {
@@ -199,11 +201,16 @@ Result<PowerFlowSolution> SolveAcCore(const Grid& grid,
 
   compute_injections();
   if (mismatch_norm >= options.tolerance) {
+    PW_OBS_COUNTER_INC("powerflow.ac.nonconverged");
     return Status::NotConverged(
         "power flow did not converge after " +
         std::to_string(options.max_iterations) +
         " iterations (mismatch=" + std::to_string(mismatch_norm) + ")");
   }
+  PW_OBS_COUNTER_INC("powerflow.ac.solves");
+  PW_OBS_COUNTER_ADD("powerflow.ac.iterations_total", iter);
+  PW_OBS_HISTOGRAM_OBSERVE("powerflow.ac.iterations", iter,
+                           ::phasorwatch::obs::DefaultIterationBuckets());
 
   sol.vm = vm;
   sol.va_rad = va;
@@ -224,6 +231,7 @@ Result<PowerFlowSolution> SolveAcCore(const Grid& grid,
 Result<PowerFlowSolution> SolveAcPowerFlow(const Grid& grid,
                                            const PowerFlowOptions& options,
                                            const InjectionOverrides& overrides) {
+  PW_TRACE_SCOPE("powerflow.ac.solve_us");
   const size_t n = grid.num_buses();
   PW_ASSIGN_OR_RETURN(ScheduledInjections sched,
                       ResolveInjections(grid, overrides));
@@ -257,6 +265,7 @@ Result<PowerFlowSolution> SolveAcPowerFlow(const Grid& grid,
       types[i] = BusType::kPQ;
       sched.q_pu[i] = (pinned - qd) / grid.base_mva();
       switched = true;
+      PW_OBS_COUNTER_INC("powerflow.ac.qlimit_demotions");
     }
     if (!switched) break;
   }
@@ -271,6 +280,8 @@ Result<PowerFlowSolution> SolveAcPowerFlow(const Grid& grid,
 
 Result<PowerFlowSolution> SolveDcPowerFlow(const Grid& grid,
                                            const InjectionOverrides& overrides) {
+  PW_TRACE_SCOPE("powerflow.dc.solve_us");
+  PW_OBS_COUNTER_INC("powerflow.dc.solves");
   const size_t n = grid.num_buses();
   PW_ASSIGN_OR_RETURN(ScheduledInjections sched,
                       ResolveInjections(grid, overrides));

@@ -4,6 +4,8 @@
 
 #include "common/check.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace phasorwatch::sim {
 
@@ -20,6 +22,7 @@ void PhasorDataSet::Append(const PhasorDataSet& other) {
 Result<PhasorDataSet> SimulateMeasurements(const grid::Grid& grid,
                                            const SimulationOptions& options,
                                            Rng& rng) {
+  PW_TRACE_SCOPE("sim.simulate_us");
   const size_t n = grid.num_buses();
   const size_t num_states = options.load.num_states;
   const size_t per_state = options.samples_per_state;
@@ -49,9 +52,12 @@ Result<PhasorDataSet> SimulateMeasurements(const grid::Grid& grid,
     if (!solution.ok()) {
       // Skip states that do not converge; the case is invalidated below
       // only if most states fail.
+      PW_OBS_COUNTER_INC("sim.load_states_failed");
       continue;
     }
     ++solved;
+    PW_OBS_COUNTER_INC("sim.load_states_solved");
+    PW_OBS_COUNTER_ADD("sim.samples_generated", per_state);
     for (size_t s = 0; s < per_state; ++s) {
       for (size_t i = 0; i < n; ++i) {
         out.vm(i, col) =

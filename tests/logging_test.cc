@@ -1,5 +1,8 @@
 #include "common/logging.h"
 
+#include <atomic>
+#include <cstdlib>
+
 #include <gtest/gtest.h>
 
 namespace phasorwatch {
@@ -38,6 +41,69 @@ TEST(LoggingTest, ErrorAlwaysAboveInfoThreshold) {
   SetLogLevel(LogLevel::kInfo);
   // Just exercise the enabled path (writes one line to stderr).
   PW_LOG(Error) << "test error line (expected in test output)";
+  SUCCEED();
+}
+
+TEST(LoggingTest, ParseLogLevelAcceptsAllSpellings) {
+  LogLevel level;
+  EXPECT_TRUE(ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("INFO", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);
+  EXPECT_TRUE(ParseLogLevel("Warn", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("wArNiNg", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("error", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+
+  EXPECT_FALSE(ParseLogLevel("", &level));
+  EXPECT_FALSE(ParseLogLevel("verbose", &level));
+  EXPECT_FALSE(ParseLogLevel("debugx", &level));
+}
+
+TEST(LoggingTest, SetLogLevelFromEnvHonorsVariable) {
+  LogLevelGuard guard;
+  ASSERT_EQ(setenv("PW_LOG_LEVEL", "ERROR", 1), 0);
+  EXPECT_TRUE(SetLogLevelFromEnv());
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+
+  ASSERT_EQ(setenv("PW_LOG_LEVEL", "debug", 1), 0);
+  EXPECT_TRUE(SetLogLevelFromEnv());
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+
+  // Malformed value: warns, leaves the level alone, reports false.
+  ASSERT_EQ(setenv("PW_LOG_LEVEL", "shouting", 1), 0);
+  EXPECT_FALSE(SetLogLevelFromEnv());
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+
+  // Unset: silently a no-op.
+  ASSERT_EQ(unsetenv("PW_LOG_LEVEL"), 0);
+  EXPECT_FALSE(SetLogLevelFromEnv());
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+}
+
+TEST(LoggingTest, LogEveryNCheckFiresOnFirstAndEveryNth) {
+  std::atomic<uint64_t> counter{0};
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (internal_logging::LogEveryNCheck(counter, 3)) ++fired;
+  }
+  // Calls 1, 4, 7, 10.
+  EXPECT_EQ(fired, 4);
+
+  // n == 0 is treated as "every call" rather than dividing by zero.
+  std::atomic<uint64_t> zero_counter{0};
+  EXPECT_TRUE(internal_logging::LogEveryNCheck(zero_counter, 0));
+  EXPECT_TRUE(internal_logging::LogEveryNCheck(zero_counter, 0));
+}
+
+TEST(LoggingTest, LogEveryNMacroCompilesAndRateLimits) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kError);  // keep the test output quiet
+  for (int i = 0; i < 100; ++i) {
+    PW_LOG_EVERY_N(Info, 10) << "tick " << i;
+  }
   SUCCEED();
 }
 

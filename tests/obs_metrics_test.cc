@@ -1,0 +1,216 @@
+// Tests for the metrics registry: instrument semantics, bucket edge
+// behaviour, snapshot exporters, thread safety, and the macro layer.
+
+#include "obs/metrics.h"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/serialize.h"
+#include "obs/trace.h"
+
+namespace phasorwatch::obs {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Counter, ConcurrentIncrementsAreLossless) {
+  Counter c;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Gauge, SetAndAdd) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.Set(2.5);
+  EXPECT_EQ(g.value(), 2.5);
+  g.Add(-1.0);
+  EXPECT_EQ(g.value(), 1.5);
+  g.Reset();
+  EXPECT_EQ(g.value(), 0.0);
+}
+
+TEST(Gauge, ConcurrentAddsAreLossless) {
+  Gauge g;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&g] {
+      for (int i = 0; i < kPerThread; ++i) g.Add(1.0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(g.value(), static_cast<double>(kThreads) * kPerThread);
+}
+
+TEST(Histogram, BucketBoundsAreInclusiveUpperEdges) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.Observe(0.5);    // <= 1
+  h.Observe(1.0);    // <= 1 (inclusive)
+  h.Observe(1.001);  // <= 10
+  h.Observe(10.0);   // <= 10
+  h.Observe(100.0);  // <= 100
+  h.Observe(1e6);    // overflow
+  auto snap = h.TakeSnapshot();
+  ASSERT_EQ(snap.counts.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(snap.counts[0], 2u);
+  EXPECT_EQ(snap.counts[1], 2u);
+  EXPECT_EQ(snap.counts[2], 1u);
+  EXPECT_EQ(snap.counts[3], 1u);
+  EXPECT_EQ(snap.count, 6u);
+  EXPECT_EQ(snap.min, 0.5);
+  EXPECT_EQ(snap.max, 1e6);
+}
+
+TEST(Histogram, SnapshotStatistics) {
+  Histogram h({1.0, 2.0, 4.0, 8.0});
+  for (double v : {1.0, 2.0, 3.0, 4.0}) h.Observe(v);
+  auto snap = h.TakeSnapshot();
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_DOUBLE_EQ(snap.sum, 10.0);
+  EXPECT_DOUBLE_EQ(snap.mean(), 2.5);
+  // p0 is the minimum-side edge, p100 the max.
+  EXPECT_LE(snap.Quantile(0.0), snap.Quantile(1.0));
+  double p50 = snap.Quantile(0.5);
+  EXPECT_GE(p50, 1.0);
+  EXPECT_LE(p50, 4.0);
+}
+
+TEST(Histogram, EmptySnapshotIsSane) {
+  Histogram h(DefaultLatencyBucketsUs());
+  auto snap = h.TakeSnapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.mean(), 0.0);
+  EXPECT_EQ(snap.Quantile(0.5), 0.0);
+}
+
+TEST(Histogram, ResetClearsObservations) {
+  Histogram h({1.0, 2.0});
+  h.Observe(1.5);
+  h.Reset();
+  EXPECT_EQ(h.TakeSnapshot().count, 0u);
+}
+
+TEST(MetricsRegistry, GetReturnsStableInstruments) {
+  auto& reg = MetricsRegistry::Global();
+  reg.ResetAll();
+  Counter* a = reg.GetCounter("test.registry.counter");
+  Counter* b = reg.GetCounter("test.registry.counter");
+  EXPECT_EQ(a, b);
+  a->Increment(3);
+  EXPECT_EQ(reg.FindCounter("test.registry.counter"), a);
+  EXPECT_EQ(reg.FindCounter("test.registry.nonexistent"), nullptr);
+
+  Gauge* g = reg.GetGauge("test.registry.gauge");
+  g->Set(1.25);
+  EXPECT_EQ(reg.FindGauge("test.registry.gauge"), g);
+
+  Histogram* h =
+      reg.GetHistogram("test.registry.hist", DefaultIterationBuckets());
+  h->Observe(3);
+  EXPECT_EQ(reg.FindHistogram("test.registry.hist"), h);
+
+  // ResetAll zeroes values but keeps the instruments alive (macro call
+  // sites cache raw pointers).
+  reg.ResetAll();
+  EXPECT_EQ(a->value(), 0u);
+  EXPECT_EQ(g->value(), 0.0);
+  EXPECT_EQ(h->TakeSnapshot().count, 0u);
+  EXPECT_EQ(reg.FindCounter("test.registry.counter"), a);
+}
+
+TEST(MetricsRegistry, TextSnapshotListsInstruments) {
+  auto& reg = MetricsRegistry::Global();
+  reg.GetCounter("test.snapshot.counter")->Increment(7);
+  reg.GetGauge("test.snapshot.gauge")->Set(0.5);
+  reg.GetHistogram("test.snapshot.hist", {1.0, 10.0})->Observe(2.0);
+  std::string text = reg.TextSnapshot();
+  EXPECT_NE(text.find("test.snapshot.counter"), std::string::npos);
+  EXPECT_NE(text.find("test.snapshot.gauge"), std::string::npos);
+  EXPECT_NE(text.find("test.snapshot.hist"), std::string::npos);
+}
+
+TEST(MetricsRegistry, JsonSnapshotIsValidJson) {
+  auto& reg = MetricsRegistry::Global();
+  reg.GetCounter("test.json.counter")->Increment();
+  reg.GetGauge("test.json.gauge")->Set(-3.5);
+  reg.GetHistogram("test.json.hist", {1.0, 10.0})->Observe(5.0);
+  std::string json = reg.JsonSnapshot();
+  ASSERT_TRUE(ValidateJson(json).ok()) << json;
+  auto counters = JsonObjectField(json, "counters");
+  ASSERT_TRUE(counters.ok());
+  EXPECT_NE(counters->find("test.json.counter"), std::string::npos);
+  auto hists = JsonObjectField(json, "histograms");
+  ASSERT_TRUE(hists.ok());
+  EXPECT_NE(hists->find("\"le\""), std::string::npos);
+}
+
+TEST(TraceRing, RecordsAndWraps) {
+  TraceRing ring(4);
+  for (int i = 0; i < 6; ++i) {
+    ring.Record(TraceSpan{"span", static_cast<double>(i), 1.0});
+  }
+  auto spans = ring.Dump();
+  ASSERT_EQ(spans.size(), 4u);
+  // Oldest-first: entries 2..5 survive.
+  EXPECT_EQ(spans.front().start_us, 2.0);
+  EXPECT_EQ(spans.back().start_us, 5.0);
+  EXPECT_EQ(ring.total_recorded(), 6u);
+  ring.Clear();
+  EXPECT_TRUE(ring.Dump().empty());
+}
+
+TEST(ScopedTimer, RecordsIntoHistogram) {
+  Histogram h(DefaultLatencyBucketsUs());
+  {
+    ScopedTimer timer(&h, "test.scoped");
+  }
+  auto snap = h.TakeSnapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_GE(snap.max, 0.0);
+}
+
+#ifndef PW_OBS_DISABLED
+TEST(ObsMacros, CounterAndTraceScopeRecord) {
+  auto& reg = MetricsRegistry::Global();
+  reg.ResetAll();
+  for (int i = 0; i < 3; ++i) {
+    PW_OBS_COUNTER_INC("test.macro.counter");
+    PW_TRACE_SCOPE("test.macro.span_us");
+  }
+  PW_OBS_GAUGE_SET("test.macro.gauge", 9.0);
+  const Counter* c = reg.FindCounter("test.macro.counter");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->value(), 3u);
+  const Gauge* g = reg.FindGauge("test.macro.gauge");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->value(), 9.0);
+  const Histogram* h = reg.FindHistogram("test.macro.span_us");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->TakeSnapshot().count, 3u);
+}
+#endif  // PW_OBS_DISABLED
+
+}  // namespace
+}  // namespace phasorwatch::obs
