@@ -21,6 +21,12 @@ BenchConfig ParseConfig(int argc, char** argv) {
     if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       config.experiment.seed = std::strtoull(argv[i + 1], nullptr, 10);
     }
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      size_t threads = std::strtoull(argv[i + 1], nullptr, 10);
+      // Same degree everywhere; PW_THREADS still wins (thread_pool.h).
+      config.dataset.parallelism = threads;
+      config.experiment.parallelism = threads;
+    }
   }
 
   if (config.full) {

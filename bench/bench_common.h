@@ -11,8 +11,12 @@
 namespace phasorwatch::bench {
 
 /// Scale of a figure-harness run, selectable via argv[1]:
-///   --quick  : IEEE 14 + 30, small sample counts (smoke, < ~1 min)
-///   --full   : all four systems with paper-scale sample counts
+///   --quick     : IEEE 14 + 30, small sample counts (smoke, < ~1 min)
+///   --full      : all four systems with paper-scale sample counts
+///   --threads N : worker threads for dataset build, training, and
+///                 evaluation (0 = one per core, 1 = serial; results
+///                 are bit-identical either way — see
+///                 docs/PARALLELISM.md)
 /// Default is --quick so `for b in build/bench/*; do $b; done` stays
 /// tractable; EXPERIMENTS.md records --full runs.
 struct BenchConfig {
@@ -22,7 +26,7 @@ struct BenchConfig {
   bool full = false;
 };
 
-/// Parses --quick / --full (and optional --seed N).
+/// Parses --quick / --full (and optional --seed N, --threads N).
 BenchConfig ParseConfig(int argc, char** argv);
 
 /// Builds the dataset for one system with the config's sizing.

@@ -12,6 +12,7 @@
 #include <benchmark/benchmark.h>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "detect/detector.h"
 #include "eval/dataset.h"
 #include "eval/experiments.h"
@@ -127,6 +128,42 @@ void BM_DetectWithMissingData(benchmark::State& state) {
 }
 BENCHMARK(BM_DetectWithMissingData)->Arg(14)->Arg(30)
     ->Unit(benchmark::kMicrosecond);
+
+// Threads-vs-wall-time sweep for the dataset build, the pipeline's
+// dominant cost (one AC power flow per solved state per outage case).
+// Arg = parallelism degree; every degree produces a bit-identical
+// dataset (tests/parallel_determinism_test.cc), so the rows differ only
+// in wall time. On a single-core host the sweep degenerates to flat
+// timings; on an N-core host the 118-bus row scales until the per-case
+// fan-out (171 present lines) is exhausted.
+void BM_BuildDataset118(benchmark::State& state) {
+  auto grid = pw::grid::EvaluationSystem(118);
+  if (!grid.ok()) {
+    state.SkipWithError("grid construction failed");
+    return;
+  }
+  pw::eval::DatasetOptions dopts;
+  // Small per-case sizing keeps one iteration tractable; the fan-out
+  // width (number of outage cases) is what the sweep is probing.
+  dopts.train_states = 2;
+  dopts.train_samples_per_state = 2;
+  dopts.test_states = 1;
+  dopts.test_samples_per_state = 2;
+  dopts.parallelism = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto dataset = pw::eval::BuildDataset(*grid, dopts, 9001);
+    if (!dataset.ok()) {
+      state.SkipWithError("dataset build failed");
+      return;
+    }
+    benchmark::DoNotOptimize(dataset->outages.size());
+  }
+  state.counters["threads"] = static_cast<double>(
+      pw::ResolveParallelism(static_cast<size_t>(state.range(0))));
+}
+BENCHMARK(BM_BuildDataset118)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()
+    ->UseRealTime();
 
 void BM_MlrPredict(benchmark::State& state) {
   TrainedFixture* fixture = GetFixture(static_cast<int>(state.range(0)));

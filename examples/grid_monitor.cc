@@ -108,6 +108,11 @@ int main(int argc, char** argv) {
   dopts.train_samples_per_state = 8;
   dopts.test_states = 8;
   dopts.test_samples_per_state = 6;
+  // One worker per core for the per-case simulation fan-out (set
+  // PW_THREADS=1 to force the serial path); the generated data is
+  // bit-identical either way, so the scripted timeline below plays out
+  // the same on any machine.
+  dopts.parallelism = 0;
   auto dataset = pw::eval::BuildDataset(*grid, dopts, 99);
   if (!dataset.ok()) return 1;
 

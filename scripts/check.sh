@@ -8,7 +8,8 @@ cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build --output-on-failure
 for example in build/examples/*; do
-  [ -x "$example" ] || continue
+  # -f skips CMakeFiles/ and friends (directories pass -x).
+  [ -f "$example" ] && [ -x "$example" ] || continue
   echo "=== $example ==="
   "$example" > /dev/null
 done
@@ -30,5 +31,17 @@ echo "=== PW_OBS_DISABLED build ==="
 cmake -B build-obs-off -G Ninja -DPW_OBS_DISABLED=ON
 cmake --build build-obs-off
 ctest --test-dir build-obs-off --output-on-failure
+
+# ThreadSanitizer gate for the parallel fan-outs: the thread pool, the
+# streaming monitor's producer/observer contract, and the determinism
+# suite (which exercises every parallelized pipeline stage) must be
+# race-free. Benchmarks/examples are skipped — google-benchmark is not
+# TSan-instrumented here and they add nothing to the race surface.
+echo "=== PW_TSAN build ==="
+cmake -B build-tsan -G Ninja -DPW_TSAN=ON \
+  -DPHASORWATCH_BUILD_BENCHMARKS=OFF -DPHASORWATCH_BUILD_EXAMPLES=OFF
+cmake --build build-tsan --target concurrency_test parallel_determinism_test
+./build-tsan/tests/concurrency_test
+./build-tsan/tests/parallel_determinism_test
 
 echo "all checks passed"

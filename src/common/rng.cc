@@ -91,4 +91,15 @@ std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
 
 Rng Rng::Fork() { return Rng(NextU64() ^ 0xD1B54A32D192ED03ull); }
 
+Rng Rng::Fork(uint64_t seed, uint64_t stream) {
+  // Two SplitMix64 steps over a mix of the pair: the first finalizes
+  // `seed`, the second decorrelates neighboring stream indices. The
+  // golden-ratio offset keeps (seed, 0) distinct from Rng(seed).
+  uint64_t x = seed ^ (stream * 0xBF58476D1CE4E5B9ull) ^
+               0x94D049BB133111EBull;
+  uint64_t child = SplitMix64(x);
+  child ^= SplitMix64(x);
+  return Rng(child);
+}
+
 }  // namespace phasorwatch

@@ -58,6 +58,17 @@ class Rng {
   /// or worker its own stream without correlations.
   Rng Fork();
 
+  /// Derives the child generator for stream `stream` of the job seeded
+  /// by `seed`, without constructing (or advancing) the parent. The
+  /// derivation is a SplitMix64-style hash of (seed, stream), so child
+  /// streams are mutually independent and — crucially for parallel
+  /// work — depend only on the pair of values, never on how many other
+  /// streams were forked before this one or on which thread forks it.
+  /// `Fork(s, 0), Fork(s, 1), ...` is the per-case seeding scheme used
+  /// by the dataset builder and experiment loops; see
+  /// docs/PARALLELISM.md.
+  static Rng Fork(uint64_t seed, uint64_t stream);
+
  private:
   uint64_t s_[4];
   bool has_cached_normal_ = false;

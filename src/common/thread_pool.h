@@ -1,0 +1,84 @@
+#ifndef PHASORWATCH_COMMON_THREAD_POOL_H_
+#define PHASORWATCH_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace phasorwatch {
+
+/// Resolves a requested parallelism degree into an effective thread
+/// count:
+///   - the PW_THREADS environment variable, when set to a parseable
+///     value, overrides `requested` (so operators can force a run
+///     serial or wide without touching configuration structs);
+///   - 0 means "one thread per hardware core" (hardware_concurrency);
+///   - the result is clamped to >= 1 (1 = the legacy serial path).
+size_t ResolveParallelism(size_t requested);
+
+/// Fixed-size worker pool for the coarse-grained fan-outs of the
+/// pipeline (per-outage-case simulation, per-line subspace training,
+/// per-case evaluation).
+///
+/// A pool of degree P spawns P-1 worker threads; the thread calling
+/// ParallelFor() participates as the P-th executor, so total
+/// concurrency is exactly P and a pool of degree 1 runs everything
+/// inline on the caller (no threads, no queues — the legacy serial
+/// path). Nested ParallelFor() calls from inside a task cannot
+/// deadlock: iterations are claimed from a shared atomic counter, so
+/// the nested caller simply drains its own loop inline even when every
+/// worker is busy.
+///
+/// Determinism contract: ParallelFor() runs *every* iteration exactly
+/// once regardless of errors, and returns the failure with the lowest
+/// iteration index (so the reported Status does not depend on thread
+/// scheduling). Exceptions escaping a body are captured and converted
+/// to StatusCode::kInternal, never propagated across threads.
+class ThreadPool {
+ public:
+  /// Spawns workers for a parallelism degree of `num_threads` (see
+  /// class comment; degree <= 1 spawns none).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains every queued task, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Parallelism degree: worker threads + the participating caller.
+  size_t degree() const { return workers_.size() + 1; }
+
+  /// Enqueues one fire-and-forget task. On a degree-1 pool the task
+  /// runs inline before Submit returns. Exceptions escaping the task
+  /// are swallowed (use ParallelFor for error propagation).
+  void Submit(std::function<void()> task);
+
+  /// Runs body(i) for every i in [0, n) across the pool (caller
+  /// included), returning the lowest-index non-OK Status, if any.
+  /// Blocks until every iteration has finished.
+  Status ParallelFor(size_t n, const std::function<Status(size_t)>& body);
+
+ private:
+  void WorkerLoop();
+  /// Pops and runs queued tasks until the queue is empty (helper for
+  /// the destructor's drain) — returns after running one task, or
+  /// false if the queue was empty.
+  bool RunOneTask();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+};
+
+}  // namespace phasorwatch
+
+#endif  // PHASORWATCH_COMMON_THREAD_POOL_H_

@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -54,21 +55,29 @@ Result<OutageDetector> OutageDetector::Train(const grid::Grid& grid,
   det.options_ = options;
   det.case_lines_ = data.case_lines;
 
+  ThreadPool pool(ResolveParallelism(options.parallelism));
+
   // 1. Subspace model per condition. The normal model keeps its full
   // basis: the whitened classification models are built from it.
+  // Per-line models are independent SVD/eigensolve problems, so the
+  // loop fans out across the pool; results land in their own slots and
+  // are bit-identical at any parallelism degree.
   SubspaceModelOptions normal_opts = options.subspace;
   normal_opts.keep_full_basis = true;
   PW_ASSIGN_OR_RETURN(det.normal_model_,
                       LearnSubspaceModel(*data.normal, normal_opts));
-  det.line_models_.reserve(data.outage.size());
-  for (const sim::PhasorDataSet* block : data.outage) {
-    if (block == nullptr || block->num_nodes() != n) {
-      return Status::InvalidArgument("outage training block missing/wrong size");
-    }
-    PW_ASSIGN_OR_RETURN(SubspaceModel model,
-                        LearnSubspaceModel(*block, options.subspace));
-    det.line_models_.push_back(std::move(model));
-  }
+  det.line_models_.resize(data.outage.size());
+  PW_RETURN_IF_ERROR(pool.ParallelFor(
+      data.outage.size(), [&](size_t c) -> Status {
+        const sim::PhasorDataSet* block = data.outage[c];
+        if (block == nullptr || block->num_nodes() != n) {
+          return Status::InvalidArgument(
+              "outage training block missing/wrong size");
+        }
+        PW_ASSIGN_OR_RETURN(det.line_models_[c],
+                            LearnSubspaceModel(*block, options.subspace));
+        return Status::OK();
+      }));
   const size_t normal_samples = data.normal->num_samples();
   det.normal_class_model_ = MakeWhitenedClassModel(
       det.normal_model_, det.normal_model_.mean, normal_samples);
@@ -80,9 +89,11 @@ Result<OutageDetector> OutageDetector::Train(const grid::Grid& grid,
 
   // 2. Node-based union/intersection subspaces (Eq. 3). Nodes with no
   // valid outage case fall back to the normal model's constraints so
-  // their scores stay defined (they simply never rank first).
+  // their scores stay defined (they simply never rank first). One
+  // independent eigensolve per node — the second training hotspot —
+  // fanned out across the pool.
   det.node_models_.resize(n);
-  for (size_t i = 0; i < n; ++i) {
+  PW_RETURN_IF_ERROR(pool.ParallelFor(n, [&](size_t i) -> Status {
     std::vector<const SubspaceModel*> incident;
     for (size_t c = 0; c < det.case_lines_.size(); ++c) {
       if (det.case_lines_[c].i == i || det.case_lines_[c].j == i) {
@@ -96,7 +107,8 @@ Result<OutageDetector> OutageDetector::Train(const grid::Grid& grid,
       det.node_models_[i] =
           BuildNodeSubspaces(incident, options.soft_intersection_tol);
     }
-  }
+    return Status::OK();
+  }));
 
   // 3. Normal-operation ellipses (Eq. 4).
   det.ellipses_.reserve(n);

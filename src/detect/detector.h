@@ -71,6 +71,11 @@ struct DetectorOptions {
   /// residual (both over the pooled detection group). Calibrated
   /// downward if normal data ever gets close to a line model.
   double ratio_gate = 0.8;
+  /// Worker threads for the per-line subspace training fan-out: 0 = one
+  /// per hardware core, 1 = serial. Overridable via PW_THREADS (see
+  /// common/thread_pool.h). Trained models are bit-identical at every
+  /// setting: each line's model is learned independently.
+  size_t parallelism = 0;
 };
 
 /// Output of one detection query.
@@ -95,7 +100,11 @@ struct DetectionResult {
 /// (Eq. 10), applies the proximity rule over the grid topology, and
 /// returns the candidate outage line set.
 ///
-/// Not thread-safe: Detect() maintains an internal regressor cache.
+/// Thread safety: a trained detector is logically immutable, and
+/// Detect() may be called concurrently from multiple threads (its only
+/// mutable state is the internal ProximityEngine regressor cache, which
+/// is internally synchronized). Train()/Load() themselves must finish
+/// before the detector is shared.
 class OutageDetector {
  public:
   static Result<OutageDetector> Train(const grid::Grid& grid,

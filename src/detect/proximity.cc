@@ -42,8 +42,15 @@ Result<double> ProximityEngine::Evaluate(const SubspaceModel& model,
   }
 
   uint64_t key = GroupCacheKey(model_key, group);
-  auto it = cache_.find(key);
-  if (it == cache_.end() || it->second.group != group) {
+  std::shared_ptr<const CachedRegressor> cached;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = cache_.find(key);
+    if (it != cache_.end() && it->second->group == group) {
+      cached = it->second;
+    }
+  }
+  if (cached == nullptr) {
     // Cache miss: build the Eq. 9 missing-data regressor for this
     // (model, group) pair.
     PW_OBS_COUNTER_INC("proximity.regressor_builds");
@@ -79,9 +86,20 @@ Result<double> ProximityEngine::Evaluate(const SubspaceModel& model,
       PW_ASSIGN_OR_RETURN(linalg::Matrix c_m_pinv, linalg::PseudoInverse(c_m));
       regressor = c_d - (c_m * (c_m_pinv * c_d));
     }
-    it = cache_.insert_or_assign(key, CachedRegressor{std::move(regressor),
-                                                      group}).first;
-    PW_OBS_GAUGE_SET("proximity.cache_size", cache_.size());
+    cached = std::make_shared<const CachedRegressor>(
+        CachedRegressor{std::move(regressor), group});
+    size_t cache_size;
+    {
+      std::unique_lock<std::shared_mutex> lock(mu_);
+      // Another thread may have built the same key meanwhile; both
+      // regressors are bit-identical (same deterministic inputs), so
+      // either copy serves. A differing stored group means a genuine
+      // hash collision — the newcomer wins, as before.
+      auto [it, inserted] = cache_.try_emplace(key, cached);
+      if (!inserted && it->second->group != group) it->second = cached;
+      cache_size = cache_.size();
+    }
+    PW_OBS_GAUGE_SET("proximity.cache_size", cache_size);
   } else {
     PW_OBS_COUNTER_INC("proximity.cache_hits");
   }
@@ -89,12 +107,11 @@ Result<double> ProximityEngine::Evaluate(const SubspaceModel& model,
   // Residual: || R (x_D - mu_D) ||^2 — one Eq. 9 regressor application
   // (the missing-data path proper).
   PW_OBS_COUNTER_INC("proximity.regressor_applications");
-  const CachedRegressor& cached = it->second;
   linalg::Vector z(group.size());
   for (size_t c = 0; c < group.size(); ++c) {
     z[c] = sample[group[c]] - model.mean[group[c]];
   }
-  linalg::Vector r = cached.r * z;
+  linalg::Vector r = cached->r * z;
   double sum = 0.0;
   for (size_t i = 0; i < r.size(); ++i) sum += r[i] * r[i];
   return sum;

@@ -2,7 +2,11 @@
 #define PHASORWATCH_DETECT_PROXIMITY_H_
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -24,9 +28,25 @@ namespace phasorwatch::detect {
 /// i.e. a regressor built from a pseudo-inverse of a row-partition of
 /// the subspace matrix, as in Eq. 9 / [12]. The projector is cached per
 /// (model, D) pair: detection groups repeat heavily across samples.
+///
+/// Thread safety: Evaluate() may be called concurrently from any number
+/// of threads (the cache is guarded by a shared mutex; entries are
+/// immutable once built, and two threads racing to build the same key
+/// compute bit-identical regressors). ClearCache() must not run
+/// concurrently with Evaluate().
 class ProximityEngine {
  public:
   ProximityEngine() = default;
+
+  /// Movable so the owning detector stays movable; the mutex itself is
+  /// not moved (each engine keeps its own). Moving while other threads
+  /// use either engine is a bug, as with any container.
+  ProximityEngine(ProximityEngine&& other) noexcept
+      : cache_(std::move(other.cache_)) {}
+  ProximityEngine& operator=(ProximityEngine&& other) noexcept {
+    if (this != &other) cache_ = std::move(other.cache_);
+    return *this;
+  }
 
   /// Proximity of the sample to `model` using only coordinates in
   /// `group` (must be non-empty and contain no missing nodes).
@@ -39,8 +59,14 @@ class ProximityEngine {
   static double EvaluateComplete(const SubspaceModel& model,
                                  const linalg::Vector& sample);
 
-  size_t cache_size() const { return cache_.size(); }
-  void ClearCache() { cache_.clear(); }
+  size_t cache_size() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return cache_.size();
+  }
+  void ClearCache() {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    cache_.clear();
+  }
 
  private:
   struct CachedRegressor {
@@ -49,7 +75,10 @@ class ProximityEngine {
     std::vector<size_t> group;
   };
 
-  std::unordered_map<uint64_t, CachedRegressor> cache_;
+  mutable std::shared_mutex mu_;
+  /// Values are shared_ptr so an Evaluate() can keep applying a
+  /// regressor lock-free while other threads insert new entries.
+  std::unordered_map<uint64_t, std::shared_ptr<const CachedRegressor>> cache_;
 };
 
 /// Stable hash key combining a model id and a detection-group member

@@ -1,6 +1,7 @@
 #ifndef PHASORWATCH_DETECT_STREAM_H_
 #define PHASORWATCH_DETECT_STREAM_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -44,7 +45,15 @@ struct StreamEvent {
 /// operator-facing alarm stream: debounces the alarm flag and stabilizes
 /// the candidate line set by majority vote across recent samples.
 ///
-/// Single-threaded, like the underlying detector.
+/// Thread-safety contract (single producer, many observers): Process()
+/// and Reset() mutate debouncing state and must be externally
+/// serialized — one ingest thread, as in a PDC feed. The cheap
+/// observers alarm_active() and samples_processed() are atomic and may
+/// be polled concurrently from other threads (an operator UI, a
+/// metrics scraper) without locking. Everything else (StreamEvent
+/// results, Reset) belongs to the producer thread.
+/// tests/stream_concurrency_test.cc pins this contract down under
+/// ThreadSanitizer.
 class StreamingMonitor {
  public:
   /// The detector must outlive the monitor.
@@ -59,10 +68,17 @@ class StreamingMonitor {
   Result<StreamEvent> Process(const linalg::Vector& vm,
                               const linalg::Vector& va);
 
-  bool alarm_active() const { return alarm_active_; }
-  /// Samples processed since construction or the last Reset().
-  uint64_t samples_processed() const { return next_sample_; }
+  /// Safe to poll from any thread while the producer runs.
+  bool alarm_active() const {
+    return alarm_active_.load(std::memory_order_acquire);
+  }
+  /// Samples processed since construction or the last Reset(). Safe to
+  /// poll from any thread while the producer runs.
+  uint64_t samples_processed() const {
+    return next_sample_.load(std::memory_order_acquire);
+  }
   /// Drops all debouncing/voting state (e.g. after operator ack).
+  /// Producer-thread only.
   void Reset();
 
  private:
@@ -74,8 +90,10 @@ class StreamingMonitor {
   OutageDetector* detector_;  // not owned
   StreamOptions options_;
 
-  uint64_t next_sample_ = 0;
-  bool alarm_active_ = false;
+  /// Atomic so observers can poll concurrently with the producer; all
+  /// writes happen on the producer thread.
+  std::atomic<uint64_t> next_sample_{0};
+  std::atomic<bool> alarm_active_{false};
   size_t consecutive_positive_ = 0;
   size_t consecutive_negative_ = 0;
   std::deque<std::vector<grid::LineId>> recent_votes_;

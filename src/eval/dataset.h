@@ -17,6 +17,11 @@ struct DatasetOptions {
   size_t train_samples_per_state = 8;         ///< 192 training samples
   size_t test_states = 13;                    ///< solved states, testing
   size_t test_samples_per_state = 8;          ///< ~100 test samples/case
+  /// Worker threads for the per-outage-case fan-out: 0 = one per
+  /// hardware core, 1 = serial. Overridable via PW_THREADS (see
+  /// common/thread_pool.h). The dataset is bit-identical at every
+  /// setting: each case draws from its own seed stream.
+  size_t parallelism = 0;
 };
 
 /// Train/test measurement blocks for one condition (normal operation or
@@ -31,10 +36,17 @@ struct CaseData {
 /// single-line-outage case (non-islanding, power flow converges), as in
 /// Sec. V-A. Train and test sets come from independent load scenarios,
 /// following the split procedure of [14].
+///
+/// Ordering guarantee: `outages` and `skipped_lines` follow the order
+/// of Grid::lines() regardless of the build parallelism, so case
+/// indices are stable identifiers across runs.
 struct Dataset {
-  const grid::Grid* grid = nullptr;  ///< points at the caller's grid
+  /// Non-owning pointer to the grid passed to BuildDataset; the caller
+  /// must keep that grid alive (at a stable address) for as long as
+  /// this dataset — and anything trained from it — is in use.
+  const grid::Grid* grid = nullptr;
   CaseData normal;
-  std::vector<CaseData> outages;     ///< one per valid line
+  std::vector<CaseData> outages;     ///< one per valid line, in line order
   std::vector<grid::LineId> skipped_lines;  ///< islanding/non-converging
 
   size_t num_valid_cases() const { return outages.size(); }

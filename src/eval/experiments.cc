@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "sim/missing_data.h"
 
 namespace phasorwatch::eval {
@@ -60,10 +61,14 @@ Result<TrainedMethods> TrainedMethods::Train(const Dataset& dataset,
     training.case_lines.push_back(c.line);
     training.outage.push_back(&c.train);
   }
+  // The experiment-level parallelism setting drives the detector's
+  // training fan-out too.
+  detect::DetectorOptions detector_opts = options.detector;
+  detector_opts.parallelism = options.parallelism;
   PW_ASSIGN_OR_RETURN(
       detect::OutageDetector detector,
       detect::OutageDetector::Train(grid, *out.network_, training,
-                                    options.detector));
+                                    detector_opts));
   out.detector_ =
       std::make_unique<detect::OutageDetector>(std::move(detector));
 
@@ -83,44 +88,72 @@ Result<ScenarioResult> RunScenario(const Dataset& dataset,
                                    const ExperimentOptions& options) {
   const grid::Grid& grid = *dataset.grid;
   const size_t n = grid.num_buses();
-  Rng rng(options.seed ^ (static_cast<uint64_t>(scenario) << 32));
+  const uint64_t scenario_seed =
+      options.seed ^ (static_cast<uint64_t>(scenario) << 32);
 
-  MetricAccumulator subspace_acc;
-  MetricAccumulator mlr_acc;
+  // One unit of parallel work (an outage case, or one normal sample in
+  // the kRandomOnNormal scenario) accumulates into its own partial;
+  // partials merge in index order below, so IA/FA sums are
+  // bit-identical at every parallelism degree.
+  struct PartialMetrics {
+    MetricAccumulator subspace;
+    MetricAccumulator mlr;
+  };
 
-  auto evaluate_sample = [&](const sim::PhasorDataSet& data, size_t col,
+  auto evaluate_sample = [&](PartialMetrics& acc,
+                             const sim::PhasorDataSet& data, size_t col,
                              const std::vector<LineId>& truth,
                              const sim::MissingMask& mask) -> Status {
     auto [vm, va] = data.Sample(col);
     PW_ASSIGN_OR_RETURN(DetectionResult det,
                         methods.detector().Detect(vm, va, mask));
-    subspace_acc.Add(ScoreSample(truth, det.lines));
-    mlr_acc.Add(ScoreSample(truth, methods.mlr().PredictLines(vm, va, mask)));
+    acc.subspace.Add(ScoreSample(truth, det.lines));
+    acc.mlr.Add(ScoreSample(truth, methods.mlr().PredictLines(vm, va, mask)));
     return Status::OK();
   };
 
+  ThreadPool pool(ResolveParallelism(options.parallelism));
+  std::vector<PartialMetrics> partials;
+
   if (scenario == MissingScenario::kRandomOnNormal) {
     // Sec. V-C2: normal-operation samples with random drops; the true
-    // outage set is empty.
+    // outage set is empty. Each sample owns seed stream s.
     size_t total = options.test_samples_per_case *
                    std::max<size_t>(1, dataset.outages.size() / 4);
-    for (size_t s = 0; s < total; ++s) {
+    partials.resize(total);
+    PW_RETURN_IF_ERROR(pool.ParallelFor(total, [&](size_t s) -> Status {
+      Rng rng = Rng::Fork(scenario_seed, s);
       size_t col = static_cast<size_t>(
           rng.UniformInt(dataset.normal.test.num_samples()));
       sim::MissingMask mask = MakeMask(scenario, n, LineId(0, 0),
                                        options.random_missing_count, rng);
-      PW_RETURN_IF_ERROR(evaluate_sample(dataset.normal.test, col, {}, mask));
-    }
+      return evaluate_sample(partials[s], dataset.normal.test, col, {}, mask);
+    }));
   } else {
-    for (const CaseData& c : dataset.outages) {
-      std::vector<size_t> cols =
-          TestColumns(c.test, options.test_samples_per_case, rng);
-      for (size_t col : cols) {
-        sim::MissingMask mask =
-            MakeMask(scenario, n, c.line, options.random_missing_count, rng);
-        PW_RETURN_IF_ERROR(evaluate_sample(c.test, col, {c.line}, mask));
-      }
-    }
+    // Each outage case owns seed stream c_idx; its samples evaluate
+    // serially within the case.
+    partials.resize(dataset.outages.size());
+    PW_RETURN_IF_ERROR(pool.ParallelFor(
+        dataset.outages.size(), [&](size_t c_idx) -> Status {
+          const CaseData& c = dataset.outages[c_idx];
+          Rng rng = Rng::Fork(scenario_seed, c_idx);
+          std::vector<size_t> cols =
+              TestColumns(c.test, options.test_samples_per_case, rng);
+          for (size_t col : cols) {
+            sim::MissingMask mask = MakeMask(
+                scenario, n, c.line, options.random_missing_count, rng);
+            PW_RETURN_IF_ERROR(
+                evaluate_sample(partials[c_idx], c.test, col, {c.line}, mask));
+          }
+          return Status::OK();
+        }));
+  }
+
+  MetricAccumulator subspace_acc;
+  MetricAccumulator mlr_acc;
+  for (const PartialMetrics& p : partials) {
+    subspace_acc.Merge(p.subspace);
+    mlr_acc.Merge(p.mlr);
   }
 
   ScenarioResult result;
@@ -165,9 +198,15 @@ Result<std::vector<ReliabilityPoint>> RunReliabilitySweep(
     size_t patterns_per_level, const ExperimentOptions& options) {
   const grid::Grid& grid = *dataset.grid;
   const size_t n = grid.num_buses();
-  std::vector<ReliabilityPoint> points;
-
-  for (double avail : device_availabilities) {
+  // Reliability levels are independent Monte-Carlo estimates with their
+  // own seeds, so the sweep fans out one level per pool slot; points
+  // land in their level's slot, keeping output order and values
+  // identical at every parallelism degree.
+  std::vector<ReliabilityPoint> points(device_availabilities.size());
+  ThreadPool pool(ResolveParallelism(options.parallelism));
+  PW_RETURN_IF_ERROR(pool.ParallelFor(
+      device_availabilities.size(), [&](size_t level) -> Status {
+    double avail = device_availabilities[level];
     sim::PmuReliability rel;
     rel.r_pmu = avail;  // treat the product as the device availability
     rel.r_link = 1.0;
@@ -205,8 +244,9 @@ Result<std::vector<ReliabilityPoint>> RunReliabilitySweep(
         std::pow(avail, static_cast<double>(n));
     point.effective_false_alarm = acc.MeanFalseAlarm();
     point.effective_accuracy = acc.MeanIdentificationAccuracy();
-    points.push_back(point);
-  }
+    points[level] = point;
+    return Status::OK();
+  }));
   return points;
 }
 

@@ -30,6 +30,12 @@ struct ExperimentOptions {
   size_t test_samples_per_case = 100;
   size_t random_missing_count = 3;  ///< drops per sample in random scenarios
   uint64_t seed = 42;
+  /// Worker threads for the evaluation fan-outs (per-case scenario
+  /// loops, reliability levels) and, via TrainedMethods::Train, the
+  /// detector's training fan-out: 0 = one per hardware core, 1 =
+  /// serial. Overridable via PW_THREADS (see common/thread_pool.h).
+  /// IA/FA results are bit-identical at every setting.
+  size_t parallelism = 0;
 };
 
 /// One method's aggregate result on one system.

@@ -28,6 +28,15 @@ class MetricAccumulator {
     ++count_;
   }
 
+  /// Folds another accumulator's samples into this one. The experiment
+  /// loops accumulate per-case partials and merge them in case order,
+  /// so the totals are bit-identical at every parallelism degree.
+  void Merge(const MetricAccumulator& other) {
+    ia_sum_ += other.ia_sum_;
+    fa_sum_ += other.fa_sum_;
+    count_ += other.count_;
+  }
+
   size_t count() const { return count_; }
   double MeanIdentificationAccuracy() const {
     return count_ == 0 ? 0.0 : ia_sum_ / static_cast<double>(count_);

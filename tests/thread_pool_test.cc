@@ -1,0 +1,212 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace phasorwatch {
+namespace {
+
+TEST(ResolveParallelismTest, ZeroMeansHardwareConcurrency) {
+  ::unsetenv("PW_THREADS");
+  size_t resolved = ResolveParallelism(0);
+  EXPECT_GE(resolved, 1u);
+  size_t hw = std::thread::hardware_concurrency();
+  if (hw > 0) EXPECT_EQ(resolved, hw);
+}
+
+TEST(ResolveParallelismTest, ExplicitRequestPassesThrough) {
+  ::unsetenv("PW_THREADS");
+  EXPECT_EQ(ResolveParallelism(1), 1u);
+  EXPECT_EQ(ResolveParallelism(3), 3u);
+  EXPECT_EQ(ResolveParallelism(7), 7u);
+}
+
+TEST(ResolveParallelismTest, EnvOverrideWins) {
+  ::setenv("PW_THREADS", "5", /*overwrite=*/1);
+  EXPECT_EQ(ResolveParallelism(0), 5u);
+  EXPECT_EQ(ResolveParallelism(2), 5u);
+  ::setenv("PW_THREADS", "1", 1);
+  EXPECT_EQ(ResolveParallelism(8), 1u);
+  // Garbage values fall back to the requested degree.
+  ::setenv("PW_THREADS", "banana", 1);
+  EXPECT_EQ(ResolveParallelism(3), 3u);
+  ::unsetenv("PW_THREADS");
+}
+
+class ThreadPoolTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ::unsetenv("PW_THREADS"); }
+};
+
+TEST_F(ThreadPoolTest, DegreeCountsCallerThread) {
+  EXPECT_EQ(ThreadPool(1).degree(), 1u);
+  EXPECT_EQ(ThreadPool(4).degree(), 4u);
+  // Degree 0 is treated like 1 (no workers).
+  EXPECT_EQ(ThreadPool(0).degree(), 1u);
+}
+
+TEST_F(ThreadPoolTest, SubmittedTasksAllRun) {
+  constexpr int kTasks = 64;
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < kTasks; ++i) {
+      pool.Submit([&ran] { ran.fetch_add(1); });
+    }
+    // The destructor drains the queue before joining.
+  }
+  EXPECT_EQ(ran.load(), kTasks);
+}
+
+TEST_F(ThreadPoolTest, SerialPoolRunsSubmitInline) {
+  ThreadPool pool(1);
+  std::thread::id ran_on;
+  pool.Submit([&ran_on] { ran_on = std::this_thread::get_id(); });
+  EXPECT_EQ(ran_on, std::this_thread::get_id());
+}
+
+TEST_F(ThreadPoolTest, ParallelForEmptyRangeIsOk) {
+  ThreadPool pool(4);
+  int calls = 0;
+  Status s = pool.ParallelFor(0, [&calls](size_t) -> Status {
+    ++calls;
+    return Status::OK();
+  });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 0);
+}
+
+TEST_F(ThreadPoolTest, ParallelForRunsEveryIndexExactlyOnce) {
+  for (size_t degree : {1u, 2u, 4u, 8u}) {
+    for (size_t n : {1u, 2u, 7u, 100u}) {
+      ThreadPool pool(degree);
+      std::vector<std::atomic<int>> hits(n);
+      Status s = pool.ParallelFor(n, [&hits](size_t i) -> Status {
+        hits[i].fetch_add(1);
+        return Status::OK();
+      });
+      ASSERT_TRUE(s.ok());
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "degree=" << degree << " n=" << n
+                                     << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST_F(ThreadPoolTest, ParallelForActuallyUsesWorkerThreads) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::set<std::thread::id> seen;
+  Status s = pool.ParallelFor(64, [&](size_t) -> Status {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      seen.insert(std::this_thread::get_id());
+    }
+    // Give other threads a chance to claim iterations.
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    return Status::OK();
+  });
+  ASSERT_TRUE(s.ok());
+  EXPECT_GE(seen.size(), 1u);
+  EXPECT_LE(seen.size(), 4u);
+}
+
+TEST_F(ThreadPoolTest, LowestIndexErrorWins) {
+  // Regardless of scheduling, the reported failure must be the one with
+  // the lowest iteration index — and every iteration still runs.
+  for (size_t degree : {1u, 4u}) {
+    ThreadPool pool(degree);
+    std::atomic<int> ran{0};
+    Status s = pool.ParallelFor(50, [&ran](size_t i) -> Status {
+      ran.fetch_add(1);
+      if (i == 7 || i == 31 || i == 49) {
+        return Status::InvalidArgument("failed at " + std::to_string(i));
+      }
+      return Status::OK();
+    });
+    EXPECT_EQ(ran.load(), 50) << "degree=" << degree;
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.message(), "failed at 7") << "degree=" << degree;
+  }
+}
+
+TEST_F(ThreadPoolTest, ExceptionBecomesInternalStatus) {
+  for (size_t degree : {1u, 4u}) {
+    ThreadPool pool(degree);
+    Status s = pool.ParallelFor(8, [](size_t i) -> Status {
+      if (i == 3) throw std::runtime_error("boom");
+      return Status::OK();
+    });
+    ASSERT_FALSE(s.ok()) << "degree=" << degree;
+    EXPECT_EQ(s.code(), StatusCode::kInternal);
+    EXPECT_NE(s.message().find("boom"), std::string::npos);
+  }
+}
+
+TEST_F(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  // Every worker enters an outer iteration, then each runs an inner
+  // ParallelFor on the same pool. The inner calls must drain inline
+  // even though all workers are busy with outer iterations.
+  ThreadPool pool(4);
+  std::atomic<int> inner_runs{0};
+  Status s = pool.ParallelFor(8, [&](size_t) -> Status {
+    return pool.ParallelFor(16, [&](size_t) -> Status {
+      inner_runs.fetch_add(1);
+      return Status::OK();
+    });
+  });
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(inner_runs.load(), 8 * 16);
+}
+
+TEST_F(ThreadPoolTest, ManyMoreIterationsThanThreads) {
+  ThreadPool pool(2);
+  std::atomic<uint64_t> sum{0};
+  Status s = pool.ParallelFor(1000, [&sum](size_t i) -> Status {
+    sum.fetch_add(i);
+    return Status::OK();
+  });
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(sum.load(), 1000u * 999u / 2);
+}
+
+TEST_F(ThreadPoolTest, DestructorDrainsPendingSubmits) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 32; ++i) {
+      pool.Submit([&ran] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        ran.fetch_add(1);
+      });
+    }
+  }  // ~ThreadPool must not drop queued tasks.
+  EXPECT_EQ(ran.load(), 32);
+}
+
+TEST_F(ThreadPoolTest, SequentialParallelForCallsReusePool) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 5; ++round) {
+    std::atomic<int> ran{0};
+    ASSERT_TRUE(pool.ParallelFor(20, [&ran](size_t) -> Status {
+      ran.fetch_add(1);
+      return Status::OK();
+    }).ok());
+    EXPECT_EQ(ran.load(), 20);
+  }
+}
+
+}  // namespace
+}  // namespace phasorwatch
