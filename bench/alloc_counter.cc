@@ -1,0 +1,109 @@
+// Heap-allocation interposer for benchmarks: replaces the global
+// operator new/delete with counting wrappers over malloc/free. Linked
+// only into benchmark executables (see bench/CMakeLists.txt), so the
+// library and production binaries are unaffected.
+//
+// The replacement set covers the throwing, nothrow, and aligned forms;
+// the sized deletes forward to the unsized ones. Counting uses relaxed
+// atomics: the counters are diagnostics, not synchronization.
+
+#include "bench/alloc_counter.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace phasorwatch::bench {
+namespace {
+
+std::atomic<uint64_t> g_alloc_count{0};
+std::atomic<uint64_t> g_alloc_bytes{0};
+
+void* CountedAlloc(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  // malloc(0) may return nullptr; operator new must not.
+  return std::malloc(size == 0 ? 1 : size);
+}
+
+void* CountedAlignedAlloc(std::size_t size, std::size_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, align < sizeof(void*) ? sizeof(void*) : align,
+                     size == 0 ? 1 : size) != 0) {
+    return nullptr;
+  }
+  return p;
+}
+
+}  // namespace
+
+uint64_t AllocCount() {
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
+
+uint64_t AllocBytes() {
+  return g_alloc_bytes.load(std::memory_order_relaxed);
+}
+
+double AllocsPerOp(uint64_t before, uint64_t iterations) {
+  if (iterations == 0) return 0.0;
+  uint64_t delta = AllocCount() - before;
+  return static_cast<double>(delta) / static_cast<double>(iterations);
+}
+
+}  // namespace phasorwatch::bench
+
+// --- global operator new/delete replacements --------------------------
+
+void* operator new(std::size_t size) {
+  void* p = phasorwatch::bench::CountedAlloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  void* p = phasorwatch::bench::CountedAlloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return phasorwatch::bench::CountedAlloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return phasorwatch::bench::CountedAlloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = phasorwatch::bench::CountedAlignedAlloc(
+      size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  void* p = phasorwatch::bench::CountedAlignedAlloc(
+      size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}

@@ -1,0 +1,34 @@
+#ifndef PHASORWATCH_BENCH_ALLOC_COUNTER_H_
+#define PHASORWATCH_BENCH_ALLOC_COUNTER_H_
+
+#include <cstdint>
+
+namespace phasorwatch::bench {
+
+/// Process-wide heap-allocation counters, maintained by the operator
+/// new/delete interposer in alloc_counter.cc. Bench-only: the
+/// interposer is linked into benchmark executables (perf_linalg,
+/// perf_pipeline), never into the library, so production binaries keep
+/// the system allocator untouched.
+///
+/// Usage in a benchmark:
+///   uint64_t before = AllocCount();
+///   for (auto _ : state) { ... }
+///   state.counters["allocs_per_op"] =
+///       AllocsPerOp(before, state.iterations());
+///
+/// Counts are cumulative since process start and monotonically
+/// increasing; they are updated with relaxed atomics, so they are exact
+/// for single-threaded benchmark loops and approximate across threads.
+uint64_t AllocCount();
+
+/// Total bytes requested from operator new since process start.
+uint64_t AllocBytes();
+
+/// Convenience: allocations per iteration since `before`, rounded to
+/// the nearest integer (0 when iterations == 0).
+double AllocsPerOp(uint64_t before, uint64_t iterations);
+
+}  // namespace phasorwatch::bench
+
+#endif  // PHASORWATCH_BENCH_ALLOC_COUNTER_H_

@@ -3,6 +3,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/alloc_counter.h"
 #include "common/rng.h"
 #include "grid/ieee_cases.h"
 #include "linalg/lu.h"
@@ -29,11 +30,14 @@ void BM_LuFactorSolve(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
   Matrix a = RandomMatrix(n, n, 1);
   Vector b(n, 1.0);
+  uint64_t allocs_before = pw::bench::AllocCount();
   for (auto _ : state) {
     auto lu = pw::linalg::LuDecomposition::Factor(a);
     auto x = lu->Solve(b);
     benchmark::DoNotOptimize(x.value());
   }
+  state.counters["allocs_per_op"] =
+      pw::bench::AllocsPerOp(allocs_before, state.iterations());
   state.SetComplexityN(static_cast<int64_t>(n));
 }
 BENCHMARK(BM_LuFactorSolve)->Arg(27)->Arg(59)->Arg(113)->Arg(233)->Complexity();
@@ -64,10 +68,13 @@ void BM_MatMul(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
   Matrix a = RandomMatrix(n, n, 4);
   Matrix b = RandomMatrix(n, n, 5);
+  uint64_t allocs_before = pw::bench::AllocCount();
   for (auto _ : state) {
     Matrix c = a * b;
     benchmark::DoNotOptimize(c);
   }
+  state.counters["allocs_per_op"] =
+      pw::bench::AllocsPerOp(allocs_before, state.iterations());
 }
 BENCHMARK(BM_MatMul)->Arg(32)->Arg(118)->Arg(256);
 
@@ -85,7 +92,7 @@ void BM_DcSolveDenseLu(benchmark::State& state) {
   for (size_t i = 0; i < grid->num_buses(); ++i) {
     if (i != grid->SlackBus()) keep.push_back(i);
   }
-  Matrix reduced = lap.SelectRows(keep).SelectCols(keep);
+  Matrix reduced = lap.SelectSubmatrix(keep, keep);
   Vector b(keep.size(), 0.1);
   for (auto _ : state) {
     auto lu = pw::linalg::LuDecomposition::Factor(reduced);
@@ -107,7 +114,7 @@ void BM_DcSolveSparseCg(benchmark::State& state) {
     if (i != grid->SlackBus()) keep.push_back(i);
   }
   pw::linalg::CsrMatrix sparse = pw::linalg::CsrMatrix::FromDense(
-      lap.SelectRows(keep).SelectCols(keep));
+      lap.SelectSubmatrix(keep, keep));
   Vector b(keep.size(), 0.1);
   for (auto _ : state) {
     auto result = pw::linalg::ConjugateGradientSolve(sparse, b);

@@ -11,6 +11,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/alloc_counter.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "detect/detector.h"
@@ -127,6 +128,43 @@ void BM_DetectWithMissingData(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DetectWithMissingData)->Arg(14)->Arg(30)
+    ->Unit(benchmark::kMicrosecond);
+
+// The steady-state allocation benchmark: a warmed detector processing
+// one missing-data sample per iteration, with the heap-allocation
+// interposer (bench/alloc_counter.cc) reporting allocs/op. This is the
+// tracked number behind the allocation-free hot-path work: after
+// warm-up (regressor cache, per-thread workspace, scratch buffers), the
+// per-sample count must stay near the handful of allocations that
+// escape into the DetectionResult.
+void BM_DetectSteadyState(benchmark::State& state) {
+  TrainedFixture* fixture = GetFixture(static_cast<int>(state.range(0)));
+  if (fixture == nullptr) {
+    state.SkipWithError("fixture construction failed");
+    return;
+  }
+  auto [vm, va] = fixture->dataset.outages[0].test.Sample(0);
+  pw::sim::MissingMask mask = pw::sim::MissingAtOutage(
+      fixture->grid.num_buses(), fixture->dataset.outages[0].line);
+  // Warm every cache the steady state relies on.
+  for (int i = 0; i < 3; ++i) {
+    benchmark::DoNotOptimize(fixture->methods.detector().Detect(vm, va, mask));
+  }
+  uint64_t allocs_before = pw::bench::AllocCount();
+  uint64_t bytes_before = pw::bench::AllocBytes();
+  for (auto _ : state) {
+    auto result = fixture->methods.detector().Detect(vm, va, mask);
+    benchmark::DoNotOptimize(result.value().lines);
+  }
+  state.counters["allocs_per_op"] =
+      pw::bench::AllocsPerOp(allocs_before, state.iterations());
+  state.counters["alloc_bytes_per_op"] =
+      state.iterations() == 0
+          ? 0.0
+          : static_cast<double>(pw::bench::AllocBytes() - bytes_before) /
+                static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_DetectSteadyState)->Arg(14)->Arg(30)
     ->Unit(benchmark::kMicrosecond);
 
 // Threads-vs-wall-time sweep for the dataset build, the pipeline's

@@ -32,6 +32,17 @@ cmake -B build-obs-off -G Ninja -DPW_OBS_DISABLED=ON
 cmake --build build-obs-off
 ctest --test-dir build-obs-off --output-on-failure
 
+# Address+UB sanitizer gate for the view/workspace layer: non-owning
+# views over workspace arenas are exactly the kind of code where a
+# lifetime bug becomes silent corruption, so the whole suite runs
+# instrumented. Benchmarks are skipped (the allocation-counter
+# interposer and ASan both replace operator new/delete).
+echo "=== PW_ASAN build ==="
+cmake -B build-asan -G Ninja -DPW_ASAN=ON \
+  -DPHASORWATCH_BUILD_BENCHMARKS=OFF -DPHASORWATCH_BUILD_EXAMPLES=OFF
+cmake --build build-asan
+ctest --test-dir build-asan --output-on-failure
+
 # ThreadSanitizer gate for the parallel fan-outs: the thread pool, the
 # streaming monitor's producer/observer contract, and the determinism
 # suite (which exercises every parallelized pipeline stage) must be

@@ -1,0 +1,144 @@
+#ifndef PHASORWATCH_COMMON_WORKSPACE_H_
+#define PHASORWATCH_COMMON_WORKSPACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+
+namespace phasorwatch {
+
+/// Bump-arena scratch memory for allocation-free hot paths.
+///
+/// A Workspace hands out double buffers by bumping a cursor through
+/// chunks it owns. Nothing is freed per-allocation: a hot path takes a
+/// Frame (nested, RAII) or the owner calls Reset() at a sample
+/// boundary, and the cursor rewinds so the next pass reuses the same
+/// memory. The arena grows monotonically while warming up (each new
+/// chunk doubles capacity) and stops allocating once the high-water
+/// footprint of the workload is reached; Reset() coalesces a
+/// fragmented arena into one chunk of the full capacity, so steady
+/// state is a single buffer and zero heap traffic.
+///
+/// Thread safety: none. Use PerThread() to get this thread's instance;
+/// never share a Workspace across threads.
+///
+/// Lifetime discipline: pointers from Alloc() (and views built over
+/// them) are valid until the enclosing Frame is destroyed or Reset()
+/// is called — after that they dangle. Reset() bumps an epoch counter;
+/// Span() returns an epoch-checked handle whose accesses PW_CHECK that
+/// the arena has not been reset, turning use-after-reset into an
+/// immediate abort instead of silent corruption.
+class Workspace {
+ public:
+  Workspace() = default;
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  /// RAII save/restore of the bump cursor. Code that runs inside a
+  /// larger computation (e.g. a proximity evaluation inside a training
+  /// loop) opens a Frame so its scratch is reclaimed on scope exit and
+  /// the arena does not grow with iteration count. Frames nest.
+  class Frame {
+   public:
+    explicit Frame(Workspace& ws)
+        : ws_(&ws), chunk_(ws.cur_), used_(ws.ChunkUsed()) {}
+    ~Frame() { ws_->Rewind(chunk_, used_); }
+    Frame(const Frame&) = delete;
+    Frame& operator=(const Frame&) = delete;
+
+   private:
+    Workspace* ws_;
+    size_t chunk_;
+    size_t used_;
+  };
+
+  /// `n` doubles, zero-initialized. Valid until the enclosing Frame
+  /// exits or Reset() runs.
+  double* Alloc(size_t n);
+
+  /// Rewinds the cursor to empty and invalidates every outstanding
+  /// pointer and Span (epoch bump). If warm-up left multiple chunks,
+  /// replaces them with one chunk of the combined capacity so future
+  /// passes bump through contiguous memory with no further heap use.
+  void Reset();
+
+  /// Incremented by every Reset(); Spans compare against it.
+  uint64_t epoch() const { return epoch_; }
+
+  /// Total doubles handed out since the last Reset (or construction).
+  size_t used() const;
+  /// Total capacity in bytes across all chunks (the arena footprint).
+  size_t capacity_bytes() const;
+
+  /// This thread's workspace. First use on a thread constructs it;
+  /// it lives until thread exit.
+  static Workspace& PerThread();
+
+ private:
+  struct Chunk {
+    std::unique_ptr<double[]> data;
+    size_t cap = 0;
+    size_t used = 0;
+  };
+
+  size_t ChunkUsed() const {
+    return chunks_.empty() ? 0 : chunks_[cur_].used;
+  }
+  void Rewind(size_t chunk, size_t used);
+  void AddChunk(size_t min_doubles);
+
+  std::vector<Chunk> chunks_;
+  size_t cur_ = 0;      ///< index of the chunk currently bumping
+  uint64_t epoch_ = 0;  ///< bumped by Reset()
+};
+
+/// Epoch-checked handle to a Workspace allocation. Every element access
+/// verifies the arena has not been Reset() since the span was taken —
+/// a stale span aborts via PW_CHECK rather than reading recycled
+/// memory. Frames do not bump the epoch (rewound-but-same-epoch reuse
+/// is the arena's whole point), so Span catches the cross-sample
+/// use-after-reset class, not intra-frame reuse.
+class WorkspaceSpan {
+ public:
+  WorkspaceSpan() = default;
+  WorkspaceSpan(const Workspace* ws, double* data, size_t size)
+      : ws_(ws), epoch_(ws->epoch()), data_(data), size_(size) {}
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  double& operator[](size_t i) const {
+    CheckLive();
+    PW_CHECK_LT(i, size_);
+    return data_[i];
+  }
+
+  /// Raw pointer for bulk kernels; checked once at extraction.
+  double* data() const {
+    CheckLive();
+    return data_;
+  }
+
+ private:
+  void CheckLive() const {
+    PW_CHECK(ws_ != nullptr);
+    PW_CHECK_EQ(epoch_, ws_->epoch());
+  }
+
+  const Workspace* ws_ = nullptr;
+  uint64_t epoch_ = 0;
+  double* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+/// Alloc + epoch-checked handle in one step.
+inline WorkspaceSpan AllocSpan(Workspace& ws, size_t n) {
+  return WorkspaceSpan(&ws, ws.Alloc(n), n);
+}
+
+}  // namespace phasorwatch
+
+#endif  // PHASORWATCH_COMMON_WORKSPACE_H_

@@ -294,131 +294,238 @@ double OutageDetector::decision_threshold() const {
   return sum / static_cast<double>(gates_.size());
 }
 
-OutageDetector::SelectedGroup OutageDetector::SelectGroup(
-    size_t cluster, const sim::MissingMask& mask) const {
+void OutageDetector::SelectGroupInto(size_t cluster,
+                                     const sim::MissingMask& mask,
+                                     SelectedGroup* selected,
+                                     GroupSelectionStats* stats) const {
   const ClusterDetectionGroup& group = groups_[cluster];
   // Eq. 10: cluster data incomplete -> use the out-of-cluster members.
-  SelectedGroup selected;
+  selected->members.clear();
+  selected->used_out_of_cluster = false;
   for (size_t node : network_->Cluster(cluster)) {
     if (mask.missing[node]) {
-      selected.used_out_of_cluster = true;
+      selected->used_out_of_cluster = true;
       break;
     }
   }
-  if (selected.used_out_of_cluster) {
+  if (selected->used_out_of_cluster) {
     PW_OBS_COUNTER_INC("detect.groups.out_of_cluster_selected");
+    ++stats->out_of_cluster_selected;
   }
   const std::vector<size_t>& preferred =
-      selected.used_out_of_cluster ? group.out_of_cluster : group.in_cluster;
+      selected->used_out_of_cluster ? group.out_of_cluster : group.in_cluster;
   for (size_t node : preferred) {
-    if (!mask.missing[node]) selected.members.push_back(node);
+    if (!mask.missing[node]) selected->members.push_back(node);
   }
-  if (!selected.members.empty()) return selected;
+  if (selected->members.empty()) {
+    // Both alternatives compromised: fall back to the other side, then
+    // to any available nodes at all.
+    PW_OBS_COUNTER_INC("detect.groups.fallback_alternate_side");
+    ++stats->fallback_alternate_side;
+    const std::vector<size_t>& alt =
+        selected->used_out_of_cluster ? group.in_cluster
+                                      : group.out_of_cluster;
+    for (size_t node : alt) {
+      if (!mask.missing[node]) selected->members.push_back(node);
+    }
+  }
+  if (selected->members.empty()) {
+    PW_OBS_COUNTER_INC("detect.groups.fallback_any_available");
+    ++stats->fallback_any_available;
+    for (size_t i = 0;
+         i < mask.size() &&
+         selected->members.size() < options_.groups.max_group_size;
+         ++i) {
+      if (!mask.missing[i]) selected->members.push_back(i);
+    }
+  }
+  GroupCoordinatesInto(selected->members, &selected->coords);
+}
 
-  // Both alternatives compromised: fall back to the other side, then to
-  // any available nodes at all.
-  PW_OBS_COUNTER_INC("detect.groups.fallback_alternate_side");
-  const std::vector<size_t>& alt =
-      selected.used_out_of_cluster ? group.in_cluster : group.out_of_cluster;
-  for (size_t node : alt) {
-    if (!mask.missing[node]) selected.members.push_back(node);
-  }
-  if (!selected.members.empty()) return selected;
-  PW_OBS_COUNTER_INC("detect.groups.fallback_any_available");
-  for (size_t i = 0; i < mask.size() &&
-                     selected.members.size() < options_.groups.max_group_size;
-       ++i) {
-    if (!mask.missing[i]) selected.members.push_back(i);
-  }
+OutageDetector::SelectedGroup OutageDetector::SelectGroup(
+    size_t cluster, const sim::MissingMask& mask) const {
+  SelectedGroup selected;
+  GroupSelectionStats stats;
+  SelectGroupInto(cluster, mask, &selected, &stats);
   return selected;
 }
 
+void OutageDetector::GroupCoordinatesInto(const std::vector<size_t>& nodes,
+                                          std::vector<size_t>* coords) const {
+  coords->clear();
+  if (options_.subspace.channel != PhasorChannel::kBoth) {
+    coords->insert(coords->end(), nodes.begin(), nodes.end());
+    return;
+  }
+  const size_t n = grid_->num_buses();
+  // Keep sorted order: magnitudes occupy [0, n), angles [n, 2n).
+  for (size_t node : nodes) coords->push_back(node);
+  for (size_t node : nodes) coords->push_back(n + node);
+}
 
 std::vector<size_t> OutageDetector::GroupCoordinates(
     const std::vector<size_t>& nodes) const {
-  if (options_.subspace.channel != PhasorChannel::kBoth) return nodes;
-  const size_t n = grid_->num_buses();
   std::vector<size_t> coords;
-  coords.reserve(2 * nodes.size());
-  // Keep sorted order: magnitudes occupy [0, n), angles [n, 2n).
-  for (size_t node : nodes) coords.push_back(node);
-  for (size_t node : nodes) coords.push_back(n + node);
+  GroupCoordinatesInto(nodes, &coords);
   return coords;
+}
+
+void OutageDetector::SelectGroupsInto(const sim::MissingMask& mask,
+                                      std::vector<SelectedGroup>* groups,
+                                      GroupSelectionStats* stats) const {
+  *stats = GroupSelectionStats{};
+  groups->resize(network_->num_clusters());
+  for (size_t c = 0; c < groups->size(); ++c) {
+    SelectGroupInto(c, mask, &(*groups)[c], stats);
+  }
 }
 
 std::vector<OutageDetector::SelectedGroup> OutageDetector::SelectGroups(
     const sim::MissingMask& mask) const {
-  std::vector<SelectedGroup> groups(network_->num_clusters());
-  for (size_t c = 0; c < network_->num_clusters(); ++c) {
-    groups[c] = SelectGroup(c, mask);
-  }
+  std::vector<SelectedGroup> groups;
+  GroupSelectionStats stats;
+  SelectGroupsInto(mask, &groups, &stats);
   return groups;
 }
 
-Result<Vector> OutageDetector::ClusterNormalResiduals(
-    const Vector& features, const std::vector<SelectedGroup>& groups) {
-  Vector residuals(groups.size());
+Status OutageDetector::ClusterNormalResidualsInto(
+    const Vector& features, const std::vector<SelectedGroup>& groups,
+    ProximityEngine::BatchCache* batch_cache, Vector* residuals) {
+  residuals->Assign(groups.size());
   for (size_t c = 0; c < groups.size(); ++c) {
     if (groups[c].members.empty()) {
       return Status::DataMissing("no available nodes for cluster " +
                                  std::to_string(c));
     }
-    PW_ASSIGN_OR_RETURN(residuals[c],
-                        engine_.Evaluate(normal_model_, kNormalModelKey, features,
-                                         GroupCoordinates(groups[c].members)));
+    PW_ASSIGN_OR_RETURN((*residuals)[c],
+                        engine_.Evaluate(normal_model_, kNormalModelKey,
+                                         features, groups[c].coords,
+                                         batch_cache));
   }
+  return Status::OK();
+}
+
+Result<Vector> OutageDetector::ClusterNormalResiduals(
+    const Vector& features, const std::vector<SelectedGroup>& groups) {
+  Vector residuals;
+  PW_RETURN_IF_ERROR(
+      ClusterNormalResidualsInto(features, groups, nullptr, &residuals));
   return residuals;
 }
 
-Result<Vector> OutageDetector::RawNodeScores(
-    const Vector& features, const std::vector<SelectedGroup>& groups) {
+Status OutageDetector::RawNodeScoresInto(
+    const Vector& features, const std::vector<SelectedGroup>& groups,
+    ProximityEngine::BatchCache* batch_cache, Vector* scores) {
   const size_t n = grid_->num_buses();
-  Vector scores(n);
+  scores->Assign(n);
   for (size_t i = 0; i < n; ++i) {
-    const std::vector<size_t>& group =
-        groups[network_->ClusterOf(i)].members;
-    if (group.empty()) {
+    const SelectedGroup& group = groups[network_->ClusterOf(i)];
+    if (group.members.empty()) {
       return Status::DataMissing("no available nodes for node " +
                                  std::to_string(i));
     }
     PW_ASSIGN_OR_RETURN(
         double prox_union,
         engine_.Evaluate(node_models_[i].union_model, UnionKey(i), features,
-                         GroupCoordinates(group)));
+                         group.coords, batch_cache));
     if (!options_.use_scaling) {
-      scores[i] = prox_union;
+      (*scores)[i] = prox_union;
       continue;
     }
     PW_ASSIGN_OR_RETURN(
         double prox_intersection,
         engine_.Evaluate(node_models_[i].intersection_model,
-                         IntersectionKey(i), features, GroupCoordinates(group)));
+                         IntersectionKey(i), features, group.coords,
+                         batch_cache));
     PW_ASSIGN_OR_RETURN(
         double prox_normal,
         engine_.Evaluate(normal_model_, kNormalModelKey, features,
-                         GroupCoordinates(group)));
+                         group.coords, batch_cache));
     // Eq. 11: scale the union proximity by intersection/normal.
-    scores[i] = prox_union * prox_intersection /
-                std::max(prox_normal, kProxFloor);
+    (*scores)[i] = prox_union * prox_intersection /
+                   std::max(prox_normal, kProxFloor);
   }
+  return Status::OK();
+}
+
+Result<Vector> OutageDetector::RawNodeScores(
+    const Vector& features, const std::vector<SelectedGroup>& groups) {
+  Vector scores;
+  PW_RETURN_IF_ERROR(RawNodeScoresInto(features, groups, nullptr, &scores));
   return scores;
 }
 
-Result<Vector> OutageDetector::NodeScores(
-    const Vector& features, const std::vector<SelectedGroup>& groups) {
-  PW_ASSIGN_OR_RETURN(Vector scores, RawNodeScores(features, groups));
-  for (size_t i = 0; i < scores.size(); ++i) {
+Status OutageDetector::NodeScoresInto(const Vector& features,
+                                      const std::vector<SelectedGroup>& groups,
+                                      ProximityEngine::BatchCache* batch_cache,
+                                      Vector* scores) {
+  PW_RETURN_IF_ERROR(RawNodeScoresInto(features, groups, batch_cache, scores));
+  for (size_t i = 0; i < scores->size(); ++i) {
     const SelectedGroup& group = groups[network_->ClusterOf(i)];
     const Vector& baseline =
         group.used_out_of_cluster ? node_baseline_out_ : node_baseline_in_;
-    scores[i] /= baseline[i];
+    (*scores)[i] /= baseline[i];
   }
-  return scores;
+  return Status::OK();
 }
+
+/// Per-thread buffers behind Detect/DetectBatch. Every member keeps its
+/// capacity across calls, so a warmed steady-state detection loop
+/// allocates only the vectors that escape in the DetectionResult.
+struct OutageDetector::DetectScratch {
+  linalg::Vector features;
+  std::vector<SelectedGroup> groups;
+  GroupSelectionStats group_stats;
+  /// Mask the cached `groups` selection was built for. Only honored
+  /// within one DetectBatch call (`selection_valid` is reset at batch
+  /// entry), so a stale selection can never leak across detectors.
+  std::vector<bool> cached_mask;
+  bool selection_valid = false;
+  linalg::Vector residuals;
+  std::vector<size_t> pooled;
+  std::vector<size_t> pooled_coords;
+  std::vector<size_t> order;
+  std::vector<bool> selected;
+  std::vector<std::pair<double, size_t>> candidates;  // (residual, case)
+};
 
 Result<DetectionResult> OutageDetector::Detect(const Vector& vm,
                                                const Vector& va,
                                                const sim::MissingMask& mask) {
+  static thread_local DetectScratch scratch;
+  scratch.selection_valid = false;
+  return DetectImpl(vm, va, mask, /*batch_cache=*/nullptr, scratch);
+}
+
+Result<std::vector<DetectionResult>> OutageDetector::DetectBatch(
+    const std::vector<BatchSample>& samples) {
+  static thread_local DetectScratch scratch;
+  static thread_local ProximityEngine::BatchCache batch_cache;
+  // Model cache keys are only unique within one detector, so the memo
+  // must not survive into a batch on a different instance.
+  batch_cache.Clear();
+  scratch.selection_valid = false;
+  PW_OBS_HISTOGRAM_OBSERVE("detect.batch_size", samples.size(),
+                           ::phasorwatch::obs::DefaultIterationBuckets());
+  std::vector<DetectionResult> results;
+  results.reserve(samples.size());
+  for (const BatchSample& sample : samples) {
+    if (sample.vm == nullptr || sample.va == nullptr ||
+        sample.mask == nullptr) {
+      return Status::InvalidArgument("DetectBatch sample has null fields");
+    }
+    PW_ASSIGN_OR_RETURN(
+        DetectionResult result,
+        DetectImpl(*sample.vm, *sample.va, *sample.mask, &batch_cache,
+                   scratch));
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+Result<DetectionResult> OutageDetector::DetectImpl(
+    const Vector& vm, const Vector& va, const sim::MissingMask& mask,
+    ProximityEngine::BatchCache* batch_cache, DetectScratch& scratch) {
   PW_TRACE_SCOPE("detect.total_us");
   PW_OBS_COUNTER_INC("detect.calls");
   const size_t n = grid_->num_buses();
@@ -426,24 +533,47 @@ Result<DetectionResult> OutageDetector::Detect(const Vector& vm,
     return Status::InvalidArgument("sample size mismatch");
   }
 
-  Vector features = FeatureVector(vm, va, options_.subspace.channel);
+  FeatureVectorInto(vm, va, options_.subspace.channel, &scratch.features);
+  const Vector& features = scratch.features;
   DetectionResult result;
 
   // Stage 1: pick the detection group for every cluster under the
-  // sample's availability mask (Eq. 10).
-  std::vector<SelectedGroup> groups;
+  // sample's availability mask (Eq. 10). Consecutive batch samples with
+  // the same mask reuse the previous selection; the counters it would
+  // have ticked are replayed so observability output stays identical.
   {
     PW_TRACE_SCOPE("detect.stage.groups_us");
-    groups = SelectGroups(mask);
+    if (scratch.selection_valid && scratch.cached_mask == mask.missing) {
+      const GroupSelectionStats& stats = scratch.group_stats;
+      if (stats.out_of_cluster_selected > 0) {
+        PW_OBS_COUNTER_ADD("detect.groups.out_of_cluster_selected",
+                           stats.out_of_cluster_selected);
+      }
+      if (stats.fallback_alternate_side > 0) {
+        PW_OBS_COUNTER_ADD("detect.groups.fallback_alternate_side",
+                           stats.fallback_alternate_side);
+      }
+      if (stats.fallback_any_available > 0) {
+        PW_OBS_COUNTER_ADD("detect.groups.fallback_any_available",
+                           stats.fallback_any_available);
+      }
+    } else {
+      SelectGroupsInto(mask, &scratch.groups, &scratch.group_stats);
+      scratch.cached_mask = mask.missing;
+      scratch.selection_valid = true;
+    }
   }
+  const std::vector<SelectedGroup>& groups = scratch.groups;
 
   {
     PW_TRACE_SCOPE("detect.stage.gate_us");
     // Gate 1: does any cluster's normal-subspace residual exceed its
     // calibrated level? This separates "data looks normal (possibly with
     // gaps)" from "the grid state violates the normal model".
-    PW_ASSIGN_OR_RETURN(Vector residuals,
-                        ClusterNormalResiduals(features, groups));
+    PW_RETURN_IF_ERROR(ClusterNormalResidualsInto(features, groups,
+                                                  batch_cache,
+                                                  &scratch.residuals));
+    const Vector& residuals = scratch.residuals;
     result.decision_score = 0.0;
     for (size_t c = 0; c < groups.size(); ++c) {
       double gate = groups[c].used_out_of_cluster
@@ -458,20 +588,21 @@ Result<DetectionResult> OutageDetector::Detect(const Vector& vm,
     // outage subspace than by the normal subspace? Uses every available
     // measurement — the group machinery protects the node ranking, but
     // classification should never discard observed data.
-    std::vector<size_t> pooled = mask.AvailableIndices();
-    if (pooled.empty()) {
+    mask.AvailableIndicesInto(&scratch.pooled);
+    if (scratch.pooled.empty()) {
       return Status::DataMissing("all measurements missing");
     }
+    GroupCoordinatesInto(scratch.pooled, &scratch.pooled_coords);
     PW_ASSIGN_OR_RETURN(
         double normal_residual,
         engine_.Evaluate(normal_class_model_, kClassFamilyKey, features,
-                         GroupCoordinates(pooled)));
+                         scratch.pooled_coords, batch_cache));
     double best_line_residual = -1.0;
     for (size_t c = 0; c < case_lines_.size(); ++c) {
       PW_ASSIGN_OR_RETURN(
           double prox,
           engine_.Evaluate(line_class_models_[c], kClassFamilyKey, features,
-                           GroupCoordinates(pooled)));
+                           scratch.pooled_coords, batch_cache));
       if (best_line_residual < 0.0 || prox < best_line_residual) {
         best_line_residual = prox;
       }
@@ -484,7 +615,8 @@ Result<DetectionResult> OutageDetector::Detect(const Vector& vm,
 
   {
     PW_TRACE_SCOPE("detect.stage.proximity_us");
-    PW_ASSIGN_OR_RETURN(result.node_scores, NodeScores(features, groups));
+    PW_RETURN_IF_ERROR(NodeScoresInto(features, groups, batch_cache,
+                                      &result.node_scores));
   }
   if (result.decision_score <= 1.0) {
     result.outage_detected = false;
@@ -494,12 +626,12 @@ Result<DetectionResult> OutageDetector::Detect(const Vector& vm,
   PW_OBS_COUNTER_INC("detect.outages_flagged");
 
   PW_TRACE_SCOPE("detect.stage.localization_us");
-  // Re-derive the pooled coordinates for the class-model localization
-  // below (scoped out of the gate stage above).
-  std::vector<size_t> pooled = mask.AvailableIndices();
+  // The pooled coordinates from the gate stage are reused for the
+  // class-model localization below.
 
   // Sorted node list N_t by scaled proximity, ascending (closest first).
-  std::vector<size_t> order(n);
+  scratch.order.resize(n);
+  std::vector<size_t>& order = scratch.order;
   std::iota(order.begin(), order.end(), size_t{0});
   std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
     return result.node_scores[a] < result.node_scores[b];
@@ -507,7 +639,8 @@ Result<DetectionResult> OutageDetector::Detect(const Vector& vm,
 
   // Proximity rule: extend the prefix while nodes stay graph-connected
   // to the selected set and the score trend does not jump.
-  std::vector<bool> selected(n, false);
+  scratch.selected.assign(n, false);
+  std::vector<bool>& selected = scratch.selected;
   std::vector<size_t>& affected = result.affected_nodes;
   affected.push_back(order[0]);
   selected[order[0]] = true;
@@ -565,12 +698,13 @@ Result<DetectionResult> OutageDetector::Detect(const Vector& vm,
   // same available coordinates, so residuals are comparable). The
   // node-ranking prefix localizes the neighborhood for the operator;
   // F-hat itself comes from the sharper class-model comparison.
-  std::vector<std::pair<double, size_t>> candidates;  // (residual, case)
-  candidates.reserve(case_lines_.size());
+  scratch.candidates.clear();
+  std::vector<std::pair<double, size_t>>& candidates = scratch.candidates;
   for (size_t c = 0; c < case_lines_.size(); ++c) {
     PW_ASSIGN_OR_RETURN(double prox,
                         engine_.Evaluate(line_class_models_[c], kClassFamilyKey,
-                                         features, GroupCoordinates(pooled)));
+                                         features, scratch.pooled_coords,
+                                         batch_cache));
     candidates.push_back({prox, c});
   }
   std::sort(candidates.begin(), candidates.end());

@@ -124,6 +124,24 @@ class OutageDetector {
     return Detect(vm, va, sim::MissingMask::None(grid_->num_buses()));
   }
 
+  /// One sample of a batched query. Non-owning: the pointed-to vectors
+  /// and mask must outlive the DetectBatch call.
+  struct BatchSample {
+    const linalg::Vector* vm = nullptr;
+    const linalg::Vector* va = nullptr;
+    const sim::MissingMask* mask = nullptr;
+  };
+
+  /// Classifies a batch of samples in order. Results (and observability
+  /// counters) are bit-identical to calling Detect() per sample; the
+  /// batch amortizes the fixed per-sample work — detection-group
+  /// selection is reused across consecutive samples with identical
+  /// masks, and regressor-cache lookups skip the shared mutex after the
+  /// first sample that resolves each (model, group) pair. Fails on the
+  /// first sample error (same short-circuit a caller loop would have).
+  Result<std::vector<DetectionResult>> DetectBatch(
+      const std::vector<BatchSample>& samples);
+
   // --- introspection for tests, ablations, and figures ---
   /// The grid this detector was trained on (for naming lines in logs).
   const grid::Grid& grid() const { return *grid_; }
@@ -163,30 +181,73 @@ class OutageDetector {
   /// the out-of-cluster members were used).
   struct SelectedGroup {
     std::vector<size_t> members;
+    /// Feature-coordinate expansion of `members` (GroupCoordinates),
+    /// computed once per selection instead of per proximity query.
+    std::vector<size_t> coords;
     bool used_out_of_cluster = false;
   };
+
+  /// Tallies of the observability counters ticked while building a
+  /// group selection. When DetectBatch reuses a selection for a
+  /// repeated mask, it replays these so counter output is bit-identical
+  /// to selecting from scratch for every sample.
+  struct GroupSelectionStats {
+    uint64_t out_of_cluster_selected = 0;
+    uint64_t fallback_alternate_side = 0;
+    uint64_t fallback_any_available = 0;
+  };
+
+  /// Per-thread reusable buffers for the Detect hot path (detector.cc).
+  struct DetectScratch;
+
+  void SelectGroupInto(size_t cluster, const sim::MissingMask& mask,
+                       SelectedGroup* selected,
+                       GroupSelectionStats* stats) const;
   SelectedGroup SelectGroup(size_t cluster,
                             const sim::MissingMask& mask) const;
 
-  /// Groups for every cluster under this mask.
+  /// Groups for every cluster under this mask, into reused storage.
+  void SelectGroupsInto(const sim::MissingMask& mask,
+                        std::vector<SelectedGroup>* groups,
+                        GroupSelectionStats* stats) const;
   std::vector<SelectedGroup> SelectGroups(const sim::MissingMask& mask) const;
 
   /// Scaled proximity scores for every node (Eqs. 9-11), given the
   /// per-cluster groups, before baseline normalization.
+  Status RawNodeScoresInto(const linalg::Vector& features,
+                           const std::vector<SelectedGroup>& groups,
+                           ProximityEngine::BatchCache* batch_cache,
+                           linalg::Vector* scores);
   Result<linalg::Vector> RawNodeScores(
       const linalg::Vector& features,
       const std::vector<SelectedGroup>& groups);
 
   /// Raw scores divided by the per-node normal-data baselines (making
   /// scores comparable across clusters of different group sizes).
-  Result<linalg::Vector> NodeScores(const linalg::Vector& features,
-                                    const std::vector<SelectedGroup>& groups);
+  Status NodeScoresInto(const linalg::Vector& features,
+                        const std::vector<SelectedGroup>& groups,
+                        ProximityEngine::BatchCache* batch_cache,
+                        linalg::Vector* scores);
 
   /// Normal-subspace residual per cluster through its group (the gate
   /// statistic).
+  Status ClusterNormalResidualsInto(const linalg::Vector& features,
+                                    const std::vector<SelectedGroup>& groups,
+                                    ProximityEngine::BatchCache* batch_cache,
+                                    linalg::Vector* residuals);
   Result<linalg::Vector> ClusterNormalResiduals(
       const linalg::Vector& features,
       const std::vector<SelectedGroup>& groups);
+
+  /// Shared body of Detect and DetectBatch. Reuses `scratch` buffers
+  /// (allocation-free once warmed, apart from the vectors that escape
+  /// in the result) and honors a prior group selection left in
+  /// `scratch` when the mask matches (batch fast path).
+  Result<DetectionResult> DetectImpl(const linalg::Vector& vm,
+                                     const linalg::Vector& va,
+                                     const sim::MissingMask& mask,
+                                     ProximityEngine::BatchCache* batch_cache,
+                                     DetectScratch& scratch);
 
   const grid::Grid* grid_ = nullptr;          // not owned
   const sim::PmuNetwork* network_ = nullptr;  // not owned
@@ -220,6 +281,8 @@ class OutageDetector {
 
   /// Maps a node-index group to feature-coordinate indices (identity
   /// for single-channel features, {i, N+i} pairs for kBoth).
+  void GroupCoordinatesInto(const std::vector<size_t>& nodes,
+                            std::vector<size_t>* coords) const;
   std::vector<size_t> GroupCoordinates(const std::vector<size_t>& nodes) const;
 
   /// Median scaled proximity of each node over normal calibration

@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/workspace.h"
 #include "linalg/svd.h"
+#include "linalg/views.h"
 #include "obs/metrics.h"
 
 namespace phasorwatch::detect {
@@ -26,7 +28,8 @@ double ProximityEngine::EvaluateComplete(const SubspaceModel& model,
 Result<double> ProximityEngine::Evaluate(const SubspaceModel& model,
                                          uint64_t model_key,
                                          const linalg::Vector& sample,
-                                         const std::vector<size_t>& group) {
+                                         const std::vector<size_t>& group,
+                                         BatchCache* batch_cache) {
   const size_t n = model.ambient_dim();
   PW_OBS_COUNTER_INC("proximity.evaluations");
   if (sample.size() != n) {
@@ -43,7 +46,19 @@ Result<double> ProximityEngine::Evaluate(const SubspaceModel& model,
 
   uint64_t key = GroupCacheKey(model_key, group);
   std::shared_ptr<const CachedRegressor> cached;
-  {
+  bool from_batch_memo = false;
+  if (batch_cache != nullptr) {
+    auto it = batch_cache->memo_.find(key);
+    if (it != batch_cache->memo_.end() && it->second->group == group) {
+      cached = it->second;
+      from_batch_memo = true;
+      // Count as a cache hit: the regressor was resolved without a
+      // build, same as the shared-cache path, so the observability
+      // totals match the per-sample path exactly.
+      PW_OBS_COUNTER_INC("proximity.cache_hits");
+    }
+  }
+  if (cached == nullptr) {
     std::shared_lock<std::shared_mutex> lock(mu_);
     auto it = cache_.find(key);
     if (it != cache_.end() && it->second->group == group) {
@@ -100,20 +115,36 @@ Result<double> ProximityEngine::Evaluate(const SubspaceModel& model,
       cache_size = cache_.size();
     }
     PW_OBS_GAUGE_SET("proximity.cache_size", cache_size);
-  } else {
+  } else if (!from_batch_memo) {
     PW_OBS_COUNTER_INC("proximity.cache_hits");
+  }
+  if (batch_cache != nullptr && !from_batch_memo) {
+    batch_cache->memo_[key] = cached;
   }
 
   // Residual: || R (x_D - mu_D) ||^2 — one Eq. 9 regressor application
-  // (the missing-data path proper).
+  // (the missing-data path proper). z comes from the per-thread arena
+  // and the product folds into the norm accumulation row by row, so a
+  // warmed evaluation allocates nothing. The Frame rewinds the arena on
+  // exit: training loops call Evaluate thousands of times with no outer
+  // reset, and without it the arena would grow with iteration count.
   PW_OBS_COUNTER_INC("proximity.regressor_applications");
-  linalg::Vector z(group.size());
+  Workspace& ws = Workspace::PerThread();
+  Workspace::Frame scratch_frame(ws);
+  linalg::VectorView z(ws.Alloc(group.size()), group.size());
   for (size_t c = 0; c < group.size(); ++c) {
     z[c] = sample[group[c]] - model.mean[group[c]];
   }
-  linalg::Vector r = cached->r * z;
+  const linalg::Matrix& reg = cached->r;
   double sum = 0.0;
-  for (size_t i = 0; i < r.size(); ++i) sum += r[i] * r[i];
+  // Row-wise dot-then-square matches Matrix::operator*(Vector) followed
+  // by the squared-norm loop operation for operation: bit-identical.
+  for (size_t i = 0; i < reg.rows(); ++i) {
+    double dot = 0.0;
+    const double* row = reg.data() + i * reg.cols();
+    for (size_t j = 0; j < reg.cols(); ++j) dot += row[j] * z[j];
+    sum += dot * dot;
+  }
   return sum;
 }
 

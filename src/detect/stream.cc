@@ -21,10 +21,27 @@ StreamingMonitor::StreamingMonitor(OutageDetector* detector,
 Result<StreamEvent> StreamingMonitor::Process(const linalg::Vector& vm,
                                               const linalg::Vector& va,
                                               const sim::MissingMask& mask) {
+  PW_ASSIGN_OR_RETURN(DetectionResult raw, detector_->Detect(vm, va, mask));
+  return Debounce(std::move(raw));
+}
+
+Result<std::vector<StreamEvent>> StreamingMonitor::ProcessBatch(
+    const std::vector<OutageDetector::BatchSample>& samples) {
+  PW_ASSIGN_OR_RETURN(std::vector<DetectionResult> raws,
+                      detector_->DetectBatch(samples));
+  std::vector<StreamEvent> events;
+  events.reserve(raws.size());
+  for (DetectionResult& raw : raws) {
+    events.push_back(Debounce(std::move(raw)));
+  }
+  return events;
+}
+
+StreamEvent StreamingMonitor::Debounce(DetectionResult raw) {
   StreamEvent event;
   event.sample_index = next_sample_++;
   PW_OBS_COUNTER_INC("stream.samples");
-  PW_ASSIGN_OR_RETURN(event.raw, detector_->Detect(vm, va, mask));
+  event.raw = std::move(raw);
 
   if (event.raw.outage_detected) {
     ++consecutive_positive_;

@@ -68,6 +68,15 @@ class StreamingMonitor {
   Result<StreamEvent> Process(const linalg::Vector& vm,
                               const linalg::Vector& va);
 
+  /// Feeds a block of samples (in stream order) through
+  /// OutageDetector::DetectBatch and debounces each result. Events are
+  /// identical to calling Process() sample by sample; the batch
+  /// amortizes the detector's per-sample fixed costs, which matters
+  /// when draining a PDC buffer after a stall. Producer-thread only,
+  /// like Process(). On error no sample of the batch is counted.
+  Result<std::vector<StreamEvent>> ProcessBatch(
+      const std::vector<OutageDetector::BatchSample>& samples);
+
   /// Safe to poll from any thread while the producer runs.
   bool alarm_active() const {
     return alarm_active_.load(std::memory_order_acquire);
@@ -82,6 +91,10 @@ class StreamingMonitor {
   void Reset();
 
  private:
+  /// Advances the debouncing state machine with one raw detection and
+  /// builds its event (the shared tail of Process and ProcessBatch).
+  StreamEvent Debounce(DetectionResult raw);
+
   std::vector<grid::LineId> MajorityLines() const;
   /// Names for a candidate line set, for event logs ("Bus1-Bus2").
   std::vector<std::string> LineNames(

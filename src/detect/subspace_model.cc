@@ -63,15 +63,14 @@ Subspace SoftIntersection(const std::vector<const Subspace*>& parts,
 
 double SubspaceModel::Proximity(const linalg::Vector& x) const {
   PW_CHECK_EQ(x.size(), mean.size());
-  Vector centered = x;
-  centered -= mean;
   // ||B^T z||^2: squared component of the deviation inside the
-  // constraint directions.
+  // constraint directions. The centering (x - mean) folds into the dot
+  // loop, so the hot path allocates nothing.
   double sum = 0.0;
   const Matrix& b = constraints.basis();
   for (size_t k = 0; k < b.cols(); ++k) {
     double dot = 0.0;
-    for (size_t i = 0; i < centered.size(); ++i) dot += b(i, k) * centered[i];
+    for (size_t i = 0; i < x.size(); ++i) dot += b(i, k) * (x[i] - mean[i]);
     sum += dot * dot;
   }
   return sum;
@@ -101,19 +100,29 @@ Matrix FeatureMatrix(const sim::PhasorDataSet& data, PhasorChannel channel) {
 
 Vector FeatureVector(const Vector& vm, const Vector& va,
                      PhasorChannel channel) {
+  Vector out;
+  FeatureVectorInto(vm, va, channel, &out);
+  return out;
+}
+
+void FeatureVectorInto(const Vector& vm, const Vector& va,
+                       PhasorChannel channel, Vector* out) {
   switch (channel) {
     case PhasorChannel::kMagnitude:
-      return vm;
+      *out = vm;
+      return;
     case PhasorChannel::kAngle:
-      return va;
+      *out = va;
+      return;
     case PhasorChannel::kBoth: {
-      Vector stacked(vm.size() + va.size());
+      out->Assign(vm.size() + va.size());
+      Vector& stacked = *out;
       for (size_t i = 0; i < vm.size(); ++i) stacked[i] = vm[i];
       for (size_t i = 0; i < va.size(); ++i) stacked[vm.size() + i] = va[i];
-      return stacked;
+      return;
     }
   }
-  return va;
+  *out = va;
 }
 
 Result<SubspaceModel> LearnSubspaceModel(const sim::PhasorDataSet& data,

@@ -85,6 +85,11 @@ linalg::Matrix FeatureMatrix(const sim::PhasorDataSet& data,
 linalg::Vector FeatureVector(const linalg::Vector& vm, const linalg::Vector& va,
                              PhasorChannel channel);
 
+/// FeatureVector into a reused buffer (Assign keeps capacity, so a
+/// warmed per-sample loop extracts features without allocating).
+void FeatureVectorInto(const linalg::Vector& vm, const linalg::Vector& va,
+                       PhasorChannel channel, linalg::Vector* out);
+
 /// Learns a subspace model from measurements of one condition.
 Result<SubspaceModel> LearnSubspaceModel(const sim::PhasorDataSet& data,
                                          const SubspaceModelOptions& options);

@@ -232,7 +232,7 @@ Result<Grid> BuildSyntheticGrid(const SyntheticGridOptions& options) {
     for (size_t i = 0; i + 1 < n; ++i) keep[i] = i + 1;
     PW_ASSIGN_OR_RETURN(
         linalg::LuDecomposition lu,
-        linalg::LuDecomposition::Factor(lap.SelectRows(keep).SelectCols(keep)));
+        linalg::LuDecomposition::Factor(lap.SelectSubmatrix(keep, keep)));
     PW_ASSIGN_OR_RETURN(linalg::Vector theta, lu.Solve(p.Gather(keep)));
     linalg::Vector full(n);
     for (size_t i = 0; i + 1 < n; ++i) full[keep[i]] = theta[i];

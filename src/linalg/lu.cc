@@ -8,16 +8,25 @@ namespace phasorwatch::linalg {
 
 Result<LuDecomposition> LuDecomposition::Factor(const Matrix& a,
                                                 double pivot_tol) {
+  LuDecomposition out;
+  PW_RETURN_IF_ERROR(out.Refactor(a, pivot_tol));
+  return out;
+}
+
+Status LuDecomposition::Refactor(ConstMatrixView a, double pivot_tol) {
   if (a.rows() != a.cols()) {
     return Status::InvalidArgument("LU requires a square matrix");
   }
   const size_t n = a.rows();
-  LuDecomposition out;
-  out.lu_ = a;
-  out.perm_.resize(n);
-  std::iota(out.perm_.begin(), out.perm_.end(), size_t{0});
+  // Assign reuses lu_'s backing store across Refactor calls; the copy
+  // below is the working buffer the elimination destroys.
+  lu_.Assign(n, n);
+  CopyInto(a, lu_);
+  perm_.resize(n);
+  std::iota(perm_.begin(), perm_.end(), size_t{0});
+  sign_ = 1;
 
-  Matrix& lu = out.lu_;
+  Matrix& lu = lu_;
   for (size_t k = 0; k < n; ++k) {
     // Partial pivoting: bring the largest remaining entry in column k up.
     size_t pivot_row = k;
@@ -36,8 +45,8 @@ Result<LuDecomposition> LuDecomposition::Factor(const Matrix& a,
     }
     if (pivot_row != k) {
       for (size_t j = 0; j < n; ++j) std::swap(lu(k, j), lu(pivot_row, j));
-      std::swap(out.perm_[k], out.perm_[pivot_row]);
-      out.sign_ = -out.sign_;
+      std::swap(perm_[k], perm_[pivot_row]);
+      sign_ = -sign_;
     }
     const double pivot = lu(k, k);
     for (size_t i = k + 1; i < n; ++i) {
@@ -47,15 +56,24 @@ Result<LuDecomposition> LuDecomposition::Factor(const Matrix& a,
       for (size_t j = k + 1; j < n; ++j) lu(i, j) -= factor * lu(k, j);
     }
   }
-  return out;
+  return Status::OK();
 }
 
 Result<Vector> LuDecomposition::Solve(const Vector& b) const {
+  Vector x(size());
+  PW_RETURN_IF_ERROR(SolveInto(b, x));
+  return x;
+}
+
+Status LuDecomposition::SolveInto(ConstVectorView b, VectorView x) const {
   const size_t n = size();
   if (b.size() != n) {
     return Status::InvalidArgument("rhs size mismatch in LU solve");
   }
-  Vector x(n);
+  PW_CHECK_EQ(x.size(), n);
+  // Forward substitution reads b[perm_[i]] while x fills in, so the
+  // two must be distinct buffers.
+  PW_CHECK(!RangesOverlap(b.data(), b.size(), x.data(), x.size()));
   // Forward substitution with the permuted rhs: L y = P b.
   for (size_t i = 0; i < n; ++i) {
     double s = b[perm_[i]];
@@ -68,7 +86,7 @@ Result<Vector> LuDecomposition::Solve(const Vector& b) const {
     for (size_t j = i + 1; j < n; ++j) s -= lu_(i, j) * x[j];
     x[i] = s / lu_(i, i);
   }
-  return x;
+  return Status::OK();
 }
 
 Result<Matrix> LuDecomposition::Solve(const Matrix& b) const {

@@ -5,6 +5,7 @@
 
 #include "common/status.h"
 #include "linalg/matrix.h"
+#include "linalg/views.h"
 
 namespace phasorwatch::linalg {
 
@@ -15,13 +16,29 @@ namespace phasorwatch::linalg {
 /// O(n^2) per right-hand side.
 class LuDecomposition {
  public:
+  /// An empty decomposition, for reuse via Refactor() — Solve on a
+  /// default-constructed instance fails its size checks.
+  LuDecomposition() = default;
+
   /// Factors the square matrix `a`. Fails with kSingular when a pivot
   /// falls below `pivot_tol` (the matrix is numerically singular).
   static Result<LuDecomposition> Factor(const Matrix& a,
                                         double pivot_tol = 1e-13);
 
+  /// Re-factors in place, reusing this instance's packed-LU and
+  /// permutation storage. In an iteration loop (Newton-Raphson solves a
+  /// fresh Jacobian every step) this allocates only until the storage
+  /// reaches the problem size, then never again. Results are
+  /// bit-identical to Factor(). On failure the instance is left in an
+  /// unspecified state; Refactor again before Solving.
+  Status Refactor(ConstMatrixView a, double pivot_tol = 1e-13);
+
   /// Solves A x = b for one right-hand side.
   Result<Vector> Solve(const Vector& b) const;
+
+  /// Solve into caller-supplied storage: no allocation. `x` must not
+  /// alias `b` (forward substitution reads b while filling x).
+  Status SolveInto(ConstVectorView b, VectorView x) const;
 
   /// Solves A X = B column by column.
   Result<Matrix> Solve(const Matrix& b) const;
@@ -42,8 +59,6 @@ class LuDecomposition {
   Matrix PermutationMatrix() const;
 
  private:
-  LuDecomposition() = default;
-
   Matrix lu_;                 // packed L (below diag, unit) and U
   std::vector<size_t> perm_;  // perm_[i] = source row of pivoted row i
   int sign_ = 1;

@@ -4,6 +4,8 @@
 #include <iomanip>
 #include <sstream>
 
+#include "linalg/views.h"
+
 namespace phasorwatch::linalg {
 
 Vector& Vector::operator+=(const Vector& other) {
@@ -138,54 +140,26 @@ Matrix& Matrix::operator*=(double scalar) {
 }
 
 Matrix Matrix::operator*(const Matrix& rhs) const {
-  PW_CHECK_EQ(cols_, rhs.rows_);
   Matrix out(rows_, rhs.cols_);
-  // i-k-j loop order keeps the inner loop contiguous in both operands.
-  for (size_t i = 0; i < rows_; ++i) {
-    for (size_t k = 0; k < cols_; ++k) {
-      double a = data_[i * cols_ + k];
-      if (a == 0.0) continue;
-      const double* rhs_row = &rhs.data_[k * rhs.cols_];
-      double* out_row = &out.data_[i * rhs.cols_];
-      for (size_t j = 0; j < rhs.cols_; ++j) out_row[j] += a * rhs_row[j];
-    }
-  }
+  MultiplyInto(*this, rhs, out);
   return out;
 }
 
 Vector Matrix::operator*(const Vector& v) const {
-  PW_CHECK_EQ(cols_, v.size());
   Vector out(rows_);
-  for (size_t i = 0; i < rows_; ++i) {
-    double s = 0.0;
-    const double* row = &data_[i * cols_];
-    for (size_t j = 0; j < cols_; ++j) s += row[j] * v[j];
-    out[i] = s;
-  }
+  MatVecInto(*this, v, out);
   return out;
 }
 
 Matrix Matrix::Transposed() const {
   Matrix out(cols_, rows_);
-  for (size_t i = 0; i < rows_; ++i) {
-    for (size_t j = 0; j < cols_; ++j) out(j, i) = data_[i * cols_ + j];
-  }
+  TransposeInto(*this, out);
   return out;
 }
 
 Matrix Matrix::TransposedTimes(const Matrix& other) const {
-  PW_CHECK_EQ(rows_, other.rows_);
   Matrix out(cols_, other.cols_);
-  for (size_t k = 0; k < rows_; ++k) {
-    const double* a_row = &data_[k * cols_];
-    const double* b_row = &other.data_[k * other.cols_];
-    for (size_t i = 0; i < cols_; ++i) {
-      double a = a_row[i];
-      if (a == 0.0) continue;
-      double* out_row = &out.data_[i * other.cols_];
-      for (size_t j = 0; j < other.cols_; ++j) out_row[j] += a * b_row[j];
-    }
-  }
+  TransposedTimesInto(*this, other, out);
   return out;
 }
 
@@ -234,6 +208,13 @@ Matrix Matrix::SelectCols(const std::vector<size_t>& indices) const {
       out(i, j) = data_[i * cols_ + indices[j]];
     }
   }
+  return out;
+}
+
+Matrix Matrix::SelectSubmatrix(const std::vector<size_t>& rows,
+                               const std::vector<size_t>& cols) const {
+  Matrix out(rows.size(), cols.size());
+  SelectSubmatrixInto(*this, rows, cols, out);
   return out;
 }
 

@@ -39,6 +39,11 @@ class Vector {
   const double* data() const { return data_.data(); }
   const std::vector<double>& values() const { return data_; }
 
+  /// Resizes to `n` entries, all set to `fill`. Unlike constructing a
+  /// fresh Vector, this reuses the existing capacity, so repeated
+  /// Assign in a loop stops allocating once the high-water size is hit.
+  void Assign(size_t n, double fill = 0.0) { data_.assign(n, fill); }
+
   Vector& operator+=(const Vector& other);
   Vector& operator-=(const Vector& other);
   Vector& operator*=(double scalar);
@@ -105,6 +110,14 @@ class Matrix {
   double* data() { return data_.data(); }
   const double* data() const { return data_.data(); }
 
+  /// Resizes to rows x cols, all entries set to `fill`, reusing the
+  /// existing capacity (see Vector::Assign).
+  void Assign(size_t rows, size_t cols, double fill = 0.0) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, fill);
+  }
+
   Matrix& operator+=(const Matrix& other);
   Matrix& operator-=(const Matrix& other);
   Matrix& operator*=(double scalar);
@@ -133,6 +146,10 @@ class Matrix {
   Matrix SelectRows(const std::vector<size_t>& indices) const;
   /// Columns at `indices` (in order) as a new matrix.
   Matrix SelectCols(const std::vector<size_t>& indices) const;
+  /// out(i, j) = (*this)(rows[i], cols[j]) in one pass — equivalent to
+  /// SelectRows(rows).SelectCols(cols) without the intermediate matrix.
+  Matrix SelectSubmatrix(const std::vector<size_t>& rows,
+                         const std::vector<size_t>& cols) const;
 
   /// Horizontal concatenation [this | other]; row counts must match.
   /// Either side may be empty.

@@ -1,0 +1,139 @@
+#include "linalg/views.h"
+
+namespace phasorwatch::linalg {
+
+bool RangesOverlap(const double* a, size_t an, const double* b, size_t bn) {
+  if (an == 0 || bn == 0) return false;
+  // Comparing pointers into distinct allocations is formally unspecified;
+  // uintptr_t comparison is the portable idiom for overlap detection.
+  auto lo_a = reinterpret_cast<uintptr_t>(a);
+  auto hi_a = reinterpret_cast<uintptr_t>(a + an);
+  auto lo_b = reinterpret_cast<uintptr_t>(b);
+  auto hi_b = reinterpret_cast<uintptr_t>(b + bn);
+  return lo_a < hi_b && lo_b < hi_a;
+}
+
+bool ViewOverlaps(ConstMatrixView v, const double* p, size_t n) {
+  if (v.empty()) return false;
+  // The addressable span of a strided view runs from its first element
+  // to the last element of its last row.
+  size_t span = (v.rows() - 1) * v.stride() + v.cols();
+  return RangesOverlap(v.data(), span, p, n);
+}
+
+namespace {
+
+size_t OutSpan(MutableMatrixView out) {
+  if (out.empty()) return 0;
+  return (out.rows() - 1) * out.stride() + out.cols();
+}
+
+}  // namespace
+
+void MultiplyInto(ConstMatrixView a, ConstMatrixView b, MutableMatrixView out) {
+  PW_CHECK_EQ(a.cols(), b.rows());
+  PW_CHECK_EQ(out.rows(), a.rows());
+  PW_CHECK_EQ(out.cols(), b.cols());
+  PW_CHECK(!ViewOverlaps(a, out.data(), OutSpan(out)));
+  PW_CHECK(!ViewOverlaps(b, out.data(), OutSpan(out)));
+  out.Fill(0.0);
+  // Same i-k-j order and zero-skip as Matrix::operator*: results are
+  // bit-identical to the value API.
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const double* a_row = a.row(i);
+    double* out_row = out.row(i);
+    for (size_t k = 0; k < a.cols(); ++k) {
+      double av = a_row[k];
+      if (av == 0.0) continue;
+      const double* b_row = b.row(k);
+      for (size_t j = 0; j < b.cols(); ++j) out_row[j] += av * b_row[j];
+    }
+  }
+}
+
+void MatVecInto(ConstMatrixView a, ConstVectorView x, VectorView out) {
+  PW_CHECK_EQ(a.cols(), x.size());
+  PW_CHECK_EQ(out.size(), a.rows());
+  PW_CHECK(!ViewOverlaps(a, out.data(), out.size()));
+  PW_CHECK(!RangesOverlap(x.data(), x.size(), out.data(), out.size()));
+  for (size_t i = 0; i < a.rows(); ++i) {
+    double s = 0.0;
+    const double* row = a.row(i);
+    for (size_t j = 0; j < a.cols(); ++j) s += row[j] * x[j];
+    out[i] = s;
+  }
+}
+
+void TransposedTimesInto(ConstMatrixView a, ConstMatrixView b,
+                         MutableMatrixView out) {
+  PW_CHECK_EQ(a.rows(), b.rows());
+  PW_CHECK_EQ(out.rows(), a.cols());
+  PW_CHECK_EQ(out.cols(), b.cols());
+  PW_CHECK(!ViewOverlaps(a, out.data(), OutSpan(out)));
+  PW_CHECK(!ViewOverlaps(b, out.data(), OutSpan(out)));
+  out.Fill(0.0);
+  // Same k-i-j order and zero-skip as Matrix::TransposedTimes.
+  for (size_t k = 0; k < a.rows(); ++k) {
+    const double* a_row = a.row(k);
+    const double* b_row = b.row(k);
+    for (size_t i = 0; i < a.cols(); ++i) {
+      double av = a_row[i];
+      if (av == 0.0) continue;
+      double* out_row = out.row(i);
+      for (size_t j = 0; j < b.cols(); ++j) out_row[j] += av * b_row[j];
+    }
+  }
+}
+
+void TransposeInto(ConstMatrixView a, MutableMatrixView out) {
+  PW_CHECK_EQ(out.rows(), a.cols());
+  PW_CHECK_EQ(out.cols(), a.rows());
+  PW_CHECK(!ViewOverlaps(a, out.data(), OutSpan(out)));
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const double* a_row = a.row(i);
+    for (size_t j = 0; j < a.cols(); ++j) out(j, i) = a_row[j];
+  }
+}
+
+void SelectSubmatrixInto(ConstMatrixView a, const std::vector<size_t>& rows,
+                         const std::vector<size_t>& cols,
+                         MutableMatrixView out) {
+  PW_CHECK_EQ(out.rows(), rows.size());
+  PW_CHECK_EQ(out.cols(), cols.size());
+  PW_CHECK(!ViewOverlaps(a, out.data(), OutSpan(out)));
+  for (size_t i = 0; i < rows.size(); ++i) {
+    PW_CHECK_LT(rows[i], a.rows());
+    const double* a_row = a.row(rows[i]);
+    double* out_row = out.row(i);
+    for (size_t j = 0; j < cols.size(); ++j) {
+      PW_CHECK_LT(cols[j], a.cols());
+      out_row[j] = a_row[cols[j]];
+    }
+  }
+}
+
+void SubtractInto(ConstMatrixView a, ConstMatrixView b, MutableMatrixView out) {
+  PW_CHECK_EQ(a.rows(), b.rows());
+  PW_CHECK_EQ(a.cols(), b.cols());
+  PW_CHECK_EQ(out.rows(), a.rows());
+  PW_CHECK_EQ(out.cols(), a.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const double* a_row = a.row(i);
+    const double* b_row = b.row(i);
+    double* out_row = out.row(i);
+    for (size_t j = 0; j < a.cols(); ++j) out_row[j] = a_row[j] - b_row[j];
+  }
+}
+
+void CopyInto(ConstMatrixView src, MutableMatrixView dst) {
+  PW_CHECK_EQ(dst.rows(), src.rows());
+  PW_CHECK_EQ(dst.cols(), src.cols());
+  PW_CHECK(!ViewOverlaps(src, dst.data(), OutSpan(dst)));
+  for (size_t i = 0; i < src.rows(); ++i) {
+    const double* s = src.row(i);
+    double* d = dst.row(i);
+    for (size_t j = 0; j < src.cols(); ++j) d[j] = s[j];
+  }
+}
+
+}  // namespace phasorwatch::linalg

@@ -125,12 +125,15 @@ Result<PowerFlowSolution> SolveFastDecoupled(
 
   PowerFlowSolution sol;
   double mismatch = 0.0;
+  // Half-iteration scratch, hoisted: every entry is overwritten each
+  // pass, so the sweep loop itself never touches the heap.
+  Vector dp(np), dtheta(np);
+  Vector dq(nq), dvm(nq);
   int iter = 0;
   for (; iter < options.max_iterations; ++iter) {
     compute_injections();
 
     // P half-iteration: B' dtheta = dP / Vm.
-    Vector dp(np);
     mismatch = 0.0;
     for (size_t a = 0; a < np; ++a) {
       double miss = p_sched[p_buses[a]] - p_calc[p_buses[a]];
@@ -144,17 +147,16 @@ Result<PowerFlowSolution> SolveFastDecoupled(
     }
     if (mismatch < options.tolerance) break;
 
-    PW_ASSIGN_OR_RETURN(Vector dtheta, lu_p->Solve(dp));
+    PW_RETURN_IF_ERROR(lu_p->SolveInto(dp, dtheta));
     for (size_t a = 0; a < np; ++a) va[p_buses[a]] += dtheta[a];
 
     if (nq > 0) {
       // Q half-iteration with refreshed injections.
       compute_injections();
-      Vector dq(nq);
       for (size_t a = 0; a < nq; ++a) {
         dq[a] = (q_sched[q_buses[a]] - q_calc[q_buses[a]]) / vm[q_buses[a]];
       }
-      PW_ASSIGN_OR_RETURN(Vector dvm, lu_q->Solve(dq));
+      PW_RETURN_IF_ERROR(lu_q->SolveInto(dq, dvm));
       for (size_t a = 0; a < nq; ++a) {
         vm[q_buses[a]] = std::max(vm[q_buses[a]] + dvm[a], 0.05);
       }

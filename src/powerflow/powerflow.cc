@@ -116,11 +116,18 @@ Result<PowerFlowSolution> SolveAcCore(const Grid& grid,
 
   PowerFlowSolution sol;
   double mismatch_norm = 0.0;
+  // Newton-Raphson scratch, hoisted out of the iteration loop: every
+  // entry of the mismatch vector and all four Jacobian blocks are
+  // overwritten each pass, and the LU refactors into the same packed
+  // storage, so iterations after the first touch the heap not at all.
+  Vector mismatch(np + nq);
+  Vector delta(np + nq);
+  Matrix jac(np + nq, np + nq);
+  linalg::LuDecomposition lu;
   int iter = 0;
   for (; iter < options.max_iterations; ++iter) {
     compute_injections();
 
-    Vector mismatch(np + nq);
     mismatch_norm = 0.0;
     for (size_t a = 0; a < np; ++a) {
       mismatch[a] = sched.p_pu[p_buses[a]] - p_calc[p_buses[a]];
@@ -133,7 +140,6 @@ Result<PowerFlowSolution> SolveAcCore(const Grid& grid,
     if (mismatch_norm < options.tolerance) break;
 
     // Assemble the polar-form Jacobian [[H, N], [J, L]].
-    Matrix jac(np + nq, np + nq);
     for (size_t a = 0; a < np; ++a) {
       size_t i = p_buses[a];
       for (size_t c = 0; c < np; ++c) {
@@ -182,12 +188,12 @@ Result<PowerFlowSolution> SolveAcCore(const Grid& grid,
       }
     }
 
-    auto lu = linalg::LuDecomposition::Factor(jac);
-    if (!lu.ok()) {
+    Status factored = lu.Refactor(jac);
+    if (!factored.ok()) {
       return Status::Singular("power-flow Jacobian is singular: " +
-                              lu.status().message());
+                              factored.message());
     }
-    PW_ASSIGN_OR_RETURN(Vector delta, lu->Solve(mismatch));
+    PW_RETURN_IF_ERROR(lu.SolveInto(mismatch, delta));
 
     for (size_t a = 0; a < np; ++a) va[p_buses[a]] += delta[a];
     for (size_t a = 0; a < nq; ++a) {
@@ -295,7 +301,7 @@ Result<PowerFlowSolution> SolveDcPowerFlow(const Grid& grid,
   for (size_t i = 0; i < n; ++i) {
     if (i != slack) keep.push_back(i);
   }
-  Matrix reduced = lap.SelectRows(keep).SelectCols(keep);
+  Matrix reduced = lap.SelectSubmatrix(keep, keep);
   Vector p_reduced(n - 1);
   for (size_t a = 0; a < keep.size(); ++a) p_reduced[a] = sched.p_pu[keep[a]];
 

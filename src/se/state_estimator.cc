@@ -5,8 +5,10 @@
 #include <string>
 
 #include "common/check.h"
+#include "common/workspace.h"
 #include "linalg/complex_matrix.h"
 #include "linalg/lu.h"
+#include "linalg/views.h"
 
 namespace phasorwatch::se {
 namespace {
@@ -40,9 +42,9 @@ BranchAdmittance FromEndAdmittance(const Branch& br) {
 // Adds the two rows (real and imaginary component) of a linear complex
 // relation m = sum_k c_k * V_k to H, and the measured values to z/w.
 struct RowBuilder {
-  Matrix& h;
-  Vector& z;
-  Vector& weight;
+  linalg::MutableMatrixView h;
+  linalg::VectorView z;
+  linalg::VectorView weight;
   size_t row = 0;
   size_t n = 0;
 
@@ -84,9 +86,14 @@ Result<EstimationResult> LinearStateEstimator::Estimate(
         "unobservable: fewer measurement rows than states");
   }
 
-  Matrix h(rows, state_dim);
-  Vector z(rows);
-  Vector weight(rows);
+  // All estimator scratch comes from the per-thread arena: a repeated
+  // Estimate loop (one call per PMU frame) reuses the same memory after
+  // the first pass. The Frame rewinds on every exit path.
+  Workspace& ws = Workspace::PerThread();
+  Workspace::Frame scratch_frame(ws);
+  linalg::MutableMatrixView h(ws.Alloc(rows * state_dim), rows, state_dim);
+  linalg::VectorView z(ws.Alloc(rows), rows);
+  linalg::VectorView weight(ws.Alloc(rows), rows);
   RowBuilder builder{h, z, weight, 0, n};
 
   for (const PhasorMeasurement& m : measurements) {
@@ -128,24 +135,31 @@ Result<EstimationResult> LinearStateEstimator::Estimate(
   }
 
   // Normal equations: (H^T W H) x = H^T W z.
-  Matrix hw = h;  // rows scaled by weight
+  linalg::MutableMatrixView hw(ws.Alloc(rows * state_dim), rows, state_dim);
+  linalg::CopyInto(h, hw);  // rows scaled by weight
   for (size_t r = 0; r < rows; ++r) {
     for (size_t c = 0; c < state_dim; ++c) hw(r, c) *= weight[r];
   }
-  Matrix gain = h.TransposedTimes(hw);
-  Vector rhs(state_dim);
+  linalg::MutableMatrixView gain(ws.Alloc(state_dim * state_dim), state_dim,
+                                 state_dim);
+  linalg::TransposedTimesInto(h, hw, gain);
+  linalg::VectorView rhs(ws.Alloc(state_dim), state_dim);
   for (size_t c = 0; c < state_dim; ++c) {
     double sum = 0.0;
     for (size_t r = 0; r < rows; ++r) sum += hw(r, c) * z[r];
     rhs[c] = sum;
   }
-  auto lu = linalg::LuDecomposition::Factor(gain);
-  if (!lu.ok()) {
+  // The decomposition's packed storage is reused across calls on this
+  // thread; Refactor is bit-identical to a fresh Factor.
+  static thread_local linalg::LuDecomposition lu;
+  Status factored = lu.Refactor(gain);
+  if (!factored.ok()) {
     return Status::FailedPrecondition(
         "unobservable measurement configuration (singular gain matrix): " +
-        lu.status().message());
+        factored.message());
   }
-  PW_ASSIGN_OR_RETURN(Vector x, lu->Solve(rhs));
+  linalg::VectorView x(ws.Alloc(state_dim), state_dim);
+  PW_RETURN_IF_ERROR(lu.SolveInto(rhs, x));
 
   EstimationResult result;
   result.vm = Vector(n);
@@ -157,14 +171,13 @@ Result<EstimationResult> LinearStateEstimator::Estimate(
   }
 
   // Residual analysis.
-  Vector residual(rows);
   result.weighted_residual_sq = 0.0;
   result.worst_normalized_residual = 0.0;
   for (size_t r = 0; r < rows; ++r) {
     double predicted = 0.0;
     for (size_t c = 0; c < state_dim; ++c) predicted += h(r, c) * x[c];
-    residual[r] = z[r] - predicted;
-    double normalized = residual[r] * std::sqrt(weight[r]);
+    double residual = z[r] - predicted;
+    double normalized = residual * std::sqrt(weight[r]);
     result.weighted_residual_sq += normalized * normalized;
     if (std::fabs(normalized) > result.worst_normalized_residual) {
       result.worst_normalized_residual = std::fabs(normalized);

@@ -9,10 +9,15 @@ namespace phasorwatch::sim {
 std::vector<size_t> MissingMask::AvailableIndices() const {
   std::vector<size_t> out;
   out.reserve(missing.size());
-  for (size_t i = 0; i < missing.size(); ++i) {
-    if (!missing[i]) out.push_back(i);
-  }
+  AvailableIndicesInto(&out);
   return out;
+}
+
+void MissingMask::AvailableIndicesInto(std::vector<size_t>* out) const {
+  out->clear();
+  for (size_t i = 0; i < missing.size(); ++i) {
+    if (!missing[i]) out->push_back(i);
+  }
 }
 
 std::vector<size_t> MissingMask::MissingIndices() const {

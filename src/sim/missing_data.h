@@ -37,6 +37,9 @@ struct MissingMask {
 
   /// Indices of available (non-missing) nodes.
   std::vector<size_t> AvailableIndices() const;
+  /// AvailableIndices into a reused buffer (cleared first; capacity is
+  /// kept, so a warmed caller allocates nothing).
+  void AvailableIndicesInto(std::vector<size_t>* out) const;
   /// Indices of missing nodes.
   std::vector<size_t> MissingIndices() const;
 };

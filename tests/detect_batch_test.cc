@@ -1,0 +1,241 @@
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "detect/detector.h"
+#include "detect/stream.h"
+#include "grid/ieee_cases.h"
+
+namespace phasorwatch::detect {
+namespace {
+
+// DetectBatch must be a pure amortization of Detect: bit-identical
+// results for every sample, under every missing-data pattern. The
+// fixture trains one IEEE-30 detector for the whole suite.
+class DetectBatchTest : public ::testing::Test {
+ protected:
+  struct Shared {
+    grid::Grid grid;
+    sim::PmuNetwork network;
+    sim::PhasorDataSet normal_test;
+    std::vector<grid::LineId> lines;
+    std::vector<sim::PhasorDataSet> outage_test;
+    std::unique_ptr<OutageDetector> detector;
+  };
+
+  static Shared* shared_;
+
+  static void SetUpTestSuite() {
+    auto grid = grid::IeeeCase30();
+    PW_CHECK(grid.ok());
+    auto network = sim::PmuNetwork::Build(*grid, 4);
+    PW_CHECK(network.ok());
+
+    sim::SimulationOptions sim_opts;
+    sim_opts.load.num_states = 16;
+    sim_opts.samples_per_state = 8;
+
+    Rng rng(30303);
+    auto normal_train = sim::SimulateMeasurements(*grid, sim_opts, rng);
+    PW_CHECK(normal_train.ok());
+    auto normal_test = sim::SimulateMeasurements(*grid, sim_opts, rng);
+    PW_CHECK(normal_test.ok());
+
+    std::vector<grid::LineId> lines;
+    std::vector<sim::PhasorDataSet> outage_train;
+    std::vector<sim::PhasorDataSet> outage_test;
+    for (const grid::LineId& line : grid->lines()) {
+      if (lines.size() >= 6) break;
+      auto outage_grid = grid->WithLineOut(line);
+      if (!outage_grid.ok()) continue;
+      Rng train_rng = rng.Fork();
+      Rng test_rng = rng.Fork();
+      auto train = sim::SimulateMeasurements(*outage_grid, sim_opts, train_rng);
+      auto test = sim::SimulateMeasurements(*outage_grid, sim_opts, test_rng);
+      if (!train.ok() || !test.ok()) continue;
+      lines.push_back(line);
+      outage_train.push_back(std::move(train).value());
+      outage_test.push_back(std::move(test).value());
+    }
+    PW_CHECK_GE(lines.size(), 4u);
+
+    // The detector keeps non-owning pointers to the grid and network,
+    // so they must live at their final address before training.
+    shared_ = new Shared{std::move(grid).value(),
+                         std::move(network).value(),
+                         std::move(normal_test).value(),
+                         std::move(lines),
+                         std::move(outage_test),
+                         nullptr};
+    TrainingData data;
+    data.normal = &*normal_train;
+    data.case_lines = shared_->lines;
+    for (const auto& block : outage_train) data.outage.push_back(&block);
+    auto detector =
+        OutageDetector::Train(shared_->grid, shared_->network, data, {});
+    PW_CHECK_MSG(detector.ok(), detector.status().ToString().c_str());
+    shared_->detector =
+        std::make_unique<OutageDetector>(std::move(detector).value());
+  }
+
+  static void TearDownTestSuite() {
+    delete shared_;
+    shared_ = nullptr;
+  }
+
+  struct Sample {
+    linalg::Vector vm;
+    linalg::Vector va;
+    sim::MissingMask mask;
+  };
+
+  // Builds a batch mixing complete data, outage-endpoint loss, random
+  // loss, repeated masks (the selection-reuse fast path), and
+  // whole-cluster loss.
+  static std::vector<Sample> MixedSamples() {
+    const size_t n = shared_->grid.num_buses();
+    std::vector<Sample> samples;
+    Rng rng(777);
+    for (size_t c = 0; c < shared_->lines.size(); ++c) {
+      auto [vm0, va0] = shared_->outage_test[c].Sample(0);
+      samples.push_back({vm0, va0, sim::MissingMask::None(n)});
+      auto [vm1, va1] = shared_->outage_test[c].Sample(1);
+      sim::MissingMask endpoint_mask =
+          sim::MissingAtOutage(n, shared_->lines[c]);
+      samples.push_back({vm1, va1, endpoint_mask});
+      // Same mask again with a different sample: DetectBatch reuses the
+      // group selection here.
+      auto [vm2, va2] = shared_->outage_test[c].Sample(2);
+      samples.push_back({vm2, va2, endpoint_mask});
+      auto [vm3, va3] = shared_->normal_test.Sample(c);
+      samples.push_back({vm3, va3, sim::MissingRandom(n, 3, {}, rng)});
+    }
+    auto [vm, va] = shared_->normal_test.Sample(20);
+    samples.push_back({vm, va, sim::MissingCluster(shared_->network, 0)});
+    return samples;
+  }
+
+  static void ExpectSameResult(const DetectionResult& a,
+                               const DetectionResult& b, size_t index) {
+    SCOPED_TRACE(testing::Message() << "sample " << index);
+    EXPECT_EQ(a.outage_detected, b.outage_detected);
+    EXPECT_EQ(a.decision_score, b.decision_score);
+    EXPECT_EQ(a.affected_nodes, b.affected_nodes);
+    ASSERT_EQ(a.lines.size(), b.lines.size());
+    for (size_t i = 0; i < a.lines.size(); ++i) {
+      EXPECT_EQ(a.lines[i], b.lines[i]);
+    }
+    ASSERT_EQ(a.node_scores.size(), b.node_scores.size());
+    for (size_t i = 0; i < a.node_scores.size(); ++i) {
+      EXPECT_EQ(a.node_scores[i], b.node_scores[i]);
+    }
+  }
+};
+
+DetectBatchTest::Shared* DetectBatchTest::shared_ = nullptr;
+
+TEST_F(DetectBatchTest, BatchMatchesPerSampleDetectBitExact) {
+  std::vector<Sample> samples = MixedSamples();
+  std::vector<OutageDetector::BatchSample> batch;
+  batch.reserve(samples.size());
+  for (const Sample& s : samples) batch.push_back({&s.vm, &s.va, &s.mask});
+
+  auto batched = shared_->detector->DetectBatch(batch);
+  ASSERT_TRUE(batched.ok()) << batched.status().ToString();
+  ASSERT_EQ(batched->size(), samples.size());
+
+  for (size_t i = 0; i < samples.size(); ++i) {
+    auto single = shared_->detector->Detect(samples[i].vm, samples[i].va,
+                                            samples[i].mask);
+    ASSERT_TRUE(single.ok()) << single.status().ToString();
+    ExpectSameResult((*batched)[i], *single, i);
+  }
+}
+
+TEST_F(DetectBatchTest, BatchIsIndependentOfSampleOrder) {
+  // Reversing the batch must not change any individual result: the
+  // batch caches are memoization only, never state that leaks across
+  // samples.
+  std::vector<Sample> samples = MixedSamples();
+  std::vector<OutageDetector::BatchSample> forward, reversed;
+  for (const Sample& s : samples) forward.push_back({&s.vm, &s.va, &s.mask});
+  for (size_t i = samples.size(); i > 0; --i) {
+    const Sample& s = samples[i - 1];
+    reversed.push_back({&s.vm, &s.va, &s.mask});
+  }
+  auto fwd = shared_->detector->DetectBatch(forward);
+  auto rev = shared_->detector->DetectBatch(reversed);
+  ASSERT_TRUE(fwd.ok());
+  ASSERT_TRUE(rev.ok());
+  for (size_t i = 0; i < samples.size(); ++i) {
+    ExpectSameResult((*fwd)[i], (*rev)[samples.size() - 1 - i], i);
+  }
+}
+
+TEST_F(DetectBatchTest, EmptyBatchReturnsEmptyResults) {
+  auto results = shared_->detector->DetectBatch({});
+  ASSERT_TRUE(results.ok());
+  EXPECT_TRUE(results->empty());
+}
+
+TEST_F(DetectBatchTest, NullSampleFieldsRejected) {
+  auto [vm, va] = shared_->normal_test.Sample(0);
+  sim::MissingMask mask = sim::MissingMask::None(shared_->grid.num_buses());
+  std::vector<OutageDetector::BatchSample> batch = {{&vm, &va, nullptr}};
+  auto results = shared_->detector->DetectBatch(batch);
+  EXPECT_FALSE(results.ok());
+}
+
+TEST_F(DetectBatchTest, ErrorInBatchPropagates) {
+  auto [vm, va] = shared_->normal_test.Sample(0);
+  sim::MissingMask all_missing =
+      sim::MissingMask::None(shared_->grid.num_buses());
+  for (size_t i = 0; i < all_missing.size(); ++i) {
+    all_missing.missing[i] = true;
+  }
+  std::vector<OutageDetector::BatchSample> batch = {{&vm, &va, &all_missing}};
+  auto results = shared_->detector->DetectBatch(batch);
+  ASSERT_FALSE(results.ok());
+  // The batch must surface exactly the error the per-sample path gives.
+  auto single = shared_->detector->Detect(vm, va, all_missing);
+  ASSERT_FALSE(single.ok());
+  EXPECT_EQ(results.status().code(), single.status().code());
+}
+
+TEST_F(DetectBatchTest, ProcessBatchMatchesPerSampleProcess) {
+  std::vector<Sample> samples = MixedSamples();
+  std::vector<OutageDetector::BatchSample> batch;
+  for (const Sample& s : samples) batch.push_back({&s.vm, &s.va, &s.mask});
+
+  StreamOptions stream_opts;
+  StreamingMonitor per_sample(shared_->detector.get(), stream_opts);
+  StreamingMonitor batched(shared_->detector.get(), stream_opts);
+
+  auto events = batched.ProcessBatch(batch);
+  ASSERT_TRUE(events.ok()) << events.status().ToString();
+  ASSERT_EQ(events->size(), samples.size());
+
+  for (size_t i = 0; i < samples.size(); ++i) {
+    SCOPED_TRACE(testing::Message() << "sample " << i);
+    auto event = per_sample.Process(samples[i].vm, samples[i].va,
+                                    samples[i].mask);
+    ASSERT_TRUE(event.ok());
+    const StreamEvent& be = (*events)[i];
+    EXPECT_EQ(be.sample_index, event->sample_index);
+    EXPECT_EQ(be.alarm_active, event->alarm_active);
+    EXPECT_EQ(be.alarm_raised, event->alarm_raised);
+    EXPECT_EQ(be.alarm_cleared, event->alarm_cleared);
+    ASSERT_EQ(be.lines.size(), event->lines.size());
+    for (size_t l = 0; l < be.lines.size(); ++l) {
+      EXPECT_EQ(be.lines[l], event->lines[l]);
+    }
+    ExpectSameResult(be.raw, event->raw, i);
+  }
+  EXPECT_EQ(per_sample.samples_processed(), batched.samples_processed());
+}
+
+}  // namespace
+}  // namespace phasorwatch::detect
