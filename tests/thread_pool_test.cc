@@ -22,7 +22,9 @@ TEST(ResolveParallelismTest, ZeroMeansHardwareConcurrency) {
   size_t resolved = ResolveParallelism(0);
   EXPECT_GE(resolved, 1u);
   size_t hw = std::thread::hardware_concurrency();
-  if (hw > 0) EXPECT_EQ(resolved, hw);
+  if (hw > 0) {
+    EXPECT_EQ(resolved, hw);
+  }
 }
 
 TEST(ResolveParallelismTest, ExplicitRequestPassesThrough) {
