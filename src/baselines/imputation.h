@@ -1,6 +1,7 @@
 #ifndef PHASORWATCH_BASELINES_IMPUTATION_H_
 #define PHASORWATCH_BASELINES_IMPUTATION_H_
 
+#include "common/check.h"
 #include "common/status.h"
 #include "linalg/matrix.h"
 #include "sim/measurement.h"
@@ -27,8 +28,8 @@ class LowRankImputer {
 
   /// Learns the subspace from normal-operation training data (both
   /// phasor channels stacked, 2N features).
-  static Result<LowRankImputer> Train(const sim::PhasorDataSet& normal_data,
-                                      const Options& options);
+  PW_NODISCARD static Result<LowRankImputer> Train(
+      const sim::PhasorDataSet& normal_data, const Options& options);
 
   /// Fills the missing nodes of one sample in place: observed entries
   /// are kept, hidden ones are regressed through the learned subspace.

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/check.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "grid/grid.h"
@@ -31,7 +32,7 @@ struct MlrOptions {
 class MlrClassifier {
  public:
   /// Trains on normal data plus one block per line-outage class.
-  static Result<MlrClassifier> Train(
+  PW_NODISCARD static Result<MlrClassifier> Train(
       const grid::Grid& grid, const sim::PhasorDataSet& normal_data,
       const std::vector<grid::LineId>& case_lines,
       const std::vector<const sim::PhasorDataSet*>& outage_data,

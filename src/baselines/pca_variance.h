@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/check.h"
 #include "common/status.h"
 #include "grid/grid.h"
 #include "linalg/matrix.h"
@@ -24,9 +25,9 @@ class PcaVarianceDetector {
     double threshold_sigma = 5.0;  ///< residual z-score flag level
   };
 
-  static Result<PcaVarianceDetector> Train(const grid::Grid& grid,
-                                           const sim::PhasorDataSet& normal_data,
-                                           const Options& options);
+  PW_NODISCARD static Result<PcaVarianceDetector> Train(
+      const grid::Grid& grid, const sim::PhasorDataSet& normal_data,
+      const Options& options);
 
   /// Candidate outaged lines (empty = normal).
   std::vector<grid::LineId> PredictLines(const linalg::Vector& vm,

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/check.h"
 #include "common/status.h"
 #include "grid/grid.h"
 #include "linalg/matrix.h"
@@ -23,9 +24,9 @@ class PilotPmuDetector {
     double threshold_sigma = 5.0;
   };
 
-  static Result<PilotPmuDetector> Train(const grid::Grid& grid,
-                                        const sim::PhasorDataSet& normal_data,
-                                        const Options& options);
+  PW_NODISCARD static Result<PilotPmuDetector> Train(
+      const grid::Grid& grid, const sim::PhasorDataSet& normal_data,
+      const Options& options);
 
   /// True when the available pilots flag an event. Missing pilots are
   /// skipped; when every pilot is missing the detector reports "no

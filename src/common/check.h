@@ -8,6 +8,24 @@
 /// a violated invariant in numerical code silently corrupts every result
 /// downstream, so failing fast is the only safe behavior. Use Status for
 /// errors callers can act on; use PW_CHECK for programmer errors.
+///
+/// This header also defines the function-annotation vocabulary the
+/// static-analysis gate enforces (see docs/STATIC_ANALYSIS.md):
+///
+///   PW_NODISCARD   the return value carries an error or a computed
+///                  result; discarding it is a bug. tools/pw_lint.py
+///                  requires it on every public Status/Result API.
+///   PW_HOT_PATH    the function is on a per-sample or per-iteration
+///                  path; keep it branch-light and allocation-aware.
+///   PW_NO_ALLOC    PW_HOT_PATH plus a machine-checked contract: the
+///                  function body must not heap-allocate (no new, no
+///                  container construction, no value-semantic Matrix
+///                  ops). Enforced by tools/pw_lint.py and measured by
+///                  bench/alloc_counter.
+///
+/// PW_DCHECK_* are debug-only twins of PW_CHECK_* for per-element and
+/// per-iteration contracts too hot to pay for in Release: they compile
+/// to nothing under NDEBUG unless PW_DCHECK_ENABLED forces them on.
 
 #define PW_CHECK(cond)                                                     \
   do {                                                                     \
@@ -33,5 +51,69 @@
 #define PW_CHECK_LE(a, b) PW_CHECK((a) <= (b))
 #define PW_CHECK_GT(a, b) PW_CHECK((a) > (b))
 #define PW_CHECK_GE(a, b) PW_CHECK((a) >= (b))
+
+// --- function annotations ---------------------------------------------
+
+/// Return values that must not be silently dropped. Status and Result
+/// are additionally [[nodiscard]] at class level, so the compiler flags
+/// call sites even when a declaration misses the annotation; pw_lint
+/// still requires the explicit marker on public APIs so intent is
+/// visible at the declaration.
+#define PW_NODISCARD [[nodiscard]]
+
+#if defined(__GNUC__) || defined(__clang__)
+#define PW_HOT_PATH __attribute__((hot))
+#else
+#define PW_HOT_PATH
+#endif
+
+/// Allocation-free contract marker. Expands to PW_HOT_PATH (every
+/// no-alloc function is on a hot path); the no-allocation property
+/// itself is enforced statically by tools/pw_lint.py, which scans the
+/// bodies of functions whose definitions carry this marker.
+#define PW_NO_ALLOC PW_HOT_PATH
+
+// --- debug-only contracts ---------------------------------------------
+
+#if !defined(NDEBUG) || defined(PW_DCHECK_ENABLED)
+#define PW_DCHECK_IS_ON 1
+#else
+#define PW_DCHECK_IS_ON 0
+#endif
+
+#if PW_DCHECK_IS_ON
+#define PW_DCHECK(cond) PW_CHECK(cond)
+#define PW_DCHECK_MSG(cond, msg) PW_CHECK_MSG(cond, msg)
+#else
+// Swallow the condition without evaluating it, but keep it compiled so
+// contracts cannot rot silently in Release-only code paths.
+#define PW_DCHECK(cond) \
+  do {                  \
+    (void)sizeof(cond); \
+  } while (0)
+#define PW_DCHECK_MSG(cond, msg) \
+  do {                           \
+    (void)sizeof(cond);          \
+    (void)sizeof(msg);           \
+  } while (0)
+#endif
+
+#define PW_DCHECK_EQ(a, b) PW_DCHECK((a) == (b))
+#define PW_DCHECK_NE(a, b) PW_DCHECK((a) != (b))
+#define PW_DCHECK_LT(a, b) PW_DCHECK((a) < (b))
+#define PW_DCHECK_LE(a, b) PW_DCHECK((a) <= (b))
+#define PW_DCHECK_GT(a, b) PW_DCHECK((a) > (b))
+#define PW_DCHECK_GE(a, b) PW_DCHECK((a) >= (b))
+
+/// Shape/bound contracts for matrix- and vector-shaped arguments.
+/// Debug-only: entry-point shape checks in kernels stay PW_CHECK (paid
+/// once per call); these are for per-element and per-iteration indices.
+#define PW_DCHECK_BOUND(i, n) PW_DCHECK_LT(i, n)
+#define PW_DCHECK_SIZE(v, n) PW_DCHECK_EQ((v).size(), (n))
+#define PW_DCHECK_SHAPE(m, r, c)  \
+  do {                            \
+    PW_DCHECK_EQ((m).rows(), (r)); \
+    PW_DCHECK_EQ((m).cols(), (c)); \
+  } while (0)
 
 #endif  // PHASORWATCH_COMMON_CHECK_H_

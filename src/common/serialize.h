@@ -8,6 +8,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/check.h"
 #include "common/status.h"
 
 namespace phasorwatch {
@@ -31,14 +32,14 @@ std::string FormatJsonDouble(double value);
 /// number, true/false/null). Returns kInvalidArgument with a position
 /// hint on malformed input. Used by tests and by the `--validate-events`
 /// mode of grid_monitor to verify emitted JSONL files.
-Status ValidateJson(std::string_view text);
+PW_NODISCARD Status ValidateJson(std::string_view text);
 
 /// Extracts the raw value text of a top-level key in a JSON object
 /// (e.g. `"42"`, `"\"raise\""`, `"[1,2]"`). kNotFound when the key is
 /// absent; kInvalidArgument when `text` is not a JSON object. Shallow:
 /// only top-level keys are visible.
-Result<std::string> JsonObjectField(std::string_view text,
-                                    std::string_view key);
+PW_NODISCARD Result<std::string> JsonObjectField(std::string_view text,
+                                                 std::string_view key);
 
 /// Little binary writer for model persistence. The format is
 /// little-endian, fixed-width, with no alignment padding; every
@@ -68,13 +69,15 @@ class BinaryReader {
  public:
   explicit BinaryReader(std::istream& in) : in_(in) {}
 
-  Result<uint64_t> ReadU64();
-  Result<int64_t> ReadI64();
-  Result<double> ReadDouble();
-  Result<bool> ReadBool();
-  Result<std::string> ReadString(size_t max_length = 1 << 20);
-  Result<std::vector<double>> ReadDoubleVector(size_t max_size = 1 << 28);
-  Result<std::vector<size_t>> ReadSizeVector(size_t max_size = 1 << 28);
+  PW_NODISCARD Result<uint64_t> ReadU64();
+  PW_NODISCARD Result<int64_t> ReadI64();
+  PW_NODISCARD Result<double> ReadDouble();
+  PW_NODISCARD Result<bool> ReadBool();
+  PW_NODISCARD Result<std::string> ReadString(size_t max_length = 1 << 20);
+  PW_NODISCARD Result<std::vector<double>> ReadDoubleVector(
+      size_t max_size = 1 << 28);
+  PW_NODISCARD Result<std::vector<size_t>> ReadSizeVector(
+      size_t max_size = 1 << 28);
 
  private:
   std::istream& in_;

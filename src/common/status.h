@@ -5,6 +5,8 @@
 #include <utility>
 #include <variant>
 
+#include "common/check.h"
+
 namespace phasorwatch {
 
 /// Error categories used across the library. Mirrors the RocksDB/Arrow
@@ -29,44 +31,49 @@ const char* StatusCodeName(StatusCode code);
 ///
 /// A default-constructed Status is OK. Errors carry a code and a message.
 /// Statuses are cheap to copy (OK carries no allocation).
-class Status {
+///
+/// [[nodiscard]] at class level: silently dropping a Status loses the
+/// error it carries, so every call site must consume or explicitly
+/// discard it. Public APIs additionally carry PW_NODISCARD on their
+/// declarations (enforced by tools/pw_lint.py).
+class PW_NODISCARD Status {
  public:
   Status() = default;
   Status(StatusCode code, std::string message)
       : code_(code), message_(std::move(message)) {}
 
   static Status OK() { return Status(); }
-  static Status InvalidArgument(std::string msg) {
+  PW_NODISCARD static Status InvalidArgument(std::string msg) {
     return Status(StatusCode::kInvalidArgument, std::move(msg));
   }
-  static Status NotFound(std::string msg) {
+  PW_NODISCARD static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
   }
-  static Status OutOfRange(std::string msg) {
+  PW_NODISCARD static Status OutOfRange(std::string msg) {
     return Status(StatusCode::kOutOfRange, std::move(msg));
   }
-  static Status FailedPrecondition(std::string msg) {
+  PW_NODISCARD static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
-  static Status NotConverged(std::string msg) {
+  PW_NODISCARD static Status NotConverged(std::string msg) {
     return Status(StatusCode::kNotConverged, std::move(msg));
   }
-  static Status Singular(std::string msg) {
+  PW_NODISCARD static Status Singular(std::string msg) {
     return Status(StatusCode::kSingular, std::move(msg));
   }
-  static Status Islanded(std::string msg) {
+  PW_NODISCARD static Status Islanded(std::string msg) {
     return Status(StatusCode::kIslanded, std::move(msg));
   }
-  static Status DataMissing(std::string msg) {
+  PW_NODISCARD static Status DataMissing(std::string msg) {
     return Status(StatusCode::kDataMissing, std::move(msg));
   }
-  static Status Internal(std::string msg) {
+  PW_NODISCARD static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
-  const std::string& message() const { return message_; }
+  PW_NODISCARD bool ok() const { return code_ == StatusCode::kOk; }
+  PW_NODISCARD StatusCode code() const { return code_; }
+  PW_NODISCARD const std::string& message() const { return message_; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;
@@ -77,9 +84,10 @@ class Status {
 };
 
 /// Either a value of type T or an error Status. Modeled after
-/// absl::StatusOr but dependency-free.
+/// absl::StatusOr but dependency-free. [[nodiscard]] at class level for
+/// the same reason as Status: a dropped Result drops its error.
 template <typename T>
-class Result {
+class PW_NODISCARD Result {
  public:
   /// Implicit from value and from error status, so functions can
   /// `return value;` or `return Status::...;` directly.
@@ -91,9 +99,9 @@ class Result {
     }
   }
 
-  bool ok() const { return std::holds_alternative<T>(data_); }
+  PW_NODISCARD bool ok() const { return std::holds_alternative<T>(data_); }
 
-  Status status() const {
+  PW_NODISCARD Status status() const {
     if (ok()) return Status::OK();
     return std::get<Status>(data_);
   }

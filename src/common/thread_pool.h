@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/check.h"
 #include "common/status.h"
 
 namespace phasorwatch {
@@ -63,7 +64,8 @@ class ThreadPool {
   /// Runs body(i) for every i in [0, n) across the pool (caller
   /// included), returning the lowest-index non-OK Status, if any.
   /// Blocks until every iteration has finished.
-  Status ParallelFor(size_t n, const std::function<Status(size_t)>& body);
+  PW_NODISCARD Status ParallelFor(size_t n,
+                                  const std::function<Status(size_t)>& body);
 
  private:
   void WorkerLoop();

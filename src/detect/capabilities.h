@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/check.h"
 #include "common/status.h"
 #include "detect/ellipse.h"
 #include "grid/grid.h"
@@ -26,7 +27,7 @@ class CapabilityTable {
   /// data (for Eq. 5's denominator), and the outage training data of
   /// every valid line case. `case_lines[c]` names the outaged line of
   /// `outage_data[c]`.
-  static Result<CapabilityTable> Build(
+  PW_NODISCARD static Result<CapabilityTable> Build(
       const grid::Grid& grid, const std::vector<EllipseModel>& ellipses,
       const sim::PhasorDataSet& normal_data,
       const std::vector<grid::LineId>& case_lines,

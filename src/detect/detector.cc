@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/status.h"
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -214,6 +215,7 @@ Result<OutageDetector> OutageDetector::Train(const grid::Grid& grid,
     // Evaluate normal calibration samples both complete and under a
     // rotating random mask: missing entries shift the ratio statistic
     // slightly and the gate must stay quiet for both.
+    // pw-lint: allow(rng-discipline) fixed-seed self-check stream.
     Rng mask_rng(0x9A7E5EEDull);
     double lowest_normal_ratio = 1e300;
     auto ratio_for = [&](const Vector& features,
@@ -294,7 +296,7 @@ double OutageDetector::decision_threshold() const {
   return sum / static_cast<double>(gates_.size());
 }
 
-void OutageDetector::SelectGroupInto(size_t cluster,
+PW_NO_ALLOC void OutageDetector::SelectGroupInto(size_t cluster,
                                      const sim::MissingMask& mask,
                                      SelectedGroup* selected,
                                      GroupSelectionStats* stats) const {
@@ -350,7 +352,7 @@ OutageDetector::SelectedGroup OutageDetector::SelectGroup(
   return selected;
 }
 
-void OutageDetector::GroupCoordinatesInto(const std::vector<size_t>& nodes,
+PW_NO_ALLOC void OutageDetector::GroupCoordinatesInto(const std::vector<size_t>& nodes,
                                           std::vector<size_t>* coords) const {
   coords->clear();
   if (options_.subspace.channel != PhasorChannel::kBoth) {
@@ -370,7 +372,7 @@ std::vector<size_t> OutageDetector::GroupCoordinates(
   return coords;
 }
 
-void OutageDetector::SelectGroupsInto(const sim::MissingMask& mask,
+PW_NO_ALLOC void OutageDetector::SelectGroupsInto(const sim::MissingMask& mask,
                                       std::vector<SelectedGroup>* groups,
                                       GroupSelectionStats* stats) const {
   *stats = GroupSelectionStats{};
@@ -388,7 +390,7 @@ std::vector<OutageDetector::SelectedGroup> OutageDetector::SelectGroups(
   return groups;
 }
 
-Status OutageDetector::ClusterNormalResidualsInto(
+PW_NO_ALLOC Status OutageDetector::ClusterNormalResidualsInto(
     const Vector& features, const std::vector<SelectedGroup>& groups,
     ProximityEngine::BatchCache* batch_cache, Vector* residuals) {
   residuals->Assign(groups.size());
@@ -413,7 +415,7 @@ Result<Vector> OutageDetector::ClusterNormalResiduals(
   return residuals;
 }
 
-Status OutageDetector::RawNodeScoresInto(
+PW_NO_ALLOC Status OutageDetector::RawNodeScoresInto(
     const Vector& features, const std::vector<SelectedGroup>& groups,
     ProximityEngine::BatchCache* batch_cache, Vector* scores) {
   const size_t n = grid_->num_buses();
@@ -455,7 +457,7 @@ Result<Vector> OutageDetector::RawNodeScores(
   return scores;
 }
 
-Status OutageDetector::NodeScoresInto(const Vector& features,
+PW_NO_ALLOC Status OutageDetector::NodeScoresInto(const Vector& features,
                                       const std::vector<SelectedGroup>& groups,
                                       ProximityEngine::BatchCache* batch_cache,
                                       Vector* scores) {
@@ -489,7 +491,7 @@ struct OutageDetector::DetectScratch {
   std::vector<std::pair<double, size_t>> candidates;  // (residual, case)
 };
 
-Result<DetectionResult> OutageDetector::Detect(const Vector& vm,
+PW_NO_ALLOC Result<DetectionResult> OutageDetector::Detect(const Vector& vm,
                                                const Vector& va,
                                                const sim::MissingMask& mask) {
   static thread_local DetectScratch scratch;
@@ -497,7 +499,7 @@ Result<DetectionResult> OutageDetector::Detect(const Vector& vm,
   return DetectImpl(vm, va, mask, /*batch_cache=*/nullptr, scratch);
 }
 
-Result<std::vector<DetectionResult>> OutageDetector::DetectBatch(
+PW_NO_ALLOC Result<std::vector<DetectionResult>> OutageDetector::DetectBatch(
     const std::vector<BatchSample>& samples) {
   static thread_local DetectScratch scratch;
   static thread_local ProximityEngine::BatchCache batch_cache;
@@ -507,6 +509,7 @@ Result<std::vector<DetectionResult>> OutageDetector::DetectBatch(
   scratch.selection_valid = false;
   PW_OBS_HISTOGRAM_OBSERVE("detect.batch_size", samples.size(),
                            ::phasorwatch::obs::DefaultIterationBuckets());
+  // pw-lint: allow(no-alloc) the result set escapes to the caller.
   std::vector<DetectionResult> results;
   results.reserve(samples.size());
   for (const BatchSample& sample : samples) {
@@ -523,7 +526,7 @@ Result<std::vector<DetectionResult>> OutageDetector::DetectBatch(
   return results;
 }
 
-Result<DetectionResult> OutageDetector::DetectImpl(
+PW_NO_ALLOC Result<DetectionResult> OutageDetector::DetectImpl(
     const Vector& vm, const Vector& va, const sim::MissingMask& mask,
     ProximityEngine::BatchCache* batch_cache, DetectScratch& scratch) {
   PW_TRACE_SCOPE("detect.total_us");

@@ -5,6 +5,7 @@
 
 #include <iosfwd>
 
+#include "common/check.h"
 #include "common/status.h"
 #include "detect/capabilities.h"
 #include "detect/ellipse.h"
@@ -107,20 +108,19 @@ struct DetectionResult {
 /// before the detector is shared.
 class OutageDetector {
  public:
-  static Result<OutageDetector> Train(const grid::Grid& grid,
-                                      const sim::PmuNetwork& network,
-                                      const TrainingData& data,
-                                      const DetectorOptions& options = {});
+  PW_NODISCARD static Result<OutageDetector> Train(
+      const grid::Grid& grid, const sim::PmuNetwork& network,
+      const TrainingData& data, const DetectorOptions& options = {});
 
   /// Classifies one sample. `mask` marks nodes whose measurements are
   /// missing; their entries in vm/va are ignored.
-  Result<DetectionResult> Detect(const linalg::Vector& vm,
-                                 const linalg::Vector& va,
-                                 const sim::MissingMask& mask);
+  PW_NO_ALLOC PW_NODISCARD Result<DetectionResult> Detect(
+      const linalg::Vector& vm, const linalg::Vector& va,
+      const sim::MissingMask& mask);
 
   /// Convenience for complete samples.
-  Result<DetectionResult> Detect(const linalg::Vector& vm,
-                                 const linalg::Vector& va) {
+  PW_NODISCARD Result<DetectionResult> Detect(const linalg::Vector& vm,
+                                              const linalg::Vector& va) {
     return Detect(vm, va, sim::MissingMask::None(grid_->num_buses()));
   }
 
@@ -139,7 +139,7 @@ class OutageDetector {
   /// masks, and regressor-cache lookups skip the shared mutex after the
   /// first sample that resolves each (model, group) pair. Fails on the
   /// first sample error (same short-circuit a caller loop would have).
-  Result<std::vector<DetectionResult>> DetectBatch(
+  PW_NO_ALLOC PW_NODISCARD Result<std::vector<DetectionResult>> DetectBatch(
       const std::vector<BatchSample>& samples);
 
   // --- introspection for tests, ablations, and figures ---
@@ -164,16 +164,17 @@ class OutageDetector {
   /// Serializes the trained model (not the grid or PMU network — those
   /// are configuration the deployment already has; Load verifies that
   /// the provided ones match what the model was trained on).
-  Status Save(std::ostream& out) const;
-  Status SaveToFile(const std::string& path) const;
+  PW_NODISCARD Status Save(std::ostream& out) const;
+  PW_NODISCARD Status SaveToFile(const std::string& path) const;
 
   /// Restores a trained detector. `grid` and `network` must match the
   /// training configuration (checked by fingerprint).
-  static Result<OutageDetector> Load(std::istream& in, const grid::Grid& grid,
-                                     const sim::PmuNetwork& network);
-  static Result<OutageDetector> LoadFromFile(const std::string& path,
-                                             const grid::Grid& grid,
-                                             const sim::PmuNetwork& network);
+  PW_NODISCARD static Result<OutageDetector> Load(
+      std::istream& in, const grid::Grid& grid,
+      const sim::PmuNetwork& network);
+  PW_NODISCARD static Result<OutageDetector> LoadFromFile(
+      const std::string& path, const grid::Grid& grid,
+      const sim::PmuNetwork& network);
 
  private:
   /// One cluster's detection group under a mask (Eq. 10), plus which
@@ -200,42 +201,40 @@ class OutageDetector {
   /// Per-thread reusable buffers for the Detect hot path (detector.cc).
   struct DetectScratch;
 
-  void SelectGroupInto(size_t cluster, const sim::MissingMask& mask,
+  PW_NO_ALLOC void SelectGroupInto(size_t cluster, const sim::MissingMask& mask,
                        SelectedGroup* selected,
                        GroupSelectionStats* stats) const;
   SelectedGroup SelectGroup(size_t cluster,
                             const sim::MissingMask& mask) const;
 
   /// Groups for every cluster under this mask, into reused storage.
-  void SelectGroupsInto(const sim::MissingMask& mask,
+  PW_NO_ALLOC void SelectGroupsInto(const sim::MissingMask& mask,
                         std::vector<SelectedGroup>* groups,
                         GroupSelectionStats* stats) const;
   std::vector<SelectedGroup> SelectGroups(const sim::MissingMask& mask) const;
 
   /// Scaled proximity scores for every node (Eqs. 9-11), given the
   /// per-cluster groups, before baseline normalization.
-  Status RawNodeScoresInto(const linalg::Vector& features,
-                           const std::vector<SelectedGroup>& groups,
-                           ProximityEngine::BatchCache* batch_cache,
-                           linalg::Vector* scores);
-  Result<linalg::Vector> RawNodeScores(
+  PW_NO_ALLOC PW_NODISCARD Status RawNodeScoresInto(
+      const linalg::Vector& features, const std::vector<SelectedGroup>& groups,
+      ProximityEngine::BatchCache* batch_cache, linalg::Vector* scores);
+  PW_NODISCARD Result<linalg::Vector> RawNodeScores(
       const linalg::Vector& features,
       const std::vector<SelectedGroup>& groups);
 
   /// Raw scores divided by the per-node normal-data baselines (making
   /// scores comparable across clusters of different group sizes).
-  Status NodeScoresInto(const linalg::Vector& features,
-                        const std::vector<SelectedGroup>& groups,
-                        ProximityEngine::BatchCache* batch_cache,
-                        linalg::Vector* scores);
+  PW_NO_ALLOC PW_NODISCARD Status NodeScoresInto(const linalg::Vector& features,
+                                     const std::vector<SelectedGroup>& groups,
+                                     ProximityEngine::BatchCache* batch_cache,
+                                     linalg::Vector* scores);
 
   /// Normal-subspace residual per cluster through its group (the gate
   /// statistic).
-  Status ClusterNormalResidualsInto(const linalg::Vector& features,
-                                    const std::vector<SelectedGroup>& groups,
-                                    ProximityEngine::BatchCache* batch_cache,
-                                    linalg::Vector* residuals);
-  Result<linalg::Vector> ClusterNormalResiduals(
+  PW_NO_ALLOC PW_NODISCARD Status ClusterNormalResidualsInto(
+      const linalg::Vector& features, const std::vector<SelectedGroup>& groups,
+      ProximityEngine::BatchCache* batch_cache, linalg::Vector* residuals);
+  PW_NODISCARD Result<linalg::Vector> ClusterNormalResiduals(
       const linalg::Vector& features,
       const std::vector<SelectedGroup>& groups);
 
@@ -243,11 +242,10 @@ class OutageDetector {
   /// (allocation-free once warmed, apart from the vectors that escape
   /// in the result) and honors a prior group selection left in
   /// `scratch` when the mask matches (batch fast path).
-  Result<DetectionResult> DetectImpl(const linalg::Vector& vm,
-                                     const linalg::Vector& va,
-                                     const sim::MissingMask& mask,
-                                     ProximityEngine::BatchCache* batch_cache,
-                                     DetectScratch& scratch);
+  PW_NO_ALLOC PW_NODISCARD Result<DetectionResult> DetectImpl(
+      const linalg::Vector& vm, const linalg::Vector& va,
+      const sim::MissingMask& mask, ProximityEngine::BatchCache* batch_cache,
+      DetectScratch& scratch);
 
   const grid::Grid* grid_ = nullptr;          // not owned
   const sim::PmuNetwork* network_ = nullptr;  // not owned
@@ -281,7 +279,7 @@ class OutageDetector {
 
   /// Maps a node-index group to feature-coordinate indices (identity
   /// for single-channel features, {i, N+i} pairs for kBoth).
-  void GroupCoordinatesInto(const std::vector<size_t>& nodes,
+  PW_NO_ALLOC void GroupCoordinatesInto(const std::vector<size_t>& nodes,
                             std::vector<size_t>* coords) const;
   std::vector<size_t> GroupCoordinates(const std::vector<size_t>& nodes) const;
 

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/check.h"
 #include "common/status.h"
 
 namespace phasorwatch::detect {
@@ -25,8 +26,8 @@ class EllipseModel {
  public:
   /// Fits the ellipse; needs at least 3 points. `margin` inflates the
   /// fitted radius (1.0 = tight fit to the training hull).
-  static Result<EllipseModel> Fit(const std::vector<PhasorPoint>& points,
-                                  double margin = 1.15);
+  PW_NODISCARD static Result<EllipseModel> Fit(
+      const std::vector<PhasorPoint>& points, double margin = 1.15);
 
   /// Rebuilds an ellipse from stored parameters (model persistence).
   static EllipseModel FromParameters(PhasorPoint center, double a11,

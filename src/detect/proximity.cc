@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/status.h"
 #include "common/workspace.h"
 #include "linalg/svd.h"
 #include "linalg/views.h"
@@ -25,11 +26,51 @@ double ProximityEngine::EvaluateComplete(const SubspaceModel& model,
   return model.Proximity(sample);
 }
 
-Result<double> ProximityEngine::Evaluate(const SubspaceModel& model,
-                                         uint64_t model_key,
-                                         const linalg::Vector& sample,
-                                         const std::vector<size_t>& group,
-                                         BatchCache* batch_cache) {
+Result<std::shared_ptr<const ProximityEngine::CachedRegressor>>
+ProximityEngine::BuildRegressor(const SubspaceModel& model,
+                                const std::vector<size_t>& group) {
+  PW_OBS_COUNTER_INC("proximity.regressor_builds");
+  // Build the regressor R = (I - C_M C_M^+) C_D, with C = B^T.
+  const size_t n = model.ambient_dim();
+  const linalg::Matrix& b = model.constraints.basis();  // n x k
+  const size_t k = b.cols();
+
+  std::vector<bool> in_group(n, false);
+  for (size_t idx : group) {
+    PW_CHECK_LT(idx, n);
+    in_group[idx] = true;
+  }
+  std::vector<size_t> hidden;
+  hidden.reserve(n - group.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (!in_group[i]) hidden.push_back(i);
+  }
+
+  // C_D: k x |D| (rows of B for D, transposed); C_M likewise.
+  linalg::Matrix c_d(k, group.size());
+  for (size_t c = 0; c < group.size(); ++c) {
+    for (size_t r = 0; r < k; ++r) c_d(r, c) = b(group[c], r);
+  }
+  linalg::Matrix c_m(k, hidden.size());
+  for (size_t c = 0; c < hidden.size(); ++c) {
+    for (size_t r = 0; r < k; ++r) c_m(r, c) = b(hidden[c], r);
+  }
+
+  linalg::Matrix regressor;
+  if (hidden.empty()) {
+    regressor = c_d;
+  } else {
+    PW_ASSIGN_OR_RETURN(linalg::Matrix c_m_pinv, linalg::PseudoInverse(c_m));
+    regressor = c_d - (c_m * (c_m_pinv * c_d));
+  }
+  return std::make_shared<const CachedRegressor>(
+      CachedRegressor{std::move(regressor), group});
+}
+
+PW_NO_ALLOC Result<double> ProximityEngine::Evaluate(
+    const SubspaceModel& model, uint64_t model_key,
+    const linalg::Vector& sample, const std::vector<size_t>& group,
+    BatchCache* batch_cache) {
   const size_t n = model.ambient_dim();
   PW_OBS_COUNTER_INC("proximity.evaluations");
   if (sample.size() != n) {
@@ -66,43 +107,9 @@ Result<double> ProximityEngine::Evaluate(const SubspaceModel& model,
     }
   }
   if (cached == nullptr) {
-    // Cache miss: build the Eq. 9 missing-data regressor for this
-    // (model, group) pair.
-    PW_OBS_COUNTER_INC("proximity.regressor_builds");
-    // Build the regressor R = (I - C_M C_M^+) C_D, with C = B^T.
-    const linalg::Matrix& b = model.constraints.basis();  // n x k
-    const size_t k = b.cols();
-
-    std::vector<bool> in_group(n, false);
-    for (size_t idx : group) {
-      PW_CHECK_LT(idx, n);
-      in_group[idx] = true;
-    }
-    std::vector<size_t> hidden;
-    hidden.reserve(n - group.size());
-    for (size_t i = 0; i < n; ++i) {
-      if (!in_group[i]) hidden.push_back(i);
-    }
-
-    // C_D: k x |D| (rows of B for D, transposed); C_M likewise.
-    linalg::Matrix c_d(k, group.size());
-    for (size_t c = 0; c < group.size(); ++c) {
-      for (size_t r = 0; r < k; ++r) c_d(r, c) = b(group[c], r);
-    }
-    linalg::Matrix c_m(k, hidden.size());
-    for (size_t c = 0; c < hidden.size(); ++c) {
-      for (size_t r = 0; r < k; ++r) c_m(r, c) = b(hidden[c], r);
-    }
-
-    linalg::Matrix regressor;
-    if (hidden.empty()) {
-      regressor = c_d;
-    } else {
-      PW_ASSIGN_OR_RETURN(linalg::Matrix c_m_pinv, linalg::PseudoInverse(c_m));
-      regressor = c_d - (c_m * (c_m_pinv * c_d));
-    }
-    cached = std::make_shared<const CachedRegressor>(
-        CachedRegressor{std::move(regressor), group});
+    // Cache miss: the cold build path runs once per (model, group)
+    // pair, outside this function's no-alloc contract.
+    PW_ASSIGN_OR_RETURN(cached, BuildRegressor(model, group));
     size_t cache_size;
     {
       std::unique_lock<std::shared_mutex> lock(mu_);
@@ -135,13 +142,15 @@ Result<double> ProximityEngine::Evaluate(const SubspaceModel& model,
   for (size_t c = 0; c < group.size(); ++c) {
     z[c] = sample[group[c]] - model.mean[group[c]];
   }
-  const linalg::Matrix& reg = cached->r;
+  linalg::ConstMatrixView reg(cached->r);
   double sum = 0.0;
   // Row-wise dot-then-square matches Matrix::operator*(Vector) followed
   // by the squared-norm loop operation for operation: bit-identical.
+  // The view's row() keeps the stride arithmetic inside the linalg
+  // layer (pw-lint forbids raw double* walks over matrix storage here).
   for (size_t i = 0; i < reg.rows(); ++i) {
     double dot = 0.0;
-    const double* row = reg.data() + i * reg.cols();
+    const double* row = reg.row(i);
     for (size_t j = 0; j < reg.cols(); ++j) dot += row[j] * z[j];
     sum += dot * dot;
   }

@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/check.h"
 #include "common/status.h"
 #include "detect/subspace_model.h"
 #include "linalg/matrix.h"
@@ -69,11 +70,13 @@ class ProximityEngine {
   /// `group` (must be non-empty and contain no missing nodes).
   /// `model_key` identifies the model for caching (stable unique id).
   /// `batch_cache`, when non-null, memoizes resolved regressors across
-  /// the caller's batch (see BatchCache).
-  Result<double> Evaluate(const SubspaceModel& model, uint64_t model_key,
-                          const linalg::Vector& sample,
-                          const std::vector<size_t>& group,
-                          BatchCache* batch_cache = nullptr);
+  /// the caller's batch (see BatchCache). Allocation-free once the
+  /// (model, group) regressor is cached; the cold build path lives in
+  /// BuildRegressor.
+  PW_NO_ALLOC PW_NODISCARD Result<double> Evaluate(
+      const SubspaceModel& model, uint64_t model_key,
+      const linalg::Vector& sample, const std::vector<size_t>& group,
+      BatchCache* batch_cache = nullptr);
 
   /// Complete-sample proximity (no group restriction, no cache).
   static double EvaluateComplete(const SubspaceModel& model,
@@ -94,6 +97,12 @@ class ProximityEngine {
     linalg::Matrix r;
     std::vector<size_t> group;
   };
+
+  /// Cold path of Evaluate: builds the Eq. 9 missing-data regressor for
+  /// a (model, group) pair. Runs once per pair; every later Evaluate
+  /// applies the cached result allocation-free.
+  PW_NODISCARD static Result<std::shared_ptr<const CachedRegressor>>
+  BuildRegressor(const SubspaceModel& model, const std::vector<size_t>& group);
 
   mutable std::shared_mutex mu_;
   /// Values are shared_ptr so an Evaluate() can keep applying a

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/check.h"
 #include "common/status.h"
 #include "detect/detector.h"
 
@@ -60,13 +61,13 @@ class StreamingMonitor {
   StreamingMonitor(OutageDetector* detector, const StreamOptions& options);
 
   /// Feeds one sample; returns the debounced event.
-  Result<StreamEvent> Process(const linalg::Vector& vm,
-                              const linalg::Vector& va,
-                              const sim::MissingMask& mask);
+  PW_NODISCARD Result<StreamEvent> Process(const linalg::Vector& vm,
+                                           const linalg::Vector& va,
+                                           const sim::MissingMask& mask);
 
   /// Complete-sample convenience.
-  Result<StreamEvent> Process(const linalg::Vector& vm,
-                              const linalg::Vector& va);
+  PW_NODISCARD Result<StreamEvent> Process(const linalg::Vector& vm,
+                                           const linalg::Vector& va);
 
   /// Feeds a block of samples (in stream order) through
   /// OutageDetector::DetectBatch and debounces each result. Events are
@@ -74,7 +75,7 @@ class StreamingMonitor {
   /// amortizes the detector's per-sample fixed costs, which matters
   /// when draining a PDC buffer after a stall. Producer-thread only,
   /// like Process(). On error no sample of the batch is counted.
-  Result<std::vector<StreamEvent>> ProcessBatch(
+  PW_NODISCARD Result<std::vector<StreamEvent>> ProcessBatch(
       const std::vector<OutageDetector::BatchSample>& samples);
 
   /// Safe to poll from any thread while the producer runs.

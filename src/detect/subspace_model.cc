@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/status.h"
 #include "linalg/eigen_sym.h"
 #include "linalg/svd.h"
 
@@ -105,8 +106,8 @@ Vector FeatureVector(const Vector& vm, const Vector& va,
   return out;
 }
 
-void FeatureVectorInto(const Vector& vm, const Vector& va,
-                       PhasorChannel channel, Vector* out) {
+PW_NO_ALLOC void FeatureVectorInto(const Vector& vm, const Vector& va,
+                                   PhasorChannel channel, Vector* out) {
   switch (channel) {
     case PhasorChannel::kMagnitude:
       *out = vm;

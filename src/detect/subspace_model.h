@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/check.h"
 #include "common/status.h"
 #include "linalg/matrix.h"
 #include "linalg/subspace.h"
@@ -87,12 +88,13 @@ linalg::Vector FeatureVector(const linalg::Vector& vm, const linalg::Vector& va,
 
 /// FeatureVector into a reused buffer (Assign keeps capacity, so a
 /// warmed per-sample loop extracts features without allocating).
-void FeatureVectorInto(const linalg::Vector& vm, const linalg::Vector& va,
+PW_NO_ALLOC void FeatureVectorInto(const linalg::Vector& vm,
+                                   const linalg::Vector& va,
                        PhasorChannel channel, linalg::Vector* out);
 
 /// Learns a subspace model from measurements of one condition.
-Result<SubspaceModel> LearnSubspaceModel(const sim::PhasorDataSet& data,
-                                         const SubspaceModelOptions& options);
+PW_NODISCARD Result<SubspaceModel> LearnSubspaceModel(
+    const sim::PhasorDataSet& data, const SubspaceModelOptions& options);
 
 /// Per-node composite subspaces of Eq. (3), built from the models of
 /// every line-outage case incident to the node.

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/check.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "grid/grid.h"
@@ -53,8 +54,9 @@ struct Dataset {
 };
 
 /// Generates the corpus for `grid`. Deterministic given `seed`.
-Result<Dataset> BuildDataset(const grid::Grid& grid,
-                             const DatasetOptions& options, uint64_t seed);
+PW_NODISCARD Result<Dataset> BuildDataset(const grid::Grid& grid,
+                                          const DatasetOptions& options,
+                                          uint64_t seed);
 
 }  // namespace phasorwatch::eval
 

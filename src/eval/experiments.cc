@@ -6,6 +6,8 @@
 
 #include "common/check.h"
 #include "common/logging.h"
+#include "common/rng.h"
+#include "common/status.h"
 #include "common/thread_pool.h"
 #include "sim/missing_data.h"
 
@@ -72,6 +74,7 @@ Result<TrainedMethods> TrainedMethods::Train(const Dataset& dataset,
   out.detector_ =
       std::make_unique<detect::OutageDetector>(std::move(detector));
 
+  // pw-lint: allow(rng-discipline) experiment root seed stream.
   Rng mlr_rng(options.seed ^ 0xC0FFEEull);
   PW_ASSIGN_OR_RETURN(
       baselines::MlrClassifier mlr,
@@ -230,6 +233,9 @@ Result<std::vector<ReliabilityPoint>> RunReliabilitySweep(
     sim::PmuReliability rel;
     rel.r_pmu = avail;  // treat the product as the device availability
     rel.r_link = 1.0;
+    // Each availability level is an independent experiment with its own
+    // deterministic seed, so levels can run on any thread in any order.
+    // pw-lint: allow(rng-discipline) per-level root seed stream.
     Rng rng(options.seed ^ 0x5EEDFULL ^
             static_cast<uint64_t>(avail * 1e9));
 

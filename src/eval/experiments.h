@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "baselines/mlr.h"
+#include "common/check.h"
 #include "common/status.h"
 #include "detect/detector.h"
 #include "eval/dataset.h"
@@ -59,8 +60,8 @@ struct ScenarioResult {
 /// allocations because the detector keeps a pointer to the PMU network.
 class TrainedMethods {
  public:
-  static Result<TrainedMethods> Train(const Dataset& dataset,
-                                      const ExperimentOptions& options);
+  PW_NODISCARD static Result<TrainedMethods> Train(
+      const Dataset& dataset, const ExperimentOptions& options);
 
   detect::OutageDetector& detector() { return *detector_; }
   const baselines::MlrClassifier& mlr() const { return *mlr_; }
@@ -76,15 +77,14 @@ class TrainedMethods {
 };
 
 /// Runs one scenario (Figs. 5 and 7-9) for both methods on one dataset.
-Result<ScenarioResult> RunScenario(const Dataset& dataset,
-                                   TrainedMethods& methods,
-                                   MissingScenario scenario,
-                                   const ExperimentOptions& options);
+PW_NODISCARD Result<ScenarioResult> RunScenario(
+    const Dataset& dataset, TrainedMethods& methods, MissingScenario scenario,
+    const ExperimentOptions& options);
 
 /// Fig. 4: sweep of the detection-group learned fraction (0 = naive
 /// orthogonal members only, 1 = proposed Eq. 8 group), complete data.
 /// Returns one ScenarioResult per alpha with method = "alpha=<x>".
-Result<std::vector<ScenarioResult>> RunGroupFormationSweep(
+PW_NODISCARD Result<std::vector<ScenarioResult>> RunGroupFormationSweep(
     const Dataset& dataset, const std::vector<double>& alphas,
     const ExperimentOptions& options);
 
@@ -99,7 +99,7 @@ struct ReliabilityPoint {
   double effective_false_alarm = 0.0;
   double effective_accuracy = 0.0;
 };
-Result<std::vector<ReliabilityPoint>> RunReliabilitySweep(
+PW_NODISCARD Result<std::vector<ReliabilityPoint>> RunReliabilitySweep(
     const Dataset& dataset, TrainedMethods& methods,
     const std::vector<double>& device_availabilities, size_t patterns_per_level,
     const ExperimentOptions& options);

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/check.h"
 #include "common/status.h"
 #include "linalg/complex_matrix.h"
 #include "linalg/matrix.h"
@@ -76,9 +77,10 @@ class Grid {
   /// Validates and indexes the case data. Fails on duplicate/unknown bus
   /// ids, non-positive reactances, missing slack, or a disconnected
   /// in-service topology.
-  static Result<Grid> Create(std::string name, std::vector<Bus> buses,
-                             std::vector<Branch> branches,
-                             double base_mva = 100.0);
+  PW_NODISCARD static Result<Grid> Create(std::string name,
+                                          std::vector<Bus> buses,
+                                          std::vector<Branch> branches,
+                                          double base_mva = 100.0);
 
   const std::string& name() const { return name_; }
   double base_mva() const { return base_mva_; }
@@ -94,7 +96,7 @@ class Grid {
   const Bus& bus(size_t idx) const { return buses_[idx]; }
 
   /// Internal index for an external bus id.
-  Result<size_t> BusIndex(int external_id) const;
+  PW_NODISCARD Result<size_t> BusIndex(int external_id) const;
 
   /// Distinct lines as normalized internal-endpoint pairs, sorted.
   const std::vector<LineId>& lines() const { return lines_; }
@@ -117,8 +119,8 @@ class Grid {
   /// taken out of service. Fails with kIslanded if that disconnects the
   /// grid and `allow_islanding` is false, and with kNotFound if no such
   /// in-service line exists.
-  Result<Grid> WithLineOut(const LineId& line,
-                           bool allow_islanding = false) const;
+  PW_NODISCARD Result<Grid> WithLineOut(const LineId& line,
+                                        bool allow_islanding = false) const;
 
   /// Bus admittance matrix Ybus (per-unit) over in-service branches,
   /// including line charging, taps, phase shifts, and bus shunts.

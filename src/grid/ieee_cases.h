@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/check.h"
 #include "common/status.h"
 #include "grid/grid.h"
 
@@ -11,25 +12,25 @@ namespace phasorwatch::grid {
 
 /// IEEE 14-bus test system (20 lines), from the standard power-systems
 /// test-case archive parameters.
-Result<Grid> IeeeCase14();
+PW_NODISCARD Result<Grid> IeeeCase14();
 
 /// IEEE 30-bus test system (41 lines).
-Result<Grid> IeeeCase30();
+PW_NODISCARD Result<Grid> IeeeCase30();
 
 /// IEEE-57-like test system: 57 buses / 80 lines, generated
 /// deterministically with realistic electrical parameters (see
 /// DESIGN.md §4 — the exact archive tables are not available offline).
-Result<Grid> IeeeCase57();
+PW_NODISCARD Result<Grid> IeeeCase57();
 
 /// IEEE-118-like test system: 118 buses / 186 lines, generated
 /// deterministically (same substitution as IeeeCase57).
-Result<Grid> IeeeCase118();
+PW_NODISCARD Result<Grid> IeeeCase118();
 
 /// All four evaluation systems in paper order (14, 30, 57, 118).
 std::vector<Grid> AllEvaluationSystems();
 
 /// Looks up one of the evaluation systems by bus count.
-Result<Grid> EvaluationSystem(int num_buses);
+PW_NODISCARD Result<Grid> EvaluationSystem(int num_buses);
 
 }  // namespace phasorwatch::grid
 

@@ -5,7 +5,9 @@
 #include <set>
 #include <vector>
 
+#include "common/check.h"
 #include "common/rng.h"
+#include "common/status.h"
 #include "common/union_find.h"
 #include "linalg/lu.h"
 
@@ -38,6 +40,7 @@ Result<Grid> BuildSyntheticGrid(const SyntheticGridOptions& options) {
     return Status::InvalidArgument("more lines requested than bus pairs");
   }
 
+  // pw-lint: allow(rng-discipline) synthetic-grid root seed stream.
   Rng rng(options.seed);
 
   // 1. Scatter buses in the unit square.

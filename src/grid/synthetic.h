@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "common/check.h"
 #include "common/status.h"
 #include "grid/grid.h"
 
@@ -35,7 +36,8 @@ struct SyntheticGridOptions {
 /// reached. Line impedances scale with geometric length around `mean_x`.
 /// The result always has exactly `num_buses` buses and `num_lines`
 /// distinct lines, one slack bus, and balanced load/generation.
-Result<Grid> BuildSyntheticGrid(const SyntheticGridOptions& options);
+PW_NODISCARD Result<Grid> BuildSyntheticGrid(
+    const SyntheticGridOptions& options);
 
 }  // namespace phasorwatch::grid
 

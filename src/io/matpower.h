@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "common/check.h"
 #include "common/status.h"
 #include "grid/grid.h"
 
@@ -25,18 +26,19 @@ namespace phasorwatch::io {
 /// Parses a case from file contents. Fails with kInvalidArgument on
 /// malformed matrices and propagates Grid::Create's validation errors
 /// (duplicate buses, missing slack, disconnected topology, ...).
-Result<grid::Grid> ParseMatpowerCase(const std::string& contents,
-                                     const std::string& case_name = "case");
+PW_NODISCARD Result<grid::Grid> ParseMatpowerCase(
+    const std::string& contents, const std::string& case_name = "case");
 
 /// Reads and parses a case file from disk.
-Result<grid::Grid> LoadMatpowerCase(const std::string& path);
+PW_NODISCARD Result<grid::Grid> LoadMatpowerCase(const std::string& path);
 
 /// Serializes a grid back to MATPOWER format. Round-trips through
 /// ParseMatpowerCase up to floating-point printing precision.
 std::string WriteMatpowerCase(const grid::Grid& grid);
 
 /// Writes the serialized case to disk.
-Status SaveMatpowerCase(const grid::Grid& grid, const std::string& path);
+PW_NODISCARD Status SaveMatpowerCase(const grid::Grid& grid,
+                                     const std::string& path);
 
 }  // namespace phasorwatch::io
 

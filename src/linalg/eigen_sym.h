@@ -1,6 +1,7 @@
 #ifndef PHASORWATCH_LINALG_EIGEN_SYM_H_
 #define PHASORWATCH_LINALG_EIGEN_SYM_H_
 
+#include "common/check.h"
 #include "common/status.h"
 #include "linalg/matrix.h"
 
@@ -16,7 +17,7 @@ struct SymmetricEigenResult {
 
 /// Classic cyclic Jacobi eigensolver. Requires `a` symmetric (checked up
 /// to `symmetry_tol` relative to the largest entry).
-Result<SymmetricEigenResult> ComputeSymmetricEigen(
+PW_NODISCARD Result<SymmetricEigenResult> ComputeSymmetricEigen(
     const Matrix& a, int max_sweeps = 100, double symmetry_tol = 1e-8);
 
 }  // namespace phasorwatch::linalg

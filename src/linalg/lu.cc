@@ -4,6 +4,10 @@
 #include <numeric>
 #include <string>
 
+#include "common/check.h"
+#include "common/status.h"
+#include "linalg/views.h"
+
 namespace phasorwatch::linalg {
 
 Result<LuDecomposition> LuDecomposition::Factor(const Matrix& a,
@@ -13,7 +17,7 @@ Result<LuDecomposition> LuDecomposition::Factor(const Matrix& a,
   return out;
 }
 
-Status LuDecomposition::Refactor(ConstMatrixView a, double pivot_tol) {
+PW_NO_ALLOC Status LuDecomposition::Refactor(ConstMatrixView a, double pivot_tol) {
   if (a.rows() != a.cols()) {
     return Status::InvalidArgument("LU requires a square matrix");
   }
@@ -65,7 +69,8 @@ Result<Vector> LuDecomposition::Solve(const Vector& b) const {
   return x;
 }
 
-Status LuDecomposition::SolveInto(ConstVectorView b, VectorView x) const {
+PW_NO_ALLOC Status LuDecomposition::SolveInto(ConstVectorView b,
+                                              VectorView x) const {
   const size_t n = size();
   if (b.size() != n) {
     return Status::InvalidArgument("rhs size mismatch in LU solve");

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/check.h"
 #include "common/status.h"
 #include "linalg/matrix.h"
 #include "linalg/views.h"
@@ -22,8 +23,8 @@ class LuDecomposition {
 
   /// Factors the square matrix `a`. Fails with kSingular when a pivot
   /// falls below `pivot_tol` (the matrix is numerically singular).
-  static Result<LuDecomposition> Factor(const Matrix& a,
-                                        double pivot_tol = 1e-13);
+  PW_NODISCARD static Result<LuDecomposition> Factor(const Matrix& a,
+                                                     double pivot_tol = 1e-13);
 
   /// Re-factors in place, reusing this instance's packed-LU and
   /// permutation storage. In an iteration loop (Newton-Raphson solves a
@@ -31,20 +32,22 @@ class LuDecomposition {
   /// reaches the problem size, then never again. Results are
   /// bit-identical to Factor(). On failure the instance is left in an
   /// unspecified state; Refactor again before Solving.
-  Status Refactor(ConstMatrixView a, double pivot_tol = 1e-13);
+  PW_NO_ALLOC PW_NODISCARD Status Refactor(ConstMatrixView a,
+                                           double pivot_tol = 1e-13);
 
   /// Solves A x = b for one right-hand side.
-  Result<Vector> Solve(const Vector& b) const;
+  PW_NODISCARD Result<Vector> Solve(const Vector& b) const;
 
   /// Solve into caller-supplied storage: no allocation. `x` must not
   /// alias `b` (forward substitution reads b while filling x).
-  Status SolveInto(ConstVectorView b, VectorView x) const;
+  PW_NO_ALLOC PW_NODISCARD Status SolveInto(ConstVectorView b,
+                                            VectorView x) const;
 
   /// Solves A X = B column by column.
-  Result<Matrix> Solve(const Matrix& b) const;
+  PW_NODISCARD Result<Matrix> Solve(const Matrix& b) const;
 
   /// Inverse of A; prefer Solve when possible.
-  Result<Matrix> Inverse() const;
+  PW_NODISCARD Result<Matrix> Inverse() const;
 
   /// det(A), including the pivoting sign.
   double Determinant() const;

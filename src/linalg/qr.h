@@ -1,6 +1,7 @@
 #ifndef PHASORWATCH_LINALG_QR_H_
 #define PHASORWATCH_LINALG_QR_H_
 
+#include "common/check.h"
 #include "common/status.h"
 #include "linalg/matrix.h"
 
@@ -18,8 +19,8 @@ QrDecomposition QrFactor(const Matrix& a);
 
 /// Least-squares solve: x minimizing ||a x - b||_2 for full-column-rank a
 /// (m >= n). Fails with kSingular if R has a tiny diagonal entry.
-Result<Vector> LeastSquares(const Matrix& a, const Vector& b,
-                            double tol = 1e-12);
+PW_NODISCARD Result<Vector> LeastSquares(const Matrix& a, const Vector& b,
+                                         double tol = 1e-12);
 
 /// Orthonormal basis of the column space of `a`: columns of the result
 /// span range(a); rank is decided by |R_ii| > tol * max|R|.

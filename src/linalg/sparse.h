@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/check.h"
 #include "common/status.h"
 #include "linalg/matrix.h"
 
@@ -76,8 +77,8 @@ struct CgResult {
 /// definite systems (the reduced DC susceptance Laplacian is SPD).
 /// Fails with kNotConverged when the residual does not reach tolerance
 /// and kInvalidArgument on shape mismatches or a non-positive diagonal.
-Result<CgResult> ConjugateGradientSolve(const CsrMatrix& a, const Vector& b,
-                                        const CgOptions& options = {});
+PW_NODISCARD Result<CgResult> ConjugateGradientSolve(
+    const CsrMatrix& a, const Vector& b, const CgOptions& options = {});
 
 }  // namespace phasorwatch::linalg
 

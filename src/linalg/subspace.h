@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/check.h"
 #include "common/status.h"
 #include "linalg/matrix.h"
 
@@ -50,8 +51,8 @@ class Subspace {
                                double cos_tol = 1.0 - 1e-8);
 
   /// Cosines of the principal angles between two subspaces, descending.
-  static Result<Vector> PrincipalAngleCosines(const Subspace& a,
-                                              const Subspace& b);
+  PW_NODISCARD static Result<Vector> PrincipalAngleCosines(const Subspace& a,
+                                                           const Subspace& b);
 
  private:
   Matrix basis_;

@@ -1,6 +1,7 @@
 #ifndef PHASORWATCH_LINALG_SVD_H_
 #define PHASORWATCH_LINALG_SVD_H_
 
+#include "common/check.h"
 #include "common/status.h"
 #include "linalg/matrix.h"
 
@@ -28,12 +29,13 @@ struct SvdResult {
 /// accuracy on small singular values — exactly the part of the spectrum
 /// the outage subspaces are built from. O(m n^2) per sweep; matrices in
 /// this library are at most a few hundred columns.
-Result<SvdResult> ComputeSvd(const Matrix& a, int max_sweeps = 60,
-                             double tol = 1e-12);
+PW_NODISCARD Result<SvdResult> ComputeSvd(const Matrix& a, int max_sweeps = 60,
+                                          double tol = 1e-12);
 
 /// Moore-Penrose pseudo-inverse via the SVD. Singular values below
 /// rcond * s_max are treated as zero.
-Result<Matrix> PseudoInverse(const Matrix& a, double rcond = 1e-10);
+PW_NODISCARD Result<Matrix> PseudoInverse(const Matrix& a,
+                                          double rcond = 1e-10);
 
 }  // namespace phasorwatch::linalg
 

@@ -1,5 +1,7 @@
 #include "linalg/views.h"
 
+#include "common/check.h"
+
 namespace phasorwatch::linalg {
 
 bool RangesOverlap(const double* a, size_t an, const double* b, size_t bn) {
@@ -30,7 +32,7 @@ size_t OutSpan(MutableMatrixView out) {
 
 }  // namespace
 
-void MultiplyInto(ConstMatrixView a, ConstMatrixView b, MutableMatrixView out) {
+PW_NO_ALLOC void MultiplyInto(ConstMatrixView a, ConstMatrixView b, MutableMatrixView out) {
   PW_CHECK_EQ(a.cols(), b.rows());
   PW_CHECK_EQ(out.rows(), a.rows());
   PW_CHECK_EQ(out.cols(), b.cols());
@@ -51,7 +53,7 @@ void MultiplyInto(ConstMatrixView a, ConstMatrixView b, MutableMatrixView out) {
   }
 }
 
-void MatVecInto(ConstMatrixView a, ConstVectorView x, VectorView out) {
+PW_NO_ALLOC void MatVecInto(ConstMatrixView a, ConstVectorView x, VectorView out) {
   PW_CHECK_EQ(a.cols(), x.size());
   PW_CHECK_EQ(out.size(), a.rows());
   PW_CHECK(!ViewOverlaps(a, out.data(), out.size()));
@@ -64,7 +66,7 @@ void MatVecInto(ConstMatrixView a, ConstVectorView x, VectorView out) {
   }
 }
 
-void TransposedTimesInto(ConstMatrixView a, ConstMatrixView b,
+PW_NO_ALLOC void TransposedTimesInto(ConstMatrixView a, ConstMatrixView b,
                          MutableMatrixView out) {
   PW_CHECK_EQ(a.rows(), b.rows());
   PW_CHECK_EQ(out.rows(), a.cols());
@@ -85,7 +87,7 @@ void TransposedTimesInto(ConstMatrixView a, ConstMatrixView b,
   }
 }
 
-void TransposeInto(ConstMatrixView a, MutableMatrixView out) {
+PW_NO_ALLOC void TransposeInto(ConstMatrixView a, MutableMatrixView out) {
   PW_CHECK_EQ(out.rows(), a.cols());
   PW_CHECK_EQ(out.cols(), a.rows());
   PW_CHECK(!ViewOverlaps(a, out.data(), OutSpan(out)));
@@ -95,24 +97,28 @@ void TransposeInto(ConstMatrixView a, MutableMatrixView out) {
   }
 }
 
-void SelectSubmatrixInto(ConstMatrixView a, const std::vector<size_t>& rows,
+PW_NO_ALLOC void SelectSubmatrixInto(ConstMatrixView a, const std::vector<size_t>& rows,
                          const std::vector<size_t>& cols,
                          MutableMatrixView out) {
   PW_CHECK_EQ(out.rows(), rows.size());
   PW_CHECK_EQ(out.cols(), cols.size());
   PW_CHECK(!ViewOverlaps(a, out.data(), OutSpan(out)));
+  // Validate the index sets once up front: the copy loop below touches
+  // rows.size() * cols.size() elements, so per-element PW_CHECKs would
+  // dominate the kernel. The debug build keeps the inner-loop contract.
+  for (size_t i = 0; i < rows.size(); ++i) PW_CHECK_LT(rows[i], a.rows());
+  for (size_t j = 0; j < cols.size(); ++j) PW_CHECK_LT(cols[j], a.cols());
   for (size_t i = 0; i < rows.size(); ++i) {
-    PW_CHECK_LT(rows[i], a.rows());
     const double* a_row = a.row(rows[i]);
     double* out_row = out.row(i);
     for (size_t j = 0; j < cols.size(); ++j) {
-      PW_CHECK_LT(cols[j], a.cols());
+      PW_DCHECK_BOUND(cols[j], a.cols());
       out_row[j] = a_row[cols[j]];
     }
   }
 }
 
-void SubtractInto(ConstMatrixView a, ConstMatrixView b, MutableMatrixView out) {
+PW_NO_ALLOC void SubtractInto(ConstMatrixView a, ConstMatrixView b, MutableMatrixView out) {
   PW_CHECK_EQ(a.rows(), b.rows());
   PW_CHECK_EQ(a.cols(), b.cols());
   PW_CHECK_EQ(out.rows(), a.rows());
@@ -125,7 +131,7 @@ void SubtractInto(ConstMatrixView a, ConstMatrixView b, MutableMatrixView out) {
   }
 }
 
-void CopyInto(ConstMatrixView src, MutableMatrixView dst) {
+PW_NO_ALLOC void CopyInto(ConstMatrixView src, MutableMatrixView dst) {
   PW_CHECK_EQ(dst.rows(), src.rows());
   PW_CHECK_EQ(dst.cols(), src.cols());
   PW_CHECK(!ViewOverlaps(src, dst.data(), OutSpan(dst)));

@@ -190,30 +190,30 @@ bool ViewOverlaps(ConstMatrixView v, const double* p, size_t n);
 // operations exactly, so results are bit-identical.
 
 /// out = a * b (matrix product). out must be a.rows() x b.cols().
-void MultiplyInto(ConstMatrixView a, ConstMatrixView b, MutableMatrixView out);
+PW_NO_ALLOC void MultiplyInto(ConstMatrixView a, ConstMatrixView b, MutableMatrixView out);
 
 /// out = a * x (matrix-vector product). out.size() == a.rows().
-void MatVecInto(ConstMatrixView a, ConstVectorView x, VectorView out);
+PW_NO_ALLOC void MatVecInto(ConstMatrixView a, ConstVectorView x, VectorView out);
 
 /// out = a^T * b without materializing the transpose.
 /// out must be a.cols() x b.cols().
-void TransposedTimesInto(ConstMatrixView a, ConstMatrixView b,
+PW_NO_ALLOC void TransposedTimesInto(ConstMatrixView a, ConstMatrixView b,
                          MutableMatrixView out);
 
 /// out = a^T. out must be a.cols() x a.rows().
-void TransposeInto(ConstMatrixView a, MutableMatrixView out);
+PW_NO_ALLOC void TransposeInto(ConstMatrixView a, MutableMatrixView out);
 
 /// out(i, j) = a(rows[i], cols[j]) in a single pass (no intermediate
 /// row-slice). out must be rows.size() x cols.size().
-void SelectSubmatrixInto(ConstMatrixView a, const std::vector<size_t>& rows,
+PW_NO_ALLOC void SelectSubmatrixInto(ConstMatrixView a, const std::vector<size_t>& rows,
                          const std::vector<size_t>& cols,
                          MutableMatrixView out);
 
 /// out = a - b, elementwise. Shapes must match.
-void SubtractInto(ConstMatrixView a, ConstMatrixView b, MutableMatrixView out);
+PW_NO_ALLOC void SubtractInto(ConstMatrixView a, ConstMatrixView b, MutableMatrixView out);
 
 /// Copies src into dst (shapes must match; dst disjoint from src).
-void CopyInto(ConstMatrixView src, MutableMatrixView dst);
+PW_NO_ALLOC void CopyInto(ConstMatrixView src, MutableMatrixView dst);
 
 }  // namespace phasorwatch::linalg
 

@@ -9,6 +9,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/check.h"
 #include "common/status.h"
 
 namespace phasorwatch::obs {
@@ -29,7 +30,7 @@ class EventLog {
   EventLog() = default;
 
   /// Opens (truncates) a JSONL file as the sink.
-  Status OpenFile(const std::string& path);
+  PW_NODISCARD Status OpenFile(const std::string& path);
   /// Attaches a caller-owned stream (tests; must outlive the log or be
   /// detached with Close()).
   void AttachStream(std::ostream* out);

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "linalg/complex_matrix.h"
 #include "linalg/lu.h"
 #include "linalg/matrix.h"
@@ -130,6 +131,7 @@ Result<PowerFlowSolution> SolveFastDecoupled(
   Vector dp(np), dtheta(np);
   Vector dq(nq), dvm(nq);
   int iter = 0;
+  // PW_NO_ALLOC_BEGIN(fast-decoupled sweep loop)
   for (; iter < options.max_iterations; ++iter) {
     compute_injections();
 
@@ -162,6 +164,7 @@ Result<PowerFlowSolution> SolveFastDecoupled(
       }
     }
   }
+  // PW_NO_ALLOC_END
 
   compute_injections();
   if (mismatch >= options.tolerance) {

@@ -1,6 +1,7 @@
 #ifndef PHASORWATCH_POWERFLOW_FAST_DECOUPLED_H_
 #define PHASORWATCH_POWERFLOW_FAST_DECOUPLED_H_
 
+#include "common/check.h"
 #include "common/status.h"
 #include "grid/grid.h"
 #include "powerflow/powerflow.h"
@@ -29,7 +30,7 @@ struct FastDecoupledOptions {
 /// approximate). Needs more iterations, and can fail on very high R/X
 /// networks where the decoupling assumption breaks — callers fall back
 /// to Newton-Raphson on kNotConverged.
-Result<PowerFlowSolution> SolveFastDecoupled(
+PW_NODISCARD Result<PowerFlowSolution> SolveFastDecoupled(
     const grid::Grid& grid, const FastDecoupledOptions& options = {},
     const InjectionOverrides& overrides = {});
 

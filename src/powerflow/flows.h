@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/check.h"
 #include "common/status.h"
 #include "grid/grid.h"
 #include "powerflow/powerflow.h"
@@ -28,7 +29,7 @@ struct BranchFlow {
 /// Computes the flow on every in-service branch of `grid` at the solved
 /// operating point. Out-of-service branches yield zero-flow entries so
 /// indices stay aligned with grid.branches().
-Result<std::vector<BranchFlow>> ComputeBranchFlows(
+PW_NODISCARD Result<std::vector<BranchFlow>> ComputeBranchFlows(
     const grid::Grid& grid, const PowerFlowSolution& solution);
 
 /// Total series losses over all branches (MW).

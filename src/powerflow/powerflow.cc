@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/check.h"
+#include "common/status.h"
 #include "linalg/complex_matrix.h"
 #include "linalg/lu.h"
 #include "obs/metrics.h"
@@ -125,6 +126,7 @@ Result<PowerFlowSolution> SolveAcCore(const Grid& grid,
   Matrix jac(np + nq, np + nq);
   linalg::LuDecomposition lu;
   int iter = 0;
+  // PW_NO_ALLOC_BEGIN(newton-raphson iteration loop)
   for (; iter < options.max_iterations; ++iter) {
     compute_injections();
 
@@ -204,6 +206,7 @@ Result<PowerFlowSolution> SolveAcCore(const Grid& grid,
       vm[q_buses[a]] = std::max(vm[q_buses[a]], 0.05);
     }
   }
+  // PW_NO_ALLOC_END
 
   compute_injections();
   if (mismatch_norm >= options.tolerance) {

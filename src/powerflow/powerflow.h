@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/check.h"
 #include "common/status.h"
 #include "grid/grid.h"
 #include "linalg/matrix.h"
@@ -53,14 +54,14 @@ struct PowerFlowSolution {
 /// post-outage states legitimately diverge — the caller treats these as
 /// invalid outage cases, matching the paper's case filtering) and with
 /// kSingular when the Jacobian degenerates.
-Result<PowerFlowSolution> SolveAcPowerFlow(
+PW_NODISCARD Result<PowerFlowSolution> SolveAcPowerFlow(
     const grid::Grid& grid, const PowerFlowOptions& options = {},
     const InjectionOverrides& overrides = {});
 
 /// Linear DC power-flow approximation: angles from B' theta = P with the
 /// slack angle fixed at zero; magnitudes are all 1 pu. Used for baseline
 /// comparisons and as a fast sanity oracle in tests.
-Result<PowerFlowSolution> SolveDcPowerFlow(
+PW_NODISCARD Result<PowerFlowSolution> SolveDcPowerFlow(
     const grid::Grid& grid, const InjectionOverrides& overrides = {});
 
 /// Scales PV-bus generation so total scheduled generation tracks the

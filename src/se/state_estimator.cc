@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/check.h"
+#include "common/status.h"
 #include "common/workspace.h"
 #include "linalg/complex_matrix.h"
 #include "linalg/lu.h"
@@ -134,7 +135,9 @@ Result<EstimationResult> LinearStateEstimator::Estimate(
     builder.row += 2;
   }
 
-  // Normal equations: (H^T W H) x = H^T W z.
+  // Normal equations: (H^T W H) x = H^T W z. Scratch comes from the
+  // per-thread workspace arena, not the heap.
+  // PW_NO_ALLOC_BEGIN(weighted-least-squares solve)
   linalg::MutableMatrixView hw(ws.Alloc(rows * state_dim), rows, state_dim);
   linalg::CopyInto(h, hw);  // rows scaled by weight
   for (size_t r = 0; r < rows; ++r) {
@@ -160,6 +163,7 @@ Result<EstimationResult> LinearStateEstimator::Estimate(
   }
   linalg::VectorView x(ws.Alloc(state_dim), state_dim);
   PW_RETURN_IF_ERROR(lu.SolveInto(rhs, x));
+  // PW_NO_ALLOC_END
 
   EstimationResult result;
   result.vm = Vector(n);

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/check.h"
 #include "common/status.h"
 #include "grid/grid.h"
 #include "linalg/matrix.h"
@@ -63,7 +64,7 @@ class LinearStateEstimator {
   /// kFailedPrecondition when the system is unobservable (rank of H
   /// below the state dimension) and kInvalidArgument on malformed
   /// measurements.
-  Result<EstimationResult> Estimate(
+  PW_NODISCARD Result<EstimationResult> Estimate(
       const std::vector<PhasorMeasurement>& measurements) const;
 
   /// Convenience: builds a full voltage-measurement set from simulator

@@ -4,6 +4,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/check.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "grid/grid.h"
@@ -52,14 +53,13 @@ struct SimulationOptions {
 /// state, then emits `samples_per_state` noisy phasor samples around each
 /// solved state. Fails with kNotConverged if too few states solve (an
 /// invalid outage case in the paper's sense).
-Result<PhasorDataSet> SimulateMeasurements(const grid::Grid& grid,
-                                           const SimulationOptions& options,
-                                           Rng& rng);
+PW_NODISCARD Result<PhasorDataSet> SimulateMeasurements(
+    const grid::Grid& grid, const SimulationOptions& options, Rng& rng);
 
 /// Convenience: the deterministic forecast state (no load variation, no
 /// noise) as a single-column data set.
-Result<PhasorDataSet> SolveForecastState(const grid::Grid& grid,
-                                         const pf::PowerFlowOptions& options = {});
+PW_NODISCARD Result<PhasorDataSet> SolveForecastState(
+    const grid::Grid& grid, const pf::PowerFlowOptions& options = {});
 
 }  // namespace phasorwatch::sim
 

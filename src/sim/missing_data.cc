@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/rng.h"
 
 namespace phasorwatch::sim {
 
@@ -13,7 +14,8 @@ std::vector<size_t> MissingMask::AvailableIndices() const {
   return out;
 }
 
-void MissingMask::AvailableIndicesInto(std::vector<size_t>* out) const {
+PW_NO_ALLOC void MissingMask::AvailableIndicesInto(
+    std::vector<size_t>* out) const {
   out->clear();
   for (size_t i = 0; i < missing.size(); ++i) {
     if (!missing[i]) out->push_back(i);

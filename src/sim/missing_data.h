@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/check.h"
 #include "common/rng.h"
 #include "grid/grid.h"
 #include "sim/pmu_network.h"
@@ -39,7 +40,7 @@ struct MissingMask {
   std::vector<size_t> AvailableIndices() const;
   /// AvailableIndices into a reused buffer (cleared first; capacity is
   /// kept, so a warmed caller allocates nothing).
-  void AvailableIndicesInto(std::vector<size_t>* out) const;
+  PW_NO_ALLOC void AvailableIndicesInto(std::vector<size_t>* out) const;
   /// Indices of missing nodes.
   std::vector<size_t> MissingIndices() const;
 };

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/check.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "grid/grid.h"
@@ -29,7 +30,8 @@ class PmuNetwork {
   /// Partitions the grid into `num_clusters` spatially contiguous
   /// regions: seeds are chosen by greedy farthest-point hop distance and
   /// buses join their nearest seed. Every cluster is non-empty.
-  static Result<PmuNetwork> Build(const grid::Grid& grid, size_t num_clusters);
+  PW_NODISCARD static Result<PmuNetwork> Build(const grid::Grid& grid,
+                                               size_t num_clusters);
 
   /// Default cluster count used across the evaluation: about one PDC per
   /// 12 buses, at least 2.

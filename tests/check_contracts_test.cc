@@ -1,0 +1,155 @@
+// Death tests for the contract layer in common/check.h: the PW_CHECK
+// family must abort with a diagnostic in every build mode, PW_DCHECK_*
+// must abort when enabled (this target compiles with
+// PW_DCHECK_ENABLED=1, so the debug contracts are live even in a
+// Release build), and the epoch/shape contracts built on them — stale
+// WorkspaceSpan access, mismatched view kernels — must fail fast rather
+// than corrupt results.
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/workspace.h"
+#include "linalg/matrix.h"
+#include "linalg/views.h"
+
+namespace phasorwatch {
+namespace {
+
+static_assert(PW_DCHECK_IS_ON,
+              "check_contracts_test must compile with PW_DCHECK_ENABLED=1 "
+              "so the debug-contract death tests are live");
+
+TEST(PwCheckDeathTest, CheckAbortsWithExpression) {
+  EXPECT_DEATH(PW_CHECK(1 + 1 == 3), "PW_CHECK failed");
+}
+
+TEST(PwCheckDeathTest, CheckMsgIncludesMessage) {
+  EXPECT_DEATH(PW_CHECK_MSG(false, "jacobian shape drifted"),
+               "jacobian shape drifted");
+}
+
+TEST(PwCheckDeathTest, ComparisonFormsAbort) {
+  EXPECT_DEATH(PW_CHECK_EQ(2, 3), "PW_CHECK failed");
+  EXPECT_DEATH(PW_CHECK_LT(5, 5), "PW_CHECK failed");
+  EXPECT_DEATH(PW_CHECK_GE(1, 2), "PW_CHECK failed");
+}
+
+TEST(PwCheckTest, PassingChecksAreSilent) {
+  PW_CHECK(true);
+  PW_CHECK_EQ(4, 4);
+  PW_CHECK_MSG(true, "never printed");
+}
+
+TEST(PwDcheckDeathTest, DcheckAbortsWhenEnabled) {
+  EXPECT_DEATH(PW_DCHECK(false), "PW_CHECK failed");
+  EXPECT_DEATH(PW_DCHECK_MSG(false, "debug contract"), "debug contract");
+}
+
+TEST(PwDcheckDeathTest, BoundContractAborts) {
+  size_t i = 7;
+  size_t n = 4;
+  EXPECT_DEATH(PW_DCHECK_BOUND(i, n), "PW_CHECK failed");
+}
+
+TEST(PwDcheckDeathTest, SizeContractAborts) {
+  linalg::Vector v(3);
+  EXPECT_DEATH(PW_DCHECK_SIZE(v, 5), "PW_CHECK failed");
+}
+
+TEST(PwDcheckDeathTest, ShapeContractAborts) {
+  linalg::Matrix m(2, 3);
+  EXPECT_DEATH(PW_DCHECK_SHAPE(m, 3, 2), "PW_CHECK failed");
+}
+
+TEST(PwDcheckTest, PassingContractsAreSilent) {
+  linalg::Matrix m(2, 3);
+  linalg::Vector v(3);
+  PW_DCHECK_BOUND(1, 2);
+  PW_DCHECK_SIZE(v, 3);
+  PW_DCHECK_SHAPE(m, 2, 3);
+}
+
+TEST(WorkspaceSpanDeathTest, StaleSpanAccessAborts) {
+  Workspace ws;
+  WorkspaceSpan span = AllocSpan(ws, 8);
+  span[0] = 1.0;  // live: fine
+  ws.Reset();     // epoch bump invalidates the span
+  EXPECT_DEATH(span[0] = 2.0, "PW_CHECK failed");
+}
+
+TEST(WorkspaceSpanDeathTest, StaleDataExtractionAborts) {
+  Workspace ws;
+  WorkspaceSpan span = AllocSpan(ws, 4);
+  ws.Reset();
+  EXPECT_DEATH(span.data(), "PW_CHECK failed");
+}
+
+TEST(WorkspaceSpanDeathTest, OutOfBoundsIndexAborts) {
+  Workspace ws;
+  WorkspaceSpan span = AllocSpan(ws, 4);
+  EXPECT_DEATH(span[4], "PW_CHECK failed");
+}
+
+TEST(WorkspaceSpanTest, FramesDoNotInvalidateSpans) {
+  // Frames rewind the cursor without bumping the epoch: rewound-but-
+  // same-epoch reuse is the arena's whole point, and the span contract
+  // must not fire on it.
+  Workspace ws;
+  WorkspaceSpan span = AllocSpan(ws, 4);
+  {
+    Workspace::Frame frame(ws);
+    ws.Alloc(16);
+  }
+  span[0] = 3.0;
+  EXPECT_EQ(span[0], 3.0);
+}
+
+TEST(ViewKernelDeathTest, MultiplyShapeMismatchAborts) {
+  linalg::Matrix a(2, 3);
+  linalg::Matrix b(4, 2);  // inner dims disagree: 3 != 4
+  linalg::Matrix out(2, 2);
+  EXPECT_DEATH(
+      linalg::MultiplyInto(linalg::ConstMatrixView(a),
+                           linalg::ConstMatrixView(b),
+                           linalg::MutableMatrixView(out)),
+      "PW_CHECK failed");
+}
+
+TEST(ViewKernelDeathTest, MultiplyAliasedDestinationAborts) {
+  linalg::Matrix a(2, 2);
+  EXPECT_DEATH(
+      linalg::MultiplyInto(linalg::ConstMatrixView(a),
+                           linalg::ConstMatrixView(a),
+                           linalg::MutableMatrixView(a)),
+      "PW_CHECK failed");
+}
+
+TEST(ViewKernelDeathTest, MatVecWrongOutputSizeAborts) {
+  linalg::Matrix a(3, 2);
+  linalg::Vector x(2);
+  linalg::Vector out(2);  // should be 3
+  EXPECT_DEATH(linalg::MatVecInto(linalg::ConstMatrixView(a),
+                                  linalg::ConstVectorView(x),
+                                  linalg::VectorView(out)),
+               "PW_CHECK failed");
+}
+
+TEST(ViewKernelDeathTest, SelectSubmatrixIndexOutOfRangeAborts) {
+  linalg::Matrix a(3, 3);
+  linalg::Matrix out(1, 1);
+  std::vector<size_t> rows = {5};  // out of range
+  std::vector<size_t> cols = {0};
+  EXPECT_DEATH(
+      linalg::SelectSubmatrixInto(linalg::ConstMatrixView(a), rows, cols,
+                                  linalg::MutableMatrixView(out)),
+      "PW_CHECK failed");
+}
+
+TEST(ViewDeathTest, StrideSmallerThanColsAborts) {
+  linalg::Matrix a(2, 4);
+  EXPECT_DEATH(linalg::ConstMatrixView(a.data(), 2, 4, /*stride=*/2),
+               "PW_CHECK failed");
+}
+
+}  // namespace
+}  // namespace phasorwatch
