@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/status.h"
 #include "linalg/lu.h"
 #include "linalg/svd.h"
 

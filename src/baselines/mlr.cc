@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/rng.h"
+#include "common/status.h"
 
 namespace phasorwatch::baselines {
 namespace {

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "common/status.h"
+
 namespace phasorwatch {
 namespace {
 

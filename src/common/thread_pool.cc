@@ -7,6 +7,7 @@
 #include <memory>
 #include <string>
 
+#include "common/status.h"
 #include "obs/metrics.h"
 
 namespace phasorwatch {

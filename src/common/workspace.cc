@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 
+#include "common/check.h"
 #include "obs/metrics.h"
 
 namespace phasorwatch {

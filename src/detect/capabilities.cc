@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/status.h"
 
 namespace phasorwatch::detect {
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/status.h"
+
 namespace phasorwatch::detect {
 
 Result<EllipseModel> EllipseModel::Fit(const std::vector<PhasorPoint>& points,

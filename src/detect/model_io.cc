@@ -6,6 +6,7 @@
 #include <fstream>
 
 #include "common/serialize.h"
+#include "common/status.h"
 #include "detect/detector.h"
 
 namespace phasorwatch::detect {

@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/logging.h"
+#include "common/status.h"
 #include "obs/event_log.h"
 #include "obs/metrics.h"
 

@@ -3,6 +3,8 @@
 #include <optional>
 
 #include "common/logging.h"
+#include "common/rng.h"
+#include "common/status.h"
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"

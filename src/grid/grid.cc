@@ -5,6 +5,8 @@
 #include <map>
 #include <set>
 
+#include "common/check.h"
+#include "common/status.h"
 #include "common/union_find.h"
 
 namespace phasorwatch::grid {

@@ -1,6 +1,7 @@
 #include "grid/ieee_cases.h"
 
 #include "common/check.h"
+#include "common/status.h"
 #include "grid/synthetic.h"
 
 namespace phasorwatch::grid {

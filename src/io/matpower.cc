@@ -7,6 +7,8 @@
 #include <sstream>
 #include <vector>
 
+#include "common/status.h"
+
 namespace phasorwatch::io {
 namespace {
 

@@ -4,6 +4,7 @@
 #include <iomanip>
 #include <sstream>
 
+#include "common/check.h"
 #include "linalg/views.h"
 
 namespace phasorwatch::linalg {

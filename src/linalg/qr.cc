@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
+
 namespace phasorwatch::linalg {
 
 QrDecomposition QrFactor(const Matrix& a) {

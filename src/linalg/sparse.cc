@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/check.h"
+#include "common/status.h"
 
 namespace phasorwatch::linalg {
 

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/check.h"
+#include "common/status.h"
 #include "linalg/qr.h"
 #include "linalg/svd.h"
 

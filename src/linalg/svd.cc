@@ -5,6 +5,8 @@
 #include <numeric>
 #include <vector>
 
+#include "common/status.h"
+
 namespace phasorwatch::linalg {
 namespace {
 

@@ -1,6 +1,7 @@
 #include "obs/event_log.h"
 
 #include "common/serialize.h"
+#include "common/status.h"
 #include "obs/trace.h"
 
 namespace phasorwatch::obs {

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <complex>
 
+#include "common/status.h"
+
 namespace phasorwatch::pf {
 namespace {
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/rng.h"
 #include "sim/ou_process.h"
 
 namespace phasorwatch::sim {

@@ -4,6 +4,8 @@
 
 #include "common/check.h"
 #include "common/logging.h"
+#include "common/rng.h"
+#include "common/status.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/rng.h"
 
 namespace phasorwatch::sim {
 

@@ -6,6 +6,8 @@
 #include <string>
 
 #include "common/check.h"
+#include "common/rng.h"
+#include "common/status.h"
 
 namespace phasorwatch::sim {
 namespace {

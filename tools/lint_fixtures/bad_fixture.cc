@@ -1,0 +1,48 @@
+// pw-lint self-test fixture: every block here seeds a violation.
+// Never compiled; linted by `pw_lint.py --self-test` only.
+#include <vector>
+
+namespace phasorwatch {
+
+// no-alloc: marked function that heap-allocates in four distinct ways.
+PW_NO_ALLOC double HotKernel(const linalg::Matrix& a) {
+  std::vector<double> scratch(a.rows());  // owning container construction
+  linalg::Matrix tmp = a.Transpose();     // value-semantic Matrix op
+  double* leak = new double[4];           // operator new
+  auto shared = std::make_shared<int>(1);
+  (void)scratch;
+  (void)tmp;
+  (void)leak;
+  (void)shared;
+  return 0.0;
+}
+
+// no-alloc region markers around a solver-style loop.
+void SolverLoop(linalg::Matrix& j) {
+  // PW_NO_ALLOC_BEGIN(fixture solver loop)
+  for (int iter = 0; iter < 8; ++iter) {
+    std::vector<int> pivots(4);  // allocation inside the marked region
+    (void)pivots;
+  }
+  // PW_NO_ALLOC_END
+  (void)j;
+}
+
+// rng-discipline: Rng constructed from a raw seed outside common/rng.*.
+void Seeded() {
+  Rng rng(42);
+  (void)rng;
+}
+
+// raw-storage: raw double* walk over matrix storage outside src/linalg/.
+double SumRow(const linalg::Matrix& m, int i) {
+  const double* row = m.data() + i * m.cols();
+  double s = 0.0;
+  for (int j = 0; j < 3; ++j) s += row[j];
+  return s;
+}
+
+// iwyu-project: uses PW_CHECK without including common/check.h.
+void Checked(int n) { PW_CHECK_GE(n, 0); }
+
+}  // namespace phasorwatch

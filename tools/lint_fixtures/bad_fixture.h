@@ -1,0 +1,18 @@
+// pw-lint self-test fixture: every declaration here seeds a violation.
+// Never compiled; linted by `pw_lint.py --self-test` only.
+#ifndef PHASORWATCH_TOOLS_LINT_FIXTURES_BAD_FIXTURE_H_
+#define PHASORWATCH_TOOLS_LINT_FIXTURES_BAD_FIXTURE_H_
+
+#include "common/status.h"
+
+namespace phasorwatch {
+
+// nodiscard-status: Status-returning declaration without PW_NODISCARD.
+Status DoThing(int x);
+
+// nodiscard-status: Result-returning declaration without PW_NODISCARD.
+Result<double> ComputeThing(double y);
+
+}  // namespace phasorwatch
+
+#endif  // PHASORWATCH_TOOLS_LINT_FIXTURES_BAD_FIXTURE_H_

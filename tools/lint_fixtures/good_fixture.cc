@@ -1,0 +1,47 @@
+// pw-lint self-test fixture: exercises the idioms the linter must NOT
+// flag. Never compiled; linted by `pw_lint.py --self-test` only.
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/workspace.h"
+#include "linalg/views.h"
+
+namespace phasorwatch {
+
+// Amortized mutation of pre-warmed containers is the sanctioned idiom:
+// resize/clear/push_back never construct a fresh owning object, and the
+// alloc_counter benchmark (not the linter) polices their steady state.
+PW_NO_ALLOC Status WarmPath(std::vector<double>& scratch, size_t n) {
+  scratch.resize(n);
+  scratch.clear();
+  for (size_t i = 0; i < n; ++i) scratch.push_back(0.0);
+  if (n == 0) {
+    // Error exits may build a message: the hot path is over anyway.
+    return Status::InvalidArgument("empty input");
+  }
+  // Workspace arena allocation is pointer-bump, not heap.
+  Workspace& ws = Workspace::PerThread();
+  linalg::VectorView z(ws.Alloc(n), n);
+  PW_DCHECK_SIZE(z, n);
+  z[0] = 1.0;
+  // References and views to Matrix/Vector are fine; only value
+  // construction is banned.
+  linalg::VectorView view = z;
+  (void)view;
+  return Status::OK();
+}
+
+// Rng::Fork derivation is the sanctioned seed-stream discipline.
+void Forked(Rng& parent) {
+  Rng child = parent.Fork(7);
+  (void)child;
+}
+
+// An explicitly justified root seed stream.
+void Root() {
+  // pw-lint: allow(rng-discipline) fixture root stream for self-test.
+  Rng rng(1234);
+  (void)rng;
+}
+
+}  // namespace phasorwatch
