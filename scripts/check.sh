@@ -1,11 +1,24 @@
 #!/bin/sh
-# Developer pre-submit check: configure, build, run the full test suite,
-# smoke the examples and quick-mode figure harnesses, validate the
-# structured event log, and verify the obs-disabled configuration.
+# Developer pre-submit check: static analysis, configure, build, run the
+# full test suite, smoke the examples and quick-mode figure harnesses,
+# validate the structured event log, and verify the obs-disabled
+# configuration.
 set -e
 cd "$(dirname "$0")/.."
 cmake -B build -G Ninja
 cmake --build build
+
+# Static-analysis gate (see docs/STATIC_ANALYSIS.md): the project
+# invariant linter must stay clean and must still catch its own seeded
+# fixture violations; clang-tidy and clang-format run when installed
+# (their runners skip with exit 0 otherwise) and fail on any finding
+# not in their checked-in baselines.
+echo "=== tidy (pw-lint + clang-tidy + format) ==="
+python3 tools/pw_lint.py --self-test
+python3 tools/pw_lint.py
+scripts/run_tidy.sh build
+scripts/format.sh --check
+
 ctest --test-dir build --output-on-failure
 for example in build/examples/*; do
   # -f skips CMakeFiles/ and friends (directories pass -x).

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Formats (or checks) the C++ tree with clang-format and the repo
+# profile (.clang-format).
+#
+# Usage:
+#   scripts/format.sh          # rewrite files in place
+#   scripts/format.sh --check  # exit 1 if any file needs reformatting
+#
+# When clang-format is not installed this script prints a notice and
+# exits 0 (the CI container pins the toolchain; local trees without the
+# binary should not fail the gate).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+CHECK=0
+if [[ "${1:-}" == "--check" ]]; then
+  CHECK=1
+elif [[ -n "${1:-}" ]]; then
+  echo "usage: scripts/format.sh [--check]" >&2
+  exit 2
+fi
+
+FMT="${CLANG_FORMAT:-}"
+if [[ -z "${FMT}" ]]; then
+  for cand in clang-format clang-format-18 clang-format-17 clang-format-16 \
+              clang-format-15 clang-format-14; do
+    if command -v "${cand}" >/dev/null 2>&1; then
+      FMT="${cand}"
+      break
+    fi
+  done
+fi
+if [[ -z "${FMT}" ]]; then
+  echo "format: clang-format not found; skipping. Install clang-format or" \
+       "set CLANG_FORMAT to enable."
+  exit 0
+fi
+
+mapfile -t FILES < <(git ls-files 'src/**/*.h' 'src/**/*.cc' \
+  'tests/*.cc' 'bench/*.cc' 'examples/*.cc')
+if [[ ${#FILES[@]} -eq 0 ]]; then
+  echo "format: no files found" >&2
+  exit 2
+fi
+
+if [[ ${CHECK} -eq 1 ]]; then
+  echo "format: checking ${#FILES[@]} files with ${FMT}"
+  BAD=0
+  for f in "${FILES[@]}"; do
+    if ! "${FMT}" --dry-run --Werror "$f" >/dev/null 2>&1; then
+      echo "  needs formatting: $f"
+      BAD=$((BAD + 1))
+    fi
+  done
+  if [[ ${BAD} -gt 0 ]]; then
+    echo "format: ${BAD} file(s) need formatting; run scripts/format.sh" >&2
+    exit 1
+  fi
+  echo "format: clean"
+else
+  echo "format: formatting ${#FILES[@]} files with ${FMT}"
+  "${FMT}" -i "${FILES[@]}"
+fi

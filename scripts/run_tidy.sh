@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# Runs clang-tidy over every translation unit in compile_commands.json
+# with the repo profile (.clang-tidy), warnings-as-errors, and a
+# checked-in suppression baseline (tools/tidy_baseline.txt).
+#
+# Usage: scripts/run_tidy.sh [build-dir]
+#   build-dir defaults to build/. The directory must contain
+#   compile_commands.json (configured on by default; see CMakeLists).
+#
+# Exit codes: 0 clean (or clang-tidy unavailable — see below), 1 new
+# findings vs. the baseline, 2 setup error.
+#
+# When clang-tidy is not installed this script prints a notice and exits
+# 0: the container image for CI tiers pins the toolchain, and local
+# trees without clang-tidy still get the project-invariant coverage from
+# tools/pw_lint.py (which scripts/check.sh always runs).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+BASELINE="tools/tidy_baseline.txt"
+
+TIDY="${CLANG_TIDY:-}"
+if [[ -z "${TIDY}" ]]; then
+  for cand in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
+              clang-tidy-15 clang-tidy-14; do
+    if command -v "${cand}" >/dev/null 2>&1; then
+      TIDY="${cand}"
+      break
+    fi
+  done
+fi
+if [[ -z "${TIDY}" ]]; then
+  echo "run_tidy: clang-tidy not found; skipping (pw_lint.py still enforces" \
+       "project invariants). Install clang-tidy or set CLANG_TIDY to enable."
+  exit 0
+fi
+
+if [[ ! -f "${BUILD_DIR}/compile_commands.json" ]]; then
+  echo "run_tidy: ${BUILD_DIR}/compile_commands.json not found." >&2
+  echo "          Configure first: cmake -B ${BUILD_DIR} -S ." >&2
+  exit 2
+fi
+
+# Translation units to lint: everything the build compiles under src/.
+mapfile -t FILES < <(python3 - "${BUILD_DIR}" <<'PY'
+import json, sys
+for entry in json.load(open(sys.argv[1] + "/compile_commands.json")):
+    f = entry["file"]
+    if "/src/" in f and (f.endswith(".cc") or f.endswith(".cpp")):
+        print(f)
+PY
+)
+if [[ ${#FILES[@]} -eq 0 ]]; then
+  echo "run_tidy: no src/ translation units in compile_commands.json" >&2
+  exit 2
+fi
+
+echo "run_tidy: ${TIDY} over ${#FILES[@]} translation units"
+RAW="$(mktemp)"
+trap 'rm -f "${RAW}"' EXIT
+STATUS=0
+"${TIDY}" -p "${BUILD_DIR}" --quiet "${FILES[@]}" >"${RAW}" 2>/dev/null || STATUS=$?
+
+# Normalize findings to "relative/path:check-name" for the baseline
+# compare: line numbers churn with unrelated edits, so the baseline
+# pins file+check pairs instead.
+FOUND="$(mktemp)"
+trap 'rm -f "${RAW}" "${FOUND}"' EXIT
+grep -E '(warning|error):.*\[[a-z0-9.,-]+\]$' "${RAW}" \
+  | sed -E "s|^$(pwd)/||" \
+  | sed -E 's|^([^:]+):[0-9]+:[0-9]+: (warning\|error): .*\[([a-z0-9.,-]+)\]$|\1:\3|' \
+  | sort -u >"${FOUND}" || true
+
+NEW=0
+while IFS= read -r finding; do
+  if ! grep -qxF "${finding}" "${BASELINE}" 2>/dev/null; then
+    if [[ ${NEW} -eq 0 ]]; then
+      echo "run_tidy: new findings not in ${BASELINE}:"
+    fi
+    echo "  ${finding}"
+    grep -F "$(echo "${finding}" | cut -d: -f1)" "${RAW}" | head -5 || true
+    NEW=$((NEW + 1))
+  fi
+done <"${FOUND}"
+
+if [[ ${NEW} -gt 0 ]]; then
+  echo "run_tidy: ${NEW} new finding(s). Fix them, or (for accepted legacy" >&2
+  echo "          findings only) add file:check lines to ${BASELINE}." >&2
+  exit 1
+fi
+
+if [[ ${STATUS} -ne 0 && ! -s "${FOUND}" ]]; then
+  # clang-tidy failed without producing findings (e.g. config error).
+  echo "run_tidy: ${TIDY} exited ${STATUS} without findings; raw output:" >&2
+  tail -30 "${RAW}" >&2
+  exit 2
+fi
+
+echo "run_tidy: clean (baseline: $(grep -cv '^#' "${BASELINE}" 2>/dev/null \
+  | grep -v '^0$' || echo 0) accepted legacy findings)"
