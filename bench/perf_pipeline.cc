@@ -167,6 +167,47 @@ void BM_DetectSteadyState(benchmark::State& state) {
 BENCHMARK(BM_DetectSteadyState)->Arg(14)->Arg(30)
     ->Unit(benchmark::kMicrosecond);
 
+// Screened twin of BM_DetectSteadyState: the sample carries a gross
+// spike, so the Eq. 4 bad-data screen fires on every iteration and
+// detection runs under the demoted (effective) mask. The screened mask
+// lives in per-thread scratch, so allocs/op must match the unscreened
+// steady state — screening costs one ellipse quadratic form per node,
+// not allocations.
+void BM_DetectSteadyStateScreened(benchmark::State& state) {
+  TrainedFixture* fixture = GetFixture(static_cast<int>(state.range(0)));
+  if (fixture == nullptr) {
+    state.SkipWithError("fixture construction failed");
+    return;
+  }
+  auto [vm, va] = fixture->dataset.outages[0].test.Sample(0);
+  vm[5] += 5.0;  // unit-scale gross error, far beyond screen_threshold
+  va[5] -= 3.0;
+  pw::sim::MissingMask mask = pw::sim::MissingAtOutage(
+      fixture->grid.num_buses(), fixture->dataset.outages[0].line);
+  for (int i = 0; i < 3; ++i) {
+    auto warm = fixture->methods.detector().Detect(vm, va, mask);
+    if (!warm.ok() || warm.value().screened_nodes == 0) {
+      state.SkipWithError("screen did not fire");
+      return;
+    }
+  }
+  uint64_t allocs_before = pw::bench::AllocCount();
+  uint64_t bytes_before = pw::bench::AllocBytes();
+  for (auto _ : state) {
+    auto result = fixture->methods.detector().Detect(vm, va, mask);
+    benchmark::DoNotOptimize(result.value().lines);
+  }
+  state.counters["allocs_per_op"] =
+      pw::bench::AllocsPerOp(allocs_before, state.iterations());
+  state.counters["alloc_bytes_per_op"] =
+      state.iterations() == 0
+          ? 0.0
+          : static_cast<double>(pw::bench::AllocBytes() - bytes_before) /
+                static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_DetectSteadyStateScreened)->Arg(14)->Arg(30)
+    ->Unit(benchmark::kMicrosecond);
+
 // Threads-vs-wall-time sweep for the dataset build, the pipeline's
 // dominant cost (one AC power flow per solved state per outage case).
 // Arg = parallelism degree; every degree produces a bit-identical

@@ -20,6 +20,19 @@ scripts/run_tidy.sh build
 scripts/format.sh --check
 
 ctest --test-dir build --output-on-failure
+
+# The labeled lanes (tests/CMakeLists.txt: unit / property / chaos /
+# golden) all run as part of the full suite above; this gate only checks
+# they stay populated — an empty label means the hardening coverage
+# silently fell out of the build.
+echo "=== labeled lanes (property, chaos, golden) ==="
+for label in property chaos golden; do
+  if ctest --test-dir build -L "$label" -N | grep -q "Total Tests: 0"; then
+    echo "error: no tests carry ctest label '$label'" >&2
+    exit 1
+  fi
+done
+
 for example in build/examples/*; do
   # -f skips CMakeFiles/ and friends (directories pass -x).
   [ -f "$example" ] && [ -x "$example" ] || continue

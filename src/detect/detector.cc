@@ -478,11 +478,15 @@ struct OutageDetector::DetectScratch {
   linalg::Vector features;
   std::vector<SelectedGroup> groups;
   GroupSelectionStats group_stats;
-  /// Mask the cached `groups` selection was built for. Only honored
-  /// within one DetectBatch call (`selection_valid` is reset at batch
-  /// entry), so a stale selection can never leak across detectors.
+  /// Mask the cached `groups` selection was built for (the *effective*
+  /// mask, after bad-data screening). Only honored within one
+  /// DetectBatch call (`selection_valid` is reset at batch entry), so a
+  /// stale selection can never leak across detectors.
   std::vector<bool> cached_mask;
   bool selection_valid = false;
+  /// Input mask plus the nodes demoted by the bad-data screen. Only
+  /// populated (and only read) on samples where the screen fired.
+  sim::MissingMask screened_mask;
   linalg::Vector residuals;
   std::vector<size_t> pooled;
   std::vector<size_t> pooled_coords;
@@ -491,12 +495,52 @@ struct OutageDetector::DetectScratch {
   std::vector<std::pair<double, size_t>> candidates;  // (residual, case)
 };
 
+PW_NO_ALLOC Result<const sim::MissingMask*> OutageDetector::ScreenBadData(
+    const Vector& vm, const Vector& va, const sim::MissingMask& mask,
+    DetectScratch& scratch, DetectionResult* result) {
+  const size_t n = mask.size();
+  bool copied = false;
+  for (size_t i = 0; i < n; ++i) {
+    if (mask.missing[i]) continue;
+    const bool finite = std::isfinite(vm[i]) && std::isfinite(va[i]);
+    if (!options_.screen_bad_data) {
+      if (finite) continue;
+      // Screening off is an ablation/debug posture, not a license to
+      // propagate garbage: NaN/Inf never flows into the subspace math.
+      return Status::InvalidArgument(
+          "non-finite measurement at available node " + std::to_string(i) +
+          " (bad-data screening disabled)");
+    }
+    bool bad = !finite;
+    if (!bad && ellipses_[i].QuadraticForm({vm[i], va[i]}) >
+                    options_.screen_threshold) {
+      bad = true;
+    }
+    if (!bad) continue;
+    if (!copied) {
+      scratch.screened_mask.missing.assign(mask.missing.begin(),
+                                           mask.missing.end());
+      copied = true;
+    }
+    scratch.screened_mask.missing[i] = true;
+    ++result->screened_nodes;
+    PW_OBS_COUNTER_INC("faults.screened");
+  }
+  if (!copied) return &mask;
+  return &scratch.screened_mask;
+}
+
 PW_NO_ALLOC Result<DetectionResult> OutageDetector::Detect(const Vector& vm,
                                                const Vector& va,
                                                const sim::MissingMask& mask) {
   static thread_local DetectScratch scratch;
   scratch.selection_valid = false;
-  return DetectImpl(vm, va, mask, /*batch_cache=*/nullptr, scratch);
+  Result<DetectionResult> result =
+      DetectImpl(vm, va, mask, /*batch_cache=*/nullptr, scratch);
+  if (!result.ok()) {
+    PW_OBS_COUNTER_INC("detect.samples_rejected");
+  }
+  return result;
 }
 
 PW_NO_ALLOC Result<std::vector<DetectionResult>> OutageDetector::DetectBatch(
@@ -517,11 +561,14 @@ PW_NO_ALLOC Result<std::vector<DetectionResult>> OutageDetector::DetectBatch(
         sample.mask == nullptr) {
       return Status::InvalidArgument("DetectBatch sample has null fields");
     }
-    PW_ASSIGN_OR_RETURN(
-        DetectionResult result,
+    Result<DetectionResult> result =
         DetectImpl(*sample.vm, *sample.va, *sample.mask, &batch_cache,
-                   scratch));
-    results.push_back(std::move(result));
+                   scratch);
+    if (!result.ok()) {
+      PW_OBS_COUNTER_INC("detect.samples_rejected");
+      return result.status();
+    }
+    results.push_back(std::move(result).value());
   }
   return results;
 }
@@ -540,13 +587,26 @@ PW_NO_ALLOC Result<DetectionResult> OutageDetector::DetectImpl(
   const Vector& features = scratch.features;
   DetectionResult result;
 
+  // Stage 0: input validation + Eq. 4 bad-data screen. Nodes whose
+  // measurements are non-finite or grossly outside their normal
+  // envelope are demoted to "unavailable", so the group selection below
+  // re-selects around them exactly as it does for missing data. The
+  // screened values never enter the subspace math: every evaluation
+  // downstream restricts to coordinates of the effective mask.
+  const sim::MissingMask* effective = &mask;
+  {
+    PW_TRACE_SCOPE("detect.stage.screen_us");
+    PW_ASSIGN_OR_RETURN(effective,
+                        ScreenBadData(vm, va, mask, scratch, &result));
+  }
+
   // Stage 1: pick the detection group for every cluster under the
   // sample's availability mask (Eq. 10). Consecutive batch samples with
   // the same mask reuse the previous selection; the counters it would
   // have ticked are replayed so observability output stays identical.
   {
     PW_TRACE_SCOPE("detect.stage.groups_us");
-    if (scratch.selection_valid && scratch.cached_mask == mask.missing) {
+    if (scratch.selection_valid && scratch.cached_mask == effective->missing) {
       const GroupSelectionStats& stats = scratch.group_stats;
       if (stats.out_of_cluster_selected > 0) {
         PW_OBS_COUNTER_ADD("detect.groups.out_of_cluster_selected",
@@ -561,8 +621,8 @@ PW_NO_ALLOC Result<DetectionResult> OutageDetector::DetectImpl(
                            stats.fallback_any_available);
       }
     } else {
-      SelectGroupsInto(mask, &scratch.groups, &scratch.group_stats);
-      scratch.cached_mask = mask.missing;
+      SelectGroupsInto(*effective, &scratch.groups, &scratch.group_stats);
+      scratch.cached_mask = effective->missing;
       scratch.selection_valid = true;
     }
   }
@@ -591,9 +651,9 @@ PW_NO_ALLOC Result<DetectionResult> OutageDetector::DetectImpl(
     // outage subspace than by the normal subspace? Uses every available
     // measurement — the group machinery protects the node ranking, but
     // classification should never discard observed data.
-    mask.AvailableIndicesInto(&scratch.pooled);
+    effective->AvailableIndicesInto(&scratch.pooled);
     if (scratch.pooled.empty()) {
-      return Status::DataMissing("all measurements missing");
+      return Status::DataMissing("all measurements missing or screened");
     }
     GroupCoordinatesInto(scratch.pooled, &scratch.pooled_coords);
     PW_ASSIGN_OR_RETURN(

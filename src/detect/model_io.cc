@@ -3,6 +3,7 @@
 // groups, gates, baselines) plus a fingerprint of the grid and PMU
 // network it was trained on; it does NOT carry the grid itself.
 
+#include <cmath>
 #include <fstream>
 
 #include "common/serialize.h"
@@ -12,7 +13,10 @@
 namespace phasorwatch::detect {
 namespace {
 
-constexpr uint64_t kMagic = 0x5057444554303200ull;  // "PWDET02\0"
+// Bumped whenever the layout changes (PWDET03 added the bad-data
+// screening options); older files are rejected as unreadable rather
+// than misparsed.
+constexpr uint64_t kMagic = 0x5057444554303300ull;  // "PWDET03\0"
 
 using linalg::Matrix;
 using linalg::Subspace;
@@ -106,6 +110,8 @@ Status OutageDetector::Save(std::ostream& out) const {
   w.WriteU64(options_.max_affected_nodes);
   w.WriteDouble(options_.line_window);
   w.WriteU64(options_.groups.max_group_size);
+  w.WriteBool(options_.screen_bad_data);
+  w.WriteDouble(options_.screen_threshold);
 
   // Cases.
   w.WriteU64(case_lines_.size());
@@ -208,6 +214,12 @@ Result<OutageDetector> OutageDetector::Load(std::istream& in,
   PW_ASSIGN_OR_RETURN(det.options_.line_window, r.ReadDouble());
   PW_ASSIGN_OR_RETURN(uint64_t max_group, r.ReadU64());
   det.options_.groups.max_group_size = static_cast<size_t>(max_group);
+  PW_ASSIGN_OR_RETURN(det.options_.screen_bad_data, r.ReadBool());
+  PW_ASSIGN_OR_RETURN(det.options_.screen_threshold, r.ReadDouble());
+  if (!std::isfinite(det.options_.screen_threshold) ||
+      det.options_.screen_threshold <= 0.0) {
+    return Status::InvalidArgument("corrupt screen threshold");
+  }
 
   PW_ASSIGN_OR_RETURN(uint64_t num_cases, r.ReadU64());
   if (num_cases > grid.num_lines()) {
@@ -289,6 +301,16 @@ Result<OutageDetector> OutageDetector::Load(std::istream& in,
   for (uint64_t c = 0; c < num_groups; ++c) {
     PW_ASSIGN_OR_RETURN(det.groups_[c].in_cluster, r.ReadSizeVector());
     PW_ASSIGN_OR_RETURN(det.groups_[c].out_of_cluster, r.ReadSizeVector());
+    // Group members index into per-node tables at detection time, so a
+    // corrupt index must be caught here, not by a crash in Detect.
+    for (const auto* members :
+         {&det.groups_[c].in_cluster, &det.groups_[c].out_of_cluster}) {
+      for (size_t m : *members) {
+        if (m >= grid.num_buses()) {
+          return Status::InvalidArgument("group member references unknown bus");
+        }
+      }
+    }
   }
   PW_ASSIGN_OR_RETURN(uint64_t num_gates, r.ReadU64());
   if (num_gates != network.num_clusters()) {

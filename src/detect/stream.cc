@@ -9,6 +9,18 @@
 #include "obs/metrics.h"
 
 namespace phasorwatch::detect {
+namespace {
+
+// Errors the monitor may absorb as rejected samples under
+// tolerate_bad_samples: malformed measurements and data starvation are
+// facts of life on a PMU feed. Everything else (internal errors,
+// numerical failures) still propagates.
+bool IsBadSampleError(StatusCode code) {
+  return code == StatusCode::kInvalidArgument ||
+         code == StatusCode::kDataMissing;
+}
+
+}  // namespace
 
 StreamingMonitor::StreamingMonitor(OutageDetector* detector,
                                    const StreamOptions& options)
@@ -22,20 +34,87 @@ StreamingMonitor::StreamingMonitor(OutageDetector* detector,
 Result<StreamEvent> StreamingMonitor::Process(const linalg::Vector& vm,
                                               const linalg::Vector& va,
                                               const sim::MissingMask& mask) {
-  PW_ASSIGN_OR_RETURN(DetectionResult raw, detector_->Detect(vm, va, mask));
-  return Debounce(std::move(raw));
+  Result<DetectionResult> raw = detector_->Detect(vm, va, mask);
+  if (!raw.ok()) {
+    if (!options_.tolerate_bad_samples ||
+        !IsBadSampleError(raw.status().code())) {
+      return raw.status();
+    }
+    return RejectSample(raw.status());
+  }
+  return Debounce(std::move(raw).value());
+}
+
+Result<StreamEvent> StreamingMonitor::ProcessFrame(
+    const sim::MeasurementFrame& frame) {
+  if (frame.dropped) {
+    PW_OBS_COUNTER_INC("stream.frames_dropped");
+    Status reason = Status::DataMissing("frame dropped in transport");
+    if (!options_.tolerate_bad_samples) return reason;
+    return RejectSample(reason);
+  }
+  if (has_timestamp_ && frame.timestamp_us <= last_timestamp_us_) {
+    PW_OBS_COUNTER_INC("stream.frames_stale");
+    Status reason = Status::InvalidArgument(
+        "frame timestamp did not advance (stale or replayed data)");
+    if (!options_.tolerate_bad_samples) return reason;
+    return RejectSample(reason);
+  }
+  last_timestamp_us_ = frame.timestamp_us;
+  has_timestamp_ = true;
+  return Process(frame.vm, frame.va, frame.mask);
 }
 
 Result<std::vector<StreamEvent>> StreamingMonitor::ProcessBatch(
     const std::vector<OutageDetector::BatchSample>& samples) {
-  PW_ASSIGN_OR_RETURN(std::vector<DetectionResult> raws,
-                      detector_->DetectBatch(samples));
+  for (const OutageDetector::BatchSample& sample : samples) {
+    if (sample.vm == nullptr || sample.va == nullptr ||
+        sample.mask == nullptr) {
+      return Status::InvalidArgument("ProcessBatch sample has null fields");
+    }
+  }
+  Result<std::vector<DetectionResult>> raws = detector_->DetectBatch(samples);
+  if (raws.ok()) {
+    std::vector<StreamEvent> events;
+    events.reserve(raws.value().size());
+    for (DetectionResult& raw : raws.value()) {
+      events.push_back(Debounce(std::move(raw)));
+    }
+    return events;
+  }
+  if (!options_.tolerate_bad_samples ||
+      !IsBadSampleError(raws.status().code())) {
+    return raws.status();
+  }
+  // A bad sample aborts the whole DetectBatch call, so replay the block
+  // sample by sample: only the offending samples become rejected
+  // events. Detector-level counters count the aborted batch prefix a
+  // second time here — operational metrics, not exact tallies, under
+  // fault conditions.
   std::vector<StreamEvent> events;
-  events.reserve(raws.size());
-  for (DetectionResult& raw : raws) {
-    events.push_back(Debounce(std::move(raw)));
+  events.reserve(samples.size());
+  for (const OutageDetector::BatchSample& sample : samples) {
+    PW_ASSIGN_OR_RETURN(StreamEvent event,
+                        Process(*sample.vm, *sample.va, *sample.mask));
+    events.push_back(std::move(event));
   }
   return events;
+}
+
+StreamEvent StreamingMonitor::RejectSample(const Status& reason) {
+  StreamEvent event;
+  event.sample_index = next_sample_++;
+  event.sample_rejected = true;
+  event.alarm_active = alarm_active_.load(std::memory_order_relaxed);
+  PW_OBS_COUNTER_INC("stream.samples_rejected");
+  static_cast<void>(reason);
+#ifndef PW_OBS_DISABLED
+  obs::EventLog::Global()
+      .Emit("sample_rejected")
+      .Uint("sample", event.sample_index)
+      .Str("reason", reason.ToString());
+#endif
+  return event;
 }
 
 StreamEvent StreamingMonitor::Debounce(DetectionResult raw) {
@@ -114,6 +193,8 @@ void StreamingMonitor::Reset() {
   consecutive_negative_ = 0;
   next_sample_ = 0;
   recent_votes_.clear();
+  last_timestamp_us_ = 0;
+  has_timestamp_ = false;
 #ifndef PW_OBS_DISABLED
   obs::EventLog::Global().Emit("monitor_reset");
   PW_OBS_GAUGE_SET("stream.alarm_active", 0);

@@ -11,6 +11,7 @@
 #include "common/check.h"
 #include "common/status.h"
 #include "detect/detector.h"
+#include "sim/fault_injection.h"
 
 namespace phasorwatch::detect {
 
@@ -25,6 +26,15 @@ struct StreamOptions {
   /// Sliding window of recent positive detections used for the majority
   /// vote over candidate lines.
   size_t vote_window = 8;
+  /// A PMU feed drops frames, garbles payloads, and repeats stale data;
+  /// a monitor that returns an error on every such sample is useless in
+  /// production. With this set (the default), samples the detector
+  /// rejects as malformed or data-starved become `sample_rejected`
+  /// events — the debouncing state is untouched, exactly as if the
+  /// sample had never arrived — and only programming errors propagate.
+  /// Clear it to surface every rejection as a Status (strict mode for
+  /// tests and offline replays).
+  bool tolerate_bad_samples = true;
 };
 
 /// One processed sample's outcome.
@@ -35,6 +45,10 @@ struct StreamEvent {
   bool alarm_active = false;
   bool alarm_raised = false;   ///< transitioned to active at this sample
   bool alarm_cleared = false;  ///< transitioned to inactive at this sample
+  /// The sample was dropped, stale, or rejected by the detector
+  /// (StreamOptions::tolerate_bad_samples); debouncing state was not
+  /// advanced and `raw`/`lines` carry no detection.
+  bool sample_rejected = false;
   /// Majority-voted candidate lines over the vote window (stable F-hat);
   /// empty while no alarm is active.
   std::vector<grid::LineId> lines;
@@ -69,6 +83,15 @@ class StreamingMonitor {
   PW_NODISCARD Result<StreamEvent> Process(const linalg::Vector& vm,
                                            const linalg::Vector& va);
 
+  /// Feeds one transport-level frame (sim/fault_injection.h), honoring
+  /// its metadata before the measurements are even looked at: dropped
+  /// frames and frames whose timestamp does not advance past the last
+  /// accepted one are rejected (`stream.frames_dropped` /
+  /// `stream.frames_stale`), everything else flows into Process().
+  /// Producer-thread only.
+  PW_NODISCARD Result<StreamEvent> ProcessFrame(
+      const sim::MeasurementFrame& frame);
+
   /// Feeds a block of samples (in stream order) through
   /// OutageDetector::DetectBatch and debounces each result. Events are
   /// identical to calling Process() sample by sample; the batch
@@ -82,8 +105,9 @@ class StreamingMonitor {
   bool alarm_active() const {
     return alarm_active_.load(std::memory_order_acquire);
   }
-  /// Samples processed since construction or the last Reset(). Safe to
-  /// poll from any thread while the producer runs.
+  /// Samples ingested since construction or the last Reset(), rejected
+  /// ones included (each consumes one sample index). Safe to poll from
+  /// any thread while the producer runs.
   uint64_t samples_processed() const {
     return next_sample_.load(std::memory_order_acquire);
   }
@@ -95,6 +119,11 @@ class StreamingMonitor {
   /// Advances the debouncing state machine with one raw detection and
   /// builds its event (the shared tail of Process and ProcessBatch).
   StreamEvent Debounce(DetectionResult raw);
+
+  /// Builds a `sample_rejected` event for a sample the monitor refuses
+  /// to feed into debouncing (consumes a sample index, leaves the
+  /// debounce state alone).
+  StreamEvent RejectSample(const Status& reason);
 
   std::vector<grid::LineId> MajorityLines() const;
   /// Names for a candidate line set, for event logs ("Bus1-Bus2").
@@ -111,6 +140,10 @@ class StreamingMonitor {
   size_t consecutive_positive_ = 0;
   size_t consecutive_negative_ = 0;
   std::deque<std::vector<grid::LineId>> recent_votes_;
+  /// Timestamp of the last accepted frame (ProcessFrame staleness
+  /// check). Producer-thread only, like the debounce counters.
+  uint64_t last_timestamp_us_ = 0;
+  bool has_timestamp_ = false;
 };
 
 }  // namespace phasorwatch::detect

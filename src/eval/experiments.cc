@@ -9,6 +9,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "sim/fault_injection.h"
 #include "sim/missing_data.h"
 
 namespace phasorwatch::eval {
@@ -274,6 +275,124 @@ Result<std::vector<ReliabilityPoint>> RunReliabilitySweep(
     return Status::OK();
   }));
   return points;
+}
+
+std::vector<ChaosRegime> DefaultChaosRegimes() {
+  std::vector<ChaosRegime> regimes(7);
+  regimes[0].name = "clean";
+  regimes[1].name = "gross_errors";
+  regimes[1].faults.gross_errors = 3;
+  regimes[2].name = "frozen_channels";
+  regimes[2].faults.frozen_channels = 3;
+  regimes[3].name = "non_finite";
+  regimes[3].faults.non_finite = 3;
+  regimes[4].name = "dropped_frames";
+  regimes[4].faults.dropped_frames = 2;
+  regimes[5].name = "stale_timestamps";
+  regimes[5].faults.stale_timestamps = 2;
+  regimes[6].name = "kitchen_sink";
+  regimes[6].faults.gross_errors = 2;
+  regimes[6].faults.frozen_channels = 2;
+  regimes[6].faults.non_finite = 2;
+  regimes[6].faults.dropped_frames = 1;
+  regimes[6].faults.stale_timestamps = 1;
+  return regimes;
+}
+
+Result<std::vector<ChaosResult>> RunChaosScenario(
+    const Dataset& dataset, TrainedMethods& methods,
+    const std::vector<ChaosRegime>& regimes,
+    const ExperimentOptions& options) {
+  const grid::Grid& grid = *dataset.grid;
+  const size_t n = grid.num_buses();
+  std::vector<ChaosResult> results;
+  results.reserve(regimes.size());
+  ThreadPool pool(ResolveParallelism(options.parallelism));
+  for (size_t r_idx = 0; r_idx < regimes.size(); ++r_idx) {
+    const ChaosRegime& regime = regimes[r_idx];
+    const uint64_t regime_seed =
+        options.seed ^ 0xC7A05EEDull ^ (static_cast<uint64_t>(r_idx) << 40);
+    // Per-case partials, merged in index order below: results are
+    // bit-identical at every parallelism degree, like RunScenario.
+    struct Partial {
+      MetricAccumulator acc;
+      uint64_t injected = 0;
+      uint64_t rejected = 0;
+      uint64_t screened = 0;
+    };
+    std::vector<Partial> partials(dataset.outages.size());
+    PW_RETURN_IF_ERROR(pool.ParallelFor(
+        dataset.outages.size(), [&](size_t c_idx) -> Status {
+          const CaseData& c = dataset.outages[c_idx];
+          Partial& part = partials[c_idx];
+          Rng rng = Rng::Fork(regime_seed, c_idx);
+          std::vector<size_t> cols =
+              TestColumns(c.test, options.test_samples_per_case, rng);
+          // Compact copy of the drawn columns: the injector corrupts it
+          // in place, leaving the dataset pristine for later regimes.
+          sim::PhasorDataSet block;
+          block.vm = linalg::Matrix(n, cols.size());
+          block.va = linalg::Matrix(n, cols.size());
+          for (size_t s = 0; s < cols.size(); ++s) {
+            for (size_t i = 0; i < n; ++i) {
+              block.vm(i, s) = c.test.vm(i, cols[s]);
+              block.va(i, s) = c.test.va(i, cols[s]);
+            }
+          }
+          std::vector<sim::MissingMask> masks;
+          masks.reserve(cols.size());
+          for (size_t s = 0; s < cols.size(); ++s) {
+            masks.push_back(MakeMask(regime.missing, n, c.line,
+                                     options.random_missing_count, rng));
+          }
+          // Each case owns a deterministic schedule and injection
+          // stream: 2*c_idx seeds the drawn schedule, 2*c_idx+1 the
+          // corruption draws.
+          PW_ASSIGN_OR_RETURN(
+              sim::FaultSchedule schedule,
+              sim::MakeRandomFaultSchedule(regime.faults, n, cols.size(),
+                                           regime_seed + 2 * c_idx));
+          PW_ASSIGN_OR_RETURN(
+              sim::FaultInjector injector,
+              sim::FaultInjector::Create(std::move(schedule), n, cols.size(),
+                                         regime_seed + 2 * c_idx + 1));
+          PW_RETURN_IF_ERROR(injector.ApplyToDataSet(&block, &masks));
+          part.injected = injector.stats().injected;
+          for (size_t s = 0; s < cols.size(); ++s) {
+            auto [vm, va] = block.Sample(s);
+            Result<DetectionResult> det =
+                methods.detector().Detect(vm, va, masks[s]);
+            if (!det.ok()) {
+              if (det.status().code() != StatusCode::kInvalidArgument &&
+                  det.status().code() != StatusCode::kDataMissing) {
+                return det.status();
+              }
+              // The detector refused the sample (all dark, or garbage
+              // with screening off): an outage it could not identify.
+              ++part.rejected;
+              part.acc.Add({0.0, 0.0});
+              continue;
+            }
+            part.screened += det.value().screened_nodes;
+            part.acc.Add(ScoreSample({c.line}, det.value().lines));
+          }
+          return Status::OK();
+        }));
+    ChaosResult row;
+    row.system = grid.name();
+    row.regime = regime.name;
+    MetricAccumulator acc;
+    for (const Partial& p : partials) {
+      acc.Merge(p.acc);
+      row.faults_injected += p.injected;
+      row.samples_rejected += p.rejected;
+      row.screened_nodes += p.screened;
+    }
+    row.subspace = {"subspace", acc.MeanIdentificationAccuracy(),
+                    acc.MeanFalseAlarm(), acc.count()};
+    results.push_back(std::move(row));
+  }
+  return results;
 }
 
 }  // namespace phasorwatch::eval

@@ -11,6 +11,7 @@
 #include "detect/detector.h"
 #include "eval/dataset.h"
 #include "eval/metrics.h"
+#include "sim/fault_injection.h"
 #include "sim/pmu_network.h"
 
 namespace phasorwatch::eval {
@@ -103,6 +104,42 @@ PW_NODISCARD Result<std::vector<ReliabilityPoint>> RunReliabilitySweep(
     const Dataset& dataset, TrainedMethods& methods,
     const std::vector<double>& device_availabilities, size_t patterns_per_level,
     const ExperimentOptions& options);
+
+/// One fault regime of the chaos harness (docs/ROBUSTNESS.md): a fault
+/// schedule sizing applied on top of one of the paper's missing-data
+/// scenarios. Regimes are data — sweep them to chart how IA/FA degrade
+/// as measurements turn hostile.
+struct ChaosRegime {
+  std::string name;                  ///< row label ("clean", ...)
+  sim::FaultScheduleOptions faults;  ///< events drawn per outage case
+  MissingScenario missing = MissingScenario::kNone;
+};
+
+/// The standard sweep: a clean control row, each fault type alone, and
+/// a kitchen-sink mix, all on complete data.
+std::vector<ChaosRegime> DefaultChaosRegimes();
+
+/// One regime's outcome for the proposed detector on one system.
+struct ChaosResult {
+  std::string system;
+  std::string regime;
+  /// IA/FA over the outage test samples that were evaluated; rejected
+  /// samples score as misses (IA 0), so degradation is never hidden.
+  MethodResult subspace;
+  uint64_t faults_injected = 0;   ///< corruptions applied by the injector
+  uint64_t samples_rejected = 0;  ///< samples the detector refused (Status)
+  uint64_t screened_nodes = 0;    ///< node demotions by the bad-data screen
+};
+
+/// Replays every outage case's test samples through seeded fault
+/// injection (one deterministic schedule per case and regime) and the
+/// hardened detector. Fully determined by (dataset, options.seed,
+/// regimes) at every parallelism degree. Sample-level detector
+/// rejections (malformed / data-starved) are tallied, not fatal;
+/// training-level errors still propagate.
+PW_NODISCARD Result<std::vector<ChaosResult>> RunChaosScenario(
+    const Dataset& dataset, TrainedMethods& methods,
+    const std::vector<ChaosRegime>& regimes, const ExperimentOptions& options);
 
 }  // namespace phasorwatch::eval
 

@@ -1,0 +1,346 @@
+// Chaos layer for the hardened detector (docs/ROBUSTNESS.md): gross
+// bad data, NaN/Inf, and transport pathologies must be screened or
+// rejected via Status — never silently mislocalized, never a crash.
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "detect/detector.h"
+#include "detect/stream.h"
+#include "grid/ieee_cases.h"
+#include "obs/metrics.h"
+#include "sim/fault_injection.h"
+
+namespace phasorwatch::detect {
+namespace {
+
+// Shared fixture: one IEEE-14 corpus, two detectors trained on it —
+// the default (bad-data screening on) and a screening-off twin. The
+// screen flag does not influence training, so the two hold identical
+// models and differ only in Detect-time behavior.
+class ChaosDetectorTest : public ::testing::Test {
+ protected:
+  struct Shared {
+    grid::Grid grid;
+    sim::PmuNetwork network;
+    sim::PhasorDataSet normal_test;
+    std::vector<grid::LineId> lines;
+    std::vector<sim::PhasorDataSet> outage_test;
+    std::unique_ptr<OutageDetector> detector;
+    std::unique_ptr<OutageDetector> detector_noscreen;
+  };
+
+  static Shared* shared_;
+
+  static void SetUpTestSuite() {
+    auto grid = grid::IeeeCase14();
+    PW_CHECK(grid.ok());
+    auto network = sim::PmuNetwork::Build(*grid, 3);
+    PW_CHECK(network.ok());
+
+    sim::SimulationOptions sim_opts;
+    sim_opts.load.num_states = 16;
+    sim_opts.samples_per_state = 8;
+
+    Rng rng(2024);
+    auto normal_train = sim::SimulateMeasurements(*grid, sim_opts, rng);
+    PW_CHECK(normal_train.ok());
+    auto normal_test = sim::SimulateMeasurements(*grid, sim_opts, rng);
+    PW_CHECK(normal_test.ok());
+
+    shared_ = new Shared{std::move(grid).value(), std::move(network).value(),
+                         std::move(normal_test).value(), {},      {},
+                         nullptr,                        nullptr};
+
+    std::vector<sim::PhasorDataSet> outage_train;
+    size_t taken = 0;
+    for (const grid::LineId& line : shared_->grid.lines()) {
+      if (taken >= 4) break;
+      auto outage_grid = shared_->grid.WithLineOut(line);
+      if (!outage_grid.ok()) continue;
+      Rng train_rng = rng.Fork();
+      Rng test_rng = rng.Fork();
+      auto train = sim::SimulateMeasurements(*outage_grid, sim_opts, train_rng);
+      auto test = sim::SimulateMeasurements(*outage_grid, sim_opts, test_rng);
+      if (!train.ok() || !test.ok()) continue;
+      shared_->lines.push_back(line);
+      outage_train.push_back(std::move(train).value());
+      shared_->outage_test.push_back(std::move(test).value());
+      ++taken;
+    }
+    PW_CHECK_GE(shared_->lines.size(), 3u);
+
+    TrainingData data;
+    data.normal = &normal_train.value();
+    data.case_lines = shared_->lines;
+    for (const auto& block : outage_train) data.outage.push_back(&block);
+
+    auto screened = OutageDetector::Train(shared_->grid, shared_->network,
+                                          data, DetectorOptions{});
+    PW_CHECK_MSG(screened.ok(), screened.status().ToString().c_str());
+    shared_->detector =
+        std::make_unique<OutageDetector>(std::move(screened).value());
+
+    DetectorOptions off;
+    off.screen_bad_data = false;
+    auto unscreened =
+        OutageDetector::Train(shared_->grid, shared_->network, data, off);
+    PW_CHECK_MSG(unscreened.ok(), unscreened.status().ToString().c_str());
+    shared_->detector_noscreen =
+        std::make_unique<OutageDetector>(std::move(unscreened).value());
+  }
+
+  static void TearDownTestSuite() {
+    delete shared_;
+    shared_ = nullptr;
+  }
+
+  static bool Tolerable(const Status& status) {
+    return status.code() == StatusCode::kInvalidArgument ||
+           status.code() == StatusCode::kDataMissing;
+  }
+};
+
+ChaosDetectorTest::Shared* ChaosDetectorTest::shared_ = nullptr;
+
+TEST_F(ChaosDetectorTest, GrossSpikeScreensLikeMaskingTheNode) {
+  const size_t node = 5;
+  for (size_t t = 0; t < 10; ++t) {
+    auto [vm, va] = shared_->outage_test[0].Sample(t);
+    auto masked_ref = sim::MissingMask::None(shared_->grid.num_buses());
+    masked_ref.missing[node] = true;
+    auto expected = shared_->detector->Detect(vm, va, masked_ref);
+    ASSERT_TRUE(expected.ok());
+    EXPECT_EQ(expected->screened_nodes, 0u);
+
+    // A unit-scale gross error (way outside any operating envelope).
+    vm[node] += 5.0;
+    va[node] -= 3.0;
+    auto screened = shared_->detector->Detect(vm, va);
+    ASSERT_TRUE(screened.ok());
+    // The spiked node is demoted to "unavailable", after which detection
+    // is exactly the masked detection — same groups, same scores.
+    EXPECT_EQ(screened->screened_nodes, 1u);
+    EXPECT_EQ(screened->outage_detected, expected->outage_detected);
+    EXPECT_EQ(screened->decision_score, expected->decision_score);
+    EXPECT_EQ(screened->lines, expected->lines);
+    EXPECT_EQ(screened->affected_nodes, expected->affected_nodes);
+  }
+}
+
+TEST_F(ChaosDetectorTest, CleanDataIsUntouchedByScreening) {
+  // On clean data the screen is a no-op: the screened and unscreened
+  // detectors (identical models) agree bit for bit, and the figure
+  // pipelines stay byte-identical with screening enabled.
+  for (size_t c = 0; c < shared_->lines.size(); ++c) {
+    for (size_t t = 0; t < 5; ++t) {
+      auto [vm, va] = shared_->outage_test[c].Sample(t);
+      auto with = shared_->detector->Detect(vm, va);
+      auto without = shared_->detector_noscreen->Detect(vm, va);
+      ASSERT_TRUE(with.ok());
+      ASSERT_TRUE(without.ok());
+      EXPECT_EQ(with->screened_nodes, 0u);
+      EXPECT_EQ(with->outage_detected, without->outage_detected);
+      EXPECT_EQ(with->decision_score, without->decision_score);
+      EXPECT_EQ(with->lines, without->lines);
+    }
+  }
+}
+
+TEST_F(ChaosDetectorTest, NonFiniteIsScreenedWhenEnabled) {
+  auto [vm, va] = shared_->normal_test.Sample(0);
+  vm[2] = std::nan("");
+  va[7] = std::numeric_limits<double>::infinity();
+  auto result = shared_->detector->Detect(vm, va);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->screened_nodes, 2u);
+  EXPECT_TRUE(std::isfinite(result->decision_score));
+  for (size_t i = 0; i < result->node_scores.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(result->node_scores[i]));
+  }
+}
+
+TEST_F(ChaosDetectorTest, NonFiniteIsRejectedWhenScreeningDisabled) {
+  auto [vm, va] = shared_->normal_test.Sample(0);
+  va[3] = std::nan("");
+  auto result = shared_->detector_noscreen->Detect(vm, va);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  // Masked garbage is not garbage: the same values behind a mask pass.
+  sim::MissingMask mask = sim::MissingMask::None(shared_->grid.num_buses());
+  mask.missing[3] = true;
+  EXPECT_TRUE(shared_->detector_noscreen->Detect(vm, va, mask).ok());
+}
+
+TEST_F(ChaosDetectorTest, BatchScreensIdenticallyToSingleSamples) {
+  // Exercises the DetectBatch fast path's group-selection cache, which
+  // must key on the *effective* (post-screen) mask: clean and spiked
+  // samples interleave, so reuse across equal effective masks and
+  // re-selection across different ones both occur.
+  const size_t num = shared_->grid.num_buses();
+  std::vector<linalg::Vector> vms, vas;
+  for (size_t t = 0; t < 6; ++t) {
+    auto [vm, va] = shared_->outage_test[1].Sample(t);
+    if (t == 1 || t == 2) vm[4] += 5.0;  // same node twice in a row
+    if (t == 4) va[9] += 4.0;
+    vms.push_back(std::move(vm));
+    vas.push_back(std::move(va));
+  }
+  sim::MissingMask none = sim::MissingMask::None(num);
+  std::vector<OutageDetector::BatchSample> batch;
+  for (size_t t = 0; t < vms.size(); ++t) {
+    batch.push_back({&vms[t], &vas[t], &none});
+  }
+  auto batched = shared_->detector->DetectBatch(batch);
+  ASSERT_TRUE(batched.ok());
+  ASSERT_EQ(batched->size(), vms.size());
+  for (size_t t = 0; t < vms.size(); ++t) {
+    auto single = shared_->detector->Detect(vms[t], vas[t]);
+    ASSERT_TRUE(single.ok());
+    EXPECT_EQ((*batched)[t].screened_nodes, single->screened_nodes);
+    EXPECT_EQ((*batched)[t].outage_detected, single->outage_detected);
+    EXPECT_EQ((*batched)[t].decision_score, single->decision_score);
+    EXPECT_EQ((*batched)[t].lines, single->lines);
+  }
+}
+
+TEST_F(ChaosDetectorTest, SeededChaosReplayNeverAborts) {
+  // A kitchen-sink schedule over one outage block: every sample must
+  // either produce a fully finite detection or fail with a tolerable
+  // Status — never crash, never leak a NaN into scores.
+  const size_t num = shared_->grid.num_buses();
+  const size_t samples = 24;
+  sim::FaultScheduleOptions fopts;
+  fopts.gross_errors = 3;
+  fopts.frozen_channels = 2;
+  fopts.non_finite = 2;
+  fopts.dropped_frames = 1;
+  auto schedule = sim::MakeRandomFaultSchedule(fopts, num, samples, 77);
+  ASSERT_TRUE(schedule.ok());
+  auto injector = sim::FaultInjector::Create(*schedule, num, samples, 78);
+  ASSERT_TRUE(injector.ok());
+
+  sim::PhasorDataSet block;
+  block.vm = linalg::Matrix(num, samples);
+  block.va = linalg::Matrix(num, samples);
+  for (size_t i = 0; i < num; ++i) {
+    for (size_t t = 0; t < samples; ++t) {
+      block.vm(i, t) = shared_->outage_test[2].vm(i, t);
+      block.va(i, t) = shared_->outage_test[2].va(i, t);
+    }
+  }
+  const uint64_t injected_before =
+      obs::MetricsRegistry::Global().GetCounter("faults.injected")->value();
+  const uint64_t screened_before =
+      obs::MetricsRegistry::Global().GetCounter("faults.screened")->value();
+
+  std::vector<sim::MissingMask> masks;
+  ASSERT_TRUE(injector->ApplyToDataSet(&block, &masks).ok());
+
+  uint64_t screened_total = 0;
+  for (size_t t = 0; t < samples; ++t) {
+    auto [vm, va] = block.Sample(t);
+    auto result = shared_->detector->Detect(vm, va, masks[t]);
+    if (!result.ok()) {
+      EXPECT_TRUE(Tolerable(result.status())) << result.status().ToString();
+      continue;
+    }
+    screened_total += result->screened_nodes;
+    EXPECT_TRUE(std::isfinite(result->decision_score));
+    for (size_t i = 0; i < result->node_scores.size(); ++i) {
+      EXPECT_TRUE(std::isfinite(result->node_scores[i]));
+    }
+  }
+
+#ifndef PW_OBS_DISABLED
+  // Counter reconciliation: injections against the schedule, screen
+  // demotions against the per-result tallies.
+  const uint64_t injected_after =
+      obs::MetricsRegistry::Global().GetCounter("faults.injected")->value();
+  const uint64_t screened_after =
+      obs::MetricsRegistry::Global().GetCounter("faults.screened")->value();
+  EXPECT_EQ(injected_after - injected_before, injector->stats().injected);
+  EXPECT_EQ(screened_after - screened_before, screened_total);
+#else
+  static_cast<void>(injected_before);
+  static_cast<void>(screened_before);
+#endif
+  EXPECT_EQ(injector->stats().injected,
+            schedule->ExpectedApplications(samples));
+}
+
+TEST_F(ChaosDetectorTest, StreamRejectsDroppedAndStaleFrames) {
+  StreamingMonitor monitor(shared_->detector.get(), StreamOptions{});
+
+  auto fresh = sim::MeasurementFrame::FromDataSet(shared_->normal_test, 0,
+                                                  /*timestamp_us=*/1000);
+  auto first = monitor.ProcessFrame(fresh);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->sample_rejected);
+
+  auto dropped = sim::MeasurementFrame::FromDataSet(shared_->normal_test, 1,
+                                                    /*timestamp_us=*/2000);
+  dropped.dropped = true;
+  auto event = monitor.ProcessFrame(dropped);
+  ASSERT_TRUE(event.ok());
+  EXPECT_TRUE(event->sample_rejected);
+  EXPECT_FALSE(event->alarm_active);
+
+  // A replayed timetag (not past the last accepted frame) is stale.
+  auto stale = sim::MeasurementFrame::FromDataSet(shared_->normal_test, 2,
+                                                  /*timestamp_us=*/1000);
+  event = monitor.ProcessFrame(stale);
+  ASSERT_TRUE(event.ok());
+  EXPECT_TRUE(event->sample_rejected);
+
+  // Rejected frames still consume sample indices (the stream advanced).
+  EXPECT_EQ(monitor.samples_processed(), 3u);
+
+  auto next = sim::MeasurementFrame::FromDataSet(shared_->normal_test, 3,
+                                                 /*timestamp_us=*/3000);
+  event = monitor.ProcessFrame(next);
+  ASSERT_TRUE(event.ok());
+  EXPECT_FALSE(event->sample_rejected);
+  EXPECT_EQ(monitor.samples_processed(), 4u);
+
+  // Reset clears the timestamp watermark with the rest of the state.
+  monitor.Reset();
+  auto replay = sim::MeasurementFrame::FromDataSet(shared_->normal_test, 4,
+                                                   /*timestamp_us=*/500);
+  event = monitor.ProcessFrame(replay);
+  ASSERT_TRUE(event.ok());
+  EXPECT_FALSE(event->sample_rejected);
+}
+
+TEST_F(ChaosDetectorTest, StrictStreamSurfacesTransportFaults) {
+  StreamOptions strict;
+  strict.tolerate_bad_samples = false;
+  StreamingMonitor monitor(shared_->detector.get(), strict);
+  auto dropped = sim::MeasurementFrame::FromDataSet(shared_->normal_test, 0,
+                                                    /*timestamp_us=*/1000);
+  dropped.dropped = true;
+  auto event = monitor.ProcessFrame(dropped);
+  ASSERT_FALSE(event.ok());
+  EXPECT_EQ(event.status().code(), StatusCode::kDataMissing);
+}
+
+TEST_F(ChaosDetectorTest, StreamToleratesDetectorRejections) {
+  // With screening off, NaN samples come back from the detector as
+  // InvalidArgument; the tolerant monitor turns them into
+  // sample_rejected events instead of propagating the error.
+  StreamingMonitor monitor(shared_->detector_noscreen.get(), StreamOptions{});
+  auto [vm, va] = shared_->normal_test.Sample(0);
+  vm[1] = std::nan("");
+  auto event = monitor.Process(vm, va);
+  ASSERT_TRUE(event.ok());
+  EXPECT_TRUE(event->sample_rejected);
+  EXPECT_EQ(monitor.samples_processed(), 1u);
+}
+
+}  // namespace
+}  // namespace phasorwatch::detect

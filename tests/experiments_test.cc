@@ -1,6 +1,8 @@
 #include "eval/experiments.h"
 
+#include <cmath>
 #include <memory>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -126,6 +128,71 @@ TEST_F(ExperimentsTest, ReliabilitySweepMonotoneStructure) {
   }
   // With perfect devices the sweep reduces to the complete-data case.
   EXPECT_GT((*points)[0].effective_accuracy, 0.5);
+}
+
+TEST_F(ExperimentsTest, ChaosCleanControlInjectsNothing) {
+  std::vector<ChaosRegime> regimes = {DefaultChaosRegimes().front()};
+  ASSERT_EQ(regimes[0].name, "clean");
+  auto rows = RunChaosScenario(*shared_->dataset, *shared_->methods, regimes,
+                               shared_->options);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->size(), 1u);
+  const ChaosResult& clean = rows->front();
+  EXPECT_EQ(clean.faults_injected, 0u);
+  EXPECT_EQ(clean.samples_rejected, 0u);
+  EXPECT_EQ(clean.screened_nodes, 0u);
+  EXPECT_GT(clean.subspace.samples, 0u);
+  // The control row is just the complete-data experiment: accuracy must
+  // stay in the Fig. 5 ballpark for this fixture.
+  EXPECT_GT(clean.subspace.identification_accuracy, 0.5);
+}
+
+TEST_F(ExperimentsTest, ChaosRegimesStayFiniteAndAccountable) {
+  auto regimes = DefaultChaosRegimes();
+  ASSERT_GE(regimes.size(), 6u);
+  auto rows = RunChaosScenario(*shared_->dataset, *shared_->methods, regimes,
+                               shared_->options);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->size(), regimes.size());
+  for (size_t r = 0; r < rows->size(); ++r) {
+    const ChaosResult& row = (*rows)[r];
+    EXPECT_EQ(row.regime, regimes[r].name);
+    EXPECT_EQ(row.system, "ieee14");
+    // Degradation may be arbitrary, but never NaN and never out of
+    // range: rejected samples are scored as misses, not dropped.
+    ASSERT_TRUE(std::isfinite(row.subspace.identification_accuracy));
+    ASSERT_TRUE(std::isfinite(row.subspace.false_alarm));
+    EXPECT_GE(row.subspace.identification_accuracy, 0.0);
+    EXPECT_LE(row.subspace.identification_accuracy, 1.0);
+    EXPECT_GE(row.subspace.false_alarm, 0.0);
+    EXPECT_LE(row.subspace.false_alarm, 1.0);
+    EXPECT_GT(row.subspace.samples, 0u);
+    if (r > 0) {
+      // Every fault regime actually injects.
+      EXPECT_GT(row.faults_injected, 0u) << row.regime;
+    }
+  }
+}
+
+TEST_F(ExperimentsTest, ChaosScenarioIsBitDeterministic) {
+  auto all = DefaultChaosRegimes();
+  // gross_errors and the kitchen-sink mix: the heaviest random paths.
+  std::vector<ChaosRegime> regimes = {all[1], all.back()};
+  auto a = RunChaosScenario(*shared_->dataset, *shared_->methods, regimes,
+                            shared_->options);
+  auto b = RunChaosScenario(*shared_->dataset, *shared_->methods, regimes,
+                            shared_->options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t r = 0; r < a->size(); ++r) {
+    EXPECT_EQ((*a)[r].subspace.identification_accuracy,
+              (*b)[r].subspace.identification_accuracy);
+    EXPECT_EQ((*a)[r].subspace.false_alarm, (*b)[r].subspace.false_alarm);
+    EXPECT_EQ((*a)[r].faults_injected, (*b)[r].faults_injected);
+    EXPECT_EQ((*a)[r].samples_rejected, (*b)[r].samples_rejected);
+    EXPECT_EQ((*a)[r].screened_nodes, (*b)[r].screened_nodes);
+  }
 }
 
 }  // namespace

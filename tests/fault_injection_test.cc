@@ -1,0 +1,328 @@
+#include "sim/fault_injection.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace phasorwatch::sim {
+namespace {
+
+// A small deterministic stream: node i at sample t carries vm = 1 + i/100
+// + t/1000 and va = -i/10 - t/100, so any corruption is visible against
+// an exactly known background.
+PhasorDataSet MakeData(size_t nodes, size_t samples) {
+  PhasorDataSet data;
+  data.vm = linalg::Matrix(nodes, samples);
+  data.va = linalg::Matrix(nodes, samples);
+  for (size_t i = 0; i < nodes; ++i) {
+    for (size_t t = 0; t < samples; ++t) {
+      data.vm(i, t) = 1.0 + static_cast<double>(i) / 100.0 +
+                      static_cast<double>(t) / 1000.0;
+      data.va(i, t) = -static_cast<double>(i) / 10.0 -
+                      static_cast<double>(t) / 100.0;
+    }
+  }
+  return data;
+}
+
+FaultEvent Event(FaultType type, size_t node, size_t start, size_t end) {
+  FaultEvent event;
+  event.type = type;
+  event.node = node;
+  event.start = start;
+  event.end = end;
+  return event;
+}
+
+TEST(FaultScheduleTest, ValidateRejectsMalformedEvents) {
+  FaultSchedule schedule;
+  schedule.events.push_back(Event(FaultType::kGrossError, 2, 5, 5));
+  EXPECT_EQ(schedule.Validate(4, 10).code(), StatusCode::kInvalidArgument);
+
+  schedule.events[0] = Event(FaultType::kGrossError, 9, 0, 2);
+  EXPECT_EQ(schedule.Validate(4, 10).code(), StatusCode::kInvalidArgument);
+
+  schedule.events[0] = Event(FaultType::kGrossError, 1, 8, 12);
+  EXPECT_EQ(schedule.Validate(4, 10).code(), StatusCode::kInvalidArgument);
+
+  schedule.events[0] = Event(FaultType::kGrossError, 1, 0, 2);
+  schedule.events[0].magnitude = 0.0;
+  EXPECT_EQ(schedule.Validate(4, 10).code(), StatusCode::kInvalidArgument);
+  schedule.events[0].magnitude = std::nan("");
+  EXPECT_EQ(schedule.Validate(4, 10).code(), StatusCode::kInvalidArgument);
+
+  schedule.events[0].magnitude = 1.0;
+  EXPECT_TRUE(schedule.Validate(4, 10).ok());
+  // Frame-scoped faults ignore the node field entirely.
+  schedule.events.push_back(Event(FaultType::kDroppedFrame, 99, 1, 3));
+  EXPECT_TRUE(schedule.Validate(4, 10).ok());
+  // An unbounded stream (num_samples = 0) skips the upper window check.
+  schedule.events.push_back(Event(FaultType::kGrossError, 0, 50, 60));
+  EXPECT_TRUE(schedule.Validate(4, 0).ok());
+}
+
+TEST(FaultScheduleTest, ExpectedApplicationsSumsWindows) {
+  FaultSchedule schedule;
+  schedule.events.push_back(Event(FaultType::kGrossError, 0, 0, 3));
+  schedule.events.push_back(Event(FaultType::kDroppedFrame, 0, 5, 7));
+  EXPECT_EQ(schedule.ExpectedApplications(10), 5u);
+  // Windows clamp to the stream length.
+  EXPECT_EQ(schedule.ExpectedApplications(6), 4u);
+  EXPECT_EQ(schedule.ExpectedApplications(2), 2u);
+}
+
+TEST(FaultScheduleTest, RandomScheduleIsDeterministicInSeed) {
+  FaultScheduleOptions options;
+  options.gross_errors = 3;
+  options.frozen_channels = 2;
+  options.non_finite = 1;
+  options.dropped_frames = 1;
+  options.stale_timestamps = 1;
+  auto a = MakeRandomFaultSchedule(options, 14, 50, 7);
+  auto b = MakeRandomFaultSchedule(options, 14, 50, 7);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->events.size(), 8u);
+  ASSERT_EQ(b->events.size(), a->events.size());
+  for (size_t e = 0; e < a->events.size(); ++e) {
+    EXPECT_EQ(a->events[e].type, b->events[e].type);
+    EXPECT_EQ(a->events[e].node, b->events[e].node);
+    EXPECT_EQ(a->events[e].start, b->events[e].start);
+    EXPECT_EQ(a->events[e].end, b->events[e].end);
+  }
+  // A different seed draws a different plan (same shape).
+  auto c = MakeRandomFaultSchedule(options, 14, 50, 8);
+  ASSERT_TRUE(c.ok());
+  bool any_different = false;
+  for (size_t e = 0; e < a->events.size(); ++e) {
+    if (a->events[e].node != c->events[e].node ||
+        a->events[e].start != c->events[e].start) {
+      any_different = true;
+    }
+  }
+  EXPECT_TRUE(any_different);
+  EXPECT_FALSE(MakeRandomFaultSchedule(options, 0, 50, 7).ok());
+  EXPECT_FALSE(MakeRandomFaultSchedule(options, 14, 0, 7).ok());
+}
+
+TEST(FaultInjectorTest, CreateValidatesScheduleAndShape) {
+  FaultSchedule schedule;
+  schedule.events.push_back(Event(FaultType::kGrossError, 7, 0, 2));
+  EXPECT_FALSE(FaultInjector::Create(schedule, 4, 10, 1).ok());
+  EXPECT_FALSE(FaultInjector::Create({}, 0, 10, 1).ok());
+  EXPECT_TRUE(FaultInjector::Create({}, 4, 10, 1).ok());
+}
+
+TEST(FaultInjectorTest, ApplyValidatesFrame) {
+  auto injector = FaultInjector::Create({}, 4, 10, 1);
+  ASSERT_TRUE(injector.ok());
+  EXPECT_EQ(injector->Apply(0, nullptr).code(), StatusCode::kInvalidArgument);
+  MeasurementFrame frame;
+  frame.vm = linalg::Vector(3);
+  frame.va = linalg::Vector(3);
+  frame.mask = MissingMask::None(3);
+  EXPECT_EQ(injector->Apply(0, &frame).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FaultInjectorTest, GrossErrorCorruptsOnlyScheduledWindow) {
+  const size_t nodes = 4, samples = 10;
+  PhasorDataSet data = MakeData(nodes, samples);
+  PhasorDataSet original = MakeData(nodes, samples);
+  FaultSchedule schedule;
+  schedule.events.push_back(Event(FaultType::kGrossError, 2, 3, 6));
+  auto injector = FaultInjector::Create(schedule, nodes, samples, 42);
+  ASSERT_TRUE(injector.ok());
+  std::vector<MissingMask> masks;
+  ASSERT_TRUE(injector->ApplyToDataSet(&data, &masks).ok());
+  ASSERT_EQ(masks.size(), samples);
+  for (size_t i = 0; i < nodes; ++i) {
+    for (size_t t = 0; t < samples; ++t) {
+      const bool hit = i == 2 && t >= 3 && t < 6;
+      if (hit) {
+        // The spike is unmistakably gross: at least half the configured
+        // amplitude (0.75 scale floor) on both channels.
+        EXPECT_GE(std::abs(data.vm(i, t) - original.vm(i, t)), 0.3);
+        EXPECT_GE(std::abs(data.va(i, t) - original.va(i, t)), 0.6);
+      } else {
+        EXPECT_EQ(data.vm(i, t), original.vm(i, t));
+        EXPECT_EQ(data.va(i, t), original.va(i, t));
+      }
+      EXPECT_FALSE(masks[t].missing[i]);
+    }
+  }
+  EXPECT_EQ(injector->stats().injected, 3u);
+  EXPECT_EQ(injector->stats().gross_errors, 3u);
+  EXPECT_EQ(injector->stats().injected,
+            injector->schedule().ExpectedApplications(samples));
+}
+
+TEST(FaultInjectorTest, FrozenChannelRepeatsLastDeliveredValue) {
+  const size_t nodes = 3, samples = 8;
+  PhasorDataSet data = MakeData(nodes, samples);
+  FaultSchedule schedule;
+  schedule.events.push_back(Event(FaultType::kFrozenChannel, 1, 2, 5));
+  auto injector = FaultInjector::Create(schedule, nodes, samples, 7);
+  ASSERT_TRUE(injector.ok());
+  std::vector<MissingMask> masks;
+  PhasorDataSet original = MakeData(nodes, samples);
+  ASSERT_TRUE(injector->ApplyToDataSet(&data, &masks).ok());
+  // Samples 2..4 repeat the value delivered at sample 1.
+  for (size_t t = 2; t < 5; ++t) {
+    EXPECT_EQ(data.vm(1, t), original.vm(1, 1));
+    EXPECT_EQ(data.va(1, t), original.va(1, 1));
+  }
+  EXPECT_EQ(data.vm(1, 5), original.vm(1, 5));
+  EXPECT_EQ(injector->stats().frozen, 3u);
+}
+
+TEST(FaultInjectorTest, NonFiniteInjectsUnusableValue) {
+  const size_t nodes = 3, samples = 4;
+  PhasorDataSet data = MakeData(nodes, samples);
+  FaultSchedule schedule;
+  schedule.events.push_back(Event(FaultType::kNonFinite, 0, 1, 2));
+  auto injector = FaultInjector::Create(schedule, nodes, samples, 3);
+  ASSERT_TRUE(injector.ok());
+  std::vector<MissingMask> masks;
+  ASSERT_TRUE(injector->ApplyToDataSet(&data, &masks).ok());
+  EXPECT_TRUE(!std::isfinite(data.vm(0, 1)) || !std::isfinite(data.va(0, 1)));
+  EXPECT_EQ(injector->stats().non_finite, 1u);
+}
+
+TEST(FaultInjectorTest, DroppedFrameDarkensWholeMask) {
+  const size_t nodes = 3, samples = 5;
+  PhasorDataSet data = MakeData(nodes, samples);
+  FaultSchedule schedule;
+  schedule.events.push_back(Event(FaultType::kDroppedFrame, 0, 2, 4));
+  auto injector = FaultInjector::Create(schedule, nodes, samples, 11);
+  ASSERT_TRUE(injector.ok());
+  std::vector<MissingMask> masks;
+  ASSERT_TRUE(injector->ApplyToDataSet(&data, &masks).ok());
+  for (size_t t = 0; t < samples; ++t) {
+    const bool dropped = t == 2 || t == 3;
+    EXPECT_EQ(masks[t].count(), dropped ? nodes : 0u);
+  }
+  EXPECT_EQ(injector->stats().dropped, 2u);
+}
+
+TEST(FaultInjectorTest, StaleTimestampHoldsLastTimetag) {
+  const size_t nodes = 2;
+  FaultSchedule schedule;
+  schedule.events.push_back(Event(FaultType::kStaleTimestamp, 0, 1, 3));
+  auto injector = FaultInjector::Create(schedule, nodes, 4, 5);
+  ASSERT_TRUE(injector.ok());
+  PhasorDataSet data = MakeData(nodes, 4);
+  for (size_t t = 0; t < 4; ++t) {
+    MeasurementFrame frame =
+        MeasurementFrame::FromDataSet(data, t, /*timestamp_us=*/1000 * (t + 1));
+    ASSERT_TRUE(injector->Apply(t, &frame).ok());
+    if (t == 1 || t == 2) {
+      EXPECT_EQ(frame.timestamp_us, 1000u);  // held at the first frame's tag
+    } else {
+      EXPECT_EQ(frame.timestamp_us, 1000u * (t + 1));
+    }
+  }
+  EXPECT_EQ(injector->stats().stale, 2u);
+}
+
+TEST(FaultInjectorTest, EmptyScheduleIsBitIdentityOnData) {
+  const size_t nodes = 5, samples = 12;
+  PhasorDataSet data = MakeData(nodes, samples);
+  PhasorDataSet original = MakeData(nodes, samples);
+  auto injector = FaultInjector::Create({}, nodes, samples, 123);
+  ASSERT_TRUE(injector.ok());
+  std::vector<MissingMask> masks;
+  ASSERT_TRUE(injector->ApplyToDataSet(&data, &masks).ok());
+  for (size_t i = 0; i < nodes; ++i) {
+    for (size_t t = 0; t < samples; ++t) {
+      EXPECT_EQ(data.vm(i, t), original.vm(i, t));
+      EXPECT_EQ(data.va(i, t), original.va(i, t));
+    }
+  }
+  EXPECT_EQ(injector->stats().injected, 0u);
+}
+
+TEST(FaultInjectorTest, StreamingMatchesDataSetInjection) {
+  const size_t nodes = 6, samples = 20;
+  FaultScheduleOptions options;
+  options.gross_errors = 2;
+  options.frozen_channels = 2;
+  options.non_finite = 1;
+  options.dropped_frames = 1;
+  options.window = 3;
+  auto schedule = MakeRandomFaultSchedule(options, nodes, samples, 99);
+  ASSERT_TRUE(schedule.ok());
+
+  PhasorDataSet dataset_copy = MakeData(nodes, samples);
+  std::vector<MissingMask> dataset_masks;
+  auto batch_injector = FaultInjector::Create(*schedule, nodes, samples, 1234);
+  ASSERT_TRUE(batch_injector.ok());
+  ASSERT_TRUE(
+      batch_injector->ApplyToDataSet(&dataset_copy, &dataset_masks).ok());
+
+  // The same schedule applied frame by frame must corrupt identically:
+  // every (event, sample) application owns its own fork stream.
+  auto stream_injector = FaultInjector::Create(*schedule, nodes, samples, 1234);
+  ASSERT_TRUE(stream_injector.ok());
+  PhasorDataSet clean = MakeData(nodes, samples);
+  for (size_t t = 0; t < samples; ++t) {
+    MeasurementFrame frame =
+        MeasurementFrame::FromDataSet(clean, t, /*timestamp_us=*/t * 1000);
+    ASSERT_TRUE(stream_injector->Apply(t, &frame).ok());
+    for (size_t i = 0; i < nodes; ++i) {
+      // Bit-identical, NaN-aware comparison.
+      EXPECT_TRUE(frame.vm[i] == dataset_copy.vm(i, t) ||
+                  (std::isnan(frame.vm[i]) && std::isnan(dataset_copy.vm(i, t))))
+          << "vm node " << i << " sample " << t;
+      EXPECT_TRUE(frame.va[i] == dataset_copy.va(i, t) ||
+                  (std::isnan(frame.va[i]) && std::isnan(dataset_copy.va(i, t))))
+          << "va node " << i << " sample " << t;
+      EXPECT_EQ(frame.mask.missing[i], dataset_masks[t].missing[i]);
+    }
+  }
+  EXPECT_EQ(stream_injector->stats().injected,
+            batch_injector->stats().injected);
+  EXPECT_EQ(stream_injector->stats().injected,
+            schedule->ExpectedApplications(samples));
+}
+
+TEST(FaultInjectorTest, InjectionComposesWithExistingMasks) {
+  const size_t nodes = 4, samples = 6;
+  PhasorDataSet data = MakeData(nodes, samples);
+  std::vector<MissingMask> masks(samples, MissingMask::None(nodes));
+  masks[1].missing[3] = true;  // a benign gap, present before injection
+  FaultSchedule schedule;
+  schedule.events.push_back(Event(FaultType::kDroppedFrame, 0, 4, 5));
+  auto injector = FaultInjector::Create(schedule, nodes, samples, 21);
+  ASSERT_TRUE(injector.ok());
+  ASSERT_TRUE(injector->ApplyToDataSet(&data, &masks).ok());
+  EXPECT_TRUE(masks[1].missing[3]);   // benign gap preserved
+  EXPECT_EQ(masks[4].count(), nodes); // dropped frame all dark
+  EXPECT_EQ(masks[0].count(), 0u);
+}
+
+TEST(UnionMasksTest, OrsElementwise) {
+  MissingMask a = MissingMask::None(4);
+  MissingMask b = MissingMask::None(4);
+  a.missing[0] = true;
+  b.missing[2] = true;
+  MissingMask u = UnionMasks(a, b);
+  EXPECT_TRUE(u.missing[0]);
+  EXPECT_FALSE(u.missing[1]);
+  EXPECT_TRUE(u.missing[2]);
+  EXPECT_FALSE(u.missing[3]);
+}
+
+TEST(FaultTypeTest, NamesAreStable) {
+  EXPECT_STREQ(FaultTypeName(FaultType::kGrossError), "gross_error");
+  EXPECT_STREQ(FaultTypeName(FaultType::kFrozenChannel), "frozen_channel");
+  EXPECT_STREQ(FaultTypeName(FaultType::kNonFinite), "non_finite");
+  EXPECT_STREQ(FaultTypeName(FaultType::kDroppedFrame), "dropped_frame");
+  EXPECT_STREQ(FaultTypeName(FaultType::kStaleTimestamp), "stale_timestamp");
+}
+
+}  // namespace
+}  // namespace phasorwatch::sim

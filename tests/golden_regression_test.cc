@@ -1,0 +1,96 @@
+// Golden regression: a fixed-seed IEEE-14 scenario table, byte-compared
+// against the checked-in reference under tests/golden/. The evaluation
+// pipeline is bit-deterministic at every parallelism degree, so any
+// byte difference is a real behavior change — including an uninjected
+// run being perturbed by the fault-injection / screening machinery.
+//
+// After an intentional change, regenerate with
+//   PW_UPDATE_GOLDEN=1 ./build/tests/golden_regression_test
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "eval/experiments.h"
+#include "grid/ieee_cases.h"
+
+#ifndef PW_GOLDEN_DIR
+#error "PW_GOLDEN_DIR must point at tests/golden (set in tests/CMakeLists.txt)"
+#endif
+
+namespace phasorwatch::eval {
+namespace {
+
+std::string FormatRow(const char* scenario, const MethodResult& m) {
+  char buffer[160];
+  std::snprintf(buffer, sizeof(buffer),
+                "scenario=%s method=%s ia=%.17g fa=%.17g samples=%zu\n",
+                scenario, m.method.c_str(), m.identification_accuracy,
+                m.false_alarm, m.samples);
+  return buffer;
+}
+
+TEST(GoldenRegressionTest, Ieee14ScenarioTableIsByteStable) {
+  auto grid = grid::IeeeCase14();
+  ASSERT_TRUE(grid.ok());
+
+  DatasetOptions dopts;
+  dopts.train_states = 8;
+  dopts.train_samples_per_state = 6;
+  dopts.test_states = 4;
+  dopts.test_samples_per_state = 6;
+  auto dataset = BuildDataset(*grid, dopts, 4242);
+  ASSERT_TRUE(dataset.ok()) << dataset.status().ToString();
+
+  ExperimentOptions options;
+  options.test_samples_per_case = 10;
+  options.mlr.epochs = 60;
+  auto methods = TrainedMethods::Train(*dataset, options);
+  ASSERT_TRUE(methods.ok()) << methods.status().ToString();
+
+  std::string actual =
+      "# phasorwatch golden: IEEE-14 scenario table, dataset seed 4242\n"
+      "# regenerate: PW_UPDATE_GOLDEN=1 ./build/tests/golden_regression_test\n";
+  const struct {
+    const char* name;
+    MissingScenario scenario;
+  } scenarios[] = {
+      {"complete", MissingScenario::kNone},
+      {"missing_outage", MissingScenario::kOutageEndpoints},
+      {"missing_random", MissingScenario::kRandomOffOutage},
+  };
+  for (const auto& s : scenarios) {
+    auto result = RunScenario(*dataset, *methods, s.scenario, options);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    for (const MethodResult& m : result->methods) {
+      actual += FormatRow(s.name, m);
+    }
+  }
+
+  const std::string path =
+      std::string(PW_GOLDEN_DIR) + "/ieee14_scenarios.txt";
+  if (std::getenv("PW_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    ASSERT_TRUE(out.good());
+    GTEST_SKIP() << "golden reference regenerated at " << path;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good())
+      << "missing golden reference " << path
+      << " — run with PW_UPDATE_GOLDEN=1 to create it";
+  std::stringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(expected.str(), actual)
+      << "golden table drifted; if the change is intentional, regenerate "
+         "with PW_UPDATE_GOLDEN=1";
+}
+
+}  // namespace
+}  // namespace phasorwatch::eval

@@ -1,4 +1,5 @@
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <sstream>
 
@@ -153,6 +154,86 @@ TEST_F(ModelIoTest, RejectsTruncatedStream) {
   auto loaded =
       OutageDetector::Load(truncated, shared_->grid, shared_->network);
   EXPECT_FALSE(loaded.ok());
+}
+
+TEST_F(ModelIoTest, TruncationAtAnyPrefixReturnsStatus) {
+  std::stringstream buffer;
+  ASSERT_TRUE(shared_->detector->Save(buffer).ok());
+  std::string full = buffer.str();
+  // A sweep of prefix lengths across the whole layout: header, option
+  // block, models, ellipses, groups. Every cut must surface as a
+  // Status — never a crash, never a silently half-loaded model.
+  const size_t cuts = 32;
+  for (size_t k = 0; k < cuts; ++k) {
+    size_t len = full.size() * k / cuts;
+    std::stringstream truncated(full.substr(0, len));
+    auto loaded =
+        OutageDetector::Load(truncated, shared_->grid, shared_->network);
+    EXPECT_FALSE(loaded.ok()) << "prefix of " << len << " bytes loaded";
+  }
+}
+
+TEST_F(ModelIoTest, SingleByteCorruptionNeverCrashes) {
+  std::stringstream buffer;
+  ASSERT_TRUE(shared_->detector->Save(buffer).ok());
+  const std::string full = buffer.str();
+  // Flip one byte at positions spread over the file. Structural fields
+  // (magic, fingerprint, counts, sizes) must reject via Status; flips
+  // landing in floating-point payload may load — either way the call
+  // returns instead of crashing.
+  const size_t flips = 24;
+  for (size_t k = 0; k < flips; ++k) {
+    std::string corrupt = full;
+    corrupt[full.size() * k / flips] ^= 0xFF;
+    std::stringstream in(corrupt);
+    auto loaded = OutageDetector::Load(in, shared_->grid, shared_->network);
+    static_cast<void>(loaded.ok());
+  }
+}
+
+TEST_F(ModelIoTest, GarbageAfterValidHeaderReturnsStatus) {
+  // A well-formed magic followed by junk: the reader must fail on the
+  // first implausible field instead of trusting embedded lengths.
+  std::stringstream buffer;
+  BinaryWriter w(buffer);
+  w.WriteU64(0x5057444554303300ull);  // current magic ("PWDET03\0")
+  for (size_t i = 0; i < 4096; ++i) {
+    buffer.put(static_cast<char>(i * 37 + 11));
+  }
+  auto loaded = OutageDetector::Load(buffer, shared_->grid, shared_->network);
+  ASSERT_FALSE(loaded.ok());
+}
+
+TEST_F(ModelIoTest, PureGarbageStreamReturnsStatus) {
+  std::stringstream buffer(std::string(1024, '\xAB'));
+  auto loaded = OutageDetector::Load(buffer, shared_->grid, shared_->network);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ModelIoTest, EmptyFileReturnsStatus) {
+  std::string path = ::testing::TempDir() + "/pw_empty_model.bin";
+  { std::ofstream touch(path, std::ios::binary); }
+  auto loaded =
+      OutageDetector::LoadFromFile(path, shared_->grid, shared_->network);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(ModelIoTest, OldFormatVersionRejected) {
+  // PWDET02 files predate the screening options; they must be refused
+  // as unreadable, not misparsed into a detector with garbage options.
+  std::stringstream buffer;
+  ASSERT_TRUE(shared_->detector->Save(buffer).ok());
+  std::string full = buffer.str();
+  // The magic is a little-endian u64 of "PWDET03\0"; the version digit
+  // '3' lands at byte 1 of the stream.
+  ASSERT_EQ(full[1], '3');
+  full[1] = '2';
+  std::stringstream in(full);
+  auto loaded = OutageDetector::Load(in, shared_->grid, shared_->network);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST_F(ModelIoTest, UntrainedDetectorRefusesToSave) {
