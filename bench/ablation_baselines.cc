@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   pw::bench::PrintHeader("AblationBaselines",
                          "Extended baseline comparison", config);
 
+  pw::bench::ReportResults report_results;
   pw::TablePrinter table(
       {"system", "scenario", "method", "IA", "FA"});
   for (int buses : config.systems) {
@@ -64,18 +65,26 @@ int main(int argc, char** argv) {
               truth, pilot->PredictLines(vm, va, mask)));
         }
       }
-      const char* scenario = missing ? "missing-outage" : "complete";
-      auto add = [&](const char* name, pw::eval::MetricAccumulator& acc) {
-        table.AddRow({grid->name(), scenario, name,
+      const char* scenario = missing ? "missing_outage" : "complete";
+      auto add = [&](const char* name, const char* key,
+                     pw::eval::MetricAccumulator& acc) {
+        table.AddRow({grid->name(), missing ? "missing-outage" : "complete",
+                      name,
                       pw::TablePrinter::Num(acc.MeanIdentificationAccuracy()),
                       pw::TablePrinter::Num(acc.MeanFalseAlarm())});
+        const std::string prefix = "ablation_baselines." + grid->name() +
+                                   "." + scenario + "." + key;
+        report_results.emplace_back(prefix + ".IA",
+                                    acc.MeanIdentificationAccuracy());
+        report_results.emplace_back(prefix + ".FA", acc.MeanFalseAlarm());
       };
-      add("subspace (proposed)", acc_sub);
-      add("MLR [4],[14]", acc_mlr);
-      add("PCA variance [9]", acc_pca);
-      add("pilot PMU [10]", acc_pilot);
+      add("subspace (proposed)", "subspace", acc_sub);
+      add("MLR [4],[14]", "mlr", acc_mlr);
+      add("PCA variance [9]", "pca_variance", acc_pca);
+      add("pilot PMU [10]", "pilot_pmu", acc_pilot);
     }
   }
   table.Print(std::cout);
-  return 0;
+  return pw::bench::MaybeWriteJsonReport(config.json_path, "ablation_baselines",
+                                         report_results);
 }

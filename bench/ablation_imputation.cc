@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
   pw::bench::PrintHeader("AblationImputation",
                          "Recover-then-detect vs robust detection", config);
 
+  pw::bench::ReportResults report_results;
   pw::TablePrinter table(
       {"system", "method", "IA", "FA", "us/sample overhead"});
   for (int buses : config.systems) {
@@ -75,16 +76,22 @@ int main(int argc, char** argv) {
             truth, methods->mlr().PredictLines(vm_f, va_f, none)));
       }
     }
-    auto add = [&](const char* name, pw::eval::MetricAccumulator& acc,
-                   double overhead_us) {
+    auto add = [&](const char* name, const char* key,
+                   pw::eval::MetricAccumulator& acc, double overhead_us) {
       table.AddRow({grid->name(), name,
                     pw::TablePrinter::Num(acc.MeanIdentificationAccuracy()),
                     pw::TablePrinter::Num(acc.MeanFalseAlarm()),
                     pw::TablePrinter::Num(overhead_us, 1)});
+      const std::string prefix =
+          "ablation_imputation." + grid->name() + "." + key;
+      report_results.emplace_back(prefix + ".IA",
+                                  acc.MeanIdentificationAccuracy());
+      report_results.emplace_back(prefix + ".FA", acc.MeanFalseAlarm());
+      report_results.emplace_back(prefix + ".overhead_us", overhead_us);
     };
-    add("subspace (no recovery)", acc_sub, 0.0);
-    add("MLR + zero fill", acc_zero, 0.0);
-    add("MLR + low-rank recovery [8]", acc_lowrank,
+    add("subspace (no recovery)", "subspace", acc_sub, 0.0);
+    add("MLR + zero fill", "mlr_zero_fill", acc_zero, 0.0);
+    add("MLR + low-rank recovery [8]", "mlr_lowrank", acc_lowrank,
         impute_ns / 1e3 / static_cast<double>(impute_count));
   }
   table.Print(std::cout);
@@ -92,5 +99,6 @@ int main(int argc, char** argv) {
       "\nReading: low-rank recovery helps MLR relative to zero filling but\n"
       "cannot reconstruct the outage signature it never observed; the\n"
       "group-based subspace detector needs no recovery step at all.\n");
-  return 0;
+  return pw::bench::MaybeWriteJsonReport(config.json_path, "ablation_imputation",
+                                         report_results);
 }

@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   // Multipliers on the default noise model (vm 0.002 pu, va 0.003 rad).
   std::vector<double> multipliers = {0.5, 1.0, 2.0, 4.0};
 
+  pw::bench::ReportResults report_results;
   pw::TablePrinter table({"system", "noise x", "scenario", "method", "IA",
                           "FA"});
   for (int buses : config.systems) {
@@ -51,15 +52,25 @@ int main(int argc, char** argv) {
         const char* label =
             scenario == pw::eval::MissingScenario::kNone ? "complete"
                                                          : "missing-outage";
+        const char* key =
+            scenario == pw::eval::MissingScenario::kNone ? "complete"
+                                                         : "missing_outage";
         for (const auto& m : result->methods) {
           table.AddRow({grid->name(), pw::TablePrinter::Num(mult, 1), label,
                         m.method,
                         pw::TablePrinter::Num(m.identification_accuracy),
                         pw::TablePrinter::Num(m.false_alarm)});
+          const std::string prefix = "ablation_noise." + grid->name() +
+                                     ".x" + pw::TablePrinter::Num(mult, 1) +
+                                     "." + key + "." + m.method;
+          report_results.emplace_back(prefix + ".IA",
+                                      m.identification_accuracy);
+          report_results.emplace_back(prefix + ".FA", m.false_alarm);
         }
       }
     }
   }
   table.Print(std::cout);
-  return 0;
+  return pw::bench::MaybeWriteJsonReport(config.json_path, "ablation_noise",
+                                         report_results);
 }

@@ -20,16 +20,18 @@ int main(int argc, char** argv) {
 
   struct Variant {
     const char* name;
+    const char* key;  // dotted-report-safe identifier for --json
     bool use_scaling;
     double constraint_rel_tol;
   };
   std::vector<Variant> variants = {
-      {"scaling on, tol=0.12 (default)", true, 0.12},
-      {"scaling OFF, tol=0.12", false, 0.12},
-      {"scaling on, tol=0.05 (fewer constraints)", true, 0.05},
-      {"scaling on, tol=0.30 (more constraints)", true, 0.30},
+      {"scaling on, tol=0.12 (default)", "default", true, 0.12},
+      {"scaling OFF, tol=0.12", "no_scaling", false, 0.12},
+      {"scaling on, tol=0.05 (fewer constraints)", "tol005", true, 0.05},
+      {"scaling on, tol=0.30 (more constraints)", "tol030", true, 0.30},
   };
 
+  pw::bench::ReportResults report_results;
   pw::TablePrinter table({"system", "variant", "IA", "FA"});
   for (int buses : config.systems) {
     auto grid = pw::grid::EvaluationSystem(buses);
@@ -62,8 +64,15 @@ int main(int argc, char** argv) {
                     pw::TablePrinter::Num(
                         result->methods[0].identification_accuracy),
                     pw::TablePrinter::Num(result->methods[0].false_alarm)});
+      const std::string prefix =
+          "ablation_scaling." + grid->name() + "." + v.key;
+      report_results.emplace_back(
+          prefix + ".IA", result->methods[0].identification_accuracy);
+      report_results.emplace_back(prefix + ".FA",
+                                  result->methods[0].false_alarm);
     }
   }
   table.Print(std::cout);
-  return 0;
+  return pw::bench::MaybeWriteJsonReport(config.json_path, "ablation_scaling",
+                                         report_results);
 }

@@ -1,5 +1,6 @@
 #include "bench/bench_common.h"
 
+#include <cctype>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -8,6 +9,7 @@
 #include "common/table_printer.h"
 #include "grid/ieee_cases.h"
 #include "obs/metrics.h"
+#include "obs/report.h"
 
 namespace phasorwatch::bench {
 
@@ -26,6 +28,9 @@ BenchConfig ParseConfig(int argc, char** argv) {
       // Same degree everywhere; PW_THREADS still wins (thread_pool.h).
       config.dataset.parallelism = threads;
       config.experiment.parallelism = threads;
+    }
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      config.json_path = argv[i + 1];
     }
   }
 
@@ -74,12 +79,38 @@ void PrintHeader(const std::string& experiment_id, const std::string& title,
   std::printf("\n\n");
 }
 
+namespace {
+
+// Lowercased experiment id = the report's identity ("Fig7" -> "fig7").
+std::string ReportName(const std::string& experiment_id) {
+  std::string name = experiment_id;
+  for (char& c : name) c = static_cast<char>(std::tolower(c));
+  return name;
+}
+
+}  // namespace
+
+int MaybeWriteJsonReport(const std::string& json_path, const std::string& name,
+                         const ReportResults& results) {
+  if (json_path.empty()) return 0;
+  obs::RunReportBuilder report(name);
+  for (const auto& [key, value] : results) report.AddResult(key, value);
+  Status status = report.WriteFile(json_path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "--json %s: %s\n", json_path.c_str(),
+                 status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
 int RunScenarioHarness(const std::string& experiment_id,
                        const std::string& title,
                        eval::MissingScenario scenario, int argc, char** argv) {
   BenchConfig config = ParseConfig(argc, argv);
   PrintHeader(experiment_id, title, config);
 
+  ReportResults report_results;
   TablePrinter table({"system", "method", "IA", "FA", "test samples"});
   for (int buses : config.systems) {
     auto grid = grid::EvaluationSystem(buses);
@@ -112,11 +143,16 @@ int RunScenarioHarness(const std::string& experiment_id,
                     TablePrinter::Num(m.identification_accuracy),
                     TablePrinter::Num(m.false_alarm),
                     std::to_string(m.samples)});
+      const std::string prefix =
+          ReportName(experiment_id) + "." + result->system + "." + m.method;
+      report_results.emplace_back(prefix + ".IA", m.identification_accuracy);
+      report_results.emplace_back(prefix + ".FA", m.false_alarm);
     }
   }
   table.Print(std::cout);
   PrintMetricsSnapshot();
-  return 0;
+  return MaybeWriteJsonReport(config.json_path, ReportName(experiment_id),
+                              report_results);
 }
 
 void PrintMetricsSnapshot() {

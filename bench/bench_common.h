@@ -2,6 +2,7 @@
 #define PHASORWATCH_BENCH_BENCH_COMMON_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "eval/dataset.h"
@@ -17,6 +18,11 @@ namespace phasorwatch::bench {
 ///                 evaluation (0 = one per core, 1 = serial; results
 ///                 are bit-identical either way — see
 ///                 docs/PARALLELISM.md)
+///   --json PATH : additionally write the machine-readable run report
+///                 (pw-bench-report-v1, obs/report.h) to PATH; the
+///                 perf-trajectory `BENCH_<name>.json` files compared
+///                 by scripts/bench_report.py. Off by default, and the
+///                 harness's stdout is unchanged by it.
 /// Default is --quick so `for b in build/bench/*; do $b; done` stays
 /// tractable; EXPERIMENTS.md records --full runs.
 struct BenchConfig {
@@ -24,10 +30,22 @@ struct BenchConfig {
   eval::DatasetOptions dataset;
   eval::ExperimentOptions experiment;
   bool full = false;
+  std::string json_path;           ///< empty = no report
 };
 
-/// Parses --quick / --full (and optional --seed N, --threads N).
+/// Parses --quick / --full (and optional --seed N, --threads N,
+/// --json PATH).
 BenchConfig ParseConfig(int argc, char** argv);
+
+/// Named numeric results a harness attaches to its JSON report
+/// ("fig7.ieee14.subspace.IA" -> 0.83, ...).
+using ReportResults = std::vector<std::pair<std::string, double>>;
+
+/// Writes the run report to `json_path` when non-empty (no-op
+/// otherwise). `name` is the report identity — BENCH_<name>.json by
+/// convention. Returns a process exit code (0 ok, 1 write failure).
+int MaybeWriteJsonReport(const std::string& json_path, const std::string& name,
+                         const ReportResults& results);
 
 /// Builds the dataset for one system with the config's sizing.
 Result<eval::Dataset> BuildSystemDataset(const grid::Grid& grid,

@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   pw::bench::BenchConfig config = pw::bench::ParseConfig(argc, argv);
   pw::bench::PrintHeader("Chaos", "IA / FA under fault injection", config);
 
+  pw::bench::ReportResults report_results;
   pw::TablePrinter table({"system", "regime", "IA", "FA", "samples",
                           "injected", "screened", "rejected"});
 
@@ -54,10 +55,16 @@ int main(int argc, char** argv) {
                     std::to_string(row.faults_injected),
                     std::to_string(row.screened_nodes),
                     std::to_string(row.samples_rejected)});
+      const std::string prefix = "chaos." + row.system + "." + row.regime;
+      report_results.emplace_back(prefix + ".IA",
+                                  row.subspace.identification_accuracy);
+      report_results.emplace_back(prefix + ".FA", row.subspace.false_alarm);
+      report_results.emplace_back(
+          prefix + ".rejected", static_cast<double>(row.samples_rejected));
     }
   }
 
   std::printf("Fault-regime degradation series:\n");
   table.Print(std::cout);
-  return 0;
+  return pw::bench::MaybeWriteJsonReport(config.json_path, "chaos", report_results);
 }

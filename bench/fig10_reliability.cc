@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
                                         0.98,   0.95,  0.90};
   size_t patterns = config.full ? 400 : 80;
 
+  pw::bench::ReportResults report_results;
   pw::TablePrinter table({"system", "device avail", "system r", "FA(r)",
                           "IA(r)"});
   for (int buses : config.systems) {
@@ -56,8 +57,13 @@ int main(int argc, char** argv) {
                     pw::TablePrinter::Num(p.system_reliability, 4),
                     pw::TablePrinter::Num(p.effective_false_alarm),
                     pw::TablePrinter::Num(p.effective_accuracy)});
+      const std::string prefix =
+          "fig10." + grid->name() + ".r" +
+          pw::TablePrinter::Num(p.device_availability, 4);
+      report_results.emplace_back(prefix + ".IA", p.effective_accuracy);
+      report_results.emplace_back(prefix + ".FA", p.effective_false_alarm);
     }
   }
   table.Print(std::cout);
-  return 0;
+  return pw::bench::MaybeWriteJsonReport(config.json_path, "fig10", report_results);
 }

@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
       config.full ? std::vector<double>{0.0, 0.25, 0.5, 0.75, 1.0}
                   : std::vector<double>{0.0, 0.5, 1.0};
 
+  pw::bench::ReportResults report_results;
   pw::TablePrinter table({"system", "learned fraction", "IA", "FA"});
   for (int buses : config.systems) {
     auto grid = pw::grid::EvaluationSystem(buses);
@@ -46,8 +47,13 @@ int main(int argc, char** argv) {
       table.AddRow({row.system, pw::TablePrinter::Num(alphas[a], 2),
                     pw::TablePrinter::Num(row.methods[0].identification_accuracy),
                     pw::TablePrinter::Num(row.methods[0].false_alarm)});
+      const std::string prefix = "fig4." + row.system + ".alpha" +
+                                 pw::TablePrinter::Num(alphas[a], 2);
+      report_results.emplace_back(
+          prefix + ".IA", row.methods[0].identification_accuracy);
+      report_results.emplace_back(prefix + ".FA", row.methods[0].false_alarm);
     }
   }
   table.Print(std::cout);
-  return 0;
+  return pw::bench::MaybeWriteJsonReport(config.json_path, "fig4", report_results);
 }

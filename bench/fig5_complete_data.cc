@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   pw::bench::BenchConfig config = pw::bench::ParseConfig(argc, argv);
   pw::bench::PrintHeader("Fig5", "Complete data case (IA / FA)", config);
 
+  pw::bench::ReportResults report_results;
   pw::TablePrinter inventory({"system", "buses", "lines", "valid cases E"});
   pw::TablePrinter table(
       {"system", "method", "IA", "FA", "test samples"});
@@ -55,6 +56,9 @@ int main(int argc, char** argv) {
                     pw::TablePrinter::Num(m.identification_accuracy),
                     pw::TablePrinter::Num(m.false_alarm),
                     std::to_string(m.samples)});
+      const std::string prefix = "fig5." + result->system + "." + m.method;
+      report_results.emplace_back(prefix + ".IA", m.identification_accuracy);
+      report_results.emplace_back(prefix + ".FA", m.false_alarm);
     }
   }
 
@@ -62,5 +66,5 @@ int main(int argc, char** argv) {
   inventory.Print(std::cout);
   std::printf("\nFig. 5a/5b series:\n");
   table.Print(std::cout);
-  return 0;
+  return pw::bench::MaybeWriteJsonReport(config.json_path, "fig5", report_results);
 }

@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/alloc_counter.h"
+#include "bench/perf_common.h"
 #include "common/rng.h"
 #include "grid/ieee_cases.h"
 #include "linalg/lu.h"
@@ -134,3 +135,17 @@ void BM_QrFactor(benchmark::State& state) {
 BENCHMARK(BM_QrFactor)->Arg(30)->Arg(118);
 
 }  // namespace
+
+// Custom main (instead of benchmark_main) for the --json/--quick
+// harness flags: a linalg trajectory point is the early-warning signal
+// for detector-latency regressions (SVD/LU dominate training and the
+// power-flow data generator).
+int main(int argc, char** argv) {
+  pw::bench::PerfRunConfig config;
+  if (!pw::bench::InitPerfHarness(&config, argc, argv)) return 1;
+  pw::bench::ReportResults results;
+  pw::bench::JsonCaptureReporter reporter(&results);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return pw::bench::MaybeWriteJsonReport(config.json_path, "linalg", results);
+}

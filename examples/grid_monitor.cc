@@ -7,6 +7,8 @@
 //   --metrics                print the metrics snapshot after the run
 //   --metrics-json           same, as one JSON object
 //   --events <path>          write alarm lifecycle events as JSONL
+//   --trace <path>           write the trace ring as a Chrome trace
+//                            (open in chrome://tracing or Perfetto)
 //   --validate-events <path> standalone: check an emitted JSONL file is
 //                            line-by-line parseable JSON, then exit
 
@@ -23,6 +25,7 @@
 #include "grid/ieee_cases.h"
 #include "obs/event_log.h"
 #include "obs/metrics.h"
+#include "obs/trace_export.h"
 #include "sim/missing_data.h"
 #include "sim/pmu_network.h"
 
@@ -83,9 +86,13 @@ int main(int argc, char** argv) {
   pw::SetLogLevelFromEnv();
   bool print_metrics = false;
   bool print_metrics_json = false;
+  const char* trace_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--metrics") == 0) print_metrics = true;
     if (std::strcmp(argv[i], "--metrics-json") == 0) print_metrics_json = true;
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[i + 1];
+    }
     if (std::strcmp(argv[i], "--validate-events") == 0 && i + 1 < argc) {
       return ValidateEventsFile(argv[i + 1]);
     }
@@ -196,6 +203,14 @@ int main(int argc, char** argv) {
   if (print_metrics_json) {
     std::printf("%s\n",
                 pw::obs::MetricsRegistry::Global().JsonSnapshot().c_str());
+  }
+  if (trace_path != nullptr) {
+    pw::Status status = pw::obs::WriteChromeTrace(trace_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "--trace: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("Chrome trace written to %s\n", trace_path);
   }
   pw::obs::EventLog::Global().Close();
   return 0;

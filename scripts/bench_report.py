@@ -1,0 +1,285 @@
+#!/usr/bin/env python3
+"""Validate and compare pw-bench-report-v1 documents (BENCH_<name>.json).
+
+The C++ side (obs/report.h RunReportBuilder, surfaced as `--json PATH`
+on every bench harness) emits one JSON document per run: named numeric
+results plus the metrics-registry snapshot and build provenance. This
+tool is the other half of the perf-trajectory loop:
+
+  bench_report.py validate FILE...          schema-check documents
+  bench_report.py diff BASE NEW             compare two runs; exit 1 on
+      [--threshold T] [--results-only]      any regression beyond T
+                                            (default 0.20 = 20%)
+  bench_report.py --self-test               in-memory fixture round trip
+
+Regression direction is inferred from the key: results whose dotted
+path contains an `IA` or `accuracy` component are higher-is-better;
+everything else (latencies, allocs, FA rates) is lower-is-better. Keys
+present on only one side are reported but never gate — adding a
+benchmark must not fail the lane that adds it.
+
+Stdlib only; no third-party imports.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "pw-bench-report-v1"
+
+# Top-level key -> required python type.
+TOP_LEVEL = {
+    "schema": str,
+    "name": str,
+    "created_unix": int,
+    "git_sha": str,
+    "build": dict,
+    "host": dict,
+    "results": dict,
+    "counters": dict,
+    "gauges": dict,
+    "histograms": dict,
+    "quantiles": dict,
+}
+
+HIGHER_IS_BETTER_PARTS = ("IA", "accuracy")
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def validate_doc(doc, label):
+    """Returns a list of schema-violation strings (empty = valid)."""
+    errors = []
+    if not isinstance(doc, dict):
+        return ["%s: document is not a JSON object" % label]
+    for key, want in TOP_LEVEL.items():
+        if key not in doc:
+            errors.append("%s: missing top-level key %r" % (label, key))
+        elif not isinstance(doc[key], want):
+            errors.append("%s: key %r is %s, want %s" %
+                          (label, key, type(doc[key]).__name__, want.__name__))
+    if errors:
+        return errors
+    if doc["schema"] != SCHEMA:
+        errors.append("%s: schema is %r, want %r" %
+                      (label, doc["schema"], SCHEMA))
+    for key, entry in doc["results"].items():
+        if not isinstance(entry, dict) or "value" not in entry:
+            errors.append("%s: results[%r] has no value" % (label, key))
+        elif not isinstance(entry["value"], (int, float)):
+            errors.append("%s: results[%r].value is not numeric" %
+                          (label, key))
+        elif "unit" in entry and not isinstance(entry["unit"], str):
+            errors.append("%s: results[%r].unit is not a string" %
+                          (label, key))
+    for key, value in doc["counters"].items():
+        if not isinstance(value, int):
+            errors.append("%s: counters[%r] is not an integer" % (label, key))
+    for key, value in doc["gauges"].items():
+        if not isinstance(value, (int, float)):
+            errors.append("%s: gauges[%r] is not numeric" % (label, key))
+    for section in ("histograms", "quantiles"):
+        for key, snap in doc[section].items():
+            if not isinstance(snap, dict) or "count" not in snap:
+                errors.append("%s: %s[%r] has no count" %
+                              (label, section, key))
+    return errors
+
+
+def higher_is_better(key):
+    return any(part in HIGHER_IS_BETTER_PARTS for part in key.split("."))
+
+
+def flatten(doc, results_only):
+    """Comparable key -> value map for a report document."""
+    flat = {}
+    for key, entry in doc["results"].items():
+        flat["results." + key] = float(entry["value"])
+    if results_only:
+        return flat
+    for key, snap in doc["quantiles"].items():
+        for stat in ("p50", "p99", "p999"):
+            if stat in snap and snap.get("count", 0) > 0:
+                flat["quantiles.%s.%s" % (key, stat)] = float(snap[stat])
+    return flat
+
+
+def diff_docs(base, new, threshold, results_only):
+    """Returns (report_lines, regressions). Gate on regressions != []."""
+    base_flat = flatten(base, results_only)
+    new_flat = flatten(new, results_only)
+    lines = []
+    regressions = []
+    for key in sorted(set(base_flat) | set(new_flat)):
+        if key not in base_flat:
+            lines.append("  + %-60s (new key)" % key)
+            continue
+        if key not in new_flat:
+            lines.append("  - %-60s (removed)" % key)
+            continue
+        b, n = base_flat[key], new_flat[key]
+        if b == 0.0:
+            # No relative baseline; report absolute movement only.
+            if n != b:
+                lines.append("  ~ %-60s %g -> %g (no relative baseline)" %
+                             (key, b, n))
+            continue
+        rel = (n - b) / abs(b)
+        direction = "higher-is-better" if higher_is_better(key) \
+            else "lower-is-better"
+        regressed = (rel < -threshold) if higher_is_better(key) \
+            else (rel > threshold)
+        marker = "REGRESSION" if regressed else ""
+        if regressed or abs(rel) > threshold / 2:
+            lines.append("  %s %-58s %12.4g -> %-12.4g %+7.1f%% (%s) %s" %
+                         ("!" if regressed else "~", key, b, n, rel * 100.0,
+                          direction, marker))
+        if regressed:
+            regressions.append(key)
+    return lines, regressions
+
+
+def cmd_validate(paths):
+    status = 0
+    for path in paths:
+        try:
+            doc = load(path)
+        except (OSError, ValueError) as err:
+            print("%s: unreadable: %s" % (path, err), file=sys.stderr)
+            status = 1
+            continue
+        errors = validate_doc(doc, path)
+        if errors:
+            for err in errors:
+                print(err, file=sys.stderr)
+            status = 1
+        else:
+            print("%s: OK (%s, %d results, git %s)" %
+                  (path, doc["name"], len(doc["results"]), doc["git_sha"]))
+    return status
+
+
+def cmd_diff(base_path, new_path, threshold, results_only):
+    try:
+        base, new = load(base_path), load(new_path)
+    except (OSError, ValueError) as err:
+        print("diff: unreadable input: %s" % err, file=sys.stderr)
+        return 1
+    errors = validate_doc(base, base_path) + validate_doc(new, new_path)
+    if errors:
+        for err in errors:
+            print(err, file=sys.stderr)
+        return 1
+    lines, regressions = diff_docs(base, new, threshold, results_only)
+    print("diff %s (git %s) -> %s (git %s), threshold %.0f%%:" %
+          (base_path, base["git_sha"], new_path, new["git_sha"],
+           threshold * 100.0))
+    for line in lines:
+        print(line)
+    if regressions:
+        print("%d regression(s) beyond %.0f%%" %
+              (len(regressions), threshold * 100.0), file=sys.stderr)
+        return 1
+    print("no regressions beyond %.0f%%" % (threshold * 100.0))
+    return 0
+
+
+def _fixture(p99_14, ia_14=0.9):
+    """Minimal valid document with one latency and one accuracy result."""
+    return {
+        "schema": SCHEMA,
+        "name": "selftest",
+        "created_unix": 1700000000,
+        "git_sha": "deadbee",
+        "build": {"compiler": "cc", "obs_disabled": False, "type": "Release"},
+        "host": {"arch": "x86_64", "cpus": 1, "os": "Linux"},
+        "results": {
+            "detect.ieee14.p99_us": {"unit": "us", "value": p99_14},
+            "fig5.ieee14.subspace.IA": {"unit": "", "value": ia_14},
+        },
+        "counters": {"stream.samples": 100},
+        "gauges": {"stream.alarm_active": 0.0},
+        "histograms": {"detect.total_us": {"count": 100, "p50": 50.0}},
+        "quantiles": {
+            "stream.frame_us":
+                {"count": 100, "p50": 40.0, "p99": p99_14, "p999": p99_14},
+        },
+    }
+
+
+def self_test():
+    checks = []
+
+    def check(name, ok):
+        checks.append((name, ok))
+        print("  %-52s %s" % (name, "ok" if ok else "FAIL"))
+
+    base = _fixture(100.0)
+    check("valid fixture passes validation",
+          validate_doc(base, "base") == [])
+    broken = _fixture(100.0)
+    del broken["schema"]
+    check("missing schema key is rejected",
+          validate_doc(broken, "broken") != [])
+    mistyped = _fixture(100.0)
+    mistyped["results"]["detect.ieee14.p99_us"]["value"] = "fast"
+    check("non-numeric result value is rejected",
+          validate_doc(mistyped, "mistyped") != [])
+
+    _, regs = diff_docs(base, _fixture(100.0), 0.20, False)
+    check("identical runs show no regression", regs == [])
+    _, regs = diff_docs(base, _fixture(130.0), 0.20, False)
+    check("30% p99 latency growth gates at 20%",
+          "results.detect.ieee14.p99_us" in regs)
+    _, regs = diff_docs(base, _fixture(70.0), 0.20, False)
+    check("30% p99 latency drop is an improvement", regs == [])
+    _, regs = diff_docs(base, _fixture(100.0, ia_14=0.6), 0.20, False)
+    check("IA drop gates as higher-is-better",
+          "results.fig5.ieee14.subspace.IA" in regs)
+    _, regs = diff_docs(base, _fixture(100.0, ia_14=0.99), 0.20, False)
+    check("IA gain is an improvement", regs == [])
+
+    failed = [name for name, ok in checks if not ok]
+    if failed:
+        print("self-test: %d check(s) failed" % len(failed), file=sys.stderr)
+        return 1
+    print("self-test: %d checks passed" % len(checks))
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        prog="bench_report.py",
+        description="Validate and compare pw-bench-report-v1 documents.")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the in-memory fixture checks and exit")
+    sub = parser.add_subparsers(dest="command")
+    p_validate = sub.add_parser("validate", help="schema-check documents")
+    p_validate.add_argument("files", nargs="+")
+    p_diff = sub.add_parser("diff", help="compare two runs")
+    p_diff.add_argument("base")
+    p_diff.add_argument("new")
+    p_diff.add_argument("--threshold", type=float, default=0.20,
+                        help="relative regression gate (default 0.20)")
+    p_diff.add_argument("--results-only", action="store_true",
+                        help="compare only the results section (skip the "
+                             "registry quantiles, which include training "
+                             "and dataset-build noise)")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+    if args.command == "validate":
+        return cmd_validate(args.files)
+    if args.command == "diff":
+        return cmd_diff(args.base, args.new, args.threshold,
+                        args.results_only)
+    parser.print_help()
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -52,6 +52,19 @@ events_file="build/check_events.jsonl"
 build/examples/grid_monitor --events "$events_file" > /dev/null
 build/examples/grid_monitor --validate-events "$events_file"
 
+# Perf-report lane (docs/OBSERVABILITY.md): the comparison tool's own
+# fixtures, a fresh quick-mode BENCH_pipeline.json, and schema checks
+# on both the fresh report and the checked-in baseline. No cross-run
+# perf *gating* here — wall-clock numbers are machine-specific; the
+# trajectory diff (`bench_report.py diff`) is run against the committed
+# baseline by hand / per-PR, where a human can judge the hardware.
+echo "=== perf report (schema + self-test) ==="
+python3 scripts/bench_report.py --self-test
+build/bench/perf_pipeline --quick --json build/BENCH_pipeline.json \
+  --benchmark_filter='BM_Detect' > /dev/null
+python3 scripts/bench_report.py validate build/BENCH_pipeline.json \
+  BENCH_pipeline.json
+
 # The instrumentation must compile out cleanly: same tests, hooks gone.
 echo "=== PW_OBS_DISABLED build ==="
 cmake -B build-obs-off -G Ninja -DPW_OBS_DISABLED=ON

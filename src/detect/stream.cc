@@ -7,6 +7,7 @@
 #include "common/status.h"
 #include "obs/event_log.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace phasorwatch::detect {
 namespace {
@@ -34,6 +35,9 @@ StreamingMonitor::StreamingMonitor(OutageDetector* detector,
 Result<StreamEvent> StreamingMonitor::Process(const linalg::Vector& vm,
                                               const linalg::Vector& va,
                                               const sim::MissingMask& mask) {
+  // End-to-end per-sample latency (detector + debounce), tail-accurate
+  // via the like-named quantile histogram.
+  PW_TRACE_SCOPE("stream.sample_us");
   Result<DetectionResult> raw = detector_->Detect(vm, va, mask);
   if (!raw.ok()) {
     if (!options_.tolerate_bad_samples ||
@@ -47,6 +51,10 @@ Result<StreamEvent> StreamingMonitor::Process(const linalg::Vector& vm,
 
 Result<StreamEvent> StreamingMonitor::ProcessFrame(
     const sim::MeasurementFrame& frame) {
+  // End-to-end frame latency, transport screening included. The
+  // `.high_water` gauge keeps the worst single frame ever seen — the
+  // number an operator compares against the PMU reporting interval.
+  PW_TRACE_SCOPE_HIGH_WATER("stream.frame_us");
   if (frame.dropped) {
     PW_OBS_COUNTER_INC("stream.frames_dropped");
     Status reason = Status::DataMissing("frame dropped in transport");
@@ -67,12 +75,16 @@ Result<StreamEvent> StreamingMonitor::ProcessFrame(
 
 Result<std::vector<StreamEvent>> StreamingMonitor::ProcessBatch(
     const std::vector<OutageDetector::BatchSample>& samples) {
+  PW_TRACE_SCOPE("stream.batch_us");
   for (const OutageDetector::BatchSample& sample : samples) {
     if (sample.vm == nullptr || sample.va == nullptr ||
         sample.mask == nullptr) {
       return Status::InvalidArgument("ProcessBatch sample has null fields");
     }
   }
+#ifndef PW_OBS_DISABLED
+  const double batch_start_us = obs::MonotonicNowUs();
+#endif
   Result<std::vector<DetectionResult>> raws = detector_->DetectBatch(samples);
   if (raws.ok()) {
     std::vector<StreamEvent> events;
@@ -80,6 +92,20 @@ Result<std::vector<StreamEvent>> StreamingMonitor::ProcessBatch(
     for (DetectionResult& raw : raws.value()) {
       events.push_back(Debounce(std::move(raw)));
     }
+#ifndef PW_OBS_DISABLED
+    // Amortized per-frame latency: the batch path must feed the same
+    // `stream.frame_us` series ProcessFrame feeds, or a monitor that
+    // drains PDC buffers in blocks would report an empty tail.
+    if (!events.empty()) {
+      const double per_sample_us =
+          (obs::MonotonicNowUs() - batch_start_us) /
+          static_cast<double>(events.size());
+      for (size_t i = 0; i < events.size(); ++i) {
+        PW_OBS_QUANTILE_RECORD("stream.frame_us", per_sample_us);
+      }
+      PW_OBS_GAUGE_MAX("stream.frame_us.high_water", per_sample_us);
+    }
+#endif
     return events;
   }
   if (!options_.tolerate_bad_samples ||
@@ -118,6 +144,9 @@ StreamEvent StreamingMonitor::RejectSample(const Status& reason) {
 }
 
 StreamEvent StreamingMonitor::Debounce(DetectionResult raw) {
+  // The alarm stage proper: debounce counters, majority vote, event
+  // emission — everything after the detector returns.
+  PW_TRACE_SCOPE("stream.stage.alarm_us");
   StreamEvent event;
   event.sample_index = next_sample_++;
   PW_OBS_COUNTER_INC("stream.samples");

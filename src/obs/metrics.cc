@@ -116,6 +116,14 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
   return slot.get();
 }
 
+QuantileHistogram* MetricsRegistry::GetQuantile(const std::string& name,
+                                                const QuantileOptions& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = quantiles_[name];
+  if (slot == nullptr) slot = std::make_unique<QuantileHistogram>(options);
+  return slot.get();
+}
+
 const Counter* MetricsRegistry::FindCounter(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
@@ -132,6 +140,47 @@ const Histogram* MetricsRegistry::FindHistogram(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+const QuantileHistogram* MetricsRegistry::FindQuantile(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = quantiles_.find(name);
+  return it == quantiles_.end() ? nullptr : it->second.get();
+}
+
+std::map<std::string, uint64_t> MetricsRegistry::CounterValues() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, uint64_t> out;
+  for (const auto& [name, counter] : counters_) out[name] = counter->value();
+  return out;
+}
+
+std::map<std::string, double> MetricsRegistry::GaugeValues() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, double> out;
+  for (const auto& [name, gauge] : gauges_) out[name] = gauge->value();
+  return out;
+}
+
+std::map<std::string, Histogram::Snapshot> MetricsRegistry::HistogramSnapshots()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, Histogram::Snapshot> out;
+  for (const auto& [name, histogram] : histograms_) {
+    out[name] = histogram->TakeSnapshot();
+  }
+  return out;
+}
+
+std::map<std::string, QuantileHistogram::Snapshot>
+MetricsRegistry::QuantileSnapshots() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, QuantileHistogram::Snapshot> out;
+  for (const auto& [name, quantile] : quantiles_) {
+    out[name] = quantile->TakeSnapshot();
+  }
+  return out;
 }
 
 namespace {
@@ -164,7 +213,24 @@ std::string MetricsRegistry::TextSnapshot() const {
           << " min=" << FormatDouble(snap.min)
           << " p50=" << FormatDouble(snap.Quantile(0.5))
           << " p95=" << FormatDouble(snap.Quantile(0.95))
-          << " max=" << FormatDouble(snap.max);
+          << " p99=" << FormatDouble(snap.Quantile(0.99))
+          << " max=" << FormatDouble(snap.max)
+          << " overflow=" << snap.counts.back();
+    }
+    out << "\n";
+  }
+  for (const auto& [name, quantile] : quantiles_) {
+    QuantileHistogram::Snapshot snap = quantile->TakeSnapshot();
+    out << "quantile  " << name << " count=" << snap.count;
+    if (snap.count > 0) {
+      out << " mean=" << FormatDouble(snap.mean())
+          << " min=" << FormatDouble(snap.min)
+          << " p50=" << FormatDouble(snap.p50())
+          << " p90=" << FormatDouble(snap.p90())
+          << " p99=" << FormatDouble(snap.p99())
+          << " p999=" << FormatDouble(snap.p999())
+          << " max=" << FormatDouble(snap.max)
+          << " overflow=" << snap.counts.back();
     }
     out << "\n";
   }
@@ -221,6 +287,35 @@ std::string MetricsRegistry::JsonSnapshot() const {
     }
     out += "]}";
   }
+  out += "},\"quantiles\":{";
+  first = true;
+  for (const auto& [name, quantile] : quantiles_) {
+    QuantileHistogram::Snapshot snap = quantile->TakeSnapshot();
+    if (!first) out += ",";
+    first = false;
+    append_key(name);
+    out += "{\"count\":";
+    out += std::to_string(snap.count);
+    out += ",\"sum\":";
+    out += FormatJsonDouble(snap.sum);
+    out += ",\"min\":";
+    out += FormatJsonDouble(snap.min);
+    out += ",\"max\":";
+    out += FormatJsonDouble(snap.max);
+    out += ",\"mean\":";
+    out += FormatJsonDouble(snap.mean());
+    out += ",\"p50\":";
+    out += FormatJsonDouble(snap.p50());
+    out += ",\"p90\":";
+    out += FormatJsonDouble(snap.p90());
+    out += ",\"p99\":";
+    out += FormatJsonDouble(snap.p99());
+    out += ",\"p999\":";
+    out += FormatJsonDouble(snap.p999());
+    out += ",\"overflow\":";
+    out += std::to_string(snap.count == 0 ? 0 : snap.counts.back());
+    out += "}";
+  }
   out += "}}";
   return out;
 }
@@ -230,11 +325,13 @@ void MetricsRegistry::ResetAll() {
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, histogram] : histograms_) histogram->Reset();
+  for (auto& [name, quantile] : quantiles_) quantile->Reset();
 }
 
 size_t MetricsRegistry::num_instruments() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return counters_.size() + gauges_.size() + histograms_.size();
+  return counters_.size() + gauges_.size() + histograms_.size() +
+         quantiles_.size();
 }
 
 }  // namespace phasorwatch::obs

@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/quantile.h"
+
 namespace phasorwatch::obs {
 
 /// Monotonic event counter. Lock-free; safe to increment from any
@@ -31,8 +33,24 @@ class Gauge {
  public:
   void Set(double value) { value_.store(value, std::memory_order_relaxed); }
   void Add(double delta) {
+    // compare_exchange_weak reloads `current` on failure, so the new
+    // value is recomputed from the freshly observed one each retry; the
+    // failure ordering is spelled out (it may not be stronger than the
+    // success ordering, and defaulting it hid that constraint).
     double current = value_.load(std::memory_order_relaxed);
     while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  /// Raises the gauge to `value` if it is above the current reading
+  /// (lossless under concurrency). High-water instruments: peak frame
+  /// latency, deepest queue, largest arena.
+  void Max(double value) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (value > current &&
+           !value_.compare_exchange_weak(current, value,
+                                         std::memory_order_relaxed,
                                          std::memory_order_relaxed)) {
     }
   }
@@ -100,12 +118,25 @@ class MetricsRegistry {
   /// different shape return the existing histogram unchanged.
   Histogram* GetHistogram(const std::string& name,
                           const std::vector<double>& bounds);
+  /// Like GetHistogram, `options` only shapes the first registration.
+  QuantileHistogram* GetQuantile(const std::string& name,
+                                 const QuantileOptions& options);
 
   /// Lookup without registration (nullptr when absent). For tests and
   /// exporters that must not create instruments as a side effect.
   const Counter* FindCounter(const std::string& name) const;
   const Gauge* FindGauge(const std::string& name) const;
   const Histogram* FindHistogram(const std::string& name) const;
+  const QuantileHistogram* FindQuantile(const std::string& name) const;
+
+  /// Structured per-section snapshots for exporters (the run-report
+  /// builder in obs/report.h). Keys come back sorted (std::map), so
+  /// consumers emit deterministically ordered documents.
+  std::map<std::string, uint64_t> CounterValues() const;
+  std::map<std::string, double> GaugeValues() const;
+  std::map<std::string, Histogram::Snapshot> HistogramSnapshots() const;
+  std::map<std::string, QuantileHistogram::Snapshot> QuantileSnapshots()
+      const;
 
   /// Human-readable snapshot: one line per instrument, sorted by name.
   std::string TextSnapshot() const;
@@ -127,6 +158,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<QuantileHistogram>> quantiles_;
 };
 
 }  // namespace phasorwatch::obs
@@ -157,6 +189,25 @@ class MetricsRegistry {
     pw_obs_gauge_->Set(static_cast<double>(value));                       \
   } while (0)
 
+#define PW_OBS_GAUGE_MAX(name, value)                                     \
+  do {                                                                    \
+    static ::phasorwatch::obs::Gauge* pw_obs_gauge_ =                     \
+        ::phasorwatch::obs::MetricsRegistry::Global().GetGauge(name);     \
+    pw_obs_gauge_->Max(static_cast<double>(value));                       \
+  } while (0)
+
+/// Records into a quantile histogram with the default latency shape
+/// (microseconds, 0.1 us .. 10 s, <= 6.25% relative error). After the
+/// first hit the cost is a bucket computation plus relaxed atomics —
+/// no locks, no allocations.
+#define PW_OBS_QUANTILE_RECORD(name, value)                               \
+  do {                                                                    \
+    static ::phasorwatch::obs::QuantileHistogram* pw_obs_quantile_ =      \
+        ::phasorwatch::obs::MetricsRegistry::Global().GetQuantile(        \
+            name, ::phasorwatch::obs::DefaultLatencyQuantileOptions());   \
+    pw_obs_quantile_->Record(static_cast<double>(value));                 \
+  } while (0)
+
 #define PW_OBS_HISTOGRAM_OBSERVE(name, value, bounds)                     \
   do {                                                                    \
     static ::phasorwatch::obs::Histogram* pw_obs_histogram_ =             \
@@ -170,7 +221,9 @@ class MetricsRegistry {
 #define PW_OBS_COUNTER_INC(name) ((void)0)
 #define PW_OBS_COUNTER_ADD(name, delta) ((void)0)
 #define PW_OBS_GAUGE_SET(name, value) ((void)0)
+#define PW_OBS_GAUGE_MAX(name, value) ((void)0)
 #define PW_OBS_HISTOGRAM_OBSERVE(name, value, bounds) ((void)0)
+#define PW_OBS_QUANTILE_RECORD(name, value) ((void)0)
 
 #endif  // PW_OBS_DISABLED
 

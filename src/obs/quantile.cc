@@ -1,0 +1,128 @@
+#include "obs/quantile.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace phasorwatch::obs {
+
+const QuantileOptions& DefaultLatencyQuantileOptions() {
+  static const QuantileOptions* options = new QuantileOptions{0.1, 1e7, 16};
+  return *options;
+}
+
+QuantileHistogram::QuantileHistogram(const QuantileOptions& options)
+    : options_(options) {
+  PW_CHECK_GT(options_.min, 0.0);
+  PW_CHECK_GT(options_.max, options_.min);
+  PW_CHECK_GT(options_.buckets_per_octave, 0u);
+  PW_CHECK_LE(options_.buckets_per_octave, size_t{4096});
+  octaves_ =
+      static_cast<size_t>(std::ceil(std::log2(options_.max / options_.min)));
+  if (octaves_ == 0) octaves_ = 1;
+  buckets_ = octaves_ * options_.buckets_per_octave + 2;
+  counts_ = std::make_unique<std::atomic<uint64_t>[]>(kStripes * buckets_);
+  stats_ = std::make_unique<Stats[]>(kStripes);
+}
+
+size_t QuantileHistogram::ThreadStripe() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t stripe =
+      next.fetch_add(1, std::memory_order_relaxed) % kStripes;
+  return stripe;
+}
+
+QuantileHistogram::Snapshot QuantileHistogram::TakeSnapshot() const {
+  Snapshot snap;
+  snap.options = options_;
+  snap.counts.assign(buckets_, 0);
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  for (size_t s = 0; s < kStripes; ++s) {
+    for (size_t b = 0; b < buckets_; ++b) {
+      snap.counts[b] +=
+          counts_[s * buckets_ + b].load(std::memory_order_relaxed);
+    }
+    const Stats& stats = stats_[s];
+    snap.count += stats.count.load(std::memory_order_relaxed);
+    snap.sum += stats.sum.load(std::memory_order_relaxed);
+    min = std::min(min, stats.min.load(std::memory_order_relaxed));
+    max = std::max(max, stats.max.load(std::memory_order_relaxed));
+  }
+  snap.min = snap.count == 0 ? 0.0 : min;
+  snap.max = snap.count == 0 ? 0.0 : max;
+  return snap;
+}
+
+void QuantileHistogram::Reset() {
+  for (size_t i = 0; i < kStripes * buckets_; ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+  for (size_t s = 0; s < kStripes; ++s) {
+    stats_[s].count.store(0, std::memory_order_relaxed);
+    stats_[s].sum.store(0.0, std::memory_order_relaxed);
+    stats_[s].min.store(std::numeric_limits<double>::infinity(),
+                        std::memory_order_relaxed);
+    stats_[s].max.store(-std::numeric_limits<double>::infinity(),
+                        std::memory_order_relaxed);
+  }
+}
+
+double QuantileHistogram::Snapshot::BucketLowerBound(size_t idx) const {
+  if (idx == 0) return std::min(min, options.min);
+  if (idx >= counts.size() - 1) return options.max;
+  const size_t b = options.buckets_per_octave;
+  const size_t octave = (idx - 1) / b;
+  const size_t sub = (idx - 1) % b;
+  return options.min * std::ldexp(1.0, static_cast<int>(octave)) *
+         (1.0 + static_cast<double>(sub) / static_cast<double>(b));
+}
+
+double QuantileHistogram::Snapshot::BucketUpperBound(size_t idx) const {
+  if (idx == 0) return options.min;
+  if (idx >= counts.size() - 1) return std::max(max, options.max);
+  const size_t b = options.buckets_per_octave;
+  const size_t octave = (idx - 1) / b;
+  const size_t sub = (idx - 1) % b;
+  const double bound =
+      options.min * std::ldexp(1.0, static_cast<int>(octave)) *
+      (1.0 + static_cast<double>(sub + 1) / static_cast<double>(b));
+  return std::min(bound, options.max);
+}
+
+double QuantileHistogram::Snapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (size_t idx = 0; idx < counts.size(); ++idx) {
+    if (counts[idx] == 0) continue;
+    const uint64_t next = cumulative + counts[idx];
+    if (static_cast<double>(next) >= target) {
+      const double lo = BucketLowerBound(idx);
+      const double hi = BucketUpperBound(idx);
+      const double within = (target - static_cast<double>(cumulative)) /
+                            static_cast<double>(counts[idx]);
+      const double value = lo + std::clamp(within, 0.0, 1.0) * (hi - lo);
+      return std::clamp(value, min, max);
+    }
+    cumulative = next;
+  }
+  return max;
+}
+
+void QuantileHistogram::Snapshot::Merge(const Snapshot& other) {
+  PW_CHECK_EQ(counts.size(), other.counts.size());
+  PW_CHECK_EQ(options.buckets_per_octave, other.options.buckets_per_octave);
+  PW_CHECK(options.min == other.options.min &&
+           options.max == other.options.max);
+  for (size_t b = 0; b < counts.size(); ++b) counts[b] += other.counts[b];
+  if (other.count > 0) {
+    min = count == 0 ? other.min : std::min(min, other.min);
+    max = count == 0 ? other.max : std::max(max, other.max);
+  }
+  count += other.count;
+  sum += other.sum;
+}
+
+}  // namespace phasorwatch::obs

@@ -1,11 +1,34 @@
 #include "obs/trace.h"
 
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
 #include <sstream>
+
+#include "obs/metrics.h"
 
 namespace phasorwatch::obs {
 
+uint32_t CurrentTraceTid() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const uint32_t tid =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
 TraceRing& TraceRing::Global() {
-  static TraceRing* ring = new TraceRing();
+  static TraceRing* ring = [] {
+    size_t capacity = kDefaultCapacity;
+    if (const char* env = std::getenv("PW_TRACE_CAPACITY")) {
+      char* end = nullptr;
+      unsigned long long parsed = std::strtoull(env, &end, 10);
+      if (end != env && *end == '\0' && parsed > 0 &&
+          parsed <= kMaxCapacity) {
+        capacity = static_cast<size_t>(parsed);
+      }
+    }
+    return new TraceRing(capacity);
+  }();
   return *ring;
 }
 
@@ -14,13 +37,19 @@ TraceRing::TraceRing(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) 
 }
 
 void TraceRing::Record(const TraceSpan& span) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (spans_.size() < capacity_) {
-    spans_.push_back(span);
-  } else {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (spans_.size() < capacity_) {
+      spans_.push_back(span);
+      ++next_;
+      return;
+    }
     spans_[next_ % capacity_] = span;
+    ++next_;
   }
-  ++next_;
+  // Wrapped: the oldest span was overwritten. Counted outside the ring
+  // lock (the registry has its own).
+  PW_OBS_COUNTER_INC("trace.spans_dropped");
 }
 
 std::vector<TraceSpan> TraceRing::Dump() const {
@@ -41,12 +70,13 @@ std::vector<TraceSpan> TraceRing::Dump() const {
 std::string TraceRing::DumpText() const {
   std::vector<TraceSpan> spans = Dump();
   std::ostringstream out;
-  out << "--- trace ring (" << spans.size() << " spans, oldest first) ---\n";
+  out << "--- trace ring (" << spans.size() << " spans, oldest first, "
+      << spans_dropped() << " dropped) ---\n";
   out.precision(3);
   out << std::fixed;
   for (const TraceSpan& span : spans) {
-    out << "  +" << span.start_us / 1000.0 << "ms " << span.name << " "
-        << span.duration_us << "us\n";
+    out << "  +" << span.start_us / 1000.0 << "ms t" << span.tid << " "
+        << span.name << " " << span.duration_us << "us\n";
   }
   return out.str();
 }
@@ -62,6 +92,11 @@ uint64_t TraceRing::total_recorded() const {
   return next_;
 }
 
+uint64_t TraceRing::spans_dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_ > capacity_ ? next_ - capacity_ : 0;
+}
+
 double MonotonicNowUs() {
   using Clock = std::chrono::steady_clock;
   static const Clock::time_point origin = Clock::now();
@@ -70,12 +105,12 @@ double MonotonicNowUs() {
 }
 
 ScopedTimer::~ScopedTimer() {
-  double end_us = MonotonicNowUs();
-  double elapsed_us =
-      std::chrono::duration<double, std::micro>(Clock::now() - start_).count();
+  const double elapsed_us = MonotonicNowUs() - start_us_;
   if (histogram_ != nullptr) histogram_->Observe(elapsed_us);
+  if (quantile_ != nullptr) quantile_->Record(elapsed_us);
+  if (high_water_ != nullptr) high_water_->Max(elapsed_us);
   TraceRing::Global().Record(
-      TraceSpan{name_, end_us - elapsed_us, elapsed_us});
+      TraceSpan{name_, start_us_, elapsed_us, CurrentTraceTid()});
 }
 
 }  // namespace phasorwatch::obs

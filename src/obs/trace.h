@@ -1,13 +1,13 @@
 #ifndef PHASORWATCH_OBS_TRACE_H_
 #define PHASORWATCH_OBS_TRACE_H_
 
-#include <chrono>
 #include <cstdint>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/quantile.h"
 
 namespace phasorwatch::obs {
 
@@ -18,13 +18,29 @@ struct TraceSpan {
   /// Start offset relative to process start (first trace ever taken).
   double start_us = 0.0;
   double duration_us = 0.0;
+  /// Small sequential id of the recording thread (first-use order, not
+  /// the OS tid) — what the Chrome-trace exporter fans lanes out by.
+  uint32_t tid = 0;
 };
 
+/// Compact per-thread trace lane id: 0-based, assigned in first-use
+/// order, stable for the thread's lifetime.
+uint32_t CurrentTraceTid();
+
 /// Fixed-capacity ring of the most recent completed spans, for
-/// post-mortem "what was the pipeline doing" dumps. Thread-safe.
+/// post-mortem "what was the pipeline doing" dumps and Chrome-trace
+/// export (obs/trace_export.h). Thread-safe.
+///
+/// The global ring's capacity is kDefaultCapacity unless the
+/// PW_TRACE_CAPACITY environment variable names a positive span count
+/// (read once, at first use). Once the ring wraps, each overwritten
+/// span bumps the `trace.spans_dropped` counter and spans_dropped().
 class TraceRing {
  public:
   static constexpr size_t kDefaultCapacity = 256;
+  /// Upper bound accepted from PW_TRACE_CAPACITY (64 MiB of spans is
+  /// beyond any debugging need and guards against a stray value).
+  static constexpr size_t kMaxCapacity = size_t{1} << 21;
 
   static TraceRing& Global();
 
@@ -40,6 +56,9 @@ class TraceRing {
   void Clear();
   size_t capacity() const { return capacity_; }
   uint64_t total_recorded() const;
+  /// Spans overwritten since construction or Clear() (the ring kept
+  /// only the newest `capacity()` of total_recorded()).
+  uint64_t spans_dropped() const;
 
  private:
   const size_t capacity_;
@@ -52,13 +71,27 @@ class TraceRing {
 double MonotonicNowUs();
 
 /// RAII wall-clock timer: on destruction records the elapsed time into
-/// the given histogram (microseconds) and appends a span to the global
-/// trace ring. Use via PW_TRACE_SCOPE below so disabled builds compile
-/// the whole thing out.
+/// the given instruments (microseconds) and appends a span to the
+/// global trace ring. Any instrument pointer may be null (skipped).
+/// Use via PW_TRACE_SCOPE below so disabled builds compile the whole
+/// thing out.
 class ScopedTimer {
  public:
   ScopedTimer(Histogram* histogram, const char* name)
-      : histogram_(histogram), name_(name), start_(Clock::now()) {}
+      : ScopedTimer(histogram, nullptr, nullptr, name) {}
+
+  /// Full form: bucketed histogram, tail-accurate quantile histogram,
+  /// and a high-water gauge (each optional).
+  ScopedTimer(Histogram* histogram, QuantileHistogram* quantile,
+              Gauge* high_water, const char* name)
+      : histogram_(histogram),
+        quantile_(quantile),
+        high_water_(high_water),
+        name_(name),
+        // The process epoch, not a raw time_point: the first span ever
+        // taken pins the epoch here, so exported start offsets are
+        // always >= 0.
+        start_us_(MonotonicNowUs()) {}
 
   ScopedTimer(const ScopedTimer&) = delete;
   ScopedTimer& operator=(const ScopedTimer&) = delete;
@@ -66,10 +99,12 @@ class ScopedTimer {
   ~ScopedTimer();
 
  private:
-  using Clock = std::chrono::steady_clock;
-  Histogram* histogram_;  // not owned; may be nullptr (ring-only span)
+  // Instruments are not owned; any may be nullptr (ring-only span).
+  Histogram* histogram_;
+  QuantileHistogram* quantile_;
+  Gauge* high_water_;
   const char* name_;
-  Clock::time_point start_;
+  double start_us_;
 };
 
 }  // namespace phasorwatch::obs
@@ -80,8 +115,9 @@ class ScopedTimer {
 #ifndef PW_OBS_DISABLED
 
 /// Times the enclosing scope into the latency histogram `name` (unit:
-/// microseconds, default buckets) and the global trace ring. The
-/// histogram pointer is resolved once per call site.
+/// microseconds, default buckets), the like-named quantile histogram
+/// (tail-accurate p99/p999 — obs/quantile.h), and the global trace
+/// ring. The instrument pointers are resolved once per call site.
 #define PW_TRACE_SCOPE(name)                                              \
   ::phasorwatch::obs::ScopedTimer PW_OBS_CONCAT_(pw_trace_scope_,         \
                                                  __LINE__)(               \
@@ -91,11 +127,46 @@ class ScopedTimer {
                 name, ::phasorwatch::obs::DefaultLatencyBucketsUs());     \
         return pw_trace_hist_;                                            \
       }(),                                                                \
+      [] {                                                                \
+        static ::phasorwatch::obs::QuantileHistogram* pw_trace_quant_ =   \
+            ::phasorwatch::obs::MetricsRegistry::Global().GetQuantile(    \
+                name,                                                     \
+                ::phasorwatch::obs::DefaultLatencyQuantileOptions());     \
+        return pw_trace_quant_;                                           \
+      }(),                                                                \
+      nullptr, name)
+
+/// PW_TRACE_SCOPE plus a `<name>.high_water` gauge holding the largest
+/// single duration seen (Gauge::Max). `name` must be a string literal
+/// (the gauge name is built by literal concatenation).
+#define PW_TRACE_SCOPE_HIGH_WATER(name)                                   \
+  ::phasorwatch::obs::ScopedTimer PW_OBS_CONCAT_(pw_trace_scope_,         \
+                                                 __LINE__)(               \
+      [] {                                                                \
+        static ::phasorwatch::obs::Histogram* pw_trace_hist_ =            \
+            ::phasorwatch::obs::MetricsRegistry::Global().GetHistogram(   \
+                name, ::phasorwatch::obs::DefaultLatencyBucketsUs());     \
+        return pw_trace_hist_;                                            \
+      }(),                                                                \
+      [] {                                                                \
+        static ::phasorwatch::obs::QuantileHistogram* pw_trace_quant_ =   \
+            ::phasorwatch::obs::MetricsRegistry::Global().GetQuantile(    \
+                name,                                                     \
+                ::phasorwatch::obs::DefaultLatencyQuantileOptions());     \
+        return pw_trace_quant_;                                           \
+      }(),                                                                \
+      [] {                                                                \
+        static ::phasorwatch::obs::Gauge* pw_trace_gauge_ =               \
+            ::phasorwatch::obs::MetricsRegistry::Global().GetGauge(       \
+                name ".high_water");                                      \
+        return pw_trace_gauge_;                                           \
+      }(),                                                                \
       name)
 
 #else  // PW_OBS_DISABLED
 
 #define PW_TRACE_SCOPE(name) ((void)0)
+#define PW_TRACE_SCOPE_HIGH_WATER(name) ((void)0)
 
 #endif  // PW_OBS_DISABLED
 

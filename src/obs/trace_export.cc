@@ -1,0 +1,53 @@
+#include "obs/trace_export.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/serialize.h"
+#include "common/status.h"
+
+namespace phasorwatch::obs {
+
+std::string ChromeTraceJson(const std::vector<TraceSpan>& spans) {
+  std::vector<TraceSpan> ordered = spans;
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const TraceSpan& a, const TraceSpan& b) {
+                     return a.start_us < b.start_us;
+                   });
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceSpan& span : ordered) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"";
+    AppendJsonEscaped(&out, span.name);
+    out += "\",\"cat\":\"pw\",\"ph\":\"X\",\"ts\":";
+    out += FormatJsonDouble(span.start_us);
+    out += ",\"dur\":";
+    out += FormatJsonDouble(span.duration_us);
+    out += ",\"pid\":1,\"tid\":";
+    out += std::to_string(span.tid);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string ChromeTraceJson(const TraceRing& ring) {
+  return ChromeTraceJson(ring.Dump());
+}
+
+Status WriteChromeTrace(const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::InvalidArgument("cannot open trace file: " + path);
+  }
+  out << ChromeTraceJson(TraceRing::Global());
+  out << "\n";
+  if (!out.good()) {
+    return Status::InvalidArgument("failed writing trace file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace phasorwatch::obs

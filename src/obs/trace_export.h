@@ -1,0 +1,30 @@
+#ifndef PHASORWATCH_OBS_TRACE_EXPORT_H_
+#define PHASORWATCH_OBS_TRACE_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/status.h"
+#include "obs/trace.h"
+
+namespace phasorwatch::obs {
+
+/// Serializes spans to the Chrome Trace Event JSON format (the
+/// "JSON Array Format" with an object wrapper), loadable in
+/// chrome://tracing and Perfetto (ui.perfetto.dev): one complete
+/// ("ph":"X") event per span, microsecond timestamps, lanes keyed by
+/// the span's recording-thread id. Events are emitted sorted by start
+/// timestamp (the ring stores completion order; a long span completes
+/// after shorter spans that started later).
+std::string ChromeTraceJson(const std::vector<TraceSpan>& spans);
+
+/// Convenience: ChromeTraceJson over everything the ring holds.
+std::string ChromeTraceJson(const TraceRing& ring);
+
+/// Dumps the global trace ring to `path` as Chrome-trace JSON.
+PW_NODISCARD Status WriteChromeTrace(const std::string& path);
+
+}  // namespace phasorwatch::obs
+
+#endif  // PHASORWATCH_OBS_TRACE_EXPORT_H_
