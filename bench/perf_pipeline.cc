@@ -20,10 +20,12 @@
 #include "eval/dataset.h"
 #include "eval/experiments.h"
 #include "grid/ieee_cases.h"
+#include "grid/synthetic.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "powerflow/powerflow.h"
 #include "sim/missing_data.h"
+#include "sim/pmu_network.h"
 
 namespace pw = phasorwatch;
 
@@ -245,6 +247,94 @@ void BM_BuildDataset118(benchmark::State& state) {
 BENCHMARK(BM_BuildDataset118)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()
     ->UseRealTime();
+
+// 300-bus scale benchmarks behind the checked-in BENCH_sparse.json
+// baseline (docs/SPARSE.md). The all-line dataset build runs one sparse
+// AC solve per load state per outage case, with each case's admittance
+// matrix derived from the base by a branch-local patch instead of a
+// full rebuild; the training row covers the subspace pipeline at 300
+// nodes. Small per-case sizing keeps one iteration CI-feasible — the
+// fan-out width (hundreds of outage cases through the sparse path) is
+// what these rows track.
+pw::eval::DatasetOptions Sparse300DatasetOptions() {
+  pw::eval::DatasetOptions dopts;
+  dopts.train_states = 2;
+  dopts.train_samples_per_state = 2;
+  dopts.test_states = 1;
+  dopts.test_samples_per_state = 2;
+  return dopts;
+}
+
+void BM_BuildDataset300(benchmark::State& state) {
+  auto grid = pw::grid::Synthetic300Bus();
+  if (!grid.ok()) {
+    state.SkipWithError("grid construction failed");
+    return;
+  }
+  pw::eval::DatasetOptions dopts = Sparse300DatasetOptions();
+  size_t cases = 0;
+  for (auto _ : state) {
+    auto dataset = pw::eval::BuildDataset(*grid, dopts, 9001);
+    if (!dataset.ok()) {
+      state.SkipWithError("dataset build failed");
+      return;
+    }
+    cases = dataset->outages.size();
+    benchmark::DoNotOptimize(cases);
+  }
+  state.counters["cases"] = static_cast<double>(cases);
+}
+BENCHMARK(BM_BuildDataset300)->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()->UseRealTime();
+
+void BM_TrainSparse300(benchmark::State& state) {
+  static auto* fixture = []() -> std::pair<pw::grid::Grid,
+                                           pw::eval::Dataset>* {
+    auto grid = pw::grid::Synthetic300Bus();
+    if (!grid.ok()) return nullptr;
+    auto* f = new std::pair<pw::grid::Grid, pw::eval::Dataset>(
+        std::move(grid).value(), pw::eval::Dataset{});
+    auto dataset =
+        pw::eval::BuildDataset(f->first, Sparse300DatasetOptions(), 9001);
+    if (!dataset.ok()) {
+      delete f;
+      return nullptr;
+    }
+    f->second = std::move(dataset).value();
+    f->second.grid = &f->first;
+    return f;
+  }();
+  if (fixture == nullptr) {
+    state.SkipWithError("fixture construction failed");
+    return;
+  }
+  auto network = pw::sim::PmuNetwork::Build(
+      fixture->first,
+      pw::sim::PmuNetwork::DefaultClusterCount(fixture->first.num_buses()));
+  if (!network.ok()) {
+    state.SkipWithError("pmu network construction failed");
+    return;
+  }
+  pw::detect::TrainingData training;
+  training.normal = &fixture->second.normal.train;
+  for (const auto& c : fixture->second.outages) {
+    training.case_lines.push_back(c.line);
+    training.outage.push_back(&c.train);
+  }
+  for (auto _ : state) {
+    auto detector = pw::detect::OutageDetector::Train(fixture->first, *network,
+                                                      training, {});
+    if (!detector.ok()) {
+      state.SkipWithError("training failed");
+      return;
+    }
+    benchmark::DoNotOptimize(detector.ok());
+  }
+  state.counters["cases"] =
+      static_cast<double>(fixture->second.outages.size());
+}
+BENCHMARK(BM_TrainSparse300)->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()->UseRealTime();
 
 void BM_MlrPredict(benchmark::State& state) {
   TrainedFixture* fixture = GetFixture(static_cast<int>(state.range(0)));

@@ -65,6 +65,15 @@ build/bench/perf_pipeline --quick --json build/BENCH_pipeline.json \
 python3 scripts/bench_report.py validate build/BENCH_pipeline.json \
   BENCH_pipeline.json
 
+# Sparse-path lane (docs/SPARSE.md): the 300-bus dataset build and
+# detector training through the CSR solvers, tracked in their own
+# baseline so scale regressions don't hide behind the small-grid rows.
+echo "=== perf report (sparse 300-bus) ==="
+build/bench/perf_pipeline --quick --json build/BENCH_sparse.json \
+  --benchmark_filter='BM_BuildDataset300|BM_TrainSparse300' > /dev/null
+python3 scripts/bench_report.py validate build/BENCH_sparse.json \
+  BENCH_sparse.json
+
 # The instrumentation must compile out cleanly: same tests, hooks gone.
 echo "=== PW_OBS_DISABLED build ==="
 cmake -B build-obs-off -G Ninja -DPW_OBS_DISABLED=ON

@@ -94,6 +94,8 @@ Result<OutageDetector> OutageDetector::Train(const grid::Grid& grid,
   // independent eigensolve per node — the second training hotspot —
   // fanned out across the pool.
   det.node_models_.resize(n);
+  const bool lowrank_nodes = options.sparse_bus_threshold > 0 &&
+                             n >= options.sparse_bus_threshold;
   PW_RETURN_IF_ERROR(pool.ParallelFor(n, [&](size_t i) -> Status {
     std::vector<const SubspaceModel*> incident;
     for (size_t c = 0; c < det.case_lines_.size(); ++c) {
@@ -105,8 +107,8 @@ Result<OutageDetector> OutageDetector::Train(const grid::Grid& grid,
       det.node_models_[i].union_model = det.normal_model_;
       det.node_models_[i].intersection_model = det.normal_model_;
     } else {
-      det.node_models_[i] =
-          BuildNodeSubspaces(incident, options.soft_intersection_tol);
+      det.node_models_[i] = BuildNodeSubspaces(
+          incident, options.soft_intersection_tol, lowrank_nodes);
     }
     return Status::OK();
   }));

@@ -48,6 +48,14 @@ struct DetectorOptions {
   /// Eigenvalue threshold of the soft constraint intersection used for
   /// the node union subspaces (Eq. 3).
   double soft_intersection_tol = 0.6;
+  /// Grids at or above this many buses compose the node union
+  /// subspaces through the low-rank Gram path instead of the dense
+  /// ambient-dimension eigensolve (0 disables). Same policy knob as
+  /// the solver options' sparse_bus_threshold (docs/SPARSE.md): the
+  /// paper-scale IEEE systems stay on the dense path bit-for-bit,
+  /// while 300+-bus training drops from O(nodes * n^3) to
+  /// O(nodes * n * r^2) with r the summed incident-model ranks.
+  size_t sparse_bus_threshold = 200;
   /// Ellipse inflation for the capability learning (Eq. 4).
   double ellipse_margin = 1.15;
   /// Apply the proximity scaling of Eq. 11 (ablation switch).

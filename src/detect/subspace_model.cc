@@ -60,6 +60,77 @@ Subspace SoftIntersection(const std::vector<const Subspace*>& parts,
   return Subspace::FromOrthonormal(Matrix::FromColumns(kept));
 }
 
+// The same averaged-projector spectrum through its Gram matrix, for
+// large ambient dimensions (docs/SPARSE.md): avg = W W^T with
+// W = [B_1 ... B_m] / sqrt(m), so every eigenvalue >= min_eigenvalue
+// (> 0) lives in span(W) and comes from the r-by-r Gram matrix
+// G = W^T W, where r = sum of member ranks << n. An eigenpair
+// G v = lambda v lifts to the unit eigenvector u = W v / sqrt(lambda)
+// of avg, turning the O(n^3) Jacobi sweep into O(n r^2). The kept
+// subspace equals the dense path's up to roundoff — not bit-identical,
+// which is why small grids stay on the dense path.
+Subspace SoftIntersectionLowRank(const std::vector<const Subspace*>& parts,
+                                 double min_eigenvalue) {
+  PW_CHECK(!parts.empty());
+  PW_CHECK_GT(min_eigenvalue, 0.0);
+  if (parts.size() == 1) return *parts[0];
+  const size_t n = parts[0]->ambient_dim();
+  size_t nonempty = 0;
+  size_t r = 0;
+  for (const Subspace* s : parts) {
+    if (s->trivial()) continue;
+    PW_CHECK_EQ(s->ambient_dim(), n);
+    ++nonempty;
+    r += s->dim();
+  }
+  if (nonempty == 0) return Subspace();
+
+  Matrix w(n, r);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(nonempty));
+  size_t col = 0;
+  for (const Subspace* s : parts) {
+    if (s->trivial()) continue;
+    const Matrix& b = s->basis();
+    for (size_t k = 0; k < b.cols(); ++k, ++col) {
+      for (size_t i = 0; i < n; ++i) w(i, col) = scale * b(i, k);
+    }
+  }
+
+  Matrix gram(r, r);
+  for (size_t a = 0; a < r; ++a) {
+    for (size_t c = a; c < r; ++c) {
+      double dot = 0.0;
+      for (size_t i = 0; i < n; ++i) dot += w(i, a) * w(i, c);
+      gram(a, c) = dot;
+      gram(c, a) = dot;
+    }
+  }
+
+  auto eig = linalg::ComputeSymmetricEigen(gram);
+  if (!eig.ok()) return Subspace();
+  auto lift = [&](size_t k) {
+    Vector u(n);
+    const double inv = 1.0 / std::sqrt(eig->eigenvalues[k]);
+    for (size_t a = 0; a < r; ++a) {
+      double va = eig->eigenvectors(a, k);
+      if (va == 0.0) continue;
+      for (size_t i = 0; i < n; ++i) u[i] += inv * va * w(i, a);
+    }
+    return u;
+  };
+  std::vector<Vector> kept;
+  for (size_t k = 0; k < eig->eigenvalues.size(); ++k) {
+    if (eig->eigenvalues[k] >= min_eigenvalue) kept.push_back(lift(k));
+  }
+  if (kept.empty()) {
+    // Same degenerate fallback as the dense path: the single
+    // most-shared direction. Orthonormal member bases give
+    // trace(G) = r / m, so the top eigenvalue is strictly positive.
+    kept.push_back(lift(0));
+  }
+  return Subspace::FromOrthonormal(Matrix::FromColumns(kept));
+}
+
 }  // namespace
 
 double SubspaceModel::Proximity(const linalg::Vector& x) const {
@@ -234,7 +305,8 @@ SubspaceModel MakeWhitenedClassModel(const SubspaceModel& reference,
 }
 
 NodeSubspaces BuildNodeSubspaces(
-    const std::vector<const SubspaceModel*>& line_models, double cos_tol) {
+    const std::vector<const SubspaceModel*>& line_models, double cos_tol,
+    bool lowrank_composition) {
   PW_CHECK(!line_models.empty());
   const size_t n = line_models[0]->ambient_dim();
 
@@ -254,7 +326,9 @@ NodeSubspaces BuildNodeSubspaces(
   std::vector<const Subspace*> bases;
   bases.reserve(line_models.size());
   for (const SubspaceModel* m : line_models) bases.push_back(&m->constraints);
-  out.union_model.constraints = SoftIntersection(bases, cos_tol);
+  out.union_model.constraints = lowrank_composition
+                                    ? SoftIntersectionLowRank(bases, cos_tol)
+                                    : SoftIntersection(bases, cos_tol);
 
   // Paper's intersection of solution sets == all constraints combined.
   std::vector<Subspace> all;

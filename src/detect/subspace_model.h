@@ -111,8 +111,13 @@ struct NodeSubspaces {
 /// Composes the per-line models incident to one node. `cos_tol` controls
 /// the numerical soft-intersection of constraint bases (directions whose
 /// average-projector eigenvalue exceeds it are treated as shared).
+/// `lowrank_composition` computes that spectrum through the summed-rank
+/// Gram matrix instead of the dense ambient-dimension eigensolve — the
+/// same subspace up to roundoff (not bit-identical), and the path
+/// large-grid training takes (docs/SPARSE.md).
 NodeSubspaces BuildNodeSubspaces(const std::vector<const SubspaceModel*>& line_models,
-                                 double cos_tol = 0.6);
+                                 double cos_tol = 0.6,
+                                 bool lowrank_composition = false);
 
 }  // namespace phasorwatch::detect
 

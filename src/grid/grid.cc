@@ -4,6 +4,7 @@
 #include <cmath>
 #include <map>
 #include <set>
+#include <utility>
 
 #include "common/check.h"
 #include "common/status.h"
@@ -13,6 +14,27 @@ namespace phasorwatch::grid {
 namespace {
 
 constexpr double kDegToRad = M_PI / 180.0;
+
+/// Per-branch π-model admittance contributions, exactly as the dense
+/// builder stamps them. Split out so the sparse builder and the
+/// outage patch accumulate bit-identical values.
+struct BranchStamp {
+  linalg::Complex ff, tt, ft, tf;
+};
+
+BranchStamp StampBranch(const Branch& br) {
+  linalg::Complex ys = 1.0 / linalg::Complex(br.r, br.x);
+  linalg::Complex charging(0.0, br.b / 2.0);
+  double tap = br.tap == 0.0 ? 1.0 : br.tap;
+  linalg::Complex ratio =
+      tap * std::exp(linalg::Complex(0.0, br.shift_deg * kDegToRad));
+  BranchStamp s;
+  s.ff = (ys + charging) / (tap * tap);
+  s.tt = ys + charging;
+  s.ft = -ys / std::conj(ratio);
+  s.tf = -ys / ratio;
+  return s;
+}
 
 }  // namespace
 
@@ -168,22 +190,135 @@ linalg::ComplexMatrix Grid::BuildAdmittanceMatrix() const {
     if (!br.in_service) continue;
     size_t f = index[br.from_bus];
     size_t t = index[br.to_bus];
-    linalg::Complex ys = 1.0 / linalg::Complex(br.r, br.x);
-    linalg::Complex charging(0.0, br.b / 2.0);
-    double tap = br.tap == 0.0 ? 1.0 : br.tap;
-    linalg::Complex ratio =
-        tap * std::exp(linalg::Complex(0.0, br.shift_deg * kDegToRad));
     // Standard π-model with an ideal transformer on the "from" side.
-    ybus(f, f) += (ys + charging) / (tap * tap);
-    ybus(t, t) += ys + charging;
-    ybus(f, t) += -ys / std::conj(ratio);
-    ybus(t, f) += -ys / ratio;
+    BranchStamp s = StampBranch(br);
+    ybus(f, f) += s.ff;
+    ybus(t, t) += s.tt;
+    ybus(f, t) += s.ft;
+    ybus(t, f) += s.tf;
   }
   for (size_t i = 0; i < n; ++i) {
     ybus(i, i) +=
         linalg::Complex(buses_[i].gs_mw, buses_[i].bs_mvar) / base_mva_;
   }
   return ybus;
+}
+
+SparseAdmittance Grid::BuildSparseAdmittance() const {
+  const size_t n = buses_.size();
+  std::map<int, size_t> index;
+  for (size_t i = 0; i < n; ++i) index[buses_[i].id] = i;
+
+  // Pattern over every branch — including out-of-service ones, whose
+  // slots stay explicit zeros — plus all diagonals.
+  std::vector<std::pair<size_t, size_t>> pattern;
+  pattern.reserve(n + 4 * branches_.size());
+  for (size_t i = 0; i < n; ++i) pattern.emplace_back(i, i);
+  for (const Branch& br : branches_) {
+    size_t f = index[br.from_bus];
+    size_t t = index[br.to_bus];
+    pattern.emplace_back(f, t);
+    pattern.emplace_back(t, f);
+  }
+
+  SparseAdmittance y;
+  y.g = linalg::CsrMatrix::FromPattern(n, n, pattern);
+  y.b = linalg::CsrMatrix::FromPattern(n, n, std::move(pattern));
+
+  auto add = [&y](size_t r, size_t c, linalg::Complex v) {
+    size_t slot = y.g.EntrySlot(r, c);
+    y.g.SetValue(slot, y.g.ValueAt(slot) + v.real());
+    y.b.SetValue(slot, y.b.ValueAt(slot) + v.imag());
+  };
+  for (const Branch& br : branches_) {
+    if (!br.in_service) continue;
+    size_t f = index[br.from_bus];
+    size_t t = index[br.to_bus];
+    BranchStamp s = StampBranch(br);
+    add(f, f, s.ff);
+    add(t, t, s.tt);
+    add(f, t, s.ft);
+    add(t, f, s.tf);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    add(i, i, linalg::Complex(buses_[i].gs_mw, buses_[i].bs_mvar) / base_mva_);
+  }
+  return y;
+}
+
+Result<YbusPatch> Grid::ApplyLineOutagePatch(SparseAdmittance* ybus,
+                                             const LineId& line) const {
+  PW_CHECK(ybus != nullptr);
+  PW_CHECK_EQ(ybus->g.rows(), buses_.size());
+  PW_CHECK_LT(line.i, buses_.size());
+  PW_CHECK_LT(line.j, buses_.size());
+  std::map<int, size_t> index;
+  for (size_t i = 0; i < buses_.size(); ++i) index[buses_[i].id] = i;
+
+  const size_t f = line.i;
+  const size_t t = line.j;
+  bool any_in_service = false;
+  for (const Branch& br : branches_) {
+    if (!br.in_service) continue;
+    if (LineId(index[br.from_bus], index[br.to_bus]) == line) {
+      any_in_service = true;
+      break;
+    }
+  }
+  if (!any_in_service) {
+    return Status::NotFound("no in-service line " + LineName(line));
+  }
+
+  YbusPatch patch;
+  patch.line = line;
+  patch.slots = {ybus->g.EntrySlot(f, f), ybus->g.EntrySlot(t, t),
+                 ybus->g.EntrySlot(f, t), ybus->g.EntrySlot(t, f)};
+  for (size_t k = 0; k < 4; ++k) {
+    patch.saved_g[k] = ybus->g.ValueAt(patch.slots[k]);
+    patch.saved_b[k] = ybus->b.ValueAt(patch.slots[k]);
+  }
+
+  // Every branch between the endpoints drops out (WithLineOut
+  // semantics), so the off-diagonals become exact zeros and the two
+  // diagonals are re-accumulated from the surviving incident branches
+  // — in branch-declaration order, which is what makes the patched
+  // values bit-identical to a full rebuild on the outage grid.
+  linalg::Complex dff(0.0, 0.0);
+  linalg::Complex dtt(0.0, 0.0);
+  for (const Branch& br : branches_) {
+    if (!br.in_service) continue;
+    size_t bf = index[br.from_bus];
+    size_t bt = index[br.to_bus];
+    if (LineId(bf, bt) == line) continue;
+    if (bf != f && bt != f && bf != t && bt != t) continue;
+    BranchStamp s = StampBranch(br);
+    if (bf == f) dff += s.ff;
+    if (bt == f) dff += s.tt;
+    if (bf == t) dtt += s.ff;
+    if (bt == t) dtt += s.tt;
+  }
+  dff += linalg::Complex(buses_[f].gs_mw, buses_[f].bs_mvar) / base_mva_;
+  dtt += linalg::Complex(buses_[t].gs_mw, buses_[t].bs_mvar) / base_mva_;
+
+  ybus->g.SetValue(patch.slots[0], dff.real());
+  ybus->b.SetValue(patch.slots[0], dff.imag());
+  ybus->g.SetValue(patch.slots[1], dtt.real());
+  ybus->b.SetValue(patch.slots[1], dtt.imag());
+  ybus->g.SetValue(patch.slots[2], 0.0);
+  ybus->b.SetValue(patch.slots[2], 0.0);
+  ybus->g.SetValue(patch.slots[3], 0.0);
+  ybus->b.SetValue(patch.slots[3], 0.0);
+  return patch;
+}
+
+void Grid::RevertLineOutagePatch(SparseAdmittance* ybus,
+                                 const YbusPatch& patch) const {
+  PW_CHECK(ybus != nullptr);
+  PW_CHECK_EQ(ybus->g.rows(), buses_.size());
+  for (size_t k = 0; k < 4; ++k) {
+    ybus->g.SetValue(patch.slots[k], patch.saved_g[k]);
+    ybus->b.SetValue(patch.slots[k], patch.saved_b[k]);
+  }
 }
 
 linalg::Matrix Grid::BuildSusceptanceLaplacian() const {

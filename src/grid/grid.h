@@ -1,6 +1,7 @@
 #ifndef PHASORWATCH_GRID_GRID_H_
 #define PHASORWATCH_GRID_GRID_H_
 
+#include <array>
 #include <cstddef>
 #include <string>
 #include <vector>
@@ -9,6 +10,7 @@
 #include "common/status.h"
 #include "linalg/complex_matrix.h"
 #include "linalg/matrix.h"
+#include "linalg/sparse.h"
 
 namespace phasorwatch::grid {
 
@@ -64,6 +66,26 @@ struct LineId {
 
   friend bool operator==(const LineId&, const LineId&) = default;
   friend auto operator<=>(const LineId&, const LineId&) = default;
+};
+
+/// Sparse bus admittance matrix: real and imaginary parts of Ybus in
+/// CSR form with one shared pattern. The pattern covers every branch
+/// — in service or not — plus every diagonal, so out-of-service
+/// branches hold explicit zero slots. That slot reservation is what
+/// turns a single-line-outage study into a 4-entry value patch
+/// (Grid::ApplyLineOutagePatch) instead of a full rebuild.
+struct SparseAdmittance {
+  linalg::CsrMatrix g;  ///< Re(Ybus), per-unit
+  linalg::CsrMatrix b;  ///< Im(Ybus), same pattern as g
+};
+
+/// Saved entries for reverting a line-outage patch: the four touched
+/// slots — (f,f), (t,t), (f,t), (t,f) — and their pre-patch values.
+struct YbusPatch {
+  LineId line;
+  std::array<size_t, 4> slots{};
+  std::array<double, 4> saved_g{};
+  std::array<double, 4> saved_b{};
 };
 
 /// The transmission-level grid graph P(N, E) plus electrical data.
@@ -125,6 +147,28 @@ class Grid {
   /// Bus admittance matrix Ybus (per-unit) over in-service branches,
   /// including line charging, taps, phase shifts, and bus shunts.
   linalg::ComplexMatrix BuildAdmittanceMatrix() const;
+
+  /// Sparse Ybus over in-service branches. Values are bit-identical
+  /// to BuildAdmittanceMatrix(): contributions are accumulated per
+  /// entry in the same branch-declaration order, with bus shunts added
+  /// last. The pattern additionally reserves zero slots for
+  /// out-of-service branches so outage patches never change it.
+  SparseAdmittance BuildSparseAdmittance() const;
+
+  /// Applies the single-line outage of `line` to `ybus` as a branch-
+  /// local value patch: the (f,t)/(t,f) off-diagonals drop to zero and
+  /// both diagonals are recomputed from the surviving incident
+  /// branches in branch-declaration order. The patched matrix is
+  /// bit-identical to WithLineOut(line)->BuildSparseAdmittance(); the
+  /// grid itself is not modified. Fails with kNotFound when no
+  /// in-service branch joins the endpoints.
+  PW_NODISCARD Result<YbusPatch> ApplyLineOutagePatch(
+      SparseAdmittance* ybus, const LineId& line) const;
+
+  /// Restores the entries saved in `patch` — a bit-exact revert of
+  /// ApplyLineOutagePatch.
+  void RevertLineOutagePatch(SparseAdmittance* ybus,
+                             const YbusPatch& patch) const;
 
   /// Weighted graph Laplacian using 1/x as edge weights (the DC
   /// approximation's B' matrix without slack reduction).

@@ -39,6 +39,49 @@ struct SyntheticGridOptions {
 PW_NODISCARD Result<Grid> BuildSyntheticGrid(
     const SyntheticGridOptions& options);
 
+/// Parameters for the ring-of-meshes generator behind the 300/1000-bus
+/// scale studies (docs/SPARSE.md). The grid is `num_regions` regional
+/// meshes placed around a ring — each region built with the same
+/// geometric MST + chord construction as BuildSyntheticGrid, from its
+/// own Rng::Fork stream — joined by `ties_per_boundary` tie lines
+/// between geometrically nearest buses of neighbouring regions. The
+/// ring keeps the whole grid 2-edge-connected across regions while the
+/// Ybus stays as sparse as a real interconnection (average degree ~3
+/// regardless of size).
+struct RingOfMeshesOptions {
+  std::string name = "ring-of-meshes";
+  size_t num_regions = 10;
+  size_t buses_per_region = 30;
+  double lines_per_bus = 1.4;    ///< per-region line budget per bus
+  size_t ties_per_boundary = 2;  ///< lines joining adjacent regions
+  uint64_t seed = 1;
+  double load_fraction = 0.45;
+  double gen_fraction = 0.18;
+  double min_load_mw = 3.0;
+  double max_load_mw = 60.0;
+  double gen_margin = 1.08;
+  double mean_x = 0.10;
+  double r_over_x = 0.30;
+  double charging_b = 0.02;
+};
+
+/// Builds the ring-of-meshes grid. Deterministic in `options.seed`:
+/// every region and every parameter pass draws from its own forked
+/// stream, so regions are statistically independent but reproducible.
+/// Feasibility is conditioned the same way as BuildSyntheticGrid (DC
+/// angle-spread rescaling) but through the sparse LU, so construction
+/// stays cheap at 1000+ buses.
+PW_NODISCARD Result<Grid> BuildRingOfMeshesGrid(
+    const RingOfMeshesOptions& options);
+
+/// 300-bus preset (10 regions x 30 buses): the smallest grid the
+/// sparse-path thresholds route through CSR by default. Used by the
+/// scale benchmarks (BENCH_sparse.json) and the 300-bus golden table.
+PW_NODISCARD Result<Grid> Synthetic300Bus(uint64_t seed = 1);
+
+/// 1000-bus preset (20 regions x 50 buses) for headroom studies.
+PW_NODISCARD Result<Grid> Synthetic1000Bus(uint64_t seed = 1);
+
 }  // namespace phasorwatch::grid
 
 #endif  // PHASORWATCH_GRID_SYNTHETIC_H_

@@ -13,6 +13,11 @@ struct FastDecoupledOptions {
   double tolerance = 1e-8;   ///< max |mismatch| in per-unit power
   int max_iterations = 100;  ///< P/Q half-iterations together count as 1
   bool flat_start = true;
+  /// Grids with at least this many buses assemble B'/B'' in CSR form
+  /// and factor them with the fill-reducing sparse LU; 0 disables the
+  /// sparse path. Same policy and tolerance contract as
+  /// PowerFlowOptions::sparse_bus_threshold (docs/SPARSE.md).
+  size_t sparse_bus_threshold = 200;
 };
 
 /// Fast-decoupled load flow (Stott & Alsac XB scheme).

@@ -1,12 +1,15 @@
 #include "powerflow/powerflow.h"
 
 #include <cmath>
+#include <map>
 #include <string>
+#include <utility>
 
 #include "common/check.h"
 #include "common/status.h"
 #include "linalg/complex_matrix.h"
 #include "linalg/lu.h"
+#include "linalg/sparse.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -62,11 +65,11 @@ namespace {
 // Core Newton-Raphson solve with caller-provided effective bus types
 // and scheduled reactive injections (per-unit). SolveAcPowerFlow wraps
 // it; the Q-limit loop re-enters it with PV buses demoted to PQ.
-Result<PowerFlowSolution> SolveAcCore(const Grid& grid,
-                                      const PowerFlowOptions& options,
-                                      const std::vector<BusType>& types,
-                                      const Vector& p_sched_pu,
-                                      const Vector& q_sched_pu) {
+Result<PowerFlowSolution> SolveAcCoreDense(const Grid& grid,
+                                           const PowerFlowOptions& options,
+                                           const std::vector<BusType>& types,
+                                           const Vector& p_sched_pu,
+                                           const Vector& q_sched_pu) {
   const size_t n = grid.num_buses();
   ScheduledInjections sched;
   sched.p_pu = p_sched_pu;
@@ -235,11 +238,256 @@ Result<PowerFlowSolution> SolveAcCore(const Grid& grid,
   return sol;
 }
 
-}  // namespace
+// Sparse Newton-Raphson core: the same polar mismatch equations as
+// SolveAcCoreDense, but the Jacobian is assembled directly into a CSR
+// pattern derived once from the Ybus adjacency (over the P/Q index
+// sets) and refactored with a fill-reducing sparse LU. Per-iteration
+// work is O(nnz) value refresh + O(factor nnz) elimination instead of
+// O(n^2) assembly + O(n^3) dense LU, which is what makes 300/1000-bus
+// outage sweeps feasible.
+Result<PowerFlowSolution> SolveAcCoreSparse(
+    const Grid& grid, const grid::SparseAdmittance& ybus,
+    const PowerFlowOptions& options, const std::vector<BusType>& types,
+    const Vector& p_sched_pu, const Vector& q_sched_pu) {
+  const size_t n = grid.num_buses();
+  PW_CHECK_EQ(ybus.g.rows(), n);
+  PW_CHECK_EQ(ybus.g.NumNonZeros(), ybus.b.NumNonZeros());
+  ScheduledInjections sched;
+  sched.p_pu = p_sched_pu;
+  sched.q_pu = q_sched_pu;
 
-Result<PowerFlowSolution> SolveAcPowerFlow(const Grid& grid,
-                                           const PowerFlowOptions& options,
-                                           const InjectionOverrides& overrides) {
+  // Index sets and their inverse maps.
+  std::vector<size_t> p_buses;  // non-slack
+  std::vector<size_t> q_buses;  // PQ only
+  constexpr size_t kAbsent = static_cast<size_t>(-1);
+  std::vector<size_t> pos_p(n, kAbsent);
+  std::vector<size_t> pos_q(n, kAbsent);
+  for (size_t i = 0; i < n; ++i) {
+    if (types[i] != BusType::kSlack) {
+      pos_p[i] = p_buses.size();
+      p_buses.push_back(i);
+    }
+    if (types[i] == BusType::kPQ) {
+      pos_q[i] = q_buses.size();
+      q_buses.push_back(i);
+    }
+  }
+  const size_t np = p_buses.size();
+  const size_t nq = q_buses.size();
+
+  const std::vector<size_t>& yrs = ybus.g.RowStartArray();
+  const std::vector<size_t>& yci = ybus.g.ColIndexArray();
+  const std::vector<double>& gv = ybus.g.ValueArray();
+  const std::vector<double>& bv = ybus.b.ValueArray();
+
+  // Jacobian pattern [[H, N], [J, L]] from the Ybus adjacency,
+  // computed once; every iteration only refreshes values in place.
+  std::vector<std::pair<size_t, size_t>> jpattern;
+  jpattern.reserve(4 * ybus.g.NumNonZeros());
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t s = yrs[i]; s < yrs[i + 1]; ++s) {
+      const size_t k = yci[s];
+      if (pos_p[i] != kAbsent) {
+        if (pos_p[k] != kAbsent) jpattern.emplace_back(pos_p[i], pos_p[k]);
+        if (pos_q[k] != kAbsent) jpattern.emplace_back(pos_p[i], np + pos_q[k]);
+      }
+      if (pos_q[i] != kAbsent) {
+        if (pos_p[k] != kAbsent) jpattern.emplace_back(np + pos_q[i], pos_p[k]);
+        if (pos_q[k] != kAbsent) {
+          jpattern.emplace_back(np + pos_q[i], np + pos_q[k]);
+        }
+      }
+    }
+  }
+  linalg::CsrMatrix jac =
+      linalg::CsrMatrix::FromPattern(np + nq, np + nq, std::move(jpattern));
+
+  // Per-slot metadata: the bus pair behind each Jacobian entry and the
+  // Ybus slot holding g(i,j)/b(i,j), so the refresh loop is a flat
+  // pass with no searches.
+  const size_t jnnz = jac.NumNonZeros();
+  const std::vector<size_t>& jrs = jac.RowStartArray();
+  const std::vector<size_t>& jci = jac.ColIndexArray();
+  std::vector<size_t> meta_i(jnnz), meta_j(jnnz), meta_y(jnnz);
+  for (size_t row = 0; row < np + nq; ++row) {
+    const size_t i = row < np ? p_buses[row] : q_buses[row - np];
+    for (size_t s = jrs[row]; s < jrs[row + 1]; ++s) {
+      const size_t col = jci[s];
+      const size_t j = col < np ? p_buses[col] : q_buses[col - np];
+      meta_i[s] = i;
+      meta_j[s] = j;
+      meta_y[s] = ybus.g.EntrySlot(i, j);
+    }
+  }
+
+  auto analyzed = linalg::SparseLu::Analyze(jac);
+  if (!analyzed.ok()) {
+    return Status::Singular("power-flow Jacobian analysis failed: " +
+                            analyzed.status().message());
+  }
+  linalg::SparseLu lu = *std::move(analyzed);
+
+  Vector vm(n), va(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Bus& bus = grid.bus(i);
+    bool fixed_vm = types[i] != BusType::kPQ;
+    vm[i] =
+        fixed_vm ? bus.vm_setpoint : (options.flat_start ? 1.0 : bus.vm_setpoint);
+    va[i] = 0.0;
+  }
+
+  Vector p_calc(n), q_calc(n);
+  auto compute_injections = [&]() {
+    for (size_t i = 0; i < n; ++i) {
+      double p = 0.0, q = 0.0;
+      for (size_t s = yrs[i]; s < yrs[i + 1]; ++s) {
+        const size_t k = yci[s];
+        const double gik = gv[s];
+        const double bik = bv[s];
+        if (gik == 0.0 && bik == 0.0) continue;
+        double theta = va[i] - va[k];
+        double c = std::cos(theta);
+        double sn = std::sin(theta);
+        p += vm[k] * (gik * c + bik * sn);
+        q += vm[k] * (gik * sn - bik * c);
+      }
+      p_calc[i] = vm[i] * p;
+      q_calc[i] = vm[i] * q;
+    }
+  };
+
+  PowerFlowSolution sol;
+  double mismatch_norm = 0.0;
+  // All sparse Newton scratch is hoisted: the value buffer, mismatch,
+  // update, and the LU's internal arrays are sized once; iterations
+  // refresh values in place and refactor into preallocated storage.
+  Vector jac_vals(jnnz);
+  Vector mismatch(np + nq);
+  Vector delta(np + nq);
+  int iter = 0;
+  // PW_NO_ALLOC_BEGIN(sparse newton-raphson iteration loop)
+  for (; iter < options.max_iterations; ++iter) {
+    compute_injections();
+
+    mismatch_norm = 0.0;
+    for (size_t a = 0; a < np; ++a) {
+      mismatch[a] = sched.p_pu[p_buses[a]] - p_calc[p_buses[a]];
+      mismatch_norm = std::max(mismatch_norm, std::fabs(mismatch[a]));
+    }
+    for (size_t a = 0; a < nq; ++a) {
+      mismatch[np + a] = sched.q_pu[q_buses[a]] - q_calc[q_buses[a]];
+      mismatch_norm = std::max(mismatch_norm, std::fabs(mismatch[np + a]));
+    }
+    if (mismatch_norm < options.tolerance) break;
+
+    // Refresh the Jacobian values slot by slot; the pattern (and thus
+    // the symbolic factorization) never changes.
+    for (size_t row = 0; row < np + nq; ++row) {
+      const bool p_row = row < np;
+      for (size_t s = jrs[row]; s < jrs[row + 1]; ++s) {
+        const size_t i = meta_i[s];
+        const size_t j = meta_j[s];
+        const double gij = gv[meta_y[s]];
+        const double bij = bv[meta_y[s]];
+        const bool p_col = jci[s] < np;
+        double v;
+        if (i == j) {
+          if (p_row && p_col) {
+            v = -q_calc[i] - bij * vm[i] * vm[i];
+          } else if (p_row) {
+            v = p_calc[i] / vm[i] + gij * vm[i];
+          } else if (p_col) {
+            v = p_calc[i] - gij * vm[i] * vm[i];
+          } else {
+            v = q_calc[i] / vm[i] - bij * vm[i];
+          }
+        } else {
+          double theta = va[i] - va[j];
+          double c = std::cos(theta);
+          double sn = std::sin(theta);
+          if (p_row && p_col) {
+            v = vm[i] * vm[j] * (gij * sn - bij * c);
+          } else if (p_row) {
+            v = vm[i] * (gij * c + bij * sn);
+          } else if (p_col) {
+            v = -vm[i] * vm[j] * (gij * c + bij * sn);
+          } else {
+            v = vm[i] * (gij * sn - bij * c);
+          }
+        }
+        jac_vals[s] = v;
+      }
+    }
+    jac.UpdateValues(jac_vals);
+
+    Status factored = lu.Refactor(jac);
+    if (!factored.ok()) {
+      return Status::Singular("power-flow Jacobian is singular: " +
+                              factored.message());
+    }
+    PW_RETURN_IF_ERROR(lu.SolveInto(mismatch, delta));
+
+    for (size_t a = 0; a < np; ++a) va[p_buses[a]] += delta[a];
+    for (size_t a = 0; a < nq; ++a) {
+      vm[q_buses[a]] += delta[np + a];
+      vm[q_buses[a]] = std::max(vm[q_buses[a]], 0.05);
+    }
+  }
+  // PW_NO_ALLOC_END
+
+  compute_injections();
+  if (mismatch_norm >= options.tolerance) {
+    PW_OBS_COUNTER_INC("powerflow.ac.nonconverged");
+    return Status::NotConverged(
+        "power flow did not converge after " +
+        std::to_string(options.max_iterations) +
+        " iterations (mismatch=" + std::to_string(mismatch_norm) + ")");
+  }
+  PW_OBS_COUNTER_INC("powerflow.ac.solves");
+  PW_OBS_COUNTER_INC("powerflow.ac.sparse_solves");
+  PW_OBS_COUNTER_ADD("powerflow.ac.iterations_total", iter);
+  PW_OBS_HISTOGRAM_OBSERVE("powerflow.ac.iterations", iter,
+                           ::phasorwatch::obs::DefaultIterationBuckets());
+
+  sol.vm = vm;
+  sol.va_rad = va;
+  sol.iterations = iter;
+  sol.final_mismatch = mismatch_norm;
+  sol.p_mw = Vector(n);
+  sol.q_mvar = Vector(n);
+  for (size_t i = 0; i < n; ++i) {
+    sol.p_mw[i] = p_calc[i] * grid.base_mva();
+    sol.q_mvar[i] = q_calc[i] * grid.base_mva();
+  }
+  sol.slack_p_mw = 0.0;  // filled by the wrapper (needs the pd override)
+  return sol;
+}
+
+// Dispatch between the dense and sparse Newton cores by grid size.
+// `prebuilt` may carry a caller-supplied sparse admittance; it is only
+// consulted on the sparse path.
+Result<PowerFlowSolution> SolveAcCore(const Grid& grid,
+                                      const grid::SparseAdmittance* prebuilt,
+                                      const PowerFlowOptions& options,
+                                      const std::vector<BusType>& types,
+                                      const Vector& p_sched_pu,
+                                      const Vector& q_sched_pu) {
+  const bool sparse = options.sparse_bus_threshold > 0 &&
+                      grid.num_buses() >= options.sparse_bus_threshold;
+  if (!sparse) {
+    return SolveAcCoreDense(grid, options, types, p_sched_pu, q_sched_pu);
+  }
+  if (prebuilt != nullptr) {
+    return SolveAcCoreSparse(grid, *prebuilt, options, types, p_sched_pu,
+                             q_sched_pu);
+  }
+  grid::SparseAdmittance ybus = grid.BuildSparseAdmittance();
+  return SolveAcCoreSparse(grid, ybus, options, types, p_sched_pu, q_sched_pu);
+}
+
+Result<PowerFlowSolution> SolveAcPowerFlowImpl(
+    const Grid& grid, const grid::SparseAdmittance* prebuilt,
+    const PowerFlowOptions& options, const InjectionOverrides& overrides) {
   PW_TRACE_SCOPE("powerflow.ac.solve_us");
   const size_t n = grid.num_buses();
   PW_ASSIGN_OR_RETURN(ScheduledInjections sched,
@@ -254,7 +502,7 @@ Result<PowerFlowSolution> SolveAcPowerFlow(const Grid& grid,
   const int kMaxRounds = options.enforce_q_limits ? 6 : 1;
   Result<PowerFlowSolution> sol = Status::Internal("unsolved");
   for (int round = 0; round < kMaxRounds; ++round) {
-    sol = SolveAcCore(grid, options, types, sched.p_pu, sched.q_pu);
+    sol = SolveAcCore(grid, prebuilt, options, types, sched.p_pu, sched.q_pu);
     if (!sol.ok() || !options.enforce_q_limits) break;
     bool switched = false;
     for (size_t i = 0; i < n; ++i) {
@@ -287,6 +535,21 @@ Result<PowerFlowSolution> SolveAcPowerFlow(const Grid& grid,
   return sol;
 }
 
+}  // namespace
+
+Result<PowerFlowSolution> SolveAcPowerFlow(const Grid& grid,
+                                           const PowerFlowOptions& options,
+                                           const InjectionOverrides& overrides) {
+  return SolveAcPowerFlowImpl(grid, nullptr, options, overrides);
+}
+
+Result<PowerFlowSolution> SolveAcPowerFlow(const Grid& grid,
+                                           const grid::SparseAdmittance& ybus,
+                                           const PowerFlowOptions& options,
+                                           const InjectionOverrides& overrides) {
+  return SolveAcPowerFlowImpl(grid, &ybus, options, overrides);
+}
+
 Result<PowerFlowSolution> SolveDcPowerFlow(const Grid& grid,
                                            const InjectionOverrides& overrides) {
   PW_TRACE_SCOPE("powerflow.dc.solve_us");
@@ -295,7 +558,6 @@ Result<PowerFlowSolution> SolveDcPowerFlow(const Grid& grid,
   PW_ASSIGN_OR_RETURN(ScheduledInjections sched,
                       ResolveInjections(grid, overrides));
 
-  Matrix lap = grid.BuildSusceptanceLaplacian();
   size_t slack = grid.SlackBus();
 
   // Reduce out the slack row/column, solve B' theta = P.
@@ -304,27 +566,78 @@ Result<PowerFlowSolution> SolveDcPowerFlow(const Grid& grid,
   for (size_t i = 0; i < n; ++i) {
     if (i != slack) keep.push_back(i);
   }
-  Matrix reduced = lap.SelectSubmatrix(keep, keep);
   Vector p_reduced(n - 1);
   for (size_t a = 0; a < keep.size(); ++a) p_reduced[a] = sched.p_pu[keep[a]];
 
-  auto lu = linalg::LuDecomposition::Factor(reduced);
-  if (!lu.ok()) {
-    return Status::Singular("DC susceptance matrix is singular: " +
-                            lu.status().message());
-  }
-  PW_ASSIGN_OR_RETURN(Vector theta_reduced, lu->Solve(p_reduced));
-
+  Vector theta_reduced;
   PowerFlowSolution sol;
   sol.vm = Vector(n, 1.0);
   sol.va_rad = Vector(n, 0.0);
-  for (size_t a = 0; a < keep.size(); ++a) {
-    sol.va_rad[keep[a]] = theta_reduced[a];
-  }
   sol.p_mw = Vector(n);
   sol.q_mvar = Vector(n);
-  Vector p_injected = lap * sol.va_rad;
-  for (size_t i = 0; i < n; ++i) sol.p_mw[i] = p_injected[i] * grid.base_mva();
+  // Same size policy as PowerFlowOptions::sparse_bus_threshold: small
+  // grids keep the dense Laplacian path (bit-identical baselines);
+  // large synthetics assemble the reduced Laplacian in triplet form
+  // and factor it with the fill-reducing sparse LU.
+  constexpr size_t kDcSparseBusThreshold = 200;
+  if (n >= kDcSparseBusThreshold) {
+    constexpr size_t kAbsent = static_cast<size_t>(-1);
+    std::vector<size_t> red(n, kAbsent);
+    for (size_t a = 0; a < keep.size(); ++a) red[keep[a]] = a;
+    std::map<int, size_t> index;
+    for (size_t i = 0; i < n; ++i) index[grid.bus(i).id] = i;
+    std::vector<linalg::Triplet> trips;
+    trips.reserve(4 * grid.num_branches() + n);
+    for (const auto& br : grid.branches()) {
+      if (!br.in_service) continue;
+      size_t f = index[br.from_bus];
+      size_t t = index[br.to_bus];
+      double w = 1.0 / br.x;
+      if (red[f] != kAbsent) trips.push_back({red[f], red[f], w});
+      if (red[t] != kAbsent) trips.push_back({red[t], red[t], w});
+      if (red[f] != kAbsent && red[t] != kAbsent) {
+        trips.push_back({red[f], red[t], -w});
+        trips.push_back({red[t], red[f], -w});
+      }
+    }
+    linalg::CsrMatrix reduced =
+        linalg::CsrMatrix::FromTriplets(n - 1, n - 1, std::move(trips));
+    auto slu = linalg::SparseLu::Factor(reduced);
+    if (!slu.ok()) {
+      return Status::Singular("DC susceptance matrix is singular: " +
+                              slu.status().message());
+    }
+    PW_ASSIGN_OR_RETURN(theta_reduced, slu->Solve(p_reduced));
+    for (size_t a = 0; a < keep.size(); ++a) {
+      sol.va_rad[keep[a]] = theta_reduced[a];
+    }
+    // Branch-wise DC injections: equivalent to the Laplacian-times-
+    // angle product without materializing the n-by-n Laplacian.
+    for (const auto& br : grid.branches()) {
+      if (!br.in_service) continue;
+      size_t f = index[br.from_bus];
+      size_t t = index[br.to_bus];
+      double flow = (sol.va_rad[f] - sol.va_rad[t]) / br.x;
+      sol.p_mw[f] += flow * grid.base_mva();
+      sol.p_mw[t] -= flow * grid.base_mva();
+    }
+  } else {
+    Matrix lap = grid.BuildSusceptanceLaplacian();
+    Matrix reduced = lap.SelectSubmatrix(keep, keep);
+    auto lu = linalg::LuDecomposition::Factor(reduced);
+    if (!lu.ok()) {
+      return Status::Singular("DC susceptance matrix is singular: " +
+                              lu.status().message());
+    }
+    PW_ASSIGN_OR_RETURN(theta_reduced, lu->Solve(p_reduced));
+    for (size_t a = 0; a < keep.size(); ++a) {
+      sol.va_rad[keep[a]] = theta_reduced[a];
+    }
+    Vector p_injected = lap * sol.va_rad;
+    for (size_t i = 0; i < n; ++i) {
+      sol.p_mw[i] = p_injected[i] * grid.base_mva();
+    }
+  }
   sol.iterations = 1;
   double pd_slack = overrides.pd_mw.empty() ? grid.bus(slack).pd_mw
                                             : overrides.pd_mw[slack];

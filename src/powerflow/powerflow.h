@@ -20,6 +20,15 @@ struct PowerFlowOptions {
   /// the case is re-solved (classic one-way PV->PQ switching). Only
   /// buses with declared limits (Bus::HasQLimits) participate.
   bool enforce_q_limits = false;
+  /// Grids with at least this many buses route the Newton solve through
+  /// sparse CSR Jacobian assembly and fill-reducing sparse LU instead
+  /// of the dense path; 0 disables the sparse path entirely. The
+  /// default keeps every IEEE evaluation system (14-118) on the dense
+  /// path, so small-grid results — including the golden figure tables —
+  /// stay bit-identical, while 300/1000-bus synthetics switch over.
+  /// Sparse and dense solutions agree to the tolerances documented in
+  /// docs/SPARSE.md (they differ only by elimination-order rounding).
+  size_t sparse_bus_threshold = 200;
 };
 
 /// Per-bus operating point overrides. Empty vectors mean "use the values
@@ -56,6 +65,18 @@ struct PowerFlowSolution {
 /// kSingular when the Jacobian degenerates.
 PW_NODISCARD Result<PowerFlowSolution> SolveAcPowerFlow(
     const grid::Grid& grid, const PowerFlowOptions& options = {},
+    const InjectionOverrides& overrides = {});
+
+/// As SolveAcPowerFlow, but reuses a prebuilt sparse admittance matrix
+/// (from Grid::BuildSparseAdmittance, possibly patched branch-locally
+/// via Grid::ApplyLineOutagePatch) instead of assembling one per call.
+/// `ybus` must describe exactly `grid`'s in-service topology. Only
+/// consulted when the sparse path is active (num_buses >=
+/// options.sparse_bus_threshold); small grids fall back to the dense
+/// path and ignore it.
+PW_NODISCARD Result<PowerFlowSolution> SolveAcPowerFlow(
+    const grid::Grid& grid, const grid::SparseAdmittance& ybus,
+    const PowerFlowOptions& options = {},
     const InjectionOverrides& overrides = {});
 
 /// Linear DC power-flow approximation: angles from B' theta = P with the

@@ -1,14 +1,16 @@
 #include "se/state_estimator.h"
 
+#include <array>
 #include <cmath>
 #include <complex>
 #include <string>
+#include <utility>
 
 #include "common/check.h"
 #include "common/status.h"
 #include "common/workspace.h"
-#include "linalg/complex_matrix.h"
 #include "linalg/lu.h"
+#include "linalg/sparse.h"
 #include "linalg/views.h"
 
 namespace phasorwatch::se {
@@ -71,13 +73,20 @@ bool EstimationResult::ChiSquareTestPasses() const {
   return weighted_residual_sq <= threshold;
 }
 
-LinearStateEstimator::LinearStateEstimator(const Grid& grid) : grid_(&grid) {
-  linalg::ComplexMatrix ybus = grid.BuildAdmittanceMatrix();
-  g_ = ybus.Real();
-  b_ = ybus.Imag();
-}
+LinearStateEstimator::LinearStateEstimator(const Grid& grid,
+                                           const EstimatorOptions& options)
+    : grid_(&grid), options_(options) {}
 
 Result<EstimationResult> LinearStateEstimator::Estimate(
+    const std::vector<PhasorMeasurement>& measurements) const {
+  if (options_.sparse_bus_threshold > 0 &&
+      grid_->num_buses() >= options_.sparse_bus_threshold) {
+    return EstimateSparse(measurements);
+  }
+  return EstimateDense(measurements);
+}
+
+Result<EstimationResult> LinearStateEstimator::EstimateDense(
     const std::vector<PhasorMeasurement>& measurements) const {
   const size_t n = grid_->num_buses();
   const size_t state_dim = 2 * n;
@@ -188,6 +197,150 @@ Result<EstimationResult> LinearStateEstimator::Estimate(
       result.worst_measurement = r / 2;  // back to measurement index
     }
   }
+  result.redundancy = rows - state_dim;
+  return result;
+}
+
+Result<EstimationResult> LinearStateEstimator::EstimateSparse(
+    const std::vector<PhasorMeasurement>& measurements) const {
+  const size_t n = grid_->num_buses();
+  const size_t state_dim = 2 * n;
+  const size_t rows = 2 * measurements.size();
+  if (rows < state_dim) {
+    return Status::FailedPrecondition(
+        "unobservable: fewer measurement rows than states");
+  }
+
+  // Sparse H, built row-by-row: a voltage phasor touches 2 state
+  // columns per component row and a branch current at most 4, so the
+  // dense rows x 2n layout is overwhelmingly zeros at scale. Entries
+  // for each measurement's real/imag rows are staged in fixed-size
+  // buffers (AddComplexTerm interleaves the two rows) and flushed in
+  // row order.
+  std::vector<size_t> h_start(rows + 1, 0);
+  std::vector<size_t> h_col;
+  std::vector<double> h_val;
+  h_col.reserve(8 * measurements.size());
+  h_val.reserve(8 * measurements.size());
+  Vector z(rows), weight(rows);
+
+  size_t row = 0;
+  std::array<std::pair<size_t, double>, 4> re_entries, im_entries;
+  size_t re_count = 0, im_count = 0;
+  // Same expansion as RowBuilder::AddComplexTerm, with exact-zero
+  // coefficients skipped (they would only pad the gain pattern).
+  auto add_term = [&](size_t bus, std::complex<double> coeff) {
+    if (coeff.real() != 0.0) {
+      re_entries[re_count++] = {bus, coeff.real()};
+      im_entries[im_count++] = {n + bus, coeff.real()};
+    }
+    if (coeff.imag() != 0.0) {
+      re_entries[re_count++] = {n + bus, -coeff.imag()};
+      im_entries[im_count++] = {bus, coeff.imag()};
+    }
+  };
+  for (const PhasorMeasurement& m : measurements) {
+    if (m.sigma <= 0.0) {
+      return Status::InvalidArgument("measurement sigma must be positive");
+    }
+    re_count = im_count = 0;
+    switch (m.kind) {
+      case PhasorMeasurement::Kind::kBusVoltage: {
+        if (m.index >= n) {
+          return Status::InvalidArgument("voltage measurement at unknown bus");
+        }
+        add_term(m.index, {1.0, 0.0});
+        break;
+      }
+      case PhasorMeasurement::Kind::kBranchCurrentFrom: {
+        if (m.index >= grid_->num_branches()) {
+          return Status::InvalidArgument(
+              "current measurement at unknown branch");
+        }
+        const Branch& br = grid_->branches()[m.index];
+        if (!br.in_service) {
+          return Status::InvalidArgument(
+              "current measurement on out-of-service branch");
+        }
+        PW_ASSIGN_OR_RETURN(size_t f, grid_->BusIndex(br.from_bus));
+        PW_ASSIGN_OR_RETURN(size_t t, grid_->BusIndex(br.to_bus));
+        BranchAdmittance adm = FromEndAdmittance(br);
+        add_term(f, adm.yff);
+        add_term(t, adm.yft);
+        break;
+      }
+    }
+    for (size_t e = 0; e < re_count; ++e) {
+      h_col.push_back(re_entries[e].first);
+      h_val.push_back(re_entries[e].second);
+    }
+    h_start[row + 1] = h_col.size();
+    for (size_t e = 0; e < im_count; ++e) {
+      h_col.push_back(im_entries[e].first);
+      h_val.push_back(im_entries[e].second);
+    }
+    h_start[row + 2] = h_col.size();
+    z[row] = m.real;
+    z[row + 1] = m.imag;
+    weight[row] = 1.0 / (m.sigma * m.sigma);
+    weight[row + 1] = weight[row];
+    row += 2;
+  }
+
+  // Normal equations in CSR: the gain H^T W H is the sum of per-row
+  // outer products, each at most 4x4, accumulated as triplets
+  // (FromTriplets merges duplicates). A state column no measurement
+  // touches yields a structurally empty gain row, which the sparse LU
+  // reports as singular — the unobservable case.
+  std::vector<linalg::Triplet> gain_trips;
+  gain_trips.reserve(16 * measurements.size());
+  Vector rhs(state_dim);
+  for (size_t r = 0; r < rows; ++r) {
+    const double w = weight[r];
+    for (size_t s1 = h_start[r]; s1 < h_start[r + 1]; ++s1) {
+      rhs[h_col[s1]] += h_val[s1] * w * z[r];
+      for (size_t s2 = h_start[r]; s2 < h_start[r + 1]; ++s2) {
+        gain_trips.push_back(
+            {h_col[s1], h_col[s2], h_val[s1] * w * h_val[s2]});
+      }
+    }
+  }
+  linalg::CsrMatrix gain = linalg::CsrMatrix::FromTriplets(
+      state_dim, state_dim, std::move(gain_trips));
+  auto lu = linalg::SparseLu::Factor(gain);
+  if (!lu.ok()) {
+    return Status::FailedPrecondition(
+        "unobservable measurement configuration (singular gain matrix): " +
+        lu.status().message());
+  }
+
+  EstimationResult result;
+  result.vm = Vector(n);
+  result.va_rad = Vector(n);
+  Vector x(state_dim);
+  result.weighted_residual_sq = 0.0;
+  result.worst_normalized_residual = 0.0;
+  // PW_NO_ALLOC_BEGIN(sparse WLS solve and residual pass)
+  PW_RETURN_IF_ERROR(lu->SolveInto(rhs, x));
+  for (size_t i = 0; i < n; ++i) {
+    std::complex<double> v(x[i], x[n + i]);
+    result.vm[i] = std::abs(v);
+    result.va_rad[i] = std::arg(v);
+  }
+  for (size_t r = 0; r < rows; ++r) {
+    double predicted = 0.0;
+    for (size_t s = h_start[r]; s < h_start[r + 1]; ++s) {
+      predicted += h_val[s] * x[h_col[s]];
+    }
+    double residual = z[r] - predicted;
+    double normalized = residual * std::sqrt(weight[r]);
+    result.weighted_residual_sq += normalized * normalized;
+    if (std::fabs(normalized) > result.worst_normalized_residual) {
+      result.worst_normalized_residual = std::fabs(normalized);
+      result.worst_measurement = r / 2;  // back to measurement index
+    }
+  }
+  // PW_NO_ALLOC_END
   result.redundancy = rows - state_dim;
   return result;
 }

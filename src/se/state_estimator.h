@@ -52,13 +52,25 @@ struct EstimationResult {
   double worst_normalized_residual = 0.0;
 };
 
+/// Options for the WLS estimator.
+struct EstimatorOptions {
+  /// Grids with at least this many buses assemble the measurement
+  /// Jacobian H and the gain matrix H^T W H in CSR form and factor the
+  /// normal equations with the fill-reducing sparse LU; 0 disables the
+  /// sparse path. Same policy and tolerance contract as
+  /// PowerFlowOptions::sparse_bus_threshold (docs/SPARSE.md): the
+  /// default keeps the IEEE evaluation systems on the dense path
+  /// bit-identically, while 300/1000-bus synthetics switch over.
+  size_t sparse_bus_threshold = 200;
+};
+
 /// Weighted-least-squares PMU state estimator for a fixed grid.
-/// Construction builds the admittance structures; Estimate() solves one
-/// measurement set (the measurement configuration may change per call —
-/// e.g. when PMUs drop out).
+/// Estimate() solves one measurement set (the measurement configuration
+/// may change per call — e.g. when PMUs drop out).
 class LinearStateEstimator {
  public:
-  explicit LinearStateEstimator(const grid::Grid& grid);
+  explicit LinearStateEstimator(const grid::Grid& grid,
+                                const EstimatorOptions& options = {});
 
   /// Solves WLS for the given measurements. Fails with
   /// kFailedPrecondition when the system is unobservable (rank of H
@@ -74,9 +86,13 @@ class LinearStateEstimator {
       const std::vector<bool>& missing, double sigma = 0.005);
 
  private:
+  PW_NODISCARD Result<EstimationResult> EstimateDense(
+      const std::vector<PhasorMeasurement>& measurements) const;
+  PW_NODISCARD Result<EstimationResult> EstimateSparse(
+      const std::vector<PhasorMeasurement>& measurements) const;
+
   const grid::Grid* grid_;  // not owned
-  linalg::Matrix g_;        // Re(Ybus)
-  linalg::Matrix b_;        // Im(Ybus)
+  EstimatorOptions options_;
 };
 
 }  // namespace phasorwatch::se

@@ -21,9 +21,9 @@ void PhasorDataSet::Append(const PhasorDataSet& other) {
   va = va.ConcatCols(other.va);
 }
 
-Result<PhasorDataSet> SimulateMeasurements(const grid::Grid& grid,
-                                           const SimulationOptions& options,
-                                           Rng& rng) {
+Result<PhasorDataSet> SimulateMeasurements(
+    const grid::Grid& grid, const SimulationOptions& options, Rng& rng,
+    const grid::SparseAdmittance* prebuilt_ybus) {
   PW_TRACE_SCOPE("sim.simulate_us");
   const size_t n = grid.num_buses();
   const size_t num_states = options.load.num_states;
@@ -50,7 +50,11 @@ Result<PhasorDataSet> SimulateMeasurements(const grid::Grid& grid,
     }
     overrides.pg_mw = pf::BalanceGeneration(grid, overrides.pd_mw);
 
-    auto solution = pf::SolveAcPowerFlow(grid, options.power_flow, overrides);
+    auto solution =
+        prebuilt_ybus
+            ? pf::SolveAcPowerFlow(grid, *prebuilt_ybus, options.power_flow,
+                                   overrides)
+            : pf::SolveAcPowerFlow(grid, options.power_flow, overrides);
     if (!solution.ok()) {
       // Skip states that do not converge; the case is invalidated below
       // only if most states fail.

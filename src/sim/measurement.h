@@ -53,8 +53,16 @@ struct SimulationOptions {
 /// state, then emits `samples_per_state` noisy phasor samples around each
 /// solved state. Fails with kNotConverged if too few states solve (an
 /// invalid outage case in the paper's sense).
+///
+/// `prebuilt_ybus` optionally reuses a sparse admittance matrix across
+/// all load states (from Grid::BuildSparseAdmittance, possibly patched
+/// branch-locally via Grid::ApplyLineOutagePatch). It must describe
+/// exactly `grid`'s in-service topology and is only consulted when the
+/// sparse power-flow path is active; results are bit-identical to
+/// internal assembly (docs/SPARSE.md).
 PW_NODISCARD Result<PhasorDataSet> SimulateMeasurements(
-    const grid::Grid& grid, const SimulationOptions& options, Rng& rng);
+    const grid::Grid& grid, const SimulationOptions& options, Rng& rng,
+    const grid::SparseAdmittance* prebuilt_ybus = nullptr);
 
 /// Convenience: the deterministic forecast state (no load variation, no
 /// noise) as a single-column data set.

@@ -10,6 +10,7 @@
 #include "common/check.h"
 #include "common/workspace.h"
 #include "linalg/matrix.h"
+#include "linalg/sparse.h"
 #include "linalg/views.h"
 
 namespace phasorwatch {
@@ -149,6 +150,41 @@ TEST(ViewDeathTest, StrideSmallerThanColsAborts) {
   linalg::Matrix a(2, 4);
   EXPECT_DEATH(linalg::ConstMatrixView(a.data(), 2, 4, /*stride=*/2),
                "PW_CHECK failed");
+}
+
+// The CSR pattern-immutability contract (docs/SPARSE.md): value
+// refreshes must match the frozen pattern exactly, and slot lookups
+// outside the pattern are a caller bug, not a zero.
+linalg::CsrMatrix TwoByTwoDiagonal() {
+  return linalg::CsrMatrix::FromTriplets(2, 2, {{0, 0, 1.0}, {1, 1, 2.0}});
+}
+
+TEST(CsrContractDeathTest, UpdateValuesSizeMismatchAborts) {
+  linalg::CsrMatrix m = TwoByTwoDiagonal();
+  linalg::Vector wrong(3);
+  EXPECT_DEATH(m.UpdateValues(wrong), "PW_CHECK failed");
+}
+
+TEST(CsrContractDeathTest, EntrySlotOutsidePatternAborts) {
+  linalg::CsrMatrix m = TwoByTwoDiagonal();
+  EXPECT_DEATH(m.EntrySlot(0, 1), "PW_CHECK failed");  // structural zero
+  EXPECT_DEATH(m.EntrySlot(2, 0), "PW_CHECK failed");  // out of range
+}
+
+TEST(CsrContractDeathTest, SlotAccessOutOfRangeAborts) {
+  linalg::CsrMatrix m = TwoByTwoDiagonal();
+  EXPECT_DEATH(m.SetValue(2, 1.0), "PW_CHECK failed");
+  EXPECT_DEATH(m.ValueAt(2), "PW_CHECK failed");
+}
+
+TEST(CsrContractTest, InPatternOperationsAreSilent) {
+  linalg::CsrMatrix m = TwoByTwoDiagonal();
+  size_t slot = m.EntrySlot(1, 1);
+  m.SetValue(slot, 5.0);
+  EXPECT_EQ(m.ValueAt(slot), 5.0);
+  linalg::Vector fresh({3.0, 4.0});
+  m.UpdateValues(fresh);
+  EXPECT_EQ(m.ValueAt(m.EntrySlot(0, 0)), 3.0);
 }
 
 }  // namespace

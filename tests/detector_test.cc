@@ -108,6 +108,46 @@ TEST_F(DetectorTest, NormalSamplesProduceNoAlarm) {
   EXPECT_GE(correct, total * 9 / 10);
 }
 
+TEST_F(DetectorTest, LowRankTrainingPathDetectsOutages) {
+  // Forcing sparse_bus_threshold to 1 routes node-subspace composition
+  // through the low-rank Gram path (the 300+-bus training path,
+  // docs/SPARSE.md) on the same IEEE-14 fixture data. The composed
+  // subspaces agree with the dense path only up to roundoff, so this
+  // asserts detection quality, not bit-equal scores.
+  TrainingData data;
+  data.normal = &shared_->normal_train;
+  data.case_lines = shared_->lines;
+  for (const auto& block : shared_->outage_train) data.outage.push_back(&block);
+  DetectorOptions options;
+  options.sparse_bus_threshold = 1;
+  auto detector =
+      OutageDetector::Train(shared_->grid, shared_->network, data, options);
+  ASSERT_TRUE(detector.ok()) << detector.status().ToString();
+
+  size_t hits = 0, total = 0;
+  for (size_t c = 0; c < shared_->lines.size(); ++c) {
+    for (size_t t = 0; t < 20; ++t) {
+      auto [vm, va] = shared_->outage_test[c].Sample(t);
+      auto result = detector->Detect(vm, va);
+      ASSERT_TRUE(result.ok());
+      ++total;
+      if (std::find(result->lines.begin(), result->lines.end(),
+                    shared_->lines[c]) != result->lines.end()) {
+        ++hits;
+      }
+    }
+  }
+  EXPECT_GE(static_cast<double>(hits) / static_cast<double>(total), 0.7);
+  size_t false_alarms = 0;
+  for (size_t t = 0; t < 40; ++t) {
+    auto [vm, va] = shared_->normal_test.Sample(t);
+    auto result = detector->Detect(vm, va);
+    ASSERT_TRUE(result.ok());
+    if (result->outage_detected) ++false_alarms;
+  }
+  EXPECT_LE(false_alarms, 4u);
+}
+
 TEST_F(DetectorTest, CompleteDataOutagesIdentified) {
   size_t hits = 0, total = 0;
   for (size_t c = 0; c < shared_->lines.size(); ++c) {

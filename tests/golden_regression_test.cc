@@ -7,6 +7,7 @@
 // After an intentional change, regenerate with
 //   PW_UPDATE_GOLDEN=1 ./build/tests/golden_regression_test
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -16,7 +17,10 @@
 #include <gtest/gtest.h>
 
 #include "eval/experiments.h"
+#include "grid/grid.h"
 #include "grid/ieee_cases.h"
+#include "grid/synthetic.h"
+#include "powerflow/powerflow.h"
 
 #ifndef PW_GOLDEN_DIR
 #error "PW_GOLDEN_DIR must point at tests/golden (set in tests/CMakeLists.txt)"
@@ -73,6 +77,83 @@ TEST(GoldenRegressionTest, Ieee14ScenarioTableIsByteStable) {
 
   const std::string path =
       std::string(PW_GOLDEN_DIR) + "/ieee14_scenarios.txt";
+  if (std::getenv("PW_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    ASSERT_TRUE(out.good());
+    GTEST_SKIP() << "golden reference regenerated at " << path;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good())
+      << "missing golden reference " << path
+      << " — run with PW_UPDATE_GOLDEN=1 to create it";
+  std::stringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(expected.str(), actual)
+      << "golden table drifted; if the change is intentional, regenerate "
+         "with PW_UPDATE_GOLDEN=1";
+}
+
+// 300-bus sparse-path golden: the ring-of-meshes generator, the
+// branch-local Ybus patches, and the sparse Newton-Raphson solver are
+// all bit-deterministic, so the solved operating point of a fixed set
+// of outage scenarios is byte-stable. This pins the whole sparse stack
+// (docs/SPARSE.md) the way the IEEE-14 table pins the detector
+// pipeline — at a size the dense path never sees.
+TEST(GoldenRegressionTest, Synthetic300SparseOutageTableIsByteStable) {
+  auto grid = grid::Synthetic300Bus(1);
+  ASSERT_TRUE(grid.ok()) << grid.status().ToString();
+  ASSERT_GE(grid->num_buses(), pf::PowerFlowOptions{}.sparse_bus_threshold)
+      << "table must exercise the sparse path";
+
+  auto format_row = [](const std::string& scenario,
+                       const pf::PowerFlowSolution& sol) {
+    double vm_min = sol.vm[0], vm_max = sol.vm[0];
+    double va_min = sol.va_rad[0], va_max = sol.va_rad[0];
+    for (size_t i = 0; i < sol.vm.size(); ++i) {
+      vm_min = std::min(vm_min, sol.vm[i]);
+      vm_max = std::max(vm_max, sol.vm[i]);
+      va_min = std::min(va_min, sol.va_rad[i]);
+      va_max = std::max(va_max, sol.va_rad[i]);
+    }
+    char buffer[240];
+    std::snprintf(buffer, sizeof(buffer),
+                  "scenario=%s iters=%d slack_p_mw=%.17g vm_min=%.17g "
+                  "vm_max=%.17g va_spread=%.17g\n",
+                  scenario.c_str(), sol.iterations, sol.slack_p_mw, vm_min,
+                  vm_max, va_max - va_min);
+    return std::string(buffer);
+  };
+
+  std::string actual =
+      "# phasorwatch golden: synthetic-300 sparse outage table, seed 1\n"
+      "# regenerate: PW_UPDATE_GOLDEN=1 ./build/tests/golden_regression_test\n";
+
+  grid::SparseAdmittance base_ybus = grid->BuildSparseAdmittance();
+  auto base = pf::SolveAcPowerFlow(*grid, base_ybus);
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+  actual += format_row("base", *base);
+
+  size_t recorded = 0;
+  for (const grid::LineId& line : grid->lines()) {
+    if (recorded >= 10) break;
+    if (grid->WouldIsland(line)) continue;
+    auto outage_grid = grid->WithLineOut(line);
+    ASSERT_TRUE(outage_grid.ok());
+    grid::SparseAdmittance ybus = base_ybus;
+    auto patch = grid->ApplyLineOutagePatch(&ybus, line);
+    ASSERT_TRUE(patch.ok()) << patch.status().ToString();
+    auto sol = pf::SolveAcPowerFlow(*outage_grid, ybus);
+    if (!sol.ok()) continue;  // stressed post-outage states may diverge
+    actual += format_row("out:" + grid->LineName(line), *sol);
+    ++recorded;
+  }
+  ASSERT_GE(recorded, 5u);
+
+  const std::string path =
+      std::string(PW_GOLDEN_DIR) + "/synthetic300_outages.txt";
   if (std::getenv("PW_UPDATE_GOLDEN") != nullptr) {
     std::ofstream out(path, std::ios::binary);
     ASSERT_TRUE(out.good()) << "cannot write " << path;

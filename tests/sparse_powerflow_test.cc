@@ -1,0 +1,264 @@
+// Sparse-vs-dense equivalence lane for the power-flow solvers
+// (docs/SPARSE.md). The sparse Newton-Raphson / fast-decoupled paths
+// solve the same mismatch equations as the dense ones; they differ
+// only in elimination order, so states must agree to the documented
+// tolerances on every IEEE system across seeded load draws. The
+// incremental-Ybus patches carry a stronger contract: bit-exact
+// against a full rebuild, both after apply and after revert.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "grid/grid.h"
+#include "grid/ieee_cases.h"
+#include "grid/synthetic.h"
+#include "linalg/complex_matrix.h"
+#include "linalg/matrix.h"
+#include "powerflow/fast_decoupled.h"
+#include "powerflow/powerflow.h"
+
+namespace phasorwatch::pf {
+namespace {
+
+using grid::Grid;
+using grid::LineId;
+using grid::SparseAdmittance;
+using linalg::Matrix;
+using linalg::Vector;
+
+// docs/SPARSE.md tolerance policy: states to 1e-6 in the infinity
+// norm, iteration counts within one, mismatch norms both below the
+// solver tolerance.
+constexpr double kStateTol = 1e-6;
+
+InjectionOverrides SeededLoadDraw(const Grid& grid, uint64_t seed,
+                                  uint64_t stream) {
+  Rng rng = Rng::Fork(seed, stream);
+  InjectionOverrides ov;
+  ov.pd_mw.resize(grid.num_buses());
+  ov.qd_mvar.resize(grid.num_buses());
+  for (size_t i = 0; i < grid.num_buses(); ++i) {
+    double mult = rng.Uniform(0.85, 1.15);
+    ov.pd_mw[i] = grid.bus(i).pd_mw * mult;
+    ov.qd_mvar[i] = grid.bus(i).qd_mvar * mult;
+  }
+  ov.pg_mw = BalanceGeneration(grid, ov.pd_mw);
+  return ov;
+}
+
+class SparseNewtonEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SparseNewtonEquivalenceTest, MatchesDenseAcrossLoadDraws) {
+  auto grid = grid::EvaluationSystem(GetParam());
+  ASSERT_TRUE(grid.ok());
+
+  PowerFlowOptions dense_opts;
+  dense_opts.sparse_bus_threshold = 0;  // force dense
+  PowerFlowOptions sparse_opts;
+  sparse_opts.sparse_bus_threshold = 1;  // force sparse
+
+  for (uint64_t draw = 0; draw < 5; ++draw) {
+    InjectionOverrides ov =
+        SeededLoadDraw(*grid, 1000 + static_cast<uint64_t>(GetParam()), draw);
+    auto dense = SolveAcPowerFlow(*grid, dense_opts, ov);
+    auto sparse = SolveAcPowerFlow(*grid, sparse_opts, ov);
+    ASSERT_TRUE(dense.ok()) << dense.status().ToString();
+    ASSERT_TRUE(sparse.ok()) << sparse.status().ToString();
+
+    EXPECT_LT((dense->vm - sparse->vm).InfNorm(), kStateTol)
+        << "draw " << draw;
+    EXPECT_LT((dense->va_rad - sparse->va_rad).InfNorm(), kStateTol)
+        << "draw " << draw;
+    EXPECT_LT(dense->final_mismatch, dense_opts.tolerance);
+    EXPECT_LT(sparse->final_mismatch, sparse_opts.tolerance);
+    EXPECT_NEAR(dense->iterations, sparse->iterations, 1) << "draw " << draw;
+    EXPECT_NEAR(dense->slack_p_mw, sparse->slack_p_mw,
+                1e-4 * (1.0 + std::fabs(dense->slack_p_mw)));
+  }
+}
+
+TEST_P(SparseNewtonEquivalenceTest, MatchesDenseWithQLimits) {
+  auto grid = grid::EvaluationSystem(GetParam());
+  ASSERT_TRUE(grid.ok());
+
+  PowerFlowOptions dense_opts;
+  dense_opts.sparse_bus_threshold = 0;
+  dense_opts.enforce_q_limits = true;
+  PowerFlowOptions sparse_opts = dense_opts;
+  sparse_opts.sparse_bus_threshold = 1;
+
+  InjectionOverrides ov =
+      SeededLoadDraw(*grid, 77 + static_cast<uint64_t>(GetParam()), 0);
+  auto dense = SolveAcPowerFlow(*grid, dense_opts, ov);
+  auto sparse = SolveAcPowerFlow(*grid, sparse_opts, ov);
+  ASSERT_TRUE(dense.ok()) << dense.status().ToString();
+  ASSERT_TRUE(sparse.ok()) << sparse.status().ToString();
+  EXPECT_LT((dense->vm - sparse->vm).InfNorm(), kStateTol);
+  EXPECT_LT((dense->va_rad - sparse->va_rad).InfNorm(), kStateTol);
+}
+
+TEST_P(SparseNewtonEquivalenceTest, PrebuiltYbusMatchesInternalAssembly) {
+  auto grid = grid::EvaluationSystem(GetParam());
+  ASSERT_TRUE(grid.ok());
+
+  PowerFlowOptions sparse_opts;
+  sparse_opts.sparse_bus_threshold = 1;
+  InjectionOverrides ov =
+      SeededLoadDraw(*grid, 5 + static_cast<uint64_t>(GetParam()), 0);
+
+  SparseAdmittance ybus = grid->BuildSparseAdmittance();
+  auto internal = SolveAcPowerFlow(*grid, sparse_opts, ov);
+  auto prebuilt = SolveAcPowerFlow(*grid, ybus, sparse_opts, ov);
+  ASSERT_TRUE(internal.ok());
+  ASSERT_TRUE(prebuilt.ok());
+  // Same Ybus values, same elimination order: identical trajectories.
+  EXPECT_EQ((internal->vm - prebuilt->vm).InfNorm(), 0.0);
+  EXPECT_EQ((internal->va_rad - prebuilt->va_rad).InfNorm(), 0.0);
+  EXPECT_EQ(internal->iterations, prebuilt->iterations);
+}
+
+INSTANTIATE_TEST_SUITE_P(Systems, SparseNewtonEquivalenceTest,
+                         ::testing::Values(14, 30, 57, 118));
+
+class SparseFastDecoupledEquivalenceTest
+    : public ::testing::TestWithParam<int> {};
+
+TEST_P(SparseFastDecoupledEquivalenceTest, MatchesDenseAcrossLoadDraws) {
+  auto grid = grid::EvaluationSystem(GetParam());
+  ASSERT_TRUE(grid.ok());
+
+  FastDecoupledOptions dense_opts;
+  dense_opts.sparse_bus_threshold = 0;
+  FastDecoupledOptions sparse_opts;
+  sparse_opts.sparse_bus_threshold = 1;
+
+  for (uint64_t draw = 0; draw < 3; ++draw) {
+    InjectionOverrides ov =
+        SeededLoadDraw(*grid, 300 + static_cast<uint64_t>(GetParam()), draw);
+    auto dense = SolveFastDecoupled(*grid, dense_opts, ov);
+    auto sparse = SolveFastDecoupled(*grid, sparse_opts, ov);
+    ASSERT_TRUE(dense.ok()) << dense.status().ToString();
+    ASSERT_TRUE(sparse.ok()) << sparse.status().ToString();
+    EXPECT_LT((dense->vm - sparse->vm).InfNorm(), kStateTol);
+    EXPECT_LT((dense->va_rad - sparse->va_rad).InfNorm(), kStateTol);
+    EXPECT_LT(dense->final_mismatch, dense_opts.tolerance);
+    EXPECT_LT(sparse->final_mismatch, sparse_opts.tolerance);
+    EXPECT_NEAR(dense->iterations, sparse->iterations, 2) << "draw " << draw;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Systems, SparseFastDecoupledEquivalenceTest,
+                         ::testing::Values(14, 30, 57, 118));
+
+class IncrementalYbusTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IncrementalYbusTest, SparseBuildMatchesDenseBitExactly) {
+  auto grid = grid::EvaluationSystem(GetParam());
+  ASSERT_TRUE(grid.ok());
+  SparseAdmittance sparse = grid->BuildSparseAdmittance();
+  linalg::ComplexMatrix dense = grid->BuildAdmittanceMatrix();
+  Matrix dense_g = dense.Real();
+  Matrix dense_b = dense.Imag();
+  Matrix sg = sparse.g.ToDense();
+  Matrix sb = sparse.b.ToDense();
+  for (size_t i = 0; i < grid->num_buses(); ++i) {
+    for (size_t j = 0; j < grid->num_buses(); ++j) {
+      // Bit-exact: identical stamping order, identical arithmetic.
+      EXPECT_EQ(sg(i, j), dense_g(i, j)) << i << "," << j;
+      EXPECT_EQ(sb(i, j), dense_b(i, j)) << i << "," << j;
+    }
+  }
+}
+
+TEST_P(IncrementalYbusTest, PatchMatchesFullRebuildBitExactly) {
+  auto grid = grid::EvaluationSystem(GetParam());
+  ASSERT_TRUE(grid.ok());
+  SparseAdmittance ybus = grid->BuildSparseAdmittance();
+
+  size_t patched_lines = 0;
+  for (const LineId& line : grid->lines()) {
+    if (grid->WouldIsland(line)) continue;
+    auto patch = grid->ApplyLineOutagePatch(&ybus, line);
+    ASSERT_TRUE(patch.ok()) << patch.status().ToString();
+    ++patched_lines;
+
+    auto outage_grid = grid->WithLineOut(line);
+    ASSERT_TRUE(outage_grid.ok());
+    SparseAdmittance rebuilt = outage_grid->BuildSparseAdmittance();
+    ASSERT_EQ(ybus.g.NumNonZeros(), rebuilt.g.NumNonZeros());
+    for (size_t k = 0; k < ybus.g.NumNonZeros(); ++k) {
+      ASSERT_EQ(ybus.g.ValueAt(k), rebuilt.g.ValueAt(k))
+          << grid->LineName(line) << " slot " << k;
+      ASSERT_EQ(ybus.b.ValueAt(k), rebuilt.b.ValueAt(k))
+          << grid->LineName(line) << " slot " << k;
+    }
+
+    grid->RevertLineOutagePatch(&ybus, *patch);
+  }
+  ASSERT_GT(patched_lines, 0u);
+
+  // After every apply/revert round trip the matrix is bit-identical
+  // to the original build.
+  SparseAdmittance fresh = grid->BuildSparseAdmittance();
+  for (size_t k = 0; k < ybus.g.NumNonZeros(); ++k) {
+    ASSERT_EQ(ybus.g.ValueAt(k), fresh.g.ValueAt(k)) << "slot " << k;
+    ASSERT_EQ(ybus.b.ValueAt(k), fresh.b.ValueAt(k)) << "slot " << k;
+  }
+}
+
+TEST(IncrementalYbusTest, PatchOfMissingLineFails) {
+  auto grid = grid::EvaluationSystem(14);
+  ASSERT_TRUE(grid.ok());
+  SparseAdmittance ybus = grid->BuildSparseAdmittance();
+  // Buses 0 and 10 share no line in IEEE 14.
+  auto patch = grid->ApplyLineOutagePatch(&ybus, LineId(0, 10));
+  EXPECT_FALSE(patch.ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Systems, IncrementalYbusTest,
+                         ::testing::Values(14, 30, 57, 118));
+
+// The 300-bus ring-of-meshes preset crosses the default threshold, so
+// a plain SolveAcPowerFlow call routes through the sparse path — and
+// must still agree with a forced-dense solve.
+TEST(ScaleGridTest, Synthetic300SolvesSparseByDefaultAndMatchesDense) {
+  auto grid = grid::Synthetic300Bus();
+  ASSERT_TRUE(grid.ok()) << grid.status().ToString();
+  ASSERT_GE(grid->num_buses(), PowerFlowOptions{}.sparse_bus_threshold);
+
+  auto sparse = SolveAcPowerFlow(*grid);  // defaults: sparse at 300 buses
+  ASSERT_TRUE(sparse.ok()) << sparse.status().ToString();
+
+  PowerFlowOptions dense_opts;
+  dense_opts.sparse_bus_threshold = 0;
+  auto dense = SolveAcPowerFlow(*grid, dense_opts);
+  ASSERT_TRUE(dense.ok()) << dense.status().ToString();
+
+  EXPECT_LT((dense->vm - sparse->vm).InfNorm(), kStateTol);
+  EXPECT_LT((dense->va_rad - sparse->va_rad).InfNorm(), kStateTol);
+}
+
+TEST(ScaleGridTest, Synthetic300IncrementalPatchesRoundTrip) {
+  auto grid = grid::Synthetic300Bus();
+  ASSERT_TRUE(grid.ok());
+  SparseAdmittance ybus = grid->BuildSparseAdmittance();
+  SparseAdmittance fresh = grid->BuildSparseAdmittance();
+  size_t patched = 0;
+  for (const LineId& line : grid->lines()) {
+    if (grid->WouldIsland(line)) continue;
+    auto patch = grid->ApplyLineOutagePatch(&ybus, line);
+    ASSERT_TRUE(patch.ok()) << patch.status().ToString();
+    grid->RevertLineOutagePatch(&ybus, *patch);
+    if (++patched >= 25) break;  // spot check, full sweep is the IEEE lane
+  }
+  ASSERT_GT(patched, 0u);
+  for (size_t k = 0; k < ybus.g.NumNonZeros(); ++k) {
+    ASSERT_EQ(ybus.g.ValueAt(k), fresh.g.ValueAt(k)) << "slot " << k;
+    ASSERT_EQ(ybus.b.ValueAt(k), fresh.b.ValueAt(k)) << "slot " << k;
+  }
+}
+
+}  // namespace
+}  // namespace phasorwatch::pf

@@ -1,0 +1,204 @@
+// Sparse-vs-dense equivalence lane for the WLS state estimator
+// (docs/SPARSE.md). The sparse path assembles H and the gain matrix in
+// CSR and factors the normal equations with the fill-reducing sparse
+// LU; it solves the same normal equations as the dense path, so
+// estimates must agree to the documented tolerance, and the bad-data
+// machinery (chi-square verdict, worst-residual identification) must
+// reach identical conclusions.
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "grid/grid.h"
+#include "grid/ieee_cases.h"
+#include "powerflow/powerflow.h"
+#include "se/state_estimator.h"
+
+namespace phasorwatch::se {
+namespace {
+
+using linalg::Vector;
+
+// docs/SPARSE.md tolerance policy for WLS: states to 1e-8 in the
+// infinity norm (the estimator is linear — one solve, no iteration
+// drift), residual statistics to relative 1e-6.
+constexpr double kStateTol = 1e-8;
+
+EstimatorOptions DenseOpts() {
+  EstimatorOptions opts;
+  opts.sparse_bus_threshold = 0;
+  return opts;
+}
+
+EstimatorOptions SparseOpts() {
+  EstimatorOptions opts;
+  opts.sparse_bus_threshold = 1;
+  return opts;
+}
+
+class SparseWlsEquivalenceTest : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override {
+    auto grid = grid::EvaluationSystem(GetParam());
+    ASSERT_TRUE(grid.ok());
+    grid_ = std::make_unique<grid::Grid>(std::move(grid).value());
+    auto sol = pf::SolveAcPowerFlow(*grid_);
+    ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+    vm_ = sol->vm;
+    va_ = sol->va_rad;
+  }
+
+  // Noisy voltage measurements at every bus plus a current measurement
+  // on every in-service branch, so both measurement kinds exercise the
+  // sparse row assembly.
+  std::vector<PhasorMeasurement> MixedMeasurements(uint64_t stream) const {
+    Rng rng = Rng::Fork(42 + static_cast<uint64_t>(GetParam()), stream);
+    const double sigma = 0.005;
+    std::vector<PhasorMeasurement> out;
+    std::vector<std::complex<double>> v(grid_->num_buses());
+    for (size_t i = 0; i < grid_->num_buses(); ++i) {
+      v[i] = std::polar(vm_[i], va_[i]);
+      PhasorMeasurement m;
+      m.kind = PhasorMeasurement::Kind::kBusVoltage;
+      m.index = i;
+      m.real = v[i].real() + rng.Normal(0.0, sigma);
+      m.imag = v[i].imag() + rng.Normal(0.0, sigma);
+      m.sigma = sigma;
+      out.push_back(m);
+    }
+    for (size_t k = 0; k < grid_->num_branches(); ++k) {
+      const grid::Branch& br = grid_->branches()[k];
+      if (!br.in_service) continue;
+      auto f = grid_->BusIndex(br.from_bus);
+      auto t = grid_->BusIndex(br.to_bus);
+      EXPECT_TRUE(f.ok());
+      EXPECT_TRUE(t.ok());
+      using C = std::complex<double>;
+      double tap = br.tap == 0.0 ? 1.0 : br.tap;
+      C ys = 1.0 / C(br.r, br.x);
+      C charging(0.0, br.b / 2.0);
+      C ratio = tap * std::exp(C(0.0, br.shift_deg * M_PI / 180.0));
+      C current = (ys + charging) * (v[*f] / (tap * tap)) -
+                  ys * (v[*t] / std::conj(ratio));
+      PhasorMeasurement m;
+      m.kind = PhasorMeasurement::Kind::kBranchCurrentFrom;
+      m.index = k;
+      m.real = current.real() + rng.Normal(0.0, sigma);
+      m.imag = current.imag() + rng.Normal(0.0, sigma);
+      m.sigma = sigma;
+      out.push_back(m);
+    }
+    return out;
+  }
+
+  std::unique_ptr<grid::Grid> grid_;
+  Vector vm_;
+  Vector va_;
+};
+
+TEST_P(SparseWlsEquivalenceTest, MatchesDenseAcrossNoisyDraws) {
+  LinearStateEstimator dense_est(*grid_, DenseOpts());
+  LinearStateEstimator sparse_est(*grid_, SparseOpts());
+
+  for (uint64_t draw = 0; draw < 3; ++draw) {
+    auto measurements = MixedMeasurements(draw);
+    auto dense = dense_est.Estimate(measurements);
+    auto sparse = sparse_est.Estimate(measurements);
+    ASSERT_TRUE(dense.ok()) << dense.status().ToString();
+    ASSERT_TRUE(sparse.ok()) << sparse.status().ToString();
+
+    EXPECT_LT((dense->vm - sparse->vm).InfNorm(), kStateTol) << "draw " << draw;
+    EXPECT_LT((dense->va_rad - sparse->va_rad).InfNorm(), kStateTol)
+        << "draw " << draw;
+    EXPECT_NEAR(dense->weighted_residual_sq, sparse->weighted_residual_sq,
+                1e-6 * (1.0 + dense->weighted_residual_sq));
+    EXPECT_EQ(dense->redundancy, sparse->redundancy);
+    EXPECT_EQ(dense->ChiSquareTestPasses(), sparse->ChiSquareTestPasses());
+  }
+}
+
+TEST_P(SparseWlsEquivalenceTest, ExactRecoveryFromNoiselessVoltages) {
+  LinearStateEstimator est(*grid_, SparseOpts());
+  auto measurements = LinearStateEstimator::VoltageMeasurements(
+      vm_, va_, std::vector<bool>(grid_->num_buses(), false));
+  auto result = est.Estimate(measurements);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  for (size_t i = 0; i < grid_->num_buses(); ++i) {
+    EXPECT_NEAR(result->vm[i], vm_[i], 1e-10);
+    EXPECT_NEAR(result->va_rad[i], va_[i], 1e-10);
+  }
+  EXPECT_NEAR(result->weighted_residual_sq, 0.0, 1e-12);
+}
+
+TEST_P(SparseWlsEquivalenceTest, AgreesOnBadDataIdentification) {
+  LinearStateEstimator dense_est(*grid_, DenseOpts());
+  LinearStateEstimator sparse_est(*grid_, SparseOpts());
+
+  auto measurements = MixedMeasurements(99);
+  // Gross false-data injection on one voltage measurement.
+  const size_t corrupted = grid_->num_buses() / 2;
+  measurements[corrupted].real += 0.4;
+
+  auto dense = dense_est.Estimate(measurements);
+  auto sparse = sparse_est.Estimate(measurements);
+  ASSERT_TRUE(dense.ok());
+  ASSERT_TRUE(sparse.ok());
+  EXPECT_FALSE(sparse->ChiSquareTestPasses());
+  EXPECT_EQ(sparse->worst_measurement, corrupted);
+  EXPECT_EQ(dense->worst_measurement, sparse->worst_measurement);
+  EXPECT_NEAR(dense->worst_normalized_residual,
+              sparse->worst_normalized_residual,
+              1e-6 * (1.0 + dense->worst_normalized_residual));
+}
+
+INSTANTIATE_TEST_SUITE_P(Systems, SparseWlsEquivalenceTest,
+                         ::testing::Values(14, 30, 57, 118));
+
+TEST(SparseWlsErrorsTest, UnderdeterminedRejected) {
+  auto grid = grid::EvaluationSystem(14);
+  ASSERT_TRUE(grid.ok());
+  LinearStateEstimator est(*grid, SparseOpts());
+  std::vector<PhasorMeasurement> one;
+  one.push_back({PhasorMeasurement::Kind::kBusVoltage, 0, 1.0, 0.0, 0.01});
+  auto result = est.Estimate(one);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SparseWlsErrorsTest, StructurallyUnobservableRejected) {
+  // Enough rows, but every measurement watches bus 0: the gain matrix
+  // has structurally empty rows and the sparse LU must report the
+  // configuration as unobservable rather than return garbage.
+  auto grid = grid::EvaluationSystem(14);
+  ASSERT_TRUE(grid.ok());
+  LinearStateEstimator est(*grid, SparseOpts());
+  std::vector<PhasorMeasurement> ms;
+  for (int i = 0; i < 20; ++i) {
+    ms.push_back({PhasorMeasurement::Kind::kBusVoltage, 0, 1.0, 0.0, 0.01});
+  }
+  auto result = est.Estimate(ms);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SparseWlsErrorsTest, RejectsMalformedMeasurements) {
+  auto grid = grid::EvaluationSystem(14);
+  ASSERT_TRUE(grid.ok());
+  LinearStateEstimator est(*grid, SparseOpts());
+  auto sol = pf::SolveAcPowerFlow(*grid);
+  ASSERT_TRUE(sol.ok());
+  auto measurements = LinearStateEstimator::VoltageMeasurements(
+      sol->vm, sol->va_rad, std::vector<bool>(14, false));
+  measurements[0].sigma = -1.0;
+  EXPECT_FALSE(est.Estimate(measurements).ok());
+  measurements[0].sigma = 0.01;
+  measurements[0].index = 99;
+  EXPECT_FALSE(est.Estimate(measurements).ok());
+}
+
+}  // namespace
+}  // namespace phasorwatch::se

@@ -188,5 +188,53 @@ TEST(NodeSubspacesTest, IntersectionModelAccumulatesAllConstraints) {
             node.union_model.constraints.dim());
 }
 
+// The low-rank Gram composition (the large-grid training path,
+// docs/SPARSE.md) must produce the same union subspace as the dense
+// ambient-dimension eigensolve — same dimension, same projector —
+// across noisy learned bases, not just on hand-built axes.
+TEST(NodeSubspacesTest, LowRankCompositionMatchesDense) {
+  const size_t n = 24;
+  for (uint64_t seed = 30; seed < 33; ++seed) {
+    Rng rng(seed);
+    SubspaceModelOptions opts = AngleOptions();
+    opts.min_constraints = 2;
+    opts.max_constraints = 4;
+    // Three members sharing constraint directions beyond their own
+    // variation axes (distinct axes per member).
+    std::vector<Result<SubspaceModel>> models;
+    for (size_t m = 0; m < 3; ++m) {
+      auto data = StructuredData(Vector(n), {Axis(n, m), Axis(n, m + 3)},
+                                 200, 1e-5, rng);
+      models.push_back(LearnSubspaceModel(data, opts));
+      ASSERT_TRUE(models.back().ok());
+    }
+    std::vector<const SubspaceModel*> members;
+    for (auto& m : models) members.push_back(&*m);
+
+    NodeSubspaces dense = BuildNodeSubspaces(members, 0.6, false);
+    NodeSubspaces lowrank = BuildNodeSubspaces(members, 0.6, true);
+
+    ASSERT_EQ(dense.union_model.constraints.dim(),
+              lowrank.union_model.constraints.dim());
+    // Same subspace <=> same projector: compare P x on random probes
+    // (the bases themselves may differ by a rotation).
+    for (int probe = 0; probe < 8; ++probe) {
+      Vector x(n);
+      for (size_t i = 0; i < n; ++i) x[i] = rng.Normal(0.0, 1.0);
+      Vector pd = dense.union_model.constraints.Project(x);
+      Vector pl = lowrank.union_model.constraints.Project(x);
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_NEAR(pd[i], pl[i], 1e-9) << "seed " << seed;
+      }
+      EXPECT_NEAR(dense.union_model.Proximity(x),
+                  lowrank.union_model.Proximity(x), 1e-9);
+    }
+    // The intersection model does not go through the eigensolve; both
+    // paths must leave it identical.
+    EXPECT_EQ(dense.intersection_model.constraints.dim(),
+              lowrank.intersection_model.constraints.dim());
+  }
+}
+
 }  // namespace
 }  // namespace phasorwatch::detect

@@ -111,5 +111,62 @@ TEST(SyntheticGridTest, ElectricalParametersRealistic) {
   }
 }
 
+TEST(RingOfMeshesTest, Preset300HasExpectedShape) {
+  auto grid = Synthetic300Bus();
+  ASSERT_TRUE(grid.ok()) << grid.status().ToString();
+  EXPECT_EQ(grid->num_buses(), 300u);
+  EXPECT_TRUE(grid->IsConnected());
+  // Average degree stays transmission-like (~3) regardless of scale.
+  double avg_degree = 2.0 * static_cast<double>(grid->num_lines()) / 300.0;
+  EXPECT_GT(avg_degree, 2.2);
+  EXPECT_LT(avg_degree, 4.0);
+  size_t slacks = 0;
+  for (size_t i = 0; i < grid->num_buses(); ++i) {
+    if (grid->bus(i).type == BusType::kSlack) ++slacks;
+  }
+  EXPECT_EQ(slacks, 1u);
+}
+
+TEST(RingOfMeshesTest, Preset1000Builds) {
+  auto grid = Synthetic1000Bus();
+  ASSERT_TRUE(grid.ok()) << grid.status().ToString();
+  EXPECT_EQ(grid->num_buses(), 1000u);
+  EXPECT_TRUE(grid->IsConnected());
+}
+
+TEST(RingOfMeshesTest, DeterministicBySeed) {
+  auto a = Synthetic300Bus(5);
+  auto b = Synthetic300Bus(5);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->num_lines(), b->num_lines());
+  for (size_t k = 0; k < a->num_branches(); ++k) {
+    EXPECT_DOUBLE_EQ(a->branches()[k].x, b->branches()[k].x);
+    EXPECT_DOUBLE_EQ(a->branches()[k].r, b->branches()[k].r);
+  }
+  for (size_t i = 0; i < a->num_buses(); ++i) {
+    EXPECT_DOUBLE_EQ(a->bus(i).pd_mw, b->bus(i).pd_mw);
+  }
+  auto c = Synthetic300Bus(6);
+  ASSERT_TRUE(c.ok());
+  bool any_differs = false;
+  for (size_t i = 0; i < a->num_buses() && !any_differs; ++i) {
+    any_differs = a->bus(i).pd_mw != c->bus(i).pd_mw;
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(RingOfMeshesTest, RejectsDegenerateShapes) {
+  RingOfMeshesOptions opts;
+  opts.num_regions = 2;
+  EXPECT_FALSE(BuildRingOfMeshesGrid(opts).ok());
+  opts.num_regions = 4;
+  opts.buses_per_region = 3;
+  EXPECT_FALSE(BuildRingOfMeshesGrid(opts).ok());
+  opts.buses_per_region = 20;
+  opts.ties_per_boundary = 0;
+  EXPECT_FALSE(BuildRingOfMeshesGrid(opts).ok());
+}
+
 }  // namespace
 }  // namespace phasorwatch::grid
