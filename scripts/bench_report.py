@@ -13,8 +13,9 @@ tool is the other half of the perf-trajectory loop:
   bench_report.py --self-test               in-memory fixture round trip
 
 Regression direction is inferred from the key: results whose dotted
-path contains an `IA` or `accuracy` component are higher-is-better;
-everything else (latencies, allocs, FA rates) is lower-is-better. Keys
+path contains an `IA`, `accuracy`, or `frames_per_sec` component are
+higher-is-better; everything else (latencies, allocs, FA rates) is
+lower-is-better. Keys
 present on only one side are reported but never gate — adding a
 benchmark must not fail the lane that adds it.
 
@@ -42,7 +43,7 @@ TOP_LEVEL = {
     "quantiles": dict,
 }
 
-HIGHER_IS_BETTER_PARTS = ("IA", "accuracy")
+HIGHER_IS_BETTER_PARTS = ("IA", "accuracy", "frames_per_sec")
 
 
 def load(path):
@@ -187,8 +188,8 @@ def cmd_diff(base_path, new_path, threshold, results_only):
     return 0
 
 
-def _fixture(p99_14, ia_14=0.9):
-    """Minimal valid document with one latency and one accuracy result."""
+def _fixture(p99_14, ia_14=0.9, fps=20000.0):
+    """Minimal valid document with latency, accuracy, and throughput."""
     return {
         "schema": SCHEMA,
         "name": "selftest",
@@ -199,6 +200,7 @@ def _fixture(p99_14, ia_14=0.9):
         "results": {
             "detect.ieee14.p99_us": {"unit": "us", "value": p99_14},
             "fig5.ieee14.subspace.IA": {"unit": "", "value": ia_14},
+            "fleet.frames_per_sec": {"unit": "", "value": fps},
         },
         "counters": {"stream.samples": 100},
         "gauges": {"stream.alarm_active": 0.0},
@@ -241,6 +243,11 @@ def self_test():
           "results.fig5.ieee14.subspace.IA" in regs)
     _, regs = diff_docs(base, _fixture(100.0, ia_14=0.99), 0.20, False)
     check("IA gain is an improvement", regs == [])
+    _, regs = diff_docs(base, _fixture(100.0, fps=12000.0), 0.20, False)
+    check("throughput drop gates as higher-is-better",
+          "results.fleet.frames_per_sec" in regs)
+    _, regs = diff_docs(base, _fixture(100.0, fps=30000.0), 0.20, False)
+    check("throughput gain is an improvement", regs == [])
 
     failed = [name for name, ok in checks if not ok]
     if failed:

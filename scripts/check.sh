@@ -74,6 +74,15 @@ build/bench/perf_pipeline --quick --json build/BENCH_sparse.json \
 python3 scripts/bench_report.py validate build/BENCH_sparse.json \
   BENCH_sparse.json
 
+# Fleet lane (docs/FLEET.md): the multi-tenant replay must hold its
+# pw-bench-report-v1 schema; the throughput trajectory
+# (fleet.frames_per_sec, higher-is-better) is diffed against the
+# committed baseline per-PR like the other BENCH files.
+echo "=== perf report (fleet replay) ==="
+build/bench/fleet_replay --quick --json build/BENCH_fleet.json > /dev/null
+python3 scripts/bench_report.py validate build/BENCH_fleet.json \
+  BENCH_fleet.json
+
 # The instrumentation must compile out cleanly: same tests, hooks gone.
 echo "=== PW_OBS_DISABLED build ==="
 cmake -B build-obs-off -G Ninja -DPW_OBS_DISABLED=ON

@@ -1,0 +1,102 @@
+#ifndef PHASORWATCH_COMMON_SPSC_QUEUE_H_
+#define PHASORWATCH_COMMON_SPSC_QUEUE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace phasorwatch {
+
+/// Bounded lock-free single-producer / single-consumer ring buffer.
+///
+/// The fleet engine's per-shard frame queue (docs/FLEET.md): one ingest
+/// thread pushes, one shard drain thread pops, and a full queue rejects
+/// instead of blocking — backpressure is the caller's decision, never a
+/// stall inside the transport. The implementation is the classic
+/// Lamport ring with cached indices: each side re-reads the other
+/// side's atomic index only when its cached copy says the queue looks
+/// full (producer) or empty (consumer), so the steady-state fast path
+/// is one relaxed load, one store, and no shared-cache-line ping-pong
+/// beyond the unavoidable index handoff.
+///
+/// Thread-safety contract: TryPush from exactly one thread at a time,
+/// TryPop from exactly one thread at a time (they may be different
+/// threads, that is the point). SizeApprox/capacity are safe anywhere.
+/// The element type must be movable; slots hold default-constructed
+/// T between uses, so moved-out elements release their resources on
+/// the consumer side, not inside the ring.
+template <typename T>
+class SpscQueue {
+ public:
+  /// `min_capacity` is rounded up to the next power of two (at least 2)
+  /// so the ring can mask instead of divide.
+  explicit SpscQueue(size_t min_capacity) {
+    PW_CHECK_GT(min_capacity, 0u);
+    size_t cap = 2;
+    while (cap < min_capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  /// Producer side. Returns false (and leaves `item` untouched) when
+  /// the ring is full — the caller decides whether to shed or retry.
+  PW_NO_ALLOC bool TryPush(T&& item) {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    const size_t next = (tail + 1) & mask_;
+    if (next == head_cached_) {
+      head_cached_ = head_.load(std::memory_order_acquire);
+      if (next == head_cached_) return false;  // full
+    }
+    slots_[tail] = std::move(item);
+    tail_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when the ring is empty.
+  PW_NO_ALLOC bool TryPop(T* out) {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cached_) {
+      tail_cached_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cached_) return false;  // empty
+    }
+    *out = std::move(slots_[head]);
+    head_.store((head + 1) & mask_, std::memory_order_release);
+    return true;
+  }
+
+  /// Racy by construction (either index may move concurrently); good
+  /// enough for gauges and drain/flush polling, not for correctness.
+  PW_NO_ALLOC size_t SizeApprox() const {
+    const size_t head = head_.load(std::memory_order_acquire);
+    const size_t tail = tail_.load(std::memory_order_acquire);
+    return (tail - head) & mask_;
+  }
+
+  /// Usable slots (one ring slot is sacrificed to distinguish full from
+  /// empty, so this is the constructor's rounded capacity minus one).
+  size_t capacity() const { return mask_; }
+
+ private:
+  std::vector<T> slots_;
+  size_t mask_ = 0;
+
+  /// Producer-owned cache line: tail index plus the producer's stale
+  /// copy of head. alignas keeps the two sides off each other's lines.
+  alignas(64) std::atomic<size_t> tail_{0};
+  size_t head_cached_ = 0;
+
+  /// Consumer-owned cache line: head index plus the consumer's stale
+  /// copy of tail.
+  alignas(64) std::atomic<size_t> head_{0};
+  size_t tail_cached_ = 0;
+};
+
+}  // namespace phasorwatch
+
+#endif  // PHASORWATCH_COMMON_SPSC_QUEUE_H_

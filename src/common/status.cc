@@ -22,6 +22,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Islanded";
     case StatusCode::kDataMissing:
       return "DataMissing";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
     case StatusCode::kInternal:
       return "Internal";
   }

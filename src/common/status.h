@@ -21,6 +21,9 @@ enum class StatusCode {
   kSingular,       ///< A matrix factorization hit a (near-)singular pivot.
   kIslanded,       ///< A grid operation would disconnect the network.
   kDataMissing,    ///< Required measurements are unavailable.
+  /// A bounded resource (queue slot, quota) is full; retry later or
+  /// shed load. Used for fleet-ingest backpressure (docs/FLEET.md).
+  kResourceExhausted,
   kInternal,
 };
 
@@ -66,6 +69,9 @@ class PW_NODISCARD Status {
   }
   PW_NODISCARD static Status DataMissing(std::string msg) {
     return Status(StatusCode::kDataMissing, std::move(msg));
+  }
+  PW_NODISCARD static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
   PW_NODISCARD static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

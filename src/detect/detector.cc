@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <numeric>
 
 #include "common/check.h"
@@ -545,14 +546,44 @@ PW_NO_ALLOC Result<DetectionResult> OutageDetector::Detect(const Vector& vm,
   return result;
 }
 
+OutageDetector::BatchMemo::BatchMemo()
+    : scratch_(std::make_unique<DetectScratch>()) {}
+OutageDetector::BatchMemo::~BatchMemo() = default;
+OutageDetector::BatchMemo::BatchMemo(BatchMemo&& other) noexcept = default;
+OutageDetector::BatchMemo& OutageDetector::BatchMemo::operator=(
+    BatchMemo&& other) noexcept = default;
+
+void OutageDetector::BatchMemo::Clear() {
+  cache_.Clear();
+  scratch_->selection_valid = false;
+}
+
 PW_NO_ALLOC Result<std::vector<DetectionResult>> OutageDetector::DetectBatch(
     const std::vector<BatchSample>& samples) {
   static thread_local DetectScratch scratch;
   static thread_local ProximityEngine::BatchCache batch_cache;
-  // Model cache keys are only unique within one detector, so the memo
-  // must not survive into a batch on a different instance.
+  // Model cache keys are only unique within one detector, so the
+  // thread-local memo must not survive into a batch on a different
+  // instance. (A caller-owned BatchMemo pins one detector instead; see
+  // the overload below.)
   batch_cache.Clear();
   scratch.selection_valid = false;
+  return DetectBatchImpl(samples, &batch_cache, scratch);
+}
+
+PW_NO_ALLOC Result<std::vector<DetectionResult>> OutageDetector::DetectBatch(
+    const std::vector<BatchSample>& samples, BatchMemo* memo) {
+  if (memo == nullptr) return DetectBatch(samples);
+  // The memo's selection/cache persist from previous calls on this
+  // detector — that is the point. BatchMemo::Clear() is the owner's
+  // obligation when the detector behind the memo changes.
+  return DetectBatchImpl(samples, &memo->cache_, *memo->scratch_);
+}
+
+PW_NO_ALLOC Result<std::vector<DetectionResult>>
+OutageDetector::DetectBatchImpl(const std::vector<BatchSample>& samples,
+                                ProximityEngine::BatchCache* batch_cache,
+                                DetectScratch& scratch) {
   PW_OBS_HISTOGRAM_OBSERVE("detect.batch_size", samples.size(),
                            ::phasorwatch::obs::DefaultIterationBuckets());
   // pw-lint: allow(no-alloc) the result set escapes to the caller.
@@ -564,8 +595,7 @@ PW_NO_ALLOC Result<std::vector<DetectionResult>> OutageDetector::DetectBatch(
       return Status::InvalidArgument("DetectBatch sample has null fields");
     }
     Result<DetectionResult> result =
-        DetectImpl(*sample.vm, *sample.va, *sample.mask, &batch_cache,
-                   scratch);
+        DetectImpl(*sample.vm, *sample.va, *sample.mask, batch_cache, scratch);
     if (!result.ok()) {
       PW_OBS_COUNTER_INC("detect.samples_rejected");
       return result.status();

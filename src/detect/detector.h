@@ -1,6 +1,7 @@
 #ifndef PHASORWATCH_DETECT_DETECTOR_H_
 #define PHASORWATCH_DETECT_DETECTOR_H_
 
+#include <memory>
 #include <vector>
 
 #include <iosfwd>
@@ -172,6 +173,47 @@ class OutageDetector {
   PW_NO_ALLOC PW_NODISCARD Result<std::vector<DetectionResult>> DetectBatch(
       const std::vector<BatchSample>& samples);
 
+ private:
+  /// Per-thread (or per-memo) reusable buffers for the Detect hot path
+  /// (detector.cc).
+  struct DetectScratch;
+
+ public:
+  /// Caller-owned batch memoization: the scratch buffers, the
+  /// detection-group selection, and the regressor fast-path cache that
+  /// DetectBatch otherwise keeps in thread-local storage and clears on
+  /// every call. A long-lived memo lets a streaming session keep the
+  /// amortization warm across consecutive small batches — results and
+  /// counters stay bit-identical to the memo-less path, because
+  /// selection reuse replays its counters (GroupSelectionStats) and the
+  /// regressor fast path ticks exactly like the shared-cache path
+  /// (proximity.h). The memo is bound to one detector instance: model
+  /// cache keys are only unique within a detector, so the owner MUST
+  /// Clear() it before using it with a different instance (the tenant
+  /// session does this on model reload and Reset).
+  class BatchMemo {
+   public:
+    BatchMemo();
+    ~BatchMemo();
+    BatchMemo(BatchMemo&& other) noexcept;
+    BatchMemo& operator=(BatchMemo&& other) noexcept;
+
+    /// Drops the memoized group selection and regressor lookups (the
+    /// buffers keep their capacity).
+    void Clear();
+
+   private:
+    friend class OutageDetector;
+    std::unique_ptr<DetectScratch> scratch_;  // never null
+    ProximityEngine::BatchCache cache_;
+  };
+
+  /// DetectBatch with caller-owned memoization. A null `memo` falls
+  /// back to the per-call thread-local path above; with a memo, state
+  /// persists across calls on this detector until BatchMemo::Clear().
+  PW_NO_ALLOC PW_NODISCARD Result<std::vector<DetectionResult>> DetectBatch(
+      const std::vector<BatchSample>& samples, BatchMemo* memo);
+
   // --- introspection for tests, ablations, and figures ---
   /// The grid this detector was trained on (for naming lines in logs).
   const grid::Grid& grid() const { return *grid_; }
@@ -228,9 +270,6 @@ class OutageDetector {
     uint64_t fallback_any_available = 0;
   };
 
-  /// Per-thread reusable buffers for the Detect hot path (detector.cc).
-  struct DetectScratch;
-
   PW_NO_ALLOC void SelectGroupInto(size_t cluster, const sim::MissingMask& mask,
                        SelectedGroup* selected,
                        GroupSelectionStats* stats) const;
@@ -279,6 +318,14 @@ class OutageDetector {
       const linalg::Vector& vm, const linalg::Vector& va,
       const sim::MissingMask& mask, DetectScratch& scratch,
       DetectionResult* result);
+
+  /// Shared loop of the two DetectBatch overloads, parameterized on
+  /// whose scratch/cache state it runs against (thread-local or a
+  /// caller's BatchMemo).
+  PW_NO_ALLOC PW_NODISCARD Result<std::vector<DetectionResult>>
+  DetectBatchImpl(const std::vector<BatchSample>& samples,
+                  ProximityEngine::BatchCache* batch_cache,
+                  DetectScratch& scratch);
 
   /// Shared body of Detect and DetectBatch. Reuses `scratch` buffers
   /// (allocation-free once warmed, apart from the vectors that escape

@@ -1,0 +1,355 @@
+#include "detect/fleet.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "common/check.h"
+#include "common/spsc_queue.h"
+#include "common/status.h"
+#include "obs/event_log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace phasorwatch::detect {
+namespace {
+
+// Empty-poll backoff for the drain loops: spin-yield first (a frame is
+// usually microseconds away at PMU rates), then sleep so an idle fleet
+// does not burn a core — essential on small machines where producer
+// and shards share cores.
+constexpr size_t kSpinPollsBeforeSleep = 64;
+constexpr auto kIdleSleep = std::chrono::microseconds(200);
+
+}  // namespace
+
+/// One shard: the frame ring, its drain-side accounting, a small
+/// control-hook inbox (snapshot/restore run between frames), and the
+/// shard's latency histogram.
+struct FleetEngine::Shard {
+  explicit Shard(size_t queue_capacity, size_t index)
+      : queue(queue_capacity) {
+    const std::string prefix = "fleet.shard" + std::to_string(index);
+    latency = obs::MetricsRegistry::Global().GetQuantile(
+        prefix + ".frame_us", obs::DefaultLatencyQuantileOptions());
+  }
+
+  SpscQueue<FrameTask> queue;
+  /// Frames accepted onto the ring (submit side) / fully processed
+  /// (drain side). Flush converges when they match on every shard.
+  std::atomic<uint64_t> accepted{0};
+  std::atomic<uint64_t> processed{0};
+
+  /// Control-hook inbox: RunOnShard pushes, the drain loop executes
+  /// between frames. The atomic flag keeps the steady-state drain loop
+  /// to one relaxed load; the mutex only guards the cold vector.
+  std::mutex control_mu;
+  std::vector<std::function<void()>> control_hooks;
+  std::atomic<bool> has_control{false};
+
+  /// Registry-owned (never deleted); per-shard submit-to-event latency.
+  obs::QuantileHistogram* latency = nullptr;
+};
+
+FleetEngine::FleetEngine(const FleetOptions& options) : options_(options) {
+  if (options_.num_shards == 0) options_.num_shards = 1;
+  PW_CHECK_GT(options_.queue_capacity, 0u);
+  shards_.reserve(options_.num_shards);
+  for (size_t s = 0; s < options_.num_shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>(options_.queue_capacity, s));
+  }
+  PW_OBS_GAUGE_SET("fleet.shards", shards_.size());
+}
+
+FleetEngine::~FleetEngine() { Stop(); }
+
+Result<TenantId> FleetEngine::AddTenant(TenantConfig config) {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition(
+        "AddTenant while the engine is running (stop it first)");
+  }
+  if (config.detector == nullptr) {
+    return Status::InvalidArgument("tenant \"" + config.name +
+                                   "\" has no detector");
+  }
+  const TenantId id = sessions_.size();
+  sessions_.push_back(std::make_unique<TenantSession>(
+      config.detector, config.stream, config.name));
+  tenant_shard_.push_back(id % shards_.size());
+  configs_.push_back(std::move(config));
+  PW_OBS_GAUGE_SET("fleet.tenants", sessions_.size());
+  return id;
+}
+
+void FleetEngine::Start() {
+  if (running_.load(std::memory_order_acquire)) return;
+  stop_requested_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  // One dedicated worker per shard (degree P spawns P-1 workers, and
+  // the +1 keeps the caller out of the drain loops). The pool is
+  // engine-owned and sized explicitly — PW_THREADS must not be able to
+  // shrink it to zero workers, which would run a drain loop inline in
+  // Start() and never return.
+  pool_ = std::make_unique<ThreadPool>(shards_.size() + 1);
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    pool_->Submit([this, s] { DrainLoop(s); });
+  }
+#ifndef PW_OBS_DISABLED
+  obs::EventLog::Global()
+      .Emit("fleet_started")
+      .Uint("shards", shards_.size())
+      .Uint("tenants", sessions_.size());
+#endif
+}
+
+void FleetEngine::Stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  stop_requested_.store(true, std::memory_order_release);
+  // Joining the pool waits for the drain loops, which exit only once
+  // their ring and control inbox are empty: Stop drains, it never drops.
+  pool_.reset();
+  running_.store(false, std::memory_order_release);
+#ifndef PW_OBS_DISABLED
+  obs::EventLog::Global()
+      .Emit("fleet_stopped")
+      .Uint("frames_processed", frames_processed())
+      .Uint("frames_shed", frames_shed());
+#endif
+}
+
+void FleetEngine::Flush() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    while (shard->processed.load(std::memory_order_acquire) <
+           shard->accepted.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  }
+}
+
+Status FleetEngine::Submit(TenantId tenant, sim::MeasurementFrame frame) {
+  PW_RETURN_IF_ERROR(CheckTenant(tenant));
+  const size_t shard_index = tenant_shard_[tenant];
+  Shard& shard = *shards_[shard_index];
+  frames_submitted_.fetch_add(1, std::memory_order_relaxed);
+  PW_OBS_COUNTER_INC("fleet.frames_submitted");
+  FrameTask task;
+  task.session = sessions_[tenant].get();
+  task.frame = std::move(frame);
+  task.enqueue_us = obs::MonotonicNowUs();
+  if (!shard.queue.TryPush(std::move(task))) {
+    frames_shed_.fetch_add(1, std::memory_order_relaxed);
+    PW_OBS_COUNTER_INC("fleet.frames_shed");
+    return Status::ResourceExhausted(
+        "shard " + std::to_string(shard_index) +
+        " frame queue is full (backpressure; frame shed)");
+  }
+  // accepted counts only frames that made it onto the ring, after the
+  // push: the drain side must never observe accepted < processed.
+  shard.accepted.fetch_add(1, std::memory_order_release);
+  PW_OBS_GAUGE_MAX("fleet.queue_high_water", shard.queue.SizeApprox());
+  return Status::OK();
+}
+
+void FleetEngine::DrainLoop(size_t shard_index) {
+  Shard& shard = *shards_[shard_index];
+  // Instrument pointers resolved before the steady-state loop; the
+  // registry owns them forever, so caching is free and keeps the hot
+  // loop allocation-free.
+  obs::QuantileHistogram* shard_latency = shard.latency;
+  obs::QuantileHistogram* fleet_latency = obs::MetricsRegistry::Global().GetQuantile(
+      "fleet.frame_us", obs::DefaultLatencyQuantileOptions());
+  obs::Counter* processed_counter =
+      obs::MetricsRegistry::Global().GetCounter("fleet.frames_processed");
+  obs::Counter* failed_counter =
+      obs::MetricsRegistry::Global().GetCounter("fleet.frames_failed");
+  size_t idle_polls = 0;
+  FrameTask task;
+  // The dispatch loop is the fleet's steady-state hot path: one pop,
+  // one session call, two histogram records, one counter tick. It must
+  // not allocate — per-frame heap traffic at 1000 tenants x 30 Hz
+  // would dominate the latency tail (verified by alloc_counter in
+  // bench/fleet_replay.cc; the lint region keeps it that way).
+  // PW_NO_ALLOC_BEGIN(fleet shard drain)
+  for (;;) {
+    if (shard.has_control.load(std::memory_order_acquire)) {
+      RunControlHooks(shard);
+    }
+    if (shard.queue.TryPop(&task)) {
+      idle_polls = 0;
+      Result<StreamEvent> event = task.session->ProcessFrame(task.frame);
+      const double latency_us = obs::MonotonicNowUs() - task.enqueue_us;
+      shard_latency->Record(latency_us);
+      fleet_latency->Record(latency_us);
+      processed_counter->Increment();
+      if (!event.ok()) failed_counter->Increment();
+      shard.processed.fetch_add(1, std::memory_order_release);
+      continue;
+    }
+    if (stop_requested_.load(std::memory_order_acquire) &&
+        !shard.has_control.load(std::memory_order_acquire)) {
+      break;
+    }
+    // Empty poll: yield first, sleep once the queue has stayed dry.
+    ++idle_polls;
+    if (idle_polls < kSpinPollsBeforeSleep) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(kIdleSleep);
+    }
+  }
+  // PW_NO_ALLOC_END
+}
+
+void FleetEngine::RunControlHooks(Shard& shard) {
+  std::vector<std::function<void()>> hooks;
+  {
+    std::lock_guard<std::mutex> lock(shard.control_mu);
+    hooks.swap(shard.control_hooks);
+    shard.has_control.store(false, std::memory_order_release);
+  }
+  for (const std::function<void()>& hook : hooks) hook();
+}
+
+void FleetEngine::RunOnShard(size_t shard_index,
+                             const std::function<void()>& fn) {
+  if (!running_.load(std::memory_order_acquire)) {
+    // Quiesced engine: no drain thread owns the sessions, the caller
+    // may touch them directly.
+    fn();
+    return;
+  }
+  Shard& shard = *shards_[shard_index];
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  bool done = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.control_mu);
+    shard.control_hooks.push_back([&] {
+      fn();
+      std::lock_guard<std::mutex> done_lock(done_mu);
+      done = true;
+      done_cv.notify_all();
+    });
+    shard.has_control.store(true, std::memory_order_release);
+  }
+  std::unique_lock<std::mutex> lock(done_mu);
+  done_cv.wait(lock, [&] { return done; });
+}
+
+Status FleetEngine::CheckTenant(TenantId tenant) const {
+  if (tenant >= sessions_.size()) {
+    return Status::NotFound("unknown tenant id " + std::to_string(tenant));
+  }
+  return Status::OK();
+}
+
+Status FleetEngine::ReloadModel(TenantId tenant,
+                                std::shared_ptr<OutageDetector> model) {
+  PW_RETURN_IF_ERROR(CheckTenant(tenant));
+  if (model == nullptr) {
+    return Status::InvalidArgument("ReloadModel with a null model");
+  }
+  // Safe while the shard runs: the swap is atomic, in-flight frames
+  // keep the shared_ptr they loaded, and the drain thread clears the
+  // batch memo when it first observes the new instance.
+  sessions_[tenant]->ReloadModel(std::move(model));
+  PW_OBS_COUNTER_INC("fleet.model_reloads");
+  return Status::OK();
+}
+
+Status FleetEngine::ReloadModelFromFile(TenantId tenant,
+                                        const std::string& path) {
+  PW_RETURN_IF_ERROR(CheckTenant(tenant));
+  const TenantConfig& config = configs_[tenant];
+  if (config.grid == nullptr || config.network == nullptr) {
+    return Status::FailedPrecondition(
+        "tenant \"" + config.name +
+        "\" has no grid/network configured for file reload");
+  }
+  // The PWDET03 load (and its fingerprint check against the tenant's
+  // configuration) runs here, on the caller's thread — the shard never
+  // touches the filesystem.
+  PW_ASSIGN_OR_RETURN(OutageDetector loaded, OutageDetector::LoadFromFile(
+                                                 path, *config.grid,
+                                                 *config.network));
+  return ReloadModel(tenant,
+                     std::make_shared<OutageDetector>(std::move(loaded)));
+}
+
+Result<TenantSnapshot> FleetEngine::SnapshotTenant(TenantId tenant) {
+  PW_RETURN_IF_ERROR(CheckTenant(tenant));
+  TenantSnapshot snapshot;
+  RunOnShard(tenant_shard_[tenant],
+             [&] { snapshot = sessions_[tenant]->Snapshot(); });
+  return snapshot;
+}
+
+Status FleetEngine::RestoreTenant(TenantId tenant,
+                                  const TenantSnapshot& snapshot) {
+  PW_RETURN_IF_ERROR(CheckTenant(tenant));
+  Status status;
+  RunOnShard(tenant_shard_[tenant],
+             [&] { status = sessions_[tenant]->Restore(snapshot); });
+  return status;
+}
+
+std::vector<TenantStatus> FleetEngine::TenantRows() const {
+  std::vector<TenantStatus> rows;
+  rows.reserve(sessions_.size());
+  for (TenantId id = 0; id < sessions_.size(); ++id) {
+    const TenantSession& session = *sessions_[id];
+    const TenantCounters& counters = session.counters();
+    TenantStatus row;
+    row.id = id;
+    row.name = configs_[id].name;
+    row.shard = tenant_shard_[id];
+    row.samples = counters.samples.load(std::memory_order_relaxed);
+    row.samples_rejected =
+        counters.samples_rejected.load(std::memory_order_relaxed);
+    row.frames_dropped =
+        counters.frames_dropped.load(std::memory_order_relaxed);
+    row.frames_stale = counters.frames_stale.load(std::memory_order_relaxed);
+    row.alarms_raised =
+        counters.alarms_raised.load(std::memory_order_relaxed);
+    row.alarms_cleared =
+        counters.alarms_cleared.load(std::memory_order_relaxed);
+    row.alarm_active = session.alarm_active();
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+obs::QuantileHistogram::Snapshot FleetEngine::LatencySnapshot() const {
+  obs::QuantileHistogram::Snapshot merged;
+  bool first = true;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    obs::QuantileHistogram::Snapshot snapshot =
+        shard->latency->TakeSnapshot();
+    if (first) {
+      merged = std::move(snapshot);
+      first = false;
+    } else {
+      merged.Merge(snapshot);
+    }
+  }
+  return merged;
+}
+
+TenantSession& FleetEngine::session(TenantId tenant) {
+  PW_CHECK(tenant < sessions_.size());
+  return *sessions_[tenant];
+}
+
+uint64_t FleetEngine::frames_processed() const {
+  uint64_t total = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    total += shard->processed.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+}  // namespace phasorwatch::detect

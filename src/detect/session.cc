@@ -1,0 +1,459 @@
+#include "detect/session.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "common/serialize.h"
+#include "common/status.h"
+#include "obs/event_log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace phasorwatch::detect {
+namespace {
+
+// Errors the session may absorb as rejected samples under
+// tolerate_bad_samples: malformed measurements and data starvation are
+// facts of life on a PMU feed. Everything else (internal errors,
+// numerical failures) still propagates.
+bool IsBadSampleError(StatusCode code) {
+  return code == StatusCode::kInvalidArgument ||
+         code == StatusCode::kDataMissing;
+}
+
+// TenantSnapshot wire format tag ("PWSNAP" + 2-digit version).
+constexpr uint64_t kSnapshotMagic = 0x5057534e41503031ull;  // "PWSNAP01"
+// A vote window is a handful of candidate sets; anything beyond this is
+// corrupt input, not a real snapshot.
+constexpr uint64_t kMaxSnapshotVotes = 1 << 16;
+
+}  // namespace
+
+TenantSession::TenantSession(std::shared_ptr<OutageDetector> detector,
+                             const StreamOptions& options, std::string label)
+    : model_(std::move(detector)),
+      options_(options),
+      label_(std::move(label)) {
+  PW_CHECK(model_.load(std::memory_order_relaxed) != nullptr);
+  PW_CHECK_GT(options_.alarm_after, 0u);
+  PW_CHECK_GT(options_.clear_after, 0u);
+  PW_CHECK_GT(options_.vote_window, 0u);
+}
+
+std::shared_ptr<OutageDetector> TenantSession::AcquireModel() {
+  std::shared_ptr<OutageDetector> model =
+      model_.load(std::memory_order_acquire);
+  if (model.get() != memo_model_) {
+    // A reload happened since the batch memo was warmed; its cached
+    // group selection and regressor keys belong to the old instance.
+    batch_memo_.Clear();
+    memo_model_ = model.get();
+  }
+  return model;
+}
+
+void TenantSession::ReloadModel(std::shared_ptr<OutageDetector> model) {
+  PW_CHECK(model != nullptr);
+  model_.store(std::move(model), std::memory_order_release);
+  PW_OBS_COUNTER_INC("stream.model_reloads");
+#ifndef PW_OBS_DISABLED
+  if (!label_.empty()) {
+    obs::EventLog::Global().Emit("model_reloaded").Str("tenant", label_);
+  } else {
+    obs::EventLog::Global().Emit("model_reloaded");
+  }
+#endif
+}
+
+Result<StreamEvent> TenantSession::Process(const linalg::Vector& vm,
+                                           const linalg::Vector& va,
+                                           const sim::MissingMask& mask) {
+  // End-to-end per-sample latency (detector + debounce), tail-accurate
+  // via the like-named quantile histogram.
+  PW_TRACE_SCOPE("stream.sample_us");
+  std::shared_ptr<OutageDetector> model = AcquireModel();
+  Result<DetectionResult> raw = model->Detect(vm, va, mask);
+  if (!raw.ok()) {
+    if (!options_.tolerate_bad_samples ||
+        !IsBadSampleError(raw.status().code())) {
+      return raw.status();
+    }
+    return RejectSample(raw.status());
+  }
+  return Debounce(*model, std::move(raw).value());
+}
+
+Result<StreamEvent> TenantSession::ProcessFrame(
+    const sim::MeasurementFrame& frame) {
+  // End-to-end frame latency, transport screening included. The
+  // `.high_water` gauge keeps the worst single frame ever seen — the
+  // number an operator compares against the PMU reporting interval.
+  PW_TRACE_SCOPE_HIGH_WATER("stream.frame_us");
+  if (frame.dropped) {
+    PW_OBS_COUNTER_INC("stream.frames_dropped");
+    counters_.frames_dropped.fetch_add(1, std::memory_order_relaxed);
+    Status reason = Status::DataMissing("frame dropped in transport");
+    if (!options_.tolerate_bad_samples) return reason;
+    return RejectSample(reason);
+  }
+  if (has_timestamp_ && frame.timestamp_us <= last_timestamp_us_) {
+    PW_OBS_COUNTER_INC("stream.frames_stale");
+    counters_.frames_stale.fetch_add(1, std::memory_order_relaxed);
+    Status reason = Status::InvalidArgument(
+        "frame timestamp did not advance (stale or replayed data)");
+    if (!options_.tolerate_bad_samples) return reason;
+    return RejectSample(reason);
+  }
+  last_timestamp_us_ = frame.timestamp_us;
+  has_timestamp_ = true;
+  return Process(frame.vm, frame.va, frame.mask);
+}
+
+Result<std::vector<StreamEvent>> TenantSession::ProcessBatch(
+    const std::vector<OutageDetector::BatchSample>& samples) {
+  PW_TRACE_SCOPE("stream.batch_us");
+  for (const OutageDetector::BatchSample& sample : samples) {
+    if (sample.vm == nullptr || sample.va == nullptr ||
+        sample.mask == nullptr) {
+      return Status::InvalidArgument("ProcessBatch sample has null fields");
+    }
+  }
+#ifndef PW_OBS_DISABLED
+  const double batch_start_us = obs::MonotonicNowUs();
+#endif
+  std::shared_ptr<OutageDetector> model = AcquireModel();
+  Result<std::vector<DetectionResult>> raws =
+      model->DetectBatch(samples, &batch_memo_);
+  if (raws.ok()) {
+    std::vector<StreamEvent> events;
+    events.reserve(raws.value().size());
+    for (DetectionResult& raw : raws.value()) {
+      events.push_back(Debounce(*model, std::move(raw)));
+    }
+#ifndef PW_OBS_DISABLED
+    // Amortized per-frame latency: the batch path must feed the same
+    // `stream.frame_us` series ProcessFrame feeds, or a monitor that
+    // drains PDC buffers in blocks would report an empty tail.
+    if (!events.empty()) {
+      const double per_sample_us =
+          (obs::MonotonicNowUs() - batch_start_us) /
+          static_cast<double>(events.size());
+      for (size_t i = 0; i < events.size(); ++i) {
+        PW_OBS_QUANTILE_RECORD("stream.frame_us", per_sample_us);
+      }
+      PW_OBS_GAUGE_MAX("stream.frame_us.high_water", per_sample_us);
+    }
+#endif
+    return events;
+  }
+  if (!options_.tolerate_bad_samples ||
+      !IsBadSampleError(raws.status().code())) {
+    return raws.status();
+  }
+  // A bad sample aborts the whole DetectBatch call, so replay the block
+  // sample by sample: only the offending samples become rejected
+  // events. Detector-level counters count the aborted batch prefix a
+  // second time here — operational metrics, not exact tallies, under
+  // fault conditions.
+  std::vector<StreamEvent> events;
+  events.reserve(samples.size());
+  for (const OutageDetector::BatchSample& sample : samples) {
+    PW_ASSIGN_OR_RETURN(StreamEvent event,
+                        Process(*sample.vm, *sample.va, *sample.mask));
+    events.push_back(std::move(event));
+  }
+  return events;
+}
+
+StreamEvent TenantSession::RejectSample(const Status& reason) {
+  StreamEvent event;
+  event.sample_index = next_sample_++;
+  event.sample_rejected = true;
+  event.alarm_active = alarm_active_.load(std::memory_order_relaxed);
+  PW_OBS_COUNTER_INC("stream.samples_rejected");
+  counters_.samples_rejected.fetch_add(1, std::memory_order_relaxed);
+  static_cast<void>(reason);
+#ifndef PW_OBS_DISABLED
+  {
+    obs::EventLog::Event log_event =
+        obs::EventLog::Global().Emit("sample_rejected");
+    log_event.Uint("sample", event.sample_index)
+        .Str("reason", reason.ToString());
+    if (!label_.empty()) log_event.Str("tenant", label_);
+  }
+#endif
+  return event;
+}
+
+StreamEvent TenantSession::Debounce(const OutageDetector& detector,
+                                    DetectionResult raw) {
+  // The alarm stage proper: debounce counters, majority vote, event
+  // emission — everything after the detector returns.
+  PW_TRACE_SCOPE("stream.stage.alarm_us");
+  static_cast<void>(detector);  // Only read by the obs-gated event log.
+  StreamEvent event;
+  event.sample_index = next_sample_++;
+  PW_OBS_COUNTER_INC("stream.samples");
+  counters_.samples.fetch_add(1, std::memory_order_relaxed);
+  event.raw = std::move(raw);
+
+  if (event.raw.outage_detected) {
+    ++consecutive_positive_;
+    consecutive_negative_ = 0;
+    recent_votes_.push_back(event.raw.lines);
+    while (recent_votes_.size() > options_.vote_window) {
+      recent_votes_.pop_front();
+    }
+  } else {
+    ++consecutive_negative_;
+    consecutive_positive_ = 0;
+  }
+
+  if (!alarm_active_ && consecutive_positive_ >= options_.alarm_after) {
+    alarm_active_ = true;
+    event.alarm_raised = true;
+  } else if (alarm_active_ && consecutive_negative_ >= options_.clear_after) {
+    alarm_active_ = false;
+    event.alarm_cleared = true;
+    recent_votes_.clear();
+  }
+
+  event.alarm_active = alarm_active_;
+  if (alarm_active_) {
+    event.lines = MajorityLines();
+  }
+
+  if (event.alarm_raised) {
+    counters_.alarms_raised.fetch_add(1, std::memory_order_relaxed);
+  } else if (event.alarm_cleared) {
+    counters_.alarms_cleared.fetch_add(1, std::memory_order_relaxed);
+  }
+
+#ifndef PW_OBS_DISABLED
+  PW_OBS_GAUGE_SET("stream.alarm_active", alarm_active_ ? 1 : 0);
+  if (event.alarm_raised) {
+    PW_OBS_COUNTER_INC("stream.alarms_raised");
+    obs::EventLog::Event log_event =
+        obs::EventLog::Global().Emit("alarm_raised");
+    log_event.Uint("sample", event.sample_index)
+        .Num("decision_score", event.raw.decision_score)
+        .StrList("candidate_lines", LineNames(detector, event.lines));
+    if (!label_.empty()) log_event.Str("tenant", label_);
+  } else if (event.alarm_cleared) {
+    PW_OBS_COUNTER_INC("stream.alarms_cleared");
+    obs::EventLog::Event log_event =
+        obs::EventLog::Global().Emit("alarm_cleared");
+    log_event.Uint("sample", event.sample_index)
+        .Num("decision_score", event.raw.decision_score);
+    if (!label_.empty()) log_event.Str("tenant", label_);
+  } else if (alarm_active_) {
+    // Steady-state alarm tick: record the (possibly re-voted) F-hat so
+    // the JSONL log shows the candidate set evolving sample by sample.
+    obs::EventLog::Event log_event = obs::EventLog::Global().Emit("alarm_vote");
+    log_event.Uint("sample", event.sample_index)
+        .Num("decision_score", event.raw.decision_score)
+        .StrList("candidate_lines", LineNames(detector, event.lines));
+    if (!label_.empty()) log_event.Str("tenant", label_);
+  }
+  // Per-sample heartbeat for debugging; rate-limited so a 30-60 Hz PMU
+  // stream cannot flood stderr.
+  PW_LOG_EVERY_N(Debug, 30) << "stream: sample " << event.sample_index
+                            << " score=" << event.raw.decision_score
+                            << (alarm_active_ ? " [ALARM]" : "");
+#endif  // PW_OBS_DISABLED
+  return event;
+}
+
+Result<StreamEvent> TenantSession::Process(const linalg::Vector& vm,
+                                           const linalg::Vector& va) {
+  return Process(vm, va, sim::MissingMask::None(vm.size()));
+}
+
+void TenantSession::Reset() {
+  alarm_active_ = false;
+  consecutive_positive_ = 0;
+  consecutive_negative_ = 0;
+  next_sample_ = 0;
+  recent_votes_.clear();
+  last_timestamp_us_ = 0;
+  has_timestamp_ = false;
+  // The batch memo's group selection belongs to the stream the operator
+  // just acknowledged away; a fresh monitor has no warm selection, and
+  // Reset must behave exactly like one (tests/stream_test.cc pins this).
+  batch_memo_.Clear();
+#ifndef PW_OBS_DISABLED
+  if (!label_.empty()) {
+    obs::EventLog::Global().Emit("monitor_reset").Str("tenant", label_);
+  } else {
+    obs::EventLog::Global().Emit("monitor_reset");
+  }
+  PW_OBS_GAUGE_SET("stream.alarm_active", 0);
+#endif
+}
+
+TenantSnapshot TenantSession::Snapshot() const {
+  TenantSnapshot snapshot;
+  snapshot.next_sample_index = next_sample_.load(std::memory_order_relaxed);
+  snapshot.alarm_active = alarm_active_.load(std::memory_order_relaxed);
+  snapshot.consecutive_positive = consecutive_positive_;
+  snapshot.consecutive_negative = consecutive_negative_;
+  snapshot.recent_votes.assign(recent_votes_.begin(), recent_votes_.end());
+  snapshot.last_timestamp_us = last_timestamp_us_;
+  snapshot.has_timestamp = has_timestamp_;
+  snapshot.samples = counters_.samples.load(std::memory_order_relaxed);
+  snapshot.samples_rejected =
+      counters_.samples_rejected.load(std::memory_order_relaxed);
+  snapshot.frames_dropped =
+      counters_.frames_dropped.load(std::memory_order_relaxed);
+  snapshot.frames_stale =
+      counters_.frames_stale.load(std::memory_order_relaxed);
+  snapshot.alarms_raised =
+      counters_.alarms_raised.load(std::memory_order_relaxed);
+  snapshot.alarms_cleared =
+      counters_.alarms_cleared.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+Status TenantSession::Restore(const TenantSnapshot& snapshot) {
+  const size_t num_buses = model()->grid().num_buses();
+  for (const std::vector<grid::LineId>& vote : snapshot.recent_votes) {
+    for (const grid::LineId& line : vote) {
+      if (line.i >= num_buses || line.j >= num_buses) {
+        return Status::InvalidArgument(
+            "snapshot vote references a bus outside the tenant's grid");
+      }
+    }
+  }
+  next_sample_.store(snapshot.next_sample_index, std::memory_order_release);
+  alarm_active_.store(snapshot.alarm_active, std::memory_order_release);
+  consecutive_positive_ = snapshot.consecutive_positive;
+  consecutive_negative_ = snapshot.consecutive_negative;
+  recent_votes_.assign(snapshot.recent_votes.begin(),
+                       snapshot.recent_votes.end());
+  last_timestamp_us_ = snapshot.last_timestamp_us;
+  has_timestamp_ = snapshot.has_timestamp;
+  counters_.samples.store(snapshot.samples, std::memory_order_relaxed);
+  counters_.samples_rejected.store(snapshot.samples_rejected,
+                                   std::memory_order_relaxed);
+  counters_.frames_dropped.store(snapshot.frames_dropped,
+                                 std::memory_order_relaxed);
+  counters_.frames_stale.store(snapshot.frames_stale,
+                               std::memory_order_relaxed);
+  counters_.alarms_raised.store(snapshot.alarms_raised,
+                                std::memory_order_relaxed);
+  counters_.alarms_cleared.store(snapshot.alarms_cleared,
+                                 std::memory_order_relaxed);
+  // The memo was warmed by the pre-restore stream; the restored stream
+  // starts clean, exactly like the failed-over session it resumes.
+  batch_memo_.Clear();
+  return Status::OK();
+}
+
+std::vector<grid::LineId> TenantSession::MajorityLines() const {
+  // Count appearances of each candidate line over the window; keep the
+  // lines present in more than half of the votes. Falls back to the
+  // most recent raw candidate set when nothing clears the bar (early in
+  // an event the window is short).
+  std::map<grid::LineId, size_t> counts;
+  for (const auto& vote : recent_votes_) {
+    for (const grid::LineId& line : vote) ++counts[line];
+  }
+  std::vector<grid::LineId> majority;
+  size_t needed = recent_votes_.size() / 2 + 1;
+  for (const auto& [line, count] : counts) {
+    if (count >= needed) majority.push_back(line);
+  }
+  if (majority.empty() && !recent_votes_.empty()) {
+    majority = recent_votes_.back();
+  }
+  return majority;
+}
+
+std::vector<std::string> TenantSession::LineNames(
+    const OutageDetector& detector,
+    const std::vector<grid::LineId>& lines) const {
+  std::vector<std::string> names;
+  names.reserve(lines.size());
+  for (const grid::LineId& line : lines) {
+    names.push_back(detector.grid().LineName(line));
+  }
+  return names;
+}
+
+Status TenantSnapshot::WriteTo(std::ostream& out) const {
+  BinaryWriter writer(out);
+  writer.WriteU64(kSnapshotMagic);
+  writer.WriteU64(next_sample_index);
+  writer.WriteBool(alarm_active);
+  writer.WriteU64(consecutive_positive);
+  writer.WriteU64(consecutive_negative);
+  writer.WriteU64(recent_votes.size());
+  for (const std::vector<grid::LineId>& vote : recent_votes) {
+    // Each vote flattens to [i0, j0, i1, j1, ...]; LineId normalizes
+    // i < j on construction, so the flat form round-trips exactly.
+    std::vector<size_t> flat;
+    flat.reserve(vote.size() * 2);
+    for (const grid::LineId& line : vote) {
+      flat.push_back(line.i);
+      flat.push_back(line.j);
+    }
+    writer.WriteSizeVector(flat);
+  }
+  writer.WriteU64(last_timestamp_us);
+  writer.WriteBool(has_timestamp);
+  writer.WriteU64(samples);
+  writer.WriteU64(samples_rejected);
+  writer.WriteU64(frames_dropped);
+  writer.WriteU64(frames_stale);
+  writer.WriteU64(alarms_raised);
+  writer.WriteU64(alarms_cleared);
+  if (!writer.ok()) {
+    return Status::Internal("TenantSnapshot write failed (stream error)");
+  }
+  return Status::OK();
+}
+
+Result<TenantSnapshot> TenantSnapshot::ReadFrom(std::istream& in) {
+  BinaryReader reader(in);
+  PW_ASSIGN_OR_RETURN(uint64_t magic, reader.ReadU64());
+  if (magic != kSnapshotMagic) {
+    return Status::InvalidArgument("not a PWSNAP01 tenant snapshot");
+  }
+  TenantSnapshot snapshot;
+  PW_ASSIGN_OR_RETURN(snapshot.next_sample_index, reader.ReadU64());
+  PW_ASSIGN_OR_RETURN(snapshot.alarm_active, reader.ReadBool());
+  PW_ASSIGN_OR_RETURN(snapshot.consecutive_positive, reader.ReadU64());
+  PW_ASSIGN_OR_RETURN(snapshot.consecutive_negative, reader.ReadU64());
+  PW_ASSIGN_OR_RETURN(uint64_t num_votes, reader.ReadU64());
+  if (num_votes > kMaxSnapshotVotes) {
+    return Status::InvalidArgument("tenant snapshot vote window too large");
+  }
+  snapshot.recent_votes.reserve(num_votes);
+  for (uint64_t v = 0; v < num_votes; ++v) {
+    PW_ASSIGN_OR_RETURN(std::vector<size_t> flat, reader.ReadSizeVector());
+    if (flat.size() % 2 != 0) {
+      return Status::InvalidArgument(
+          "tenant snapshot vote has a dangling bus index");
+    }
+    std::vector<grid::LineId> vote;
+    vote.reserve(flat.size() / 2);
+    for (size_t k = 0; k + 1 < flat.size(); k += 2) {
+      vote.emplace_back(flat[k], flat[k + 1]);
+    }
+    snapshot.recent_votes.push_back(std::move(vote));
+  }
+  PW_ASSIGN_OR_RETURN(snapshot.last_timestamp_us, reader.ReadU64());
+  PW_ASSIGN_OR_RETURN(snapshot.has_timestamp, reader.ReadBool());
+  PW_ASSIGN_OR_RETURN(snapshot.samples, reader.ReadU64());
+  PW_ASSIGN_OR_RETURN(snapshot.samples_rejected, reader.ReadU64());
+  PW_ASSIGN_OR_RETURN(snapshot.frames_dropped, reader.ReadU64());
+  PW_ASSIGN_OR_RETURN(snapshot.frames_stale, reader.ReadU64());
+  PW_ASSIGN_OR_RETURN(snapshot.alarms_raised, reader.ReadU64());
+  PW_ASSIGN_OR_RETURN(snapshot.alarms_cleared, reader.ReadU64());
+  return snapshot;
+}
+
+}  // namespace phasorwatch::detect

@@ -1,0 +1,252 @@
+#ifndef PHASORWATCH_DETECT_SESSION_H_
+#define PHASORWATCH_DETECT_SESSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/status.h"
+#include "detect/detector.h"
+#include "sim/fault_injection.h"
+
+namespace phasorwatch::detect {
+
+/// Debouncing policy for a tenant session / streaming monitor.
+struct StreamOptions {
+  /// Consecutive outage-positive samples before the alarm is raised.
+  /// PMUs deliver 30-60 samples/s, so even 3 costs only ~100 ms of
+  /// latency while suppressing single-sample flicker.
+  size_t alarm_after = 2;
+  /// Consecutive normal samples before an active alarm clears.
+  size_t clear_after = 3;
+  /// Sliding window of recent positive detections used for the majority
+  /// vote over candidate lines.
+  size_t vote_window = 8;
+  /// A PMU feed drops frames, garbles payloads, and repeats stale data;
+  /// a monitor that returns an error on every such sample is useless in
+  /// production. With this set (the default), samples the detector
+  /// rejects as malformed or data-starved become `sample_rejected`
+  /// events — the debouncing state is untouched, exactly as if the
+  /// sample had never arrived — and only programming errors propagate.
+  /// Clear it to surface every rejection as a Status (strict mode for
+  /// tests and offline replays).
+  bool tolerate_bad_samples = true;
+};
+
+/// One processed sample's outcome.
+struct StreamEvent {
+  /// 0-based index of the sample within this session's stream (resets
+  /// with Reset()); alarm events in the JSONL log carry the same index.
+  uint64_t sample_index = 0;
+  bool alarm_active = false;
+  bool alarm_raised = false;   ///< transitioned to active at this sample
+  bool alarm_cleared = false;  ///< transitioned to inactive at this sample
+  /// The sample was dropped, stale, or rejected by the detector
+  /// (StreamOptions::tolerate_bad_samples); debouncing state was not
+  /// advanced and `raw`/`lines` carry no detection.
+  bool sample_rejected = false;
+  /// Majority-voted candidate lines over the vote window (stable F-hat);
+  /// empty while no alarm is active.
+  std::vector<grid::LineId> lines;
+  /// The raw single-sample detection (for logging/inspection).
+  DetectionResult raw;
+};
+
+/// Per-tenant ingest/alarm tallies, updated by the session's producer
+/// thread with relaxed atomics so any thread (the fleet engine's
+/// TenantRows, an operator CLI) can poll a consistent-enough row
+/// without locking. These are per-tenant views of the same happenings
+/// the global `stream.*` counters aggregate.
+struct TenantCounters {
+  std::atomic<uint64_t> samples{0};           ///< debounced samples
+  std::atomic<uint64_t> samples_rejected{0};  ///< rejected (bad) samples
+  std::atomic<uint64_t> frames_dropped{0};
+  std::atomic<uint64_t> frames_stale{0};
+  std::atomic<uint64_t> alarms_raised{0};
+  std::atomic<uint64_t> alarms_cleared{0};
+};
+
+/// A serializable copy of one session's mutable detection state: the
+/// debounce counters, the vote window, the frame watermark, and the
+/// per-tenant tallies — everything needed to resume a tenant's stream
+/// on another engine (failover) minus the model itself, which ships
+/// separately as a PWDET03 file. A session restored from a snapshot
+/// and fed the same subsequent frames produces bit-identical events to
+/// the session the snapshot was taken from.
+struct TenantSnapshot {
+  uint64_t next_sample_index = 0;
+  bool alarm_active = false;
+  uint64_t consecutive_positive = 0;
+  uint64_t consecutive_negative = 0;
+  /// Recent positive detections' candidate sets, oldest first.
+  std::vector<std::vector<grid::LineId>> recent_votes;
+  uint64_t last_timestamp_us = 0;
+  bool has_timestamp = false;
+  /// TenantCounters values at snapshot time.
+  uint64_t samples = 0;
+  uint64_t samples_rejected = 0;
+  uint64_t frames_dropped = 0;
+  uint64_t frames_stale = 0;
+  uint64_t alarms_raised = 0;
+  uint64_t alarms_cleared = 0;
+
+  /// Binary round trip (PWSNAP01, little-endian, length-prefixed).
+  PW_NODISCARD Status WriteTo(std::ostream& out) const;
+  PW_NODISCARD static Result<TenantSnapshot> ReadFrom(std::istream& in);
+};
+
+/// Per-grid detection state turning the per-sample OutageDetector into
+/// an operator-facing alarm stream: debounces the alarm flag,
+/// stabilizes the candidate line set by majority vote across recent
+/// samples, screens transport-level frame faults, and carries the
+/// tenant-scoped lifecycle (hot model reload, snapshot/restore, tenant
+/// tallies) the fleet engine (detect/fleet.h) builds on. A
+/// single-grid StreamingMonitor (detect/stream.h) is a thin wrapper
+/// over one of these.
+///
+/// Thread-safety contract (single producer, many observers): the
+/// Process* family and Reset()/Restore() mutate debouncing state and
+/// must be externally serialized — one ingest thread per session, as in
+/// a PDC feed; in the fleet engine that thread is the owning shard's
+/// drain loop. The cheap observers alarm_active(),
+/// samples_processed(), and counters() may be polled concurrently from
+/// other threads without locking, and ReloadModel()/model() are safe
+/// from any thread (atomic shared_ptr swap; in-flight samples finish
+/// on the model they started with).
+/// tests/stream_concurrency_test.cc and tests/fleet_concurrency_test.cc
+/// pin this contract down under ThreadSanitizer.
+class TenantSession {
+ public:
+  /// `label` tags this tenant's JSONL events (empty = untagged, the
+  /// single-grid monitor behavior). The detector is shared: sessions
+  /// for identical grids may point at one trained model.
+  TenantSession(std::shared_ptr<OutageDetector> detector,
+                const StreamOptions& options, std::string label = "");
+
+  /// Feeds one sample; returns the debounced event.
+  PW_NODISCARD Result<StreamEvent> Process(const linalg::Vector& vm,
+                                           const linalg::Vector& va,
+                                           const sim::MissingMask& mask);
+
+  /// Complete-sample convenience.
+  PW_NODISCARD Result<StreamEvent> Process(const linalg::Vector& vm,
+                                           const linalg::Vector& va);
+
+  /// Feeds one transport-level frame (sim/fault_injection.h), honoring
+  /// its metadata before the measurements are even looked at: dropped
+  /// frames and frames whose timestamp does not advance past the last
+  /// accepted one are rejected (`stream.frames_dropped` /
+  /// `stream.frames_stale`), everything else flows into Process().
+  /// Producer-thread only.
+  PW_NODISCARD Result<StreamEvent> ProcessFrame(
+      const sim::MeasurementFrame& frame);
+
+  /// Feeds a block of samples (in stream order) through
+  /// OutageDetector::DetectBatch and debounces each result. Events are
+  /// identical to calling Process() sample by sample; the batch
+  /// amortizes the detector's per-sample fixed costs, which matters
+  /// when draining a PDC buffer after a stall. The session keeps the
+  /// batch memo (group selection + regressor fast path) warm across
+  /// calls; Reset() and model reloads clear it. Producer-thread only,
+  /// like Process(). On error no sample of the batch is counted.
+  PW_NODISCARD Result<std::vector<StreamEvent>> ProcessBatch(
+      const std::vector<OutageDetector::BatchSample>& samples);
+
+  /// Safe to poll from any thread while the producer runs.
+  bool alarm_active() const {
+    return alarm_active_.load(std::memory_order_acquire);
+  }
+  /// Samples ingested since construction or the last Reset(), rejected
+  /// ones included (each consumes one sample index). Safe to poll from
+  /// any thread while the producer runs.
+  uint64_t samples_processed() const {
+    return next_sample_.load(std::memory_order_acquire);
+  }
+  /// Drops all debouncing/voting state (e.g. after operator ack),
+  /// including the batch-path memoization. Producer-thread only.
+  void Reset();
+
+  /// Swaps in a freshly trained/loaded model for the same grid and PMU
+  /// network (e.g. from a PWDET03 file). Safe from any thread, while
+  /// the producer runs: the swap is an atomic shared_ptr store, samples
+  /// already in flight finish on the model they loaded, and the first
+  /// sample after the swap runs on the new model with a cleared batch
+  /// memo. Debounce state is carried across the reload — the alarm
+  /// stream must not flap because operations rolled a model.
+  void ReloadModel(std::shared_ptr<OutageDetector> model);
+
+  /// The model new samples will run on. Safe from any thread.
+  std::shared_ptr<OutageDetector> model() const {
+    return model_.load(std::memory_order_acquire);
+  }
+
+  /// Copies the mutable detection state for failover. Producer-thread
+  /// only (or externally quiesced), like the Process* family: a
+  /// concurrent producer would tear the vote window. The fleet engine
+  /// runs it on the owning shard for exactly that reason.
+  TenantSnapshot Snapshot() const;
+
+  /// Replaces this session's state with `snapshot` (the inverse of
+  /// Snapshot). Validates the vote window against the current model's
+  /// grid. Producer-thread only.
+  PW_NODISCARD Status Restore(const TenantSnapshot& snapshot);
+
+  const std::string& label() const { return label_; }
+  /// Per-tenant tallies; any thread.
+  const TenantCounters& counters() const { return counters_; }
+
+ private:
+  /// Advances the debouncing state machine with one raw detection and
+  /// builds its event (the shared tail of Process and ProcessBatch).
+  StreamEvent Debounce(const OutageDetector& detector, DetectionResult raw);
+
+  /// Builds a `sample_rejected` event for a sample the session refuses
+  /// to feed into debouncing (consumes a sample index, leaves the
+  /// debounce state alone).
+  StreamEvent RejectSample(const Status& reason);
+
+  std::vector<grid::LineId> MajorityLines() const;
+  /// Names for a candidate line set, for event logs ("Bus1-Bus2").
+  std::vector<std::string> LineNames(
+      const OutageDetector& detector,
+      const std::vector<grid::LineId>& lines) const;
+
+  /// Current model, with the batch memo invalidated if the model
+  /// changed since the memo was warmed. Producer-thread only.
+  std::shared_ptr<OutageDetector> AcquireModel();
+
+  /// Atomic swap target for hot reload; all other state below is
+  /// producer-thread-owned except where noted.
+  std::atomic<std::shared_ptr<OutageDetector>> model_;
+  StreamOptions options_;
+  std::string label_;
+
+  /// Batch-path memoization, kept warm across ProcessBatch calls.
+  /// Bound to one model instance: cleared on Reset() and whenever
+  /// AcquireModel observes a reload.
+  OutageDetector::BatchMemo batch_memo_;
+  const OutageDetector* memo_model_ = nullptr;
+
+  /// Atomic so observers can poll concurrently with the producer; all
+  /// writes happen on the producer thread.
+  std::atomic<uint64_t> next_sample_{0};
+  std::atomic<bool> alarm_active_{false};
+  size_t consecutive_positive_ = 0;
+  size_t consecutive_negative_ = 0;
+  std::deque<std::vector<grid::LineId>> recent_votes_;
+  /// Timestamp of the last accepted frame (ProcessFrame staleness
+  /// check). Producer-thread only, like the debounce counters.
+  uint64_t last_timestamp_us_ = 0;
+  bool has_timestamp_ = false;
+
+  TenantCounters counters_;
+};
+
+}  // namespace phasorwatch::detect
+
+#endif  // PHASORWATCH_DETECT_SESSION_H_

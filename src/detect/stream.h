@@ -1,64 +1,25 @@
 #ifndef PHASORWATCH_DETECT_STREAM_H_
 #define PHASORWATCH_DETECT_STREAM_H_
 
-#include <atomic>
 #include <cstdint>
-#include <deque>
-#include <map>
-#include <string>
+#include <memory>
 #include <vector>
 
 #include "common/check.h"
 #include "common/status.h"
 #include "detect/detector.h"
+#include "detect/session.h"
 #include "sim/fault_injection.h"
 
 namespace phasorwatch::detect {
 
-/// Debouncing policy for the streaming monitor.
-struct StreamOptions {
-  /// Consecutive outage-positive samples before the alarm is raised.
-  /// PMUs deliver 30-60 samples/s, so even 3 costs only ~100 ms of
-  /// latency while suppressing single-sample flicker.
-  size_t alarm_after = 2;
-  /// Consecutive normal samples before an active alarm clears.
-  size_t clear_after = 3;
-  /// Sliding window of recent positive detections used for the majority
-  /// vote over candidate lines.
-  size_t vote_window = 8;
-  /// A PMU feed drops frames, garbles payloads, and repeats stale data;
-  /// a monitor that returns an error on every such sample is useless in
-  /// production. With this set (the default), samples the detector
-  /// rejects as malformed or data-starved become `sample_rejected`
-  /// events — the debouncing state is untouched, exactly as if the
-  /// sample had never arrived — and only programming errors propagate.
-  /// Clear it to surface every rejection as a Status (strict mode for
-  /// tests and offline replays).
-  bool tolerate_bad_samples = true;
-};
-
-/// One processed sample's outcome.
-struct StreamEvent {
-  /// 0-based index of the sample within this monitor's stream (resets
-  /// with Reset()); alarm events in the JSONL log carry the same index.
-  uint64_t sample_index = 0;
-  bool alarm_active = false;
-  bool alarm_raised = false;   ///< transitioned to active at this sample
-  bool alarm_cleared = false;  ///< transitioned to inactive at this sample
-  /// The sample was dropped, stale, or rejected by the detector
-  /// (StreamOptions::tolerate_bad_samples); debouncing state was not
-  /// advanced and `raw`/`lines` carry no detection.
-  bool sample_rejected = false;
-  /// Majority-voted candidate lines over the vote window (stable F-hat);
-  /// empty while no alarm is active.
-  std::vector<grid::LineId> lines;
-  /// The raw single-sample detection (for logging/inspection).
-  DetectionResult raw;
-};
-
 /// Stateful wrapper turning the per-sample OutageDetector into an
-/// operator-facing alarm stream: debounces the alarm flag and stabilizes
-/// the candidate line set by majority vote across recent samples.
+/// operator-facing alarm stream: debounces the alarm flag and
+/// stabilizes the candidate line set by majority vote across recent
+/// samples. This is the single-grid, caller-threaded entry point; the
+/// implementation lives in TenantSession (detect/session.h), of which
+/// this monitor owns exactly one — multi-grid deployments run many
+/// sessions behind the fleet engine (detect/fleet.h) instead.
 ///
 /// Thread-safety contract (single producer, many observers): Process()
 /// and Reset() mutate debouncing state and must be externally
@@ -71,79 +32,58 @@ struct StreamEvent {
 /// ThreadSanitizer.
 class StreamingMonitor {
  public:
-  /// The detector must outlive the monitor.
-  StreamingMonitor(OutageDetector* detector, const StreamOptions& options);
+  /// The detector must outlive the monitor (the monitor's session holds
+  /// a non-owning reference; null crashes the session constructor's
+  /// contract check, as before).
+  StreamingMonitor(OutageDetector* detector, const StreamOptions& options)
+      // Aliasing shared_ptr with no control block: the monitor never
+      // owned its detector and still does not.
+      : session_(std::shared_ptr<OutageDetector>(
+                     std::shared_ptr<OutageDetector>(), detector),
+                 options) {}
 
   /// Feeds one sample; returns the debounced event.
   PW_NODISCARD Result<StreamEvent> Process(const linalg::Vector& vm,
                                            const linalg::Vector& va,
-                                           const sim::MissingMask& mask);
+                                           const sim::MissingMask& mask) {
+    return session_.Process(vm, va, mask);
+  }
 
   /// Complete-sample convenience.
   PW_NODISCARD Result<StreamEvent> Process(const linalg::Vector& vm,
-                                           const linalg::Vector& va);
+                                           const linalg::Vector& va) {
+    return session_.Process(vm, va);
+  }
 
-  /// Feeds one transport-level frame (sim/fault_injection.h), honoring
-  /// its metadata before the measurements are even looked at: dropped
-  /// frames and frames whose timestamp does not advance past the last
-  /// accepted one are rejected (`stream.frames_dropped` /
-  /// `stream.frames_stale`), everything else flows into Process().
-  /// Producer-thread only.
+  /// Feeds one transport-level frame (sim/fault_injection.h); see
+  /// TenantSession::ProcessFrame. Producer-thread only.
   PW_NODISCARD Result<StreamEvent> ProcessFrame(
-      const sim::MeasurementFrame& frame);
+      const sim::MeasurementFrame& frame) {
+    return session_.ProcessFrame(frame);
+  }
 
-  /// Feeds a block of samples (in stream order) through
-  /// OutageDetector::DetectBatch and debounces each result. Events are
-  /// identical to calling Process() sample by sample; the batch
-  /// amortizes the detector's per-sample fixed costs, which matters
-  /// when draining a PDC buffer after a stall. Producer-thread only,
-  /// like Process(). On error no sample of the batch is counted.
+  /// Feeds a block of samples (in stream order); see
+  /// TenantSession::ProcessBatch. Producer-thread only.
   PW_NODISCARD Result<std::vector<StreamEvent>> ProcessBatch(
-      const std::vector<OutageDetector::BatchSample>& samples);
+      const std::vector<OutageDetector::BatchSample>& samples) {
+    return session_.ProcessBatch(samples);
+  }
 
   /// Safe to poll from any thread while the producer runs.
-  bool alarm_active() const {
-    return alarm_active_.load(std::memory_order_acquire);
-  }
+  bool alarm_active() const { return session_.alarm_active(); }
   /// Samples ingested since construction or the last Reset(), rejected
   /// ones included (each consumes one sample index). Safe to poll from
   /// any thread while the producer runs.
-  uint64_t samples_processed() const {
-    return next_sample_.load(std::memory_order_acquire);
-  }
-  /// Drops all debouncing/voting state (e.g. after operator ack).
-  /// Producer-thread only.
-  void Reset();
+  uint64_t samples_processed() const { return session_.samples_processed(); }
+  /// Drops all debouncing/voting state and the batch-path memoization
+  /// (e.g. after operator ack). Producer-thread only.
+  void Reset() { session_.Reset(); }
+
+  /// The underlying session, for callers migrating to the fleet API.
+  TenantSession& session() { return session_; }
 
  private:
-  /// Advances the debouncing state machine with one raw detection and
-  /// builds its event (the shared tail of Process and ProcessBatch).
-  StreamEvent Debounce(DetectionResult raw);
-
-  /// Builds a `sample_rejected` event for a sample the monitor refuses
-  /// to feed into debouncing (consumes a sample index, leaves the
-  /// debounce state alone).
-  StreamEvent RejectSample(const Status& reason);
-
-  std::vector<grid::LineId> MajorityLines() const;
-  /// Names for a candidate line set, for event logs ("Bus1-Bus2").
-  std::vector<std::string> LineNames(
-      const std::vector<grid::LineId>& lines) const;
-
-  OutageDetector* detector_;  // not owned
-  StreamOptions options_;
-
-  /// Atomic so observers can poll concurrently with the producer; all
-  /// writes happen on the producer thread.
-  std::atomic<uint64_t> next_sample_{0};
-  std::atomic<bool> alarm_active_{false};
-  size_t consecutive_positive_ = 0;
-  size_t consecutive_negative_ = 0;
-  std::deque<std::vector<grid::LineId>> recent_votes_;
-  /// Timestamp of the last accepted frame (ProcessFrame staleness
-  /// check). Producer-thread only, like the debounce counters.
-  uint64_t last_timestamp_us_ = 0;
-  bool has_timestamp_ = false;
+  TenantSession session_;
 };
 
 }  // namespace phasorwatch::detect

@@ -1,0 +1,388 @@
+#include "detect/fleet.h"
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "detect/stream.h"
+#include "eval/dataset.h"
+#include "grid/ieee_cases.h"
+
+namespace phasorwatch::detect {
+namespace {
+
+class FleetTest : public ::testing::Test {
+ protected:
+  struct Shared {
+    grid::Grid grid;
+    sim::PmuNetwork network;
+    std::unique_ptr<eval::Dataset> dataset;
+    std::shared_ptr<OutageDetector> detector;
+  };
+  static Shared* shared_;
+
+  static void SetUpTestSuite() {
+    auto grid = grid::IeeeCase14();
+    PW_CHECK(grid.ok());
+    auto network = sim::PmuNetwork::Build(*grid, 3);
+    PW_CHECK(network.ok());
+    shared_ = new Shared{std::move(grid).value(), std::move(network).value(),
+                         nullptr, nullptr};
+
+    eval::DatasetOptions dopts;
+    dopts.train_states = 16;
+    dopts.train_samples_per_state = 8;
+    dopts.test_states = 6;
+    dopts.test_samples_per_state = 6;
+    auto dataset = eval::BuildDataset(shared_->grid, dopts, 55);
+    PW_CHECK(dataset.ok());
+    shared_->dataset =
+        std::make_unique<eval::Dataset>(std::move(dataset).value());
+
+    TrainingData training;
+    training.normal = &shared_->dataset->normal.train;
+    for (const auto& c : shared_->dataset->outages) {
+      training.case_lines.push_back(c.line);
+      training.outage.push_back(&c.train);
+    }
+    auto det = OutageDetector::Train(shared_->grid, shared_->network,
+                                     training, {});
+    PW_CHECK(det.ok());
+    shared_->detector =
+        std::make_shared<OutageDetector>(std::move(det).value());
+  }
+
+  static void TearDownTestSuite() {
+    delete shared_;
+    shared_ = nullptr;
+  }
+
+  /// `count` frames alternating as requested, timestamps advancing.
+  static std::vector<sim::MeasurementFrame> MakeFrames(size_t outage_frames,
+                                                       size_t normal_frames) {
+    std::vector<sim::MeasurementFrame> frames;
+    const auto& outage = shared_->dataset->outages[0].test;
+    const auto& normal = shared_->dataset->normal.test;
+    uint64_t ts = 1000;
+    for (size_t t = 0; t < outage_frames; ++t, ts += 1000) {
+      frames.push_back(sim::MeasurementFrame::FromDataSet(
+          outage, t % outage.num_samples(), ts));
+    }
+    for (size_t t = 0; t < normal_frames; ++t, ts += 1000) {
+      frames.push_back(sim::MeasurementFrame::FromDataSet(
+          normal, t % normal.num_samples(), ts));
+    }
+    return frames;
+  }
+
+  static TenantConfig Config(const std::string& name) {
+    TenantConfig config;
+    config.name = name;
+    config.detector = shared_->detector;
+    config.stream.alarm_after = 2;
+    config.stream.clear_after = 2;
+    return config;
+  }
+};
+
+FleetTest::Shared* FleetTest::shared_ = nullptr;
+
+void ExpectSameSnapshot(const TenantSnapshot& a, const TenantSnapshot& b) {
+  EXPECT_EQ(a.next_sample_index, b.next_sample_index);
+  EXPECT_EQ(a.alarm_active, b.alarm_active);
+  EXPECT_EQ(a.consecutive_positive, b.consecutive_positive);
+  EXPECT_EQ(a.consecutive_negative, b.consecutive_negative);
+  EXPECT_EQ(a.recent_votes, b.recent_votes);
+  EXPECT_EQ(a.last_timestamp_us, b.last_timestamp_us);
+  EXPECT_EQ(a.has_timestamp, b.has_timestamp);
+  EXPECT_EQ(a.samples, b.samples);
+  EXPECT_EQ(a.samples_rejected, b.samples_rejected);
+  EXPECT_EQ(a.frames_dropped, b.frames_dropped);
+  EXPECT_EQ(a.frames_stale, b.frames_stale);
+  EXPECT_EQ(a.alarms_raised, b.alarms_raised);
+  EXPECT_EQ(a.alarms_cleared, b.alarms_cleared);
+}
+
+// A single-tenant fleet must land in exactly the state a plain
+// StreamingMonitor reaches on the same frame stream (the wrapper and
+// the engine share TenantSession, so full-state snapshots must match).
+TEST_F(FleetTest, SingleTenantFleetMatchesStreamingMonitor) {
+  auto frames = MakeFrames(6, 6);
+  // Throw in transport faults the screen must catch identically.
+  frames[3].dropped = true;
+  frames[9].timestamp_us = frames[8].timestamp_us;  // stale
+
+  StreamOptions sopts;
+  sopts.alarm_after = 2;
+  sopts.clear_after = 2;
+  StreamingMonitor monitor(shared_->detector.get(), sopts);
+  for (const auto& frame : frames) {
+    ASSERT_TRUE(monitor.ProcessFrame(frame).ok());
+  }
+
+  FleetOptions fopts;
+  fopts.num_shards = 1;
+  FleetEngine engine(fopts);
+  auto tenant = engine.AddTenant(Config("grid-a"));
+  ASSERT_TRUE(tenant.ok());
+  engine.Start();
+  for (const auto& frame : frames) {
+    ASSERT_TRUE(engine.Submit(*tenant, frame).ok());
+  }
+  engine.Flush();
+  engine.Stop();
+
+  EXPECT_EQ(engine.frames_submitted(), frames.size());
+  EXPECT_EQ(engine.frames_shed(), 0u);
+  EXPECT_EQ(engine.frames_processed(), frames.size());
+
+  ExpectSameSnapshot(engine.SnapshotTenant(*tenant).value(),
+                     monitor.session().Snapshot());
+  EXPECT_EQ(engine.session(*tenant).alarm_active(), monitor.alarm_active());
+}
+
+TEST_F(FleetTest, BackpressureRejectsWhenRingFull) {
+  FleetOptions fopts;
+  fopts.num_shards = 1;
+  fopts.queue_capacity = 4;  // 3 usable slots
+  FleetEngine engine(fopts);
+  auto tenant = engine.AddTenant(Config("grid-a"));
+  ASSERT_TRUE(tenant.ok());
+
+  // Not started: nothing drains, so the ring fills deterministically.
+  auto frames = MakeFrames(4, 0);
+  for (size_t k = 0; k < 3; ++k) {
+    ASSERT_TRUE(engine.Submit(*tenant, frames[k]).ok());
+  }
+  Status full = engine.Submit(*tenant, frames[3]);
+  EXPECT_EQ(full.code(), StatusCode::kResourceExhausted) << full.ToString();
+  EXPECT_EQ(engine.frames_shed(), 1u);
+  EXPECT_EQ(engine.frames_submitted(), 4u);
+
+  // Accepted frames survive the shed and drain on Start.
+  engine.Start();
+  engine.Flush();
+  engine.Stop();
+  EXPECT_EQ(engine.frames_processed(), 3u);
+  EXPECT_EQ(engine.session(*tenant).samples_processed(), 3u);
+}
+
+TEST_F(FleetTest, RejectsUnknownTenantAndBadConfigs) {
+  FleetEngine engine;
+  auto frames = MakeFrames(1, 0);
+  EXPECT_EQ(engine.Submit(7, frames[0]).code(), StatusCode::kNotFound);
+  EXPECT_EQ(engine.SnapshotTenant(7).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(engine.RestoreTenant(7, TenantSnapshot{}).code(),
+            StatusCode::kNotFound);
+
+  TenantConfig null_detector = Config("bad");
+  null_detector.detector = nullptr;
+  EXPECT_EQ(engine.AddTenant(std::move(null_detector)).status().code(),
+            StatusCode::kInvalidArgument);
+
+  ASSERT_TRUE(engine.AddTenant(Config("grid-a")).ok());
+  engine.Start();
+  EXPECT_EQ(engine.AddTenant(Config("late")).status().code(),
+            StatusCode::kFailedPrecondition);
+  engine.Stop();
+}
+
+TEST_F(FleetTest, TenantRowsReportShardPinningAndCounters) {
+  FleetOptions fopts;
+  fopts.num_shards = 2;
+  FleetEngine engine(fopts);
+  // Shard histograms are process-wide (metrics registry), so measure
+  // this test's contribution as a delta.
+  const uint64_t latency_before = engine.LatencySnapshot().count;
+  std::vector<TenantId> ids;
+  for (int k = 0; k < 5; ++k) {
+    auto id = engine.AddTenant(Config("grid-" + std::to_string(k)));
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  engine.Start();
+  auto frames = MakeFrames(2, 0);
+  for (TenantId id : ids) {
+    for (const auto& frame : frames) {
+      ASSERT_TRUE(engine.Submit(id, frame).ok());
+    }
+  }
+  engine.Flush();
+  engine.Stop();
+
+  auto rows = engine.TenantRows();
+  ASSERT_EQ(rows.size(), 5u);
+  for (size_t k = 0; k < rows.size(); ++k) {
+    EXPECT_EQ(rows[k].id, ids[k]);
+    EXPECT_EQ(rows[k].name, "grid-" + std::to_string(k));
+    EXPECT_EQ(rows[k].shard, k % 2);  // round-robin pinning
+    EXPECT_EQ(rows[k].samples, frames.size());
+  }
+  // Latency histogram saw every frame.
+  EXPECT_EQ(engine.LatencySnapshot().count - latency_before,
+            5 * frames.size());
+}
+
+// Failover: snapshot mid-stream, serialize, restore into a second
+// engine's tenant, and feed both the same tail — final states must be
+// bit-identical.
+TEST_F(FleetTest, SnapshotRestoreRoundTripResumesIdentically) {
+  auto frames = MakeFrames(5, 5);
+  const size_t kSplit = 4;
+
+  FleetOptions fopts;
+  fopts.num_shards = 1;
+  FleetEngine primary(fopts);
+  auto tenant_a = primary.AddTenant(Config("grid-a"));
+  ASSERT_TRUE(tenant_a.ok());
+  primary.Start();
+  for (size_t k = 0; k < kSplit; ++k) {
+    ASSERT_TRUE(primary.Submit(*tenant_a, frames[k]).ok());
+  }
+  primary.Flush();
+  auto mid = primary.SnapshotTenant(*tenant_a);  // engine still running
+  ASSERT_TRUE(mid.ok());
+
+  // Binary round trip (what failover actually ships).
+  std::stringstream buffer;
+  ASSERT_TRUE(mid->WriteTo(buffer).ok());
+  auto restored = TenantSnapshot::ReadFrom(buffer);
+  ASSERT_TRUE(restored.ok());
+  ExpectSameSnapshot(*restored, *mid);
+
+  FleetEngine standby(fopts);
+  auto tenant_b = standby.AddTenant(Config("grid-a"));
+  ASSERT_TRUE(tenant_b.ok());
+  standby.Start();
+  ASSERT_TRUE(standby.RestoreTenant(*tenant_b, *restored).ok());
+
+  for (size_t k = kSplit; k < frames.size(); ++k) {
+    ASSERT_TRUE(primary.Submit(*tenant_a, frames[k]).ok());
+    ASSERT_TRUE(standby.Submit(*tenant_b, frames[k]).ok());
+  }
+  primary.Flush();
+  standby.Flush();
+  primary.Stop();
+  standby.Stop();
+
+  ExpectSameSnapshot(standby.SnapshotTenant(*tenant_b).value(),
+                     primary.SnapshotTenant(*tenant_a).value());
+}
+
+TEST_F(FleetTest, SnapshotReadRejectsCorruptStream) {
+  TenantSnapshot snapshot;
+  snapshot.next_sample_index = 3;
+  std::stringstream buffer;
+  ASSERT_TRUE(snapshot.WriteTo(buffer).ok());
+  std::string bytes = buffer.str();
+  bytes[0] ^= 0xff;  // break the PWSNAP01 magic
+  std::stringstream corrupt(bytes);
+  auto result = TenantSnapshot::ReadFrom(corrupt);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(FleetTest, RestoreRejectsVotesOutsideGrid) {
+  TenantSession session(shared_->detector, {});
+  TenantSnapshot snapshot;
+  snapshot.recent_votes.push_back({grid::LineId{0, 99}});
+  Status status = session.Restore(snapshot);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument) << status.ToString();
+}
+
+TEST_F(FleetTest, HotReloadSwapsModelAndKeepsDebounceState) {
+  FleetOptions fopts;
+  fopts.num_shards = 1;
+  FleetEngine engine(fopts);
+  auto tenant = engine.AddTenant(Config("grid-a"));
+  ASSERT_TRUE(tenant.ok());
+  engine.Start();
+
+  auto frames = MakeFrames(4, 0);
+  for (const auto& frame : frames) {
+    ASSERT_TRUE(engine.Submit(*tenant, frame).ok());
+  }
+  engine.Flush();
+  ASSERT_TRUE(engine.session(*tenant).alarm_active());
+
+  // Clone the model through the PWDET03 round trip and hot-swap it.
+  std::stringstream buffer;
+  ASSERT_TRUE(shared_->detector->Save(buffer).ok());
+  auto clone = OutageDetector::Load(buffer, shared_->grid, shared_->network);
+  ASSERT_TRUE(clone.ok());
+  auto clone_ptr = std::make_shared<OutageDetector>(std::move(clone).value());
+  const OutageDetector* before = engine.session(*tenant).model().get();
+  ASSERT_TRUE(engine.ReloadModel(*tenant, clone_ptr).ok());
+  EXPECT_EQ(engine.session(*tenant).model().get(), clone_ptr.get());
+  EXPECT_NE(engine.session(*tenant).model().get(), before);
+  // Debounce state carried across the reload: the alarm must not flap.
+  EXPECT_TRUE(engine.session(*tenant).alarm_active());
+
+  // The stream keeps flowing on the new model.
+  auto tail = MakeFrames(0, 3);
+  for (auto& frame : tail) {
+    frame.timestamp_us += 1000000;  // past the first segment's timetags
+    ASSERT_TRUE(engine.Submit(*tenant, frame).ok());
+  }
+  engine.Flush();
+  engine.Stop();
+  EXPECT_EQ(engine.session(*tenant).samples_processed(),
+            frames.size() + tail.size());
+}
+
+TEST_F(FleetTest, ReloadModelFromFileChecksConfigAndPath) {
+  FleetEngine engine;
+  auto blind = engine.AddTenant(Config("no-deploy-config"));
+  ASSERT_TRUE(blind.ok());
+  EXPECT_EQ(engine.ReloadModelFromFile(*blind, "unused").code(),
+            StatusCode::kFailedPrecondition);
+
+  TenantConfig config = Config("deployable");
+  config.grid = &shared_->grid;
+  config.network = &shared_->network;
+  auto tenant = engine.AddTenant(std::move(config));
+  ASSERT_TRUE(tenant.ok());
+  EXPECT_FALSE(
+      engine.ReloadModelFromFile(*tenant, "/nonexistent/model.bin").ok());
+
+  const std::string path = ::testing::TempDir() + "/pw_fleet_model.bin";
+  ASSERT_TRUE(shared_->detector->SaveToFile(path).ok());
+  const OutageDetector* before = engine.session(*tenant).model().get();
+  ASSERT_TRUE(engine.ReloadModelFromFile(*tenant, path).ok());
+  EXPECT_NE(engine.session(*tenant).model().get(), before);
+}
+
+TEST_F(FleetTest, StopDrainsAndEngineRestarts) {
+  FleetOptions fopts;
+  fopts.num_shards = 2;
+  FleetEngine engine(fopts);
+  auto tenant = engine.AddTenant(Config("grid-a"));
+  ASSERT_TRUE(tenant.ok());
+
+  auto frames = MakeFrames(0, 4);
+  engine.Start();
+  EXPECT_TRUE(engine.running());
+  for (size_t k = 0; k < 2; ++k) {
+    ASSERT_TRUE(engine.Submit(*tenant, frames[k]).ok());
+  }
+  engine.Stop();  // must drain the two accepted frames, not drop them
+  EXPECT_FALSE(engine.running());
+  EXPECT_EQ(engine.frames_processed(), 2u);
+
+  engine.Start();
+  for (size_t k = 2; k < 4; ++k) {
+    ASSERT_TRUE(engine.Submit(*tenant, frames[k]).ok());
+  }
+  engine.Flush();
+  engine.Stop();
+  engine.Stop();  // idempotent
+  EXPECT_EQ(engine.frames_processed(), 4u);
+  EXPECT_EQ(engine.session(*tenant).samples_processed(), 4u);
+}
+
+}  // namespace
+}  // namespace phasorwatch::detect

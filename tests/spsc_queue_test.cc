@@ -1,0 +1,113 @@
+#include "common/spsc_queue.h"
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace phasorwatch {
+namespace {
+
+TEST(SpscQueueTest, CapacityRoundsUpToPowerOfTwoMinusOne) {
+  // One slot is sacrificed to distinguish full from empty.
+  EXPECT_EQ(SpscQueue<int>(1).capacity(), 1u);
+  EXPECT_EQ(SpscQueue<int>(2).capacity(), 1u);
+  EXPECT_EQ(SpscQueue<int>(3).capacity(), 3u);
+  EXPECT_EQ(SpscQueue<int>(4).capacity(), 3u);
+  EXPECT_EQ(SpscQueue<int>(5).capacity(), 7u);
+  EXPECT_EQ(SpscQueue<int>(1000).capacity(), 1023u);
+}
+
+TEST(SpscQueueTest, FifoOrder) {
+  SpscQueue<int> queue(8);
+  for (int i = 0; i < 5; ++i) {
+    int v = i;
+    ASSERT_TRUE(queue.TryPush(std::move(v)));
+  }
+  EXPECT_EQ(queue.SizeApprox(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    int out = -1;
+    ASSERT_TRUE(queue.TryPop(&out));
+    EXPECT_EQ(out, i);
+  }
+  int out = -1;
+  EXPECT_FALSE(queue.TryPop(&out));
+  EXPECT_EQ(queue.SizeApprox(), 0u);
+}
+
+TEST(SpscQueueTest, FullQueueRejectsWithoutBlocking) {
+  SpscQueue<int> queue(4);  // capacity 3
+  for (int i = 0; i < 3; ++i) {
+    int v = i;
+    ASSERT_TRUE(queue.TryPush(std::move(v)));
+  }
+  int extra = 99;
+  EXPECT_FALSE(queue.TryPush(std::move(extra)));
+  EXPECT_EQ(extra, 99) << "rejected item must be left untouched";
+  // Popping one frees exactly one slot.
+  int out = -1;
+  ASSERT_TRUE(queue.TryPop(&out));
+  EXPECT_TRUE(queue.TryPush(std::move(extra)));
+}
+
+TEST(SpscQueueTest, WrapsAroundManyTimes) {
+  SpscQueue<int> queue(4);
+  int next_push = 0;
+  int next_pop = 0;
+  for (int round = 0; round < 100; ++round) {
+    for (int k = 0; k < 3; ++k) {
+      int v = next_push;
+      if (queue.TryPush(std::move(v))) ++next_push;
+    }
+    for (int k = 0; k < 2; ++k) {
+      int out = -1;
+      if (queue.TryPop(&out)) {
+        EXPECT_EQ(out, next_pop);
+        ++next_pop;
+      }
+    }
+  }
+  int out = -1;
+  while (queue.TryPop(&out)) {
+    EXPECT_EQ(out, next_pop);
+    ++next_pop;
+  }
+  EXPECT_EQ(next_pop, next_push);
+}
+
+TEST(SpscQueueTest, MoveOnlyElements) {
+  SpscQueue<std::unique_ptr<int>> queue(4);
+  ASSERT_TRUE(queue.TryPush(std::make_unique<int>(7)));
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(queue.TryPop(&out));
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, 7);
+}
+
+TEST(SpscQueueTest, ProducerConsumerThreadsPreserveSequence) {
+  SpscQueue<int> queue(64);
+  constexpr int kCount = 20000;
+  std::vector<int> received;
+  received.reserve(kCount);
+  std::thread consumer([&] {
+    int out = -1;
+    while (static_cast<int>(received.size()) < kCount) {
+      if (queue.TryPop(&out)) {
+        received.push_back(out);
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  for (int i = 0; i < kCount; ++i) {
+    int v = i;
+    while (!queue.TryPush(std::move(v))) std::this_thread::yield();
+  }
+  consumer.join();
+  ASSERT_EQ(received.size(), static_cast<size_t>(kCount));
+  for (int i = 0; i < kCount; ++i) EXPECT_EQ(received[i], i);
+}
+
+}  // namespace
+}  // namespace phasorwatch

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -164,6 +167,101 @@ TEST_F(StreamTest, ResetDropsState) {
   EXPECT_TRUE(monitor.alarm_active());
   monitor.Reset();
   EXPECT_FALSE(monitor.alarm_active());
+}
+
+// Two monitors fed the same stream must emit bit-identical events.
+void ExpectSameEvent(const StreamEvent& a, const StreamEvent& b) {
+  EXPECT_EQ(a.sample_index, b.sample_index);
+  EXPECT_EQ(a.alarm_active, b.alarm_active);
+  EXPECT_EQ(a.alarm_raised, b.alarm_raised);
+  EXPECT_EQ(a.alarm_cleared, b.alarm_cleared);
+  EXPECT_EQ(a.sample_rejected, b.sample_rejected);
+  EXPECT_EQ(a.lines, b.lines);
+  EXPECT_EQ(a.raw.outage_detected, b.raw.outage_detected);
+  EXPECT_EQ(a.raw.lines, b.raw.lines);
+  EXPECT_EQ(a.raw.affected_nodes, b.raw.affected_nodes);
+  EXPECT_EQ(a.raw.decision_score, b.raw.decision_score);
+  EXPECT_EQ(a.raw.screened_nodes, b.raw.screened_nodes);
+  ASSERT_EQ(a.raw.node_scores.size(), b.raw.node_scores.size());
+  for (size_t i = 0; i < a.raw.node_scores.size(); ++i) {
+    EXPECT_EQ(a.raw.node_scores[i], b.raw.node_scores[i]) << "node " << i;
+  }
+}
+
+// Regression: Reset() must clear the batch-path memoization, not just
+// the debounce state. A monitor warmed via ProcessBatch, then Reset,
+// must behave exactly like a freshly constructed monitor on the same
+// subsequent stream (mixed ProcessBatch + Process, missing data and
+// all).
+TEST_F(StreamTest, ResetAfterProcessBatchMatchesFreshMonitor) {
+  StreamOptions opts;
+  opts.alarm_after = 2;
+  opts.clear_after = 2;
+  opts.vote_window = 4;
+  const auto& outage = shared_->dataset->outages[0];
+  const auto& normal = shared_->dataset->normal.test;
+  sim::MissingMask none = sim::MissingMask::None(shared_->grid.num_buses());
+  sim::MissingMask missing =
+      sim::MissingAtOutage(shared_->grid.num_buses(), outage.line);
+
+  // Warm the reused monitor's batch memo with a different availability
+  // pattern (missing data selects different detection groups) so stale
+  // memo state would be observable after Reset.
+  StreamingMonitor reused(shared_->detector.get(), opts);
+  {
+    std::vector<std::pair<linalg::Vector, linalg::Vector>> warm;
+    for (size_t t = 0; t < 4; ++t) {
+      warm.push_back(outage.test.Sample(t % outage.test.num_samples()));
+    }
+    std::vector<OutageDetector::BatchSample> batch;
+    for (const auto& [vm, va] : warm) {
+      batch.push_back({&vm, &va, &missing});
+    }
+    ASSERT_TRUE(reused.ProcessBatch(batch).ok());
+  }
+  EXPECT_GT(reused.samples_processed(), 0u);
+  reused.Reset();
+  EXPECT_EQ(reused.samples_processed(), 0u);
+  EXPECT_FALSE(reused.alarm_active());
+
+  StreamingMonitor fresh(shared_->detector.get(), opts);
+
+  // Identical mixed stream into both; events must match bit for bit.
+  std::vector<std::pair<linalg::Vector, linalg::Vector>> samples;
+  std::vector<const sim::MissingMask*> masks;
+  for (size_t t = 0; t < 3; ++t) {
+    samples.push_back(outage.test.Sample(t % outage.test.num_samples()));
+    masks.push_back(&none);
+  }
+  for (size_t t = 0; t < 3; ++t) {
+    samples.push_back(normal.Sample(t % normal.num_samples()));
+    masks.push_back(&missing);
+  }
+
+  std::vector<OutageDetector::BatchSample> batch;
+  for (size_t k = 0; k < samples.size(); ++k) {
+    batch.push_back({&samples[k].first, &samples[k].second, masks[k]});
+  }
+  auto reused_events = reused.ProcessBatch(batch);
+  auto fresh_events = fresh.ProcessBatch(batch);
+  ASSERT_TRUE(reused_events.ok());
+  ASSERT_TRUE(fresh_events.ok());
+  ASSERT_EQ(reused_events->size(), fresh_events->size());
+  for (size_t k = 0; k < reused_events->size(); ++k) {
+    SCOPED_TRACE("batch event " + std::to_string(k));
+    ExpectSameEvent((*reused_events)[k], (*fresh_events)[k]);
+  }
+
+  // Tail through the single-sample path too (memo/state interplay).
+  for (size_t t = 0; t < 4; ++t) {
+    auto [vm, va] = outage.test.Sample(t % outage.test.num_samples());
+    auto a = reused.Process(vm, va);
+    auto b = fresh.Process(vm, va);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    SCOPED_TRACE("tail sample " + std::to_string(t));
+    ExpectSameEvent(*a, *b);
+  }
 }
 
 TEST_F(StreamTest, WorksThroughMissingData) {
