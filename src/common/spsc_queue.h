@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <utility>
 #include <vector>
 
@@ -17,23 +18,45 @@ namespace phasorwatch {
 /// instead of blocking — backpressure is the caller's decision, never a
 /// stall inside the transport. The implementation is the classic
 /// Lamport ring with cached indices: each side re-reads the other
-/// side's atomic index only when its cached copy says the queue looks
+/// side's atomic cursor only when its cached copy says the queue looks
 /// full (producer) or empty (consumer), so the steady-state fast path
 /// is one relaxed load, one store, and no shared-cache-line ping-pong
-/// beyond the unavoidable index handoff.
+/// beyond the unavoidable cursor handoff.
+///
+/// The cursors are monotonic uint64 counters; a slot index is
+/// `cursor & mask_`. Because the slot count is a power of two, 2^64 is
+/// an exact multiple of it and the mapping stays continuous when the
+/// counters wrap — the `(tail - head)` size arithmetic is likewise
+/// exact modulo 2^64. Wraparound behavior is exercised directly by the
+/// seeded-cursor constructor below.
 ///
 /// Thread-safety contract: TryPush from exactly one thread at a time,
 /// TryPop from exactly one thread at a time (they may be different
 /// threads, that is the point). SizeApprox/capacity are safe anywhere.
+/// The producer side is a lint-enforced contract: call sites of the
+/// methods listed in the marker must carry a `// pw-producer:`
+/// justification naming their single-producer argument (the
+/// `single-producer` rule in tools/pw_lint.py).
 /// The element type must be movable; slots hold default-constructed
 /// T between uses, so moved-out elements release their resources on
 /// the consumer side, not inside the ring.
+// PW_SINGLE_PRODUCER(TryPush)
 template <typename T>
 class SpscQueue {
  public:
   /// `min_capacity` is rounded up to the next power of two (at least 2)
   /// so the ring can mask instead of divide.
-  explicit SpscQueue(size_t min_capacity) {
+  explicit SpscQueue(size_t min_capacity) : SpscQueue(min_capacity, 0) {}
+
+  /// Test hook: starts both cursors at `start_cursor` instead of zero,
+  /// so tests can park the ring just below uint64 overflow and drive
+  /// the cursors across it. Behavior is otherwise identical — the
+  /// public contract never depends on absolute cursor values.
+  SpscQueue(size_t min_capacity, uint64_t start_cursor)
+      : tail_(start_cursor),
+        head_cached_(start_cursor),
+        head_(start_cursor),
+        tail_cached_(start_cursor) {
     PW_CHECK_GT(min_capacity, 0u);
     size_t cap = 2;
     while (cap < min_capacity) cap <<= 1;
@@ -47,35 +70,40 @@ class SpscQueue {
   /// Producer side. Returns false (and leaves `item` untouched) when
   /// the ring is full — the caller decides whether to shed or retry.
   PW_NO_ALLOC bool TryPush(T&& item) {
-    const size_t tail = tail_.load(std::memory_order_relaxed);
-    const size_t next = (tail + 1) & mask_;
-    if (next == head_cached_) {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    // Full at mask_ in-flight items: one slot stays sacrificed so
+    // capacity() is unchanged from the index-based implementation.
+    if (tail - head_cached_ >= mask_) {
       head_cached_ = head_.load(std::memory_order_acquire);
-      if (next == head_cached_) return false;  // full
+      if (tail - head_cached_ >= mask_) return false;  // full
     }
-    slots_[tail] = std::move(item);
-    tail_.store(next, std::memory_order_release);
+    slots_[static_cast<size_t>(tail) & mask_] = std::move(item);
+    tail_.store(tail + 1, std::memory_order_release);
     return true;
   }
 
   /// Consumer side. Returns false when the ring is empty.
   PW_NO_ALLOC bool TryPop(T* out) {
-    const size_t head = head_.load(std::memory_order_relaxed);
+    const uint64_t head = head_.load(std::memory_order_relaxed);
     if (head == tail_cached_) {
       tail_cached_ = tail_.load(std::memory_order_acquire);
       if (head == tail_cached_) return false;  // empty
     }
-    *out = std::move(slots_[head]);
-    head_.store((head + 1) & mask_, std::memory_order_release);
+    *out = std::move(slots_[static_cast<size_t>(head) & mask_]);
+    head_.store(head + 1, std::memory_order_release);
     return true;
   }
 
-  /// Racy by construction (either index may move concurrently); good
+  /// Racy by construction (either cursor may move concurrently); good
   /// enough for gauges and drain/flush polling, not for correctness.
   PW_NO_ALLOC size_t SizeApprox() const {
-    const size_t head = head_.load(std::memory_order_acquire);
-    const size_t tail = tail_.load(std::memory_order_acquire);
-    return (tail - head) & mask_;
+    const uint64_t head = head_.load(std::memory_order_acquire);
+    const uint64_t tail = tail_.load(std::memory_order_acquire);
+    const uint64_t size = tail - head;
+    // The consumer may advance head between the two loads, making the
+    // unsigned difference wrap huge; clamp to the only sizes the ring
+    // can actually hold.
+    return size > mask_ ? mask_ : static_cast<size_t>(size);
   }
 
   /// Usable slots (one ring slot is sacrificed to distinguish full from
@@ -86,15 +114,15 @@ class SpscQueue {
   std::vector<T> slots_;
   size_t mask_ = 0;
 
-  /// Producer-owned cache line: tail index plus the producer's stale
+  /// Producer-owned cache line: tail cursor plus the producer's stale
   /// copy of head. alignas keeps the two sides off each other's lines.
-  alignas(64) std::atomic<size_t> tail_{0};
-  size_t head_cached_ = 0;
+  alignas(64) std::atomic<uint64_t> tail_;
+  uint64_t head_cached_;
 
-  /// Consumer-owned cache line: head index plus the consumer's stale
+  /// Consumer-owned cache line: head cursor plus the consumer's stale
   /// copy of tail.
-  alignas(64) std::atomic<size_t> head_{0};
-  size_t tail_cached_ = 0;
+  alignas(64) std::atomic<uint64_t> head_;
+  uint64_t tail_cached_;
 };
 
 }  // namespace phasorwatch

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "obs/metrics.h"
 
 namespace phasorwatch {
@@ -37,15 +38,19 @@ Status RunBody(const std::function<Status(size_t)>& body, size_t i) {
 // shared_ptr: a runner that wakes up after the loop already finished
 // only touches `next` (the claim counter), never `body`.
 struct ForState {
-  size_t n = 0;
-  const std::function<Status(size_t)>* body = nullptr;
+  ForState(size_t n_in, const std::function<Status(size_t)>* body_in)
+      : n(n_in), body(body_in) {}
+
+  const size_t n;
+  const std::function<Status(size_t)>* const body;
   std::atomic<size_t> next{0};
 
-  std::mutex mu;
-  std::condition_variable done_cv;
-  size_t done = 0;  // guarded by mu
-  size_t error_index = 0;
-  Status error;  // first (lowest-index) failure; guarded by mu
+  Mutex mu{lock_rank::kParallelFor};
+  CondVar done_cv;
+  size_t done PW_GUARDED_BY(mu) = 0;
+  size_t error_index PW_GUARDED_BY(mu) = 0;
+  /// First (lowest-index) failure.
+  Status error PW_GUARDED_BY(mu);
 
   // Claims and runs iterations until the range is exhausted.
   void Drain() {
@@ -57,12 +62,12 @@ struct ForState {
       PW_OBS_HISTOGRAM_OBSERVE("pool.task_us", ElapsedUs(start),
                                obs::DefaultLatencyBucketsUs());
       PW_OBS_COUNTER_INC("pool.tasks_executed");
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(mu);
       if (!status.ok() && (error.ok() || i < error_index)) {
         error = std::move(status);
         error_index = i;
       }
-      if (++done == n) done_cv.notify_all();
+      if (++done == n) done_cv.NotifyAll();
     }
   }
 };
@@ -93,10 +98,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
   // Workers drain the queue before exiting (see WorkerLoop), but a
   // degree-1 pool has none; any tasks submitted to it already ran
@@ -117,18 +122,18 @@ void ThreadPool::Submit(std::function<void()> task) {
   }
   size_t depth;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(task));
     depth = queue_.size();
   }
   PW_OBS_GAUGE_SET("pool.queue_depth", depth);
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
 }
 
 bool ThreadPool::RunOneTask() {
   std::function<void()> task;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (queue_.empty()) return false;
     task = std::move(queue_.front());
     queue_.pop_front();
@@ -150,8 +155,10 @@ bool ThreadPool::RunOneTask() {
 void ThreadPool::WorkerLoop() {
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // Explicit predicate loop (not a wait-with-lambda): the lambda
+      // body would be opaque to the thread-safety analysis.
+      MutexLock lock(mu_);
+      while (!stopping_ && queue_.empty()) work_cv_.Wait(mu_);
       if (stopping_ && queue_.empty()) return;
     }
     RunOneTask();
@@ -176,9 +183,7 @@ Status ThreadPool::ParallelFor(size_t n,
     return first_error;
   }
 
-  auto state = std::make_shared<ForState>();
-  state->n = n;
-  state->body = &body;
+  auto state = std::make_shared<ForState>(n, &body);
 
   // One runner per worker (capped by the iteration count); the calling
   // thread is the final runner. Iterations are claimed one at a time
@@ -190,8 +195,8 @@ Status ThreadPool::ParallelFor(size_t n,
   }
   state->Drain();
 
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->done_cv.wait(lock, [&] { return state->done == state->n; });
+  MutexLock lock(state->mu);
+  while (state->done != state->n) state->done_cv.Wait(state->mu);
   return state->error;
 }
 

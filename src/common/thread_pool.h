@@ -1,16 +1,15 @@
 #ifndef PHASORWATCH_COMMON_THREAD_POOL_H_
 #define PHASORWATCH_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/check.h"
 #include "common/status.h"
+#include "common/sync.h"
 
 namespace phasorwatch {
 
@@ -74,11 +73,12 @@ class ThreadPool {
   /// false if the queue was empty.
   bool RunOneTask();
 
+  // pw-lint: allow(sync-discipline) written in ctor, joined in dtor only.
   std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stopping_ = false;
+  Mutex mu_{lock_rank::kThreadPool};
+  CondVar work_cv_;
+  std::deque<std::function<void()>> queue_ PW_GUARDED_BY(mu_);
+  bool stopping_ PW_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace phasorwatch

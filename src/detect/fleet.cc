@@ -1,8 +1,6 @@
 #include "detect/fleet.h"
 
 #include <chrono>
-#include <condition_variable>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
@@ -10,6 +8,7 @@
 #include "common/check.h"
 #include "common/spsc_queue.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -31,12 +30,12 @@ constexpr auto kIdleSleep = std::chrono::microseconds(200);
 /// shard's latency histogram.
 struct FleetEngine::Shard {
   explicit Shard(size_t queue_capacity, size_t index)
-      : queue(queue_capacity) {
-    const std::string prefix = "fleet.shard" + std::to_string(index);
-    latency = obs::MetricsRegistry::Global().GetQuantile(
-        prefix + ".frame_us", obs::DefaultLatencyQuantileOptions());
-  }
+      : queue(queue_capacity),
+        latency(obs::MetricsRegistry::Global().GetQuantile(
+            "fleet.shard" + std::to_string(index) + ".frame_us",
+            obs::DefaultLatencyQuantileOptions())) {}
 
+  // pw-lint: allow(sync-discipline) SPSC ring with its own contract.
   SpscQueue<FrameTask> queue;
   /// Frames accepted onto the ring (submit side) / fully processed
   /// (drain side). Flush converges when they match on every shard.
@@ -46,12 +45,13 @@ struct FleetEngine::Shard {
   /// Control-hook inbox: RunOnShard pushes, the drain loop executes
   /// between frames. The atomic flag keeps the steady-state drain loop
   /// to one relaxed load; the mutex only guards the cold vector.
-  std::mutex control_mu;
-  std::vector<std::function<void()>> control_hooks;
+  Mutex control_mu{lock_rank::kFleetControl};
+  std::vector<std::function<void()>> control_hooks
+      PW_GUARDED_BY(control_mu);
   std::atomic<bool> has_control{false};
 
   /// Registry-owned (never deleted); per-shard submit-to-event latency.
-  obs::QuantileHistogram* latency = nullptr;
+  obs::QuantileHistogram* const latency;
 };
 
 FleetEngine::FleetEngine(const FleetOptions& options) : options_(options) {
@@ -140,6 +140,9 @@ Status FleetEngine::Submit(TenantId tenant, sim::MeasurementFrame frame) {
   task.session = sessions_[tenant].get();
   task.frame = std::move(frame);
   task.enqueue_us = obs::MonotonicNowUs();
+  // pw-producer: Submit is the fleet's single ingest thread (threading
+  // matrix in docs/FLEET.md), and tenant->shard pinning makes it the
+  // only thread that ever pushes onto this shard's ring.
   if (!shard.queue.TryPush(std::move(task))) {
     frames_shed_.fetch_add(1, std::memory_order_relaxed);
     PW_OBS_COUNTER_INC("fleet.frames_shed");
@@ -178,6 +181,15 @@ void FleetEngine::DrainLoop(size_t shard_index) {
     if (shard.has_control.load(std::memory_order_acquire)) {
       RunControlHooks(shard);
     }
+    // Shutdown ordering: the stop flag is read *before* the pop. Every
+    // frame accepted before Stop() set the flag is pushed before the
+    // flag's release store, so once this acquire load observes the
+    // flag, the pop below is guaranteed to see those frames — an empty
+    // pop then really means the ring is drained. Reading the flag
+    // after a failed pop (the old order) left a window where a frame
+    // pushed between the two reads was stranded on the ring forever.
+    const bool stop_observed =
+        stop_requested_.load(std::memory_order_acquire);
     if (shard.queue.TryPop(&task)) {
       idle_polls = 0;
       Result<StreamEvent> event = task.session->ProcessFrame(task.frame);
@@ -189,7 +201,7 @@ void FleetEngine::DrainLoop(size_t shard_index) {
       shard.processed.fetch_add(1, std::memory_order_release);
       continue;
     }
-    if (stop_requested_.load(std::memory_order_acquire) &&
+    if (stop_observed &&
         !shard.has_control.load(std::memory_order_acquire)) {
       break;
     }
@@ -207,7 +219,7 @@ void FleetEngine::DrainLoop(size_t shard_index) {
 void FleetEngine::RunControlHooks(Shard& shard) {
   std::vector<std::function<void()>> hooks;
   {
-    std::lock_guard<std::mutex> lock(shard.control_mu);
+    MutexLock lock(shard.control_mu);
     hooks.swap(shard.control_hooks);
     shard.has_control.store(false, std::memory_order_release);
   }
@@ -223,21 +235,24 @@ void FleetEngine::RunOnShard(size_t shard_index,
     return;
   }
   Shard& shard = *shards_[shard_index];
-  std::mutex done_mu;
-  std::condition_variable done_cv;
+  // Completion latch. Ranked above control_mu: the hook runs on the
+  // drain thread after RunControlHooks has released control_mu, and
+  // this thread takes it only after its own control_mu scope closed.
+  Mutex done_mu{lock_rank::kFleetDone};
+  CondVar done_cv;
   bool done = false;
   {
-    std::lock_guard<std::mutex> lock(shard.control_mu);
+    MutexLock lock(shard.control_mu);
     shard.control_hooks.push_back([&] {
       fn();
-      std::lock_guard<std::mutex> done_lock(done_mu);
+      MutexLock done_lock(done_mu);
       done = true;
-      done_cv.notify_all();
+      done_cv.NotifyAll();
     });
     shard.has_control.store(true, std::memory_order_release);
   }
-  std::unique_lock<std::mutex> lock(done_mu);
-  done_cv.wait(lock, [&] { return done; });
+  MutexLock lock(done_mu);
+  while (!done) done_cv.Wait(done_mu);
 }
 
 Status FleetEngine::CheckTenant(TenantId tenant) const {

@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "common/workspace.h"
 #include "linalg/svd.h"
 #include "linalg/views.h"
@@ -100,23 +101,32 @@ PW_NO_ALLOC Result<double> ProximityEngine::Evaluate(
     }
   }
   if (cached == nullptr) {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    ReaderLock lock(mu_);
     auto it = cache_.find(key);
     if (it != cache_.end() && it->second->group == group) {
       cached = it->second;
     }
   }
   if (cached == nullptr) {
+    // Double-checked upgrade, audited: the shared lock above is fully
+    // released before the cold build (std::shared_mutex is not
+    // upgradable, and holding readers through a multi-millisecond SVD
+    // would stall every other evaluator). The build therefore races
+    // with identical builds on other threads by design; the re-check
+    // under the writer lock below resolves the race.
+    //
     // Cache miss: the cold build path runs once per (model, group)
     // pair, outside this function's no-alloc contract.
     PW_ASSIGN_OR_RETURN(cached, BuildRegressor(model, group));
     size_t cache_size;
     {
-      std::unique_lock<std::shared_mutex> lock(mu_);
-      // Another thread may have built the same key meanwhile; both
-      // regressors are bit-identical (same deterministic inputs), so
-      // either copy serves. A differing stored group means a genuine
-      // hash collision — the newcomer wins, as before.
+      WriterLock lock(mu_);
+      // Re-check: another thread may have built the same key between
+      // the reader unlock and here. Both regressors are bit-identical
+      // (same deterministic inputs), so either copy serves — keep the
+      // incumbent and let this thread's copy die. A differing stored
+      // group means a genuine hash collision — the newcomer wins, as
+      // before.
       auto [it, inserted] = cache_.try_emplace(key, cached);
       if (!inserted && it->second->group != group) it->second = cached;
       cache_size = cache_.size();

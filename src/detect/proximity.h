@@ -3,14 +3,13 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/check.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "detect/subspace_model.h"
 #include "linalg/matrix.h"
 #include "sim/missing_data.h"
@@ -58,10 +57,16 @@ class ProximityEngine {
 
   /// Movable so the owning detector stays movable; the mutex itself is
   /// not moved (each engine keeps its own). Moving while other threads
-  /// use either engine is a bug, as with any container.
+  /// use either engine is a bug, as with any container — which is why
+  /// the lock is deliberately not taken here and the thread-safety
+  /// analysis is waived.
+  // Move is documented single-threaded; locking would promise a safety
+  // this operation cannot provide.
   ProximityEngine(ProximityEngine&& other) noexcept
-      : cache_(std::move(other.cache_)) {}
-  ProximityEngine& operator=(ProximityEngine&& other) noexcept {
+      PW_NO_THREAD_SAFETY_ANALYSIS : cache_(std::move(other.cache_)) {}
+  // Move is documented single-threaded (see move constructor).
+  ProximityEngine& operator=(ProximityEngine&& other) noexcept
+      PW_NO_THREAD_SAFETY_ANALYSIS {
     if (this != &other) cache_ = std::move(other.cache_);
     return *this;
   }
@@ -83,11 +88,11 @@ class ProximityEngine {
                                  const linalg::Vector& sample);
 
   size_t cache_size() const {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    ReaderLock lock(mu_);
     return cache_.size();
   }
   void ClearCache() {
-    std::unique_lock<std::shared_mutex> lock(mu_);
+    WriterLock lock(mu_);
     cache_.clear();
   }
 
@@ -104,10 +109,11 @@ class ProximityEngine {
   PW_NODISCARD static Result<std::shared_ptr<const CachedRegressor>>
   BuildRegressor(const SubspaceModel& model, const std::vector<size_t>& group);
 
-  mutable std::shared_mutex mu_;
+  mutable SharedMutex mu_{lock_rank::kProximityCache};
   /// Values are shared_ptr so an Evaluate() can keep applying a
   /// regressor lock-free while other threads insert new entries.
-  std::unordered_map<uint64_t, std::shared_ptr<const CachedRegressor>> cache_;
+  std::unordered_map<uint64_t, std::shared_ptr<const CachedRegressor>> cache_
+      PW_GUARDED_BY(mu_);
 };
 
 /// Stable hash key combining a model id and a detection-group member

@@ -2,6 +2,7 @@
 
 #include "common/serialize.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "obs/trace.h"
 
 namespace phasorwatch::obs {
@@ -12,7 +13,7 @@ EventLog& EventLog::Global() {
 }
 
 Status EventLog::OpenFile(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (file_.is_open()) file_.close();
   file_.open(path, std::ios::out | std::ios::trunc);
   if (!file_.good()) {
@@ -22,23 +23,23 @@ Status EventLog::OpenFile(const std::string& path) {
 }
 
 void EventLog::AttachStream(std::ostream* out) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   out_ = out;
 }
 
 void EventLog::Close() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (file_.is_open()) file_.close();
   out_ = nullptr;
 }
 
 bool EventLog::enabled() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return out_ != nullptr || file_.is_open();
 }
 
 uint64_t EventLog::events_emitted() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return emitted_;
 }
 
@@ -50,7 +51,7 @@ EventLog::Event::Event(EventLog* log, std::string_view type) : log_(log) {
   if (log_ == nullptr) return;
   uint64_t seq;
   {
-    std::lock_guard<std::mutex> lock(log_->mu_);
+    MutexLock lock(log_->mu_);
     seq = log_->seq_++;
   }
   line_ = "{\"seq\":" + std::to_string(seq);
@@ -132,7 +133,7 @@ EventLog::Event& EventLog::Event::StrList(
 }
 
 void EventLog::Write(const std::string& line) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::ostream* sink = out_ != nullptr ? out_ : (file_.is_open() ? &file_ : nullptr);
   if (sink == nullptr) return;  // sink closed between Emit() and emission
   (*sink) << line << "\n";

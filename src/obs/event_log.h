@@ -3,7 +3,6 @@
 
 #include <cstdint>
 #include <fstream>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <string_view>
@@ -11,6 +10,7 @@
 
 #include "common/check.h"
 #include "common/status.h"
+#include "common/sync.h"
 
 namespace phasorwatch::obs {
 
@@ -72,11 +72,12 @@ class EventLog {
   friend class Event;
   void Write(const std::string& line);
 
-  mutable std::mutex mu_;
-  std::ofstream file_;
-  std::ostream* out_ = nullptr;  // not owned; wins over file_ when set
-  uint64_t seq_ = 0;
-  uint64_t emitted_ = 0;
+  mutable Mutex mu_{lock_rank::kEventLog};
+  std::ofstream file_ PW_GUARDED_BY(mu_);
+  /// Not owned; wins over file_ when set.
+  std::ostream* out_ PW_GUARDED_BY(mu_) = nullptr;
+  uint64_t seq_ PW_GUARDED_BY(mu_) = 0;
+  uint64_t emitted_ PW_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace phasorwatch::obs

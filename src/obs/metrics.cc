@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/serialize.h"
+#include "common/sync.h"
 
 namespace phasorwatch::obs {
 
@@ -13,7 +14,7 @@ Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
 }
 
 void Histogram::Observe(double value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Inclusive upper bounds: first bound >= value; past-the-end lands in
   // the overflow bucket.
   size_t idx =
@@ -53,7 +54,7 @@ double Histogram::Snapshot::Quantile(double q) const {
 }
 
 Histogram::Snapshot Histogram::TakeSnapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Snapshot snap;
   snap.bounds = bounds_;
   snap.counts = counts_;
@@ -65,7 +66,7 @@ Histogram::Snapshot Histogram::TakeSnapshot() const {
 }
 
 void Histogram::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::fill(counts_.begin(), counts_.end(), 0);
   count_ = 0;
   sum_ = 0.0;
@@ -95,14 +96,14 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return slot.get();
@@ -110,7 +111,7 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name) {
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          const std::vector<double>& bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<Histogram>(bounds);
   return slot.get();
@@ -118,46 +119,46 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
 
 QuantileHistogram* MetricsRegistry::GetQuantile(const std::string& name,
                                                 const QuantileOptions& options) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = quantiles_[name];
   if (slot == nullptr) slot = std::make_unique<QuantileHistogram>(options);
   return slot.get();
 }
 
 const Counter* MetricsRegistry::FindCounter(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = counters_.find(name);
   return it == counters_.end() ? nullptr : it->second.get();
 }
 
 const Gauge* MetricsRegistry::FindGauge(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = gauges_.find(name);
   return it == gauges_.end() ? nullptr : it->second.get();
 }
 
 const Histogram* MetricsRegistry::FindHistogram(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : it->second.get();
 }
 
 const QuantileHistogram* MetricsRegistry::FindQuantile(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = quantiles_.find(name);
   return it == quantiles_.end() ? nullptr : it->second.get();
 }
 
 std::map<std::string, uint64_t> MetricsRegistry::CounterValues() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::map<std::string, uint64_t> out;
   for (const auto& [name, counter] : counters_) out[name] = counter->value();
   return out;
 }
 
 std::map<std::string, double> MetricsRegistry::GaugeValues() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::map<std::string, double> out;
   for (const auto& [name, gauge] : gauges_) out[name] = gauge->value();
   return out;
@@ -165,7 +166,7 @@ std::map<std::string, double> MetricsRegistry::GaugeValues() const {
 
 std::map<std::string, Histogram::Snapshot> MetricsRegistry::HistogramSnapshots()
     const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::map<std::string, Histogram::Snapshot> out;
   for (const auto& [name, histogram] : histograms_) {
     out[name] = histogram->TakeSnapshot();
@@ -175,7 +176,7 @@ std::map<std::string, Histogram::Snapshot> MetricsRegistry::HistogramSnapshots()
 
 std::map<std::string, QuantileHistogram::Snapshot>
 MetricsRegistry::QuantileSnapshots() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::map<std::string, QuantileHistogram::Snapshot> out;
   for (const auto& [name, quantile] : quantiles_) {
     out[name] = quantile->TakeSnapshot();
@@ -195,7 +196,7 @@ std::string FormatDouble(double value) {
 }  // namespace
 
 std::string MetricsRegistry::TextSnapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::ostringstream out;
   out << "--- metrics snapshot ---\n";
   for (const auto& [name, counter] : counters_) {
@@ -238,7 +239,7 @@ std::string MetricsRegistry::TextSnapshot() const {
 }
 
 std::string MetricsRegistry::JsonSnapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out = "{\"counters\":{";
   auto append_key = [&out](const std::string& name) {
     out += "\"";
@@ -321,7 +322,7 @@ std::string MetricsRegistry::JsonSnapshot() const {
 }
 
 void MetricsRegistry::ResetAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, histogram] : histograms_) histogram->Reset();
@@ -329,7 +330,7 @@ void MetricsRegistry::ResetAll() {
 }
 
 size_t MetricsRegistry::num_instruments() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return counters_.size() + gauges_.size() + histograms_.size() +
          quantiles_.size();
 }

@@ -5,10 +5,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/sync.h"
 #include "obs/quantile.h"
 
 namespace phasorwatch::obs {
@@ -88,12 +88,12 @@ class Histogram {
 
  private:
   const std::vector<double> bounds_;
-  mutable std::mutex mu_;
-  std::vector<uint64_t> counts_;
-  uint64_t count_ = 0;
-  double sum_ = 0.0;
-  double min_ = 0.0;
-  double max_ = 0.0;
+  mutable Mutex mu_{lock_rank::kHistogram};
+  std::vector<uint64_t> counts_ PW_GUARDED_BY(mu_);
+  uint64_t count_ PW_GUARDED_BY(mu_) = 0;
+  double sum_ PW_GUARDED_BY(mu_) = 0.0;
+  double min_ PW_GUARDED_BY(mu_) = 0.0;
+  double max_ PW_GUARDED_BY(mu_) = 0.0;
 };
 
 /// Default buckets for latency histograms, in microseconds: roughly
@@ -154,11 +154,16 @@ class MetricsRegistry {
  private:
   MetricsRegistry() = default;
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
-  std::map<std::string, std::unique_ptr<QuantileHistogram>> quantiles_;
+  /// Registry rank is below Histogram's: the snapshot methods take each
+  /// instrument's own lock while holding the registry lock.
+  mutable Mutex mu_{lock_rank::kMetricsRegistry};
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      PW_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ PW_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      PW_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<QuantileHistogram>> quantiles_
+      PW_GUARDED_BY(mu_);
 };
 
 }  // namespace phasorwatch::obs

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "common/sync.h"
 #include "obs/metrics.h"
 
 namespace phasorwatch::obs {
@@ -38,7 +39,7 @@ TraceRing::TraceRing(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) 
 
 void TraceRing::Record(const TraceSpan& span) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (spans_.size() < capacity_) {
       spans_.push_back(span);
       ++next_;
@@ -53,7 +54,7 @@ void TraceRing::Record(const TraceSpan& span) {
 }
 
 std::vector<TraceSpan> TraceRing::Dump() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<TraceSpan> out;
   out.reserve(spans_.size());
   if (spans_.size() < capacity_) {
@@ -82,18 +83,18 @@ std::string TraceRing::DumpText() const {
 }
 
 void TraceRing::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   spans_.clear();
   next_ = 0;
 }
 
 uint64_t TraceRing::total_recorded() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return next_;
 }
 
 uint64_t TraceRing::spans_dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return next_ > capacity_ ? next_ - capacity_ : 0;
 }
 

@@ -2,10 +2,10 @@
 #define PHASORWATCH_OBS_TRACE_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/sync.h"
 #include "obs/metrics.h"
 #include "obs/quantile.h"
 
@@ -62,9 +62,9 @@ class TraceRing {
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::vector<TraceSpan> spans_;  // ring storage
-  uint64_t next_ = 0;             // total spans ever recorded
+  mutable Mutex mu_{lock_rank::kTraceRing};
+  std::vector<TraceSpan> spans_ PW_GUARDED_BY(mu_);  // ring storage
+  uint64_t next_ PW_GUARDED_BY(mu_) = 0;  // total spans ever recorded
 };
 
 /// Microseconds since the process's first call (monotonic clock).

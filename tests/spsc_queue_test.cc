@@ -1,5 +1,7 @@
 #include "common/spsc_queue.h"
 
+#include <cstdint>
+#include <limits>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -74,6 +76,57 @@ TEST(SpscQueueTest, WrapsAroundManyTimes) {
     ++next_pop;
   }
   EXPECT_EQ(next_pop, next_push);
+}
+
+TEST(SpscQueueTest, CursorWraparoundNearUint64Overflow) {
+  // Seed both cursors five pushes short of 2^64: the monotonic cursors
+  // wrap mid-test, and because the slot count divides 2^64 exactly the
+  // slot mapping, FIFO order, and full/empty arithmetic must all carry
+  // straight across the overflow.
+  const uint64_t start = std::numeric_limits<uint64_t>::max() - 4;
+  SpscQueue<int> queue(4, start);  // capacity 3
+  EXPECT_EQ(queue.capacity(), 3u);
+
+  int next_push = 0;
+  int next_pop = 0;
+  for (int round = 0; round < 8; ++round) {
+    for (int k = 0; k < 3; ++k) {
+      int v = next_push;
+      ASSERT_TRUE(queue.TryPush(std::move(v))) << "round " << round;
+      ++next_push;
+    }
+    // Ring is at capacity on every round, including the one whose tail
+    // cursor is past the wrap while head is still below it.
+    int overflow_probe = -1;
+    EXPECT_FALSE(queue.TryPush(std::move(overflow_probe)));
+    EXPECT_EQ(queue.SizeApprox(), 3u);
+    for (int k = 0; k < 3; ++k) {
+      int out = -1;
+      ASSERT_TRUE(queue.TryPop(&out)) << "round " << round;
+      EXPECT_EQ(out, next_pop);
+      ++next_pop;
+    }
+    int out = -1;
+    EXPECT_FALSE(queue.TryPop(&out));
+    EXPECT_EQ(queue.SizeApprox(), 0u);
+  }
+  EXPECT_EQ(next_pop, next_push);
+  EXPECT_EQ(next_pop, 24);  // 24 items moved through; cursors wrapped
+}
+
+TEST(SpscQueueTest, SeededCursorMatchesDefaultBehavior) {
+  // The seeded-cursor hook must not change the observable contract.
+  SpscQueue<int> seeded(8, std::numeric_limits<uint64_t>::max() - 2);
+  SpscQueue<int> fresh(8);
+  for (int i = 0; i < 20; ++i) {
+    int a = i;
+    int b = i;
+    ASSERT_EQ(seeded.TryPush(std::move(a)), fresh.TryPush(std::move(b)));
+    int out_a = -1;
+    int out_b = -1;
+    ASSERT_EQ(seeded.TryPop(&out_a), fresh.TryPop(&out_b));
+    EXPECT_EQ(out_a, out_b);
+  }
 }
 
 TEST(SpscQueueTest, MoveOnlyElements) {

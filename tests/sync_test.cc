@@ -1,0 +1,202 @@
+#include "common/sync.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+// The target compiles with PW_DCHECK_ENABLED=1 so the debug lock
+// tracker (rank inversion, self-deadlock, AssertHeld) is live even in
+// Release; without it every death test below would be vacuous.
+static_assert(PW_DCHECK_IS_ON,
+              "sync_test requires the debug contracts to be enabled");
+
+namespace phasorwatch {
+namespace {
+
+// ---------------------------------------------------------------------
+// Plain behavior: the wrappers must still be working locks.
+
+TEST(SyncTest, MutexLockUnlockRoundTrip) {
+  Mutex mu;
+  mu.Lock();
+  mu.AssertHeld();
+  mu.Unlock();
+}
+
+TEST(SyncTest, TryLockSucceedsWhenFree) {
+  Mutex mu;
+  ASSERT_TRUE(mu.TryLock());
+  mu.AssertHeld();
+  mu.Unlock();
+}
+
+TEST(SyncTest, TryLockFailsWhenHeldElsewhere) {
+  Mutex mu;
+  mu.Lock();
+  std::thread other([&mu] {
+    // Distinct thread: the same-thread case is a self-deadlock abort,
+    // tested separately below.
+    EXPECT_FALSE(mu.TryLock());
+  });
+  other.join();
+  mu.Unlock();
+}
+
+TEST(SyncTest, MutexLockIsScoped) {
+  Mutex mu;
+  {
+    MutexLock lock(mu);
+    mu.AssertHeld();
+  }
+  // Released on scope exit: relocking must not self-deadlock-abort.
+  MutexLock again(mu);
+}
+
+TEST(SyncTest, SharedMutexReadersAndWriter) {
+  SharedMutex mu;
+  {
+    ReaderLock lock(mu);
+    mu.AssertReaderHeld();
+  }
+  {
+    WriterLock lock(mu);
+    mu.AssertHeld();
+  }
+}
+
+TEST(SyncTest, MutexProtectsCounterAcrossThreads) {
+  Mutex mu;
+  int counter = 0;
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 1000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIncrements; ++i) {
+        MutexLock lock(mu);
+        ++counter;
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter, kThreads * kIncrements);
+}
+
+TEST(SyncTest, CondVarWakesWaiter) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  std::thread waiter([&] {
+    MutexLock lock(mu);
+    while (!ready) cv.Wait(mu);
+  });
+  {
+    MutexLock lock(mu);
+    ready = true;
+    cv.NotifyAll();
+  }
+  waiter.join();
+}
+
+TEST(SyncTest, AscendingRanksAreAccepted) {
+  Mutex low(lock_rank::kFleetControl);
+  Mutex high(lock_rank::kEventLog);
+  MutexLock first(low);
+  MutexLock second(high);  // strictly increasing rank: fine
+}
+
+TEST(SyncTest, UnrankedMutexesAreExemptFromOrdering) {
+  Mutex a;
+  Mutex b;
+  // Either order; unranked locks only participate in held tracking.
+  {
+    MutexLock first(a);
+    MutexLock second(b);
+  }
+  {
+    MutexLock first(b);
+    MutexLock second(a);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Death tests: the debug detector must abort at the violation site.
+
+TEST(SyncDeathTest, RankInversionAborts) {
+  Mutex high(lock_rank::kEventLog);
+  Mutex low(lock_rank::kFleetControl);
+  MutexLock first(high);
+  EXPECT_DEATH({ MutexLock second(low); }, "lock rank inversion");
+}
+
+TEST(SyncDeathTest, EqualRankAborts) {
+  // Equal ranks are an inversion too: the table demands a strict order
+  // between any two locks a thread can nest.
+  Mutex a(lock_rank::kThreadPool);
+  Mutex b(lock_rank::kThreadPool);
+  MutexLock first(a);
+  EXPECT_DEATH({ MutexLock second(b); }, "lock rank inversion");
+}
+
+TEST(SyncDeathTest, SharedMutexParticipatesInRankOrdering) {
+  SharedMutex cache(lock_rank::kProximityCache);
+  Mutex control(lock_rank::kFleetControl);
+  ReaderLock first(cache);
+  EXPECT_DEATH({ MutexLock second(control); }, "lock rank inversion");
+}
+
+TEST(SyncDeathTest, SelfDeadlockAborts) {
+  Mutex mu;
+  mu.Lock();
+  EXPECT_DEATH(mu.Lock(), "self-deadlock");
+}
+
+TEST(SyncDeathTest, ReleasingUnheldLockAborts) {
+  Mutex held;
+  Mutex other;
+  MutexLock lock(held);
+  EXPECT_DEATH(other.Unlock(), "does not hold");
+}
+
+// A tiny guarded structure standing in for the real call sites: the
+// annotated accessor documents the PW_REQUIRES contract, and
+// AssertHeld is its runtime teeth when the Clang analysis is absent.
+class GuardedCounter {
+ public:
+  void Bump() PW_REQUIRES(mu_) {
+    mu_.AssertHeld();
+    ++value_;
+  }
+
+  Mutex& mutex() PW_RETURN_CAPABILITY(mu_) { return mu_; }
+
+ private:
+  Mutex mu_;
+  int value_ PW_GUARDED_BY(mu_) = 0;
+};
+
+TEST(SyncDeathTest, RequiresMethodWithoutLockAborts) {
+  GuardedCounter counter;
+  EXPECT_DEATH(counter.Bump(), "PW_REQUIRES violated");
+}
+
+TEST(SyncTest, RequiresMethodWithLockPasses) {
+  GuardedCounter counter;
+  MutexLock lock(counter.mutex());
+  counter.Bump();
+}
+
+TEST(SyncDeathTest, AssertHeldWithoutLockAborts) {
+  Mutex mu;
+  EXPECT_DEATH(mu.AssertHeld(), "PW_REQUIRES violated");
+}
+
+TEST(SyncDeathTest, AssertReaderHeldWithoutLockAborts) {
+  SharedMutex mu;
+  EXPECT_DEATH(mu.AssertReaderHeld(), "PW_REQUIRES_SHARED violated");
+}
+
+}  // namespace
+}  // namespace phasorwatch

@@ -45,4 +45,35 @@ double SumRow(const linalg::Matrix& m, int i) {
 // iwyu-project: uses PW_CHECK without including common/check.h.
 void Checked(int n) { PW_CHECK_GE(n, 0); }
 
+// sync-discipline: raw standard-library primitive outside common/sync.h.
+std::mutex g_raw_mu;
+
+// sync-discipline: a Mutex-holding class with an unguarded mutable field.
+class UnguardedCache {
+ public:
+  void Touch();
+
+ private:
+  Mutex mu_;
+  int hits_ = 0;  // neither PW_GUARDED_BY nor atomic/const/allow
+};
+
+// atomic-ordering: implicit seq_cst accesses, three flavors.
+std::atomic<int> g_ticks{0};
+int ImplicitOrders() {
+  g_ticks++;         // bare operator++ on an atomic
+  g_ticks.store(5);  // store without a memory order
+  return g_ticks.load();  // load without a memory order
+}
+
+// single-producer: calling a producer-gated method without a
+// pw-producer justification at the call site.
+// PW_SINGLE_PRODUCER(PushFrame)
+class FixtureRing {
+ public:
+  bool PushFrame(int v);
+};
+
+void Feed(FixtureRing& ring) { (void)ring.PushFrame(1); }
+
 }  // namespace phasorwatch

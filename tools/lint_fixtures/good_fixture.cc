@@ -3,6 +3,7 @@
 #include "common/check.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "common/workspace.h"
 #include "linalg/views.h"
 
@@ -42,6 +43,44 @@ void Root() {
   // pw-lint: allow(rng-discipline) fixture root stream for self-test.
   Rng rng(1234);
   (void)rng;
+}
+
+// Annotated Mutex-holding class: every mutable member is guarded,
+// atomic, const, or carries a justified allow.
+class GuardedCache {
+ public:
+  void Touch() PW_REQUIRES(mu_);
+
+ private:
+  mutable Mutex mu_;
+  int hits_ PW_GUARDED_BY(mu_) = 0;
+  std::atomic<int> peeks_{0};
+  const int limit_ = 8;
+  // pw-lint: allow(sync-discipline) written once before threads start.
+  int config_generation_ = 0;
+};
+
+// Explicit memory orders on every atomic access, including a wrapped
+// argument list the linter must match across lines.
+std::atomic<int> g_clean_ticks{0};
+int ExplicitOrders() {
+  g_clean_ticks.fetch_add(1, std::memory_order_relaxed);
+  g_clean_ticks.store(0,
+                      std::memory_order_release);
+  return g_clean_ticks.load(std::memory_order_acquire);
+}
+
+// A producer-gated call carrying its single-producer justification.
+// PW_SINGLE_PRODUCER(PushSample)
+class CleanRing {
+ public:
+  bool PushSample(int v);
+};
+
+void Pump(CleanRing& ring) {
+  // pw-producer: Pump is the only thread feeding this fixture ring
+  // (wrapped justification lines are part of the directive).
+  (void)ring.PushSample(2);
 }
 
 }  // namespace phasorwatch

@@ -37,6 +37,37 @@ Rules (see docs/STATIC_ANALYSIS.md for the full contract vocabulary):
                     a curated symbol -> header map (check/status/
                     workspace/rng/views/obs macros).
 
+  sync-discipline   No raw standard-library synchronization primitives
+                    (std::mutex, std::shared_mutex, std::lock_guard,
+                    std::unique_lock, std::condition_variable, ...)
+                    outside common/sync.h: all locking goes through the
+                    annotated Mutex/SharedMutex/MutexLock/CondVar layer
+                    so the Clang thread-safety analysis and the debug
+                    lock-rank tracker see every acquisition. And inside
+                    any class that declares a Mutex/SharedMutex member,
+                    every mutable data member must be PW_GUARDED_BY,
+                    std::atomic, const, or carry a justified allow —
+                    an unannotated field next to a lock is exactly the
+                    bug the contract layer exists to make impossible.
+
+  atomic-ordering   Every atomic access spells out its memory order:
+                    .load/.store/.exchange/.fetch_*/.compare_exchange_*
+                    calls must name an explicit std::memory_order
+                    (matched across wrapped lines), and bare ++/--/+=/=
+                    on a variable declared std::atomic in the same file
+                    is flagged as an implicit seq_cst. The tree's
+                    orders are a reviewed decision (docs/PARALLELISM.md);
+                    defaulting hides that decision from the reader.
+
+  single-producer   A type whose definition carries a
+                    `// PW_SINGLE_PRODUCER(Method, ...)` marker (e.g.
+                    SpscQueue::TryPush) has producer methods that are
+                    safe from exactly one thread. Every call site of a
+                    marked method must carry a `// pw-producer:` comment
+                    (covering its own line, any wrapped comment lines,
+                    and the next code line) naming the argument for why
+                    this caller is the single producer.
+
 Suppressions:
   - Inline: a comment `pw-lint: allow(<rule>)` suppresses findings of
     <rule> on its own line and the following line. Always append a
@@ -69,6 +100,9 @@ RULES = (
     "rng-discipline",
     "raw-storage",
     "iwyu-project",
+    "sync-discipline",
+    "atomic-ordering",
+    "single-producer",
 )
 
 ALLOW_RE = re.compile(r"pw-lint:\s*allow\(([a-z-]+)\)")
@@ -139,7 +173,40 @@ IWYU_MAP = [
     ),
     (re.compile(r"\bPW_OBS_"), "obs/metrics.h"),
     (re.compile(r"\bPW_TRACE_SCOPE\b"), "obs/trace.h"),
+    (
+        re.compile(
+            r"\bMutex\b|\bSharedMutex\b|\bMutexLock\b|\bReaderLock\b|\bWriterLock\b"
+            r"|\bCondVar\b|\bPW_GUARDED_BY\b|\bPW_PT_GUARDED_BY\b|\bPW_REQUIRES\b"
+            r"|\bPW_REQUIRES_SHARED\b|\bPW_EXCLUDES\b|\block_rank::"
+        ),
+        "common/sync.h",
+    ),
 ]
+
+# sync-discipline: raw standard-library primitives banned outside
+# common/sync.h (the annotated wrapper layer).
+RAW_SYNC_RE = re.compile(
+    r"\bstd::(?:mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"recursive_timed_mutex|shared_timed_mutex|condition_variable|"
+    r"condition_variable_any|lock_guard|unique_lock|shared_lock|scoped_lock)\b"
+)
+
+# Class/struct definition head (forward declarations are filtered by
+# looking for '{' before ';'); the lookbehind skips `enum class`.
+CLASS_RE = re.compile(r"(?<!enum )\b(?:class|struct)\s+[A-Za-z_]\w*")
+
+SYNC_MEMBER_RE = re.compile(r"\b(?:Mutex|SharedMutex)\s+[A-Za-z_]\w*")
+
+# atomic-ordering: member calls whose argument list must name an order.
+ATOMIC_CALL_RE = re.compile(
+    r"(?:\.|->)\s*(load|store|exchange|fetch_add|fetch_sub|fetch_or|"
+    r"fetch_and|fetch_xor|compare_exchange_weak|compare_exchange_strong)"
+    r"\s*\("
+)
+
+# single-producer: the type-side marker and the call-site directive.
+SINGLE_PRODUCER_MARK_RE = re.compile(r"PW_SINGLE_PRODUCER\(([^)]*)\)")
+PRODUCER_DIRECTIVE = "pw-producer:"
 
 
 class Finding:
@@ -315,6 +382,264 @@ def statement_is_error_exit(stripped_lines, lineno):
     return re.match(r"\s*return\s+Status::", stmt) is not None
 
 
+def collapse_templates(text):
+    """Iteratively removes <...> template-argument lists (innermost
+    first) so declaration heuristics are not confused by commas, parens,
+    or nested angle brackets inside them."""
+    prev = None
+    while prev != text:
+        prev = text
+        text = re.sub(r"<[^<>\n]*>", "", text)
+    return text
+
+
+def match_paren(text, open_index):
+    """Index of the ')' matching the '(' at open_index, or len(text)."""
+    depth = 0
+    i = open_index
+    n = len(text)
+    while i < n:
+        c = text[i]
+        if c == "(":
+            depth += 1
+        elif c == ")":
+            depth -= 1
+            if depth == 0:
+                return i
+        i += 1
+    return n
+
+
+def class_bodies(stripped):
+    """Yields (body_open_index, body_close_index) for every class/struct
+    definition in the stripped text, including nested ones."""
+    for m in CLASS_RE.finditer(stripped):
+        i = m.end()
+        while i < len(stripped) and stripped[i] not in "{;":
+            i += 1
+        if i >= len(stripped) or stripped[i] == ";":
+            continue  # forward declaration
+        depth = 0
+        j = i
+        while j < len(stripped):
+            if stripped[j] == "{":
+                depth += 1
+            elif stripped[j] == "}":
+                depth -= 1
+                if depth == 0:
+                    break
+            j += 1
+        yield i, j
+
+
+def flatten_class_body(body):
+    """Blanks everything nested deeper than the class body itself
+    (inline method bodies, default member initializers, nested types)
+    while preserving newlines, and turns the nested braces into ';' so
+    an inline definition terminates its statement the way a declaration
+    would. The result splits on ';' into member-level statements."""
+    out = []
+    depth = 1
+    for c in body:
+        if c == "{":
+            depth += 1
+            out.append(";" if depth == 2 else " ")
+        elif c == "}":
+            depth -= 1
+            out.append(";" if depth == 1 else " ")
+        elif c == "\n":
+            out.append("\n")
+        else:
+            out.append(c if depth == 1 else " ")
+    return "".join(out)
+
+
+MEMBER_SKIP_RE = re.compile(
+    r"^(?:using\b|typedef\b|friend\b|static\b|constexpr\b|enum\b|class\b"
+    r"|struct\b|template\b|PW_[A-Z_]+\s*$)"
+)
+
+
+def check_sync_discipline(rel, stripped, stripped_lines, allowed, findings):
+    # Raw primitives outside the wrapper layer.
+    for lineno, line in enumerate(stripped_lines, start=1):
+        if lineno in allowed["sync-discipline"]:
+            continue
+        m = RAW_SYNC_RE.search(line)
+        if m:
+            findings.append(
+                Finding(
+                    rel,
+                    lineno,
+                    "sync-discipline",
+                    f"raw {m.group(0)} outside common/sync.h; use the "
+                    f"annotated layer",
+                )
+            )
+
+    # Guarded-field audit for Mutex-holding classes.
+    for body_open, body_close in class_bodies(stripped):
+        body = flatten_class_body(stripped[body_open + 1 : body_close])
+        if not SYNC_MEMBER_RE.search(body):
+            continue
+        base_line = stripped.count("\n", 0, body_open) + 1
+        pos = 0
+        for stmt in body.split(";"):
+            stmt_offset = pos + (len(stmt) - len(stmt.lstrip()))
+            pos += len(stmt) + 1
+            lineno = base_line + body.count("\n", 0, stmt_offset)
+            flat = " ".join(stmt.split())
+            flat = re.sub(r"^(?:public|private|protected)\s*:\s*", "", flat)
+            if not flat:
+                continue
+            if lineno in allowed["sync-discipline"]:
+                continue
+            if "PW_GUARDED_BY" in flat or "PW_PT_GUARDED_BY" in flat:
+                continue  # annotated
+            if "std::atomic" in flat:
+                continue  # atomics carry their own ordering contract
+            if re.search(r"\b(?:Mutex|SharedMutex|CondVar)\b", flat):
+                continue  # the sync members themselves
+            if re.search(r"\bconst\b", flat):
+                continue  # immutable (covers `T* const` handles too)
+            if MEMBER_SKIP_RE.match(flat):
+                continue
+            # Strip annotations/alignas and collapse templates; whatever
+            # still calls with '(' is a function, not a field.
+            work = re.sub(r"\bPW_\w+\s*\([^()]*\)", "", flat)
+            work = re.sub(r"\balignas\s*\([^()]*\)", "", work)
+            work = collapse_templates(work)
+            if "(" in work or ")" in work:
+                continue
+            names = re.findall(r"[A-Za-z_]\w*", work.split("=")[0])
+            if not names:
+                continue
+            field = names[-1]
+            findings.append(
+                Finding(
+                    rel,
+                    lineno,
+                    "sync-discipline",
+                    f"mutable field '{field}' in a Mutex-holding class "
+                    f"lacks PW_GUARDED_BY (or atomic/const/allow)",
+                )
+            )
+
+
+def check_atomic_ordering(rel, stripped, stripped_lines, allowed, findings):
+    # Calls: paren-match so wrapped argument lists are seen whole.
+    for m in ATOMIC_CALL_RE.finditer(stripped):
+        open_index = m.end() - 1
+        close_index = match_paren(stripped, open_index)
+        args = stripped[open_index + 1 : close_index]
+        if "memory_order" in args:
+            continue
+        lineno = stripped.count("\n", 0, m.start()) + 1
+        if lineno in allowed["atomic-ordering"]:
+            continue
+        findings.append(
+            Finding(
+                rel,
+                lineno,
+                "atomic-ordering",
+                f"{m.group(1)}() without an explicit std::memory_order",
+            )
+        )
+
+    # Bare operators on variables declared std::atomic in this file.
+    collapsed = collapse_templates(stripped)
+    names = set(re.findall(r"\bstd::atomic\s+([A-Za-z_]\w*)", collapsed))
+    if not names:
+        return
+    alt = "|".join(re.escape(n) for n in sorted(names))
+    # Increments and compound assignments anywhere; plain `name = ...`
+    # only at statement start, so declarations of unrelated variables
+    # that happen to share an atomic's name (`uint64_t samples = 0;`)
+    # and member accesses on other types (`row.samples = ...`) do not
+    # trip the heuristic.
+    bare_re = re.compile(
+        r"(?:\+\+|--)\s*(?:" + alt + r")\b"
+        r"|\b(?:" + alt + r")\s*(?:\+\+|--|\+=|-=|\|=|&=|\^=)"
+        r"|(?:^|[;{}(])\s*(?:" + alt + r")\s*=(?!=)"
+    )
+    for lineno, line in enumerate(stripped_lines, start=1):
+        if lineno in allowed["atomic-ordering"]:
+            continue
+        if "std::atomic" in line:
+            continue  # declaration with initializer
+        m = bare_re.search(line)
+        if m:
+            findings.append(
+                Finding(
+                    rel,
+                    lineno,
+                    "atomic-ordering",
+                    f"implicit seq_cst operator on atomic "
+                    f"'{m.group(0).strip()}'; use an explicit "
+                    f"load/store/fetch_* with a memory order",
+                )
+            )
+
+
+_TREE_PRODUCER_METHODS = None
+
+
+def tree_producer_methods():
+    """Producer-marked method names collected across the whole src tree,
+    so linting a single file still knows which calls are gated."""
+    global _TREE_PRODUCER_METHODS
+    if _TREE_PRODUCER_METHODS is None:
+        methods = set()
+        for path in default_paths():
+            for m in SINGLE_PRODUCER_MARK_RE.finditer(path.read_text()):
+                methods.update(s.strip() for s in m.group(1).split(",") if s.strip())
+        _TREE_PRODUCER_METHODS = methods
+    return _TREE_PRODUCER_METHODS
+
+
+def producer_directive_lines(raw_lines):
+    """Line numbers covered by `// pw-producer:` directives: the
+    directive line, any immediately following comment-only lines (a
+    wrapped justification), and the first code line after them."""
+    covered = set()
+    n = len(raw_lines)
+    for idx, line in enumerate(raw_lines, start=1):
+        if PRODUCER_DIRECTIVE not in line:
+            continue
+        covered.add(idx)
+        k = idx + 1
+        while k <= n and raw_lines[k - 1].lstrip().startswith("//"):
+            covered.add(k)
+            k += 1
+        covered.add(k)
+    return covered
+
+
+def check_single_producer(rel, raw, raw_lines, stripped_lines, allowed, findings):
+    methods = set(tree_producer_methods())
+    for m in SINGLE_PRODUCER_MARK_RE.finditer(raw):
+        methods.update(s.strip() for s in m.group(1).split(",") if s.strip())
+    if not methods:
+        return
+    covered = producer_directive_lines(raw_lines)
+    for method in sorted(methods):
+        call_re = re.compile(r"(?:\.|->)\s*" + re.escape(method) + r"\s*\(")
+        for lineno, line in enumerate(stripped_lines, start=1):
+            if not call_re.search(line):
+                continue
+            if lineno in covered or lineno in allowed["single-producer"]:
+                continue
+            findings.append(
+                Finding(
+                    rel,
+                    lineno,
+                    "single-producer",
+                    f"call to producer-gated {method}() without a "
+                    f"`// pw-producer:` justification at the call site",
+                )
+            )
+
+
 def lint_file(path, rel, findings):
     raw = path.read_text()
     raw_lines = raw.split("\n")
@@ -393,6 +718,19 @@ def lint_file(path, rel, findings):
                         )
                     )
                     break
+
+    # --- sync-discipline ---
+    # common/sync.h IS the wrapper layer: it alone may touch the raw
+    # primitives, and its internal classes are the contract, not users
+    # of it.
+    if rel != "src/common/sync.h":
+        check_sync_discipline(rel, stripped, stripped_lines, allowed, findings)
+
+    # --- atomic-ordering ---
+    check_atomic_ordering(rel, stripped, stripped_lines, allowed, findings)
+
+    # --- single-producer ---
+    check_single_producer(rel, raw, raw_lines, stripped_lines, allowed, findings)
 
     # --- iwyu-project ---
     includes = set(re.findall(r'#include\s+"([^"]+)"', raw))
