@@ -8,6 +8,7 @@
 
 #include "bench/bench_common.h"
 #include "common/table_printer.h"
+#include "eval/cascade.h"
 #include "grid/ieee_cases.h"
 
 namespace pw = phasorwatch;
@@ -19,6 +20,9 @@ int main(int argc, char** argv) {
   pw::bench::ReportResults report_results;
   pw::TablePrinter table({"system", "regime", "IA", "FA", "samples",
                           "injected", "screened", "rejected"});
+  pw::TablePrinter cascade_table({"system", "scenario", "stage", "ttd",
+                                  "set_P", "set_R", "IA", "injected",
+                                  "rejected"});
 
   for (int buses : config.systems) {
     auto grid = pw::grid::EvaluationSystem(buses);
@@ -62,9 +66,47 @@ int main(int argc, char** argv) {
       report_results.emplace_back(
           prefix + ".rejected", static_cast<double>(row.samples_rejected));
     }
+
+    // Cascade lane: the same system replayed as staged multi-line
+    // sequences against a multi-outage detector (max_outage_lines = 2,
+    // the composed-pair search of docs/ROBUSTNESS.md).
+    pw::eval::ExperimentOptions multi_options = config.experiment;
+    multi_options.detector.max_outage_lines = 2;
+    auto multi = pw::eval::TrainedMethods::Train(*dataset, multi_options);
+    if (!multi.ok()) {
+      std::fprintf(stderr, "train multi %d: %s\n", buses,
+                   multi.status().ToString().c_str());
+      return 1;
+    }
+    for (const auto& scenario : pw::eval::DefaultCascadeScenarios(*dataset)) {
+      auto stages = pw::eval::RunCascadeScenario(*dataset, *multi, scenario);
+      if (!stages.ok()) {
+        std::fprintf(stderr, "cascade %d %s: %s\n", buses,
+                     scenario.name.c_str(), stages.status().ToString().c_str());
+        return 1;
+      }
+      for (const auto& stage : *stages) {
+        cascade_table.AddRow({grid->name(), stage.scenario, stage.stage,
+                              std::to_string(stage.time_to_detect),
+                              pw::TablePrinter::Num(stage.set_precision),
+                              pw::TablePrinter::Num(stage.set_recall),
+                              pw::TablePrinter::Num(stage.localization_accuracy),
+                              std::to_string(stage.faults_injected),
+                              std::to_string(stage.samples_rejected)});
+        const std::string prefix = "cascade." + grid->name() + "." +
+                                   stage.scenario + "." + stage.stage;
+        report_results.emplace_back(
+            prefix + ".ttd_samples", static_cast<double>(stage.time_to_detect));
+        report_results.emplace_back(prefix + ".set_precision",
+                                    stage.set_precision);
+        report_results.emplace_back(prefix + ".set_recall", stage.set_recall);
+      }
+    }
   }
 
   std::printf("Fault-regime degradation series:\n");
   table.Print(std::cout);
+  std::printf("Cascade sequences (multi-line identification):\n");
+  cascade_table.Print(std::cout);
   return pw::bench::MaybeWriteJsonReport(config.json_path, "chaos", report_results);
 }

@@ -43,7 +43,8 @@ TOP_LEVEL = {
     "quantiles": dict,
 }
 
-HIGHER_IS_BETTER_PARTS = ("IA", "accuracy", "frames_per_sec")
+HIGHER_IS_BETTER_PARTS = ("IA", "accuracy", "frames_per_sec",
+                          "set_precision", "set_recall")
 
 
 def load(path):
@@ -188,7 +189,7 @@ def cmd_diff(base_path, new_path, threshold, results_only):
     return 0
 
 
-def _fixture(p99_14, ia_14=0.9, fps=20000.0):
+def _fixture(p99_14, ia_14=0.9, fps=20000.0, set_recall=0.9):
     """Minimal valid document with latency, accuracy, and throughput."""
     return {
         "schema": SCHEMA,
@@ -201,6 +202,10 @@ def _fixture(p99_14, ia_14=0.9, fps=20000.0):
             "detect.ieee14.p99_us": {"unit": "us", "value": p99_14},
             "fig5.ieee14.subspace.IA": {"unit": "", "value": ia_14},
             "fleet.frames_per_sec": {"unit": "", "value": fps},
+            "cascade.ieee14.double_trip.second_trip.set_precision":
+                {"unit": "", "value": 0.95},
+            "cascade.ieee14.double_trip.second_trip.set_recall":
+                {"unit": "", "value": set_recall},
         },
         "counters": {"stream.samples": 100},
         "gauges": {"stream.alarm_active": 0.0},
@@ -248,6 +253,12 @@ def self_test():
           "results.fleet.frames_per_sec" in regs)
     _, regs = diff_docs(base, _fixture(100.0, fps=30000.0), 0.20, False)
     check("throughput gain is an improvement", regs == [])
+    _, regs = diff_docs(base, _fixture(100.0, set_recall=0.5), 0.20, False)
+    check("cascade set recall drop gates as higher-is-better",
+          "results.cascade.ieee14.double_trip.second_trip.set_recall"
+          in regs)
+    _, regs = diff_docs(base, _fixture(100.0, set_recall=1.0), 0.20, False)
+    check("cascade set recall gain is an improvement", regs == [])
 
     failed = [name for name, ok in checks if not ok]
     if failed:

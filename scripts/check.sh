@@ -37,11 +37,11 @@ scripts/format.sh --check
 ctest --test-dir build --output-on-failure
 
 # The labeled lanes (tests/CMakeLists.txt: unit / property / chaos /
-# golden) all run as part of the full suite above; this gate only checks
-# they stay populated — an empty label means the hardening coverage
-# silently fell out of the build.
-echo "=== labeled lanes (property, chaos, golden) ==="
-for label in property chaos golden; do
+# golden / cascade) all run as part of the full suite above; this gate
+# only checks they stay populated — an empty label means the hardening
+# coverage silently fell out of the build.
+echo "=== labeled lanes (property, chaos, golden, cascade) ==="
+for label in property chaos golden cascade; do
   if ctest --test-dir build -L "$label" -N | grep -q "Total Tests: 0"; then
     echo "error: no tests carry ctest label '$label'" >&2
     exit 1

@@ -33,6 +33,11 @@ constexpr uint64_t kClassFamilyKey = uint64_t{1} << 21;
 // numerically zero.
 constexpr double kProxFloor = 1e-15;
 
+// Peeling threshold sentinel for cases with no calibrated null
+// distribution (single-case training): no residual drop ever clears it,
+// so such a case can only be the anchor line, never a peeled addition.
+constexpr double kPeelTauNever = 1e300;
+
 }  // namespace
 
 Result<OutageDetector> OutageDetector::Train(const grid::Grid& grid,
@@ -257,6 +262,109 @@ Result<OutageDetector> OutageDetector::Train(const grid::Grid& grid,
       PW_LOG(Warning) << "ratio gate pulled down to " << det.ratio_gate_
                       << " on " << grid.name()
                       << " (normal data approaches a line model)";
+    }
+  }
+
+  // Calibrate the peeling acceptance thresholds (multi-line
+  // identification only). For each single-outage training sample of
+  // case t, peel the TRUE line's mean shift and record the normalized
+  // residual drop
+  //   delta_c = (r_peeled_normal - r_peeled_class_c) / ||R d_c||^2
+  // every other case c would have scored — the null distribution of a
+  // spurious second line riding on a real first one. The thresholds
+  // are conditioned on the anchor: tau(c | t) is the configured
+  // quantile of the (c, t) cell plus the margin, because the leftover
+  // nonlinearity of a real outage t is systematic — some neighbors c
+  // always pick up part of it — and a threshold pooled across anchors
+  // would let exactly those phantoms through. The calibration sweeps
+  // the FULL training corpus (not calibration_samples): each (c, t)
+  // cell needs dense sampling for its own quantile. Skipped entirely
+  // at the default max_outage_lines = 1 so legacy training stays
+  // bit-identical.
+  if (options.max_outage_lines >= 2) {
+    if (options.peel_null_quantile <= 0.0 ||
+        options.peel_null_quantile > 1.0) {
+      return Status::InvalidArgument("peel_null_quantile must be in (0, 1]");
+    }
+    std::vector<size_t> all_nodes(n);
+    std::iota(all_nodes.begin(), all_nodes.end(), size_t{0});
+    const std::vector<size_t> all_coords = det.GroupCoordinates(all_nodes);
+    const size_t dim = det.normal_class_model_.mean.size();
+    const size_t num_cases = data.outage.size();
+
+    // Whitened shift energies ||R d_c||^2: the normal class model
+    // evaluated at mu_c measures exactly ||R (mu_c - mu_n)||^2. Not
+    // stored — Detect recomputes the energy over ITS pooled
+    // coordinates, so that under missing data the drop and its
+    // normalizer always cover the same coordinate set and the delta
+    // statistic keeps the calibrated scale.
+    std::vector<double> shift_energy(num_cases, kProxFloor);
+    for (size_t c = 0; c < num_cases; ++c) {
+      PW_ASSIGN_OR_RETURN(
+          double energy,
+          det.engine_.Evaluate(det.normal_class_model_, kClassFamilyKey,
+                               det.line_class_models_[c].mean, all_coords));
+      shift_energy[c] = std::max(energy, kProxFloor);
+    }
+
+    std::vector<std::vector<double>> nulls(num_cases * num_cases);
+    // pw-lint: allow(rng-discipline) fixed-seed self-check stream.
+    Rng peel_mask_rng(0x9EE15EEDull);
+    // Records the spurious deltas of every non-true case on a peeled
+    // sample over one coordinate set. The shift energy is re-evaluated
+    // per coordinate set so masked variants keep the statistic's scale
+    // (Detect does the same over its pooled coordinates).
+    auto record_nulls = [&](const Vector& peeled, size_t t,
+                            const std::vector<size_t>& coords) -> Status {
+      PW_ASSIGN_OR_RETURN(
+          double r_base,
+          det.engine_.Evaluate(det.normal_class_model_, kClassFamilyKey,
+                               peeled, coords));
+      for (size_t c = 0; c < num_cases; ++c) {
+        if (c == t) continue;
+        PW_ASSIGN_OR_RETURN(
+            double r,
+            det.engine_.Evaluate(det.line_class_models_[c], kClassFamilyKey,
+                                 peeled, coords));
+        PW_ASSIGN_OR_RETURN(
+            double energy,
+            det.engine_.Evaluate(det.normal_class_model_, kClassFamilyKey,
+                                 det.line_class_models_[c].mean, coords));
+        nulls[c * num_cases + t].push_back(
+            (r_base - r) / std::max(energy, kProxFloor));
+      }
+      return Status::OK();
+    };
+    for (size_t t = 0; t < num_cases; ++t) {
+      const sim::PhasorDataSet* block = data.outage[t];
+      for (size_t s = 0; s < block->num_samples(); ++s) {
+        auto [vm, va] = block->Sample(s);
+        Vector peeled = FeatureVector(vm, va, options.subspace.channel);
+        for (size_t i = 0; i < dim; ++i) {
+          peeled[i] -= det.line_class_models_[t].mean[i] -
+                       det.normal_class_model_.mean[i];
+        }
+        PW_RETURN_IF_ERROR(record_nulls(peeled, t, all_coords));
+        // A masked variant per sample, mirroring the ratio-gate
+        // calibration: the bad-data screen and transport loss both
+        // shrink the coordinate set at detect time, and the whitened
+        // geometry over fewer coordinates spreads the spurious deltas
+        // beyond their complete-coordinate envelope.
+        sim::MissingMask mask = sim::MissingRandom(
+            n, 1 + peel_mask_rng.UniformInt(4), {}, peel_mask_rng);
+        PW_RETURN_IF_ERROR(record_nulls(
+            peeled, t, det.GroupCoordinates(mask.AvailableIndices())));
+      }
+    }
+    det.peel_tau_.assign(num_cases * num_cases, kPeelTauNever);
+    for (size_t cell = 0; cell < nulls.size(); ++cell) {
+      if (nulls[cell].empty()) continue;  // diagonal / unsampled case
+      std::sort(nulls[cell].begin(), nulls[cell].end());
+      const size_t idx = std::min(
+          nulls[cell].size() - 1,
+          static_cast<size_t>(options.peel_null_quantile *
+                              static_cast<double>(nulls[cell].size())));
+      det.peel_tau_[cell] = nulls[cell][idx] + options.peel_margin;
     }
   }
 
@@ -496,6 +604,11 @@ struct OutageDetector::DetectScratch {
   std::vector<size_t> order;
   std::vector<bool> selected;
   std::vector<std::pair<double, size_t>> candidates;  // (residual, case)
+  /// Multi-line peeling state (max_outage_lines >= 2 only): the sample
+  /// with the accepted lines' mean shifts subtracted, and which cases
+  /// have been taken.
+  linalg::Vector peel_features;
+  std::vector<bool> peel_taken;
 };
 
 PW_NO_ALLOC Result<const sim::MissingMask*> OutageDetector::ScreenBadData(
@@ -803,6 +916,13 @@ PW_NO_ALLOC Result<DetectionResult> OutageDetector::DetectImpl(
     candidates.push_back({prox, c});
   }
   std::sort(candidates.begin(), candidates.end());
+  if (options_.max_outage_lines >= 2 && !candidates.empty()) {
+    // Multi-line identification: composed-pair scoring + greedy residual
+    // peeling replace the line-window rule (docs/ROBUSTNESS.md).
+    PW_RETURN_IF_ERROR(
+        IdentifyOutageSet(features, batch_cache, scratch, &result));
+    return result;
+  }
   if (!candidates.empty()) {
     double best = std::max(candidates.front().first, kProxFloor);
     for (const auto& [prox, c] : candidates) {
@@ -812,6 +932,122 @@ PW_NO_ALLOC Result<DetectionResult> OutageDetector::DetectImpl(
     }
   }
   return result;
+}
+
+PW_NO_ALLOC Result<double> OutageDetector::PeeledClassResidual(
+    size_t c, ProximityEngine::BatchCache* batch_cache,
+    DetectScratch& scratch) {
+  // All class models share one whitened coefficient matrix, so the
+  // regressor cached under kClassFamilyKey for the pooled coordinates is
+  // reused verbatim; only the mean differs. Evaluating case c's model on
+  // the peeled sample x - sum(d_a) measures the residual against the
+  // composed mean mu_n + sum(d_a) + d_c — the linearized multi-outage
+  // subspace.
+  return engine_.Evaluate(line_class_models_[c], kClassFamilyKey,
+                          scratch.peel_features, scratch.pooled_coords,
+                          batch_cache);
+}
+
+Status OutageDetector::IdentifyOutageSet(const Vector& features,
+                                         ProximityEngine::BatchCache* batch_cache,
+                                         DetectScratch& scratch,
+                                         DetectionResult* result) {
+  PW_TRACE_SCOPE("detect.stage.peel_us");
+  const std::vector<std::pair<double, size_t>>& candidates = scratch.candidates;
+  const size_t num_cases = case_lines_.size();
+  const size_t dim = features.size();
+  scratch.peel_taken.assign(num_cases, false);
+
+  // Baseline: normal-class residual over the pooled coordinates (the
+  // same statistic the ratio gate used; the cached regressor makes this
+  // a re-lookup, not a re-factorization).
+  PW_ASSIGN_OR_RETURN(
+      double r0, engine_.Evaluate(normal_class_model_, kClassFamilyKey,
+                                  features, scratch.pooled_coords,
+                                  batch_cache));
+  r0 = std::max(r0, kProxFloor);
+
+  // Resets peel_features to the sample with case c's mean shift
+  // subtracted composed on top of whatever is already peeled.
+  auto subtract_shift = [&](size_t c) {
+    const Vector& case_mean = line_class_models_[c].mean;
+    const Vector& normal_mean = normal_class_model_.mean;
+    for (size_t i = 0; i < dim; ++i) {
+      scratch.peel_features[i] -= case_mean[i] - normal_mean[i];
+    }
+  };
+  auto reset_peel = [&] {
+    scratch.peel_features.Assign(dim);
+    for (size_t i = 0; i < dim; ++i) scratch.peel_features[i] = features[i];
+  };
+
+  // Appends case c with a confidence clamped to [0, 1] and forced
+  // monotone non-increasing: each later line is conditioned on every
+  // earlier one being real, so it can never be more certain.
+  auto accept = [&](size_t c, double raw_confidence) {
+    double conf = std::min(1.0, std::max(0.0, raw_confidence));
+    if (!result->outage_set.empty()) {
+      conf = std::min(conf, result->outage_set.back().confidence);
+    }
+    result->outage_set.push_back({case_lines_[c], conf});
+    result->lines.push_back(case_lines_[c]);
+    scratch.peel_taken[c] = true;
+  };
+
+  // Greedy residual peeling anchored on the proximity winner. The
+  // anchor is unconditional — the outage gate already fired, so an
+  // identification is always owed, and the anchor is exactly the line a
+  // single-line detector would report. Every deeper line c must then
+  // clear its calibrated threshold on the normalized residual drop
+  //   delta_c = (r_before - r_after) / ||R d_c||^2,
+  // which is ~ +1 when the peeled residual really contains c's mean
+  // shift and hovers in the spurious-null range otherwise. The argmin
+  // over composed residuals is searched over ALL remaining cases: true
+  // second lines routinely rank far down the single-line ordering
+  // because the anchor's shift dominates their unpeeled residual.
+  reset_peel();
+  const size_t anchor = candidates.front().second;
+  accept(anchor, 1.0 - std::max(candidates.front().first, kProxFloor) / r0);
+  subtract_shift(anchor);
+
+  while (result->outage_set.size() < options_.max_outage_lines) {
+    PW_ASSIGN_OR_RETURN(
+        double r_base,
+        engine_.Evaluate(normal_class_model_, kClassFamilyKey,
+                         scratch.peel_features, scratch.pooled_coords,
+                         batch_cache));
+    r_base = std::max(r_base, kProxFloor);
+    double best = -1.0;
+    size_t best_case = num_cases;
+    for (size_t c = 0; c < num_cases; ++c) {
+      if (scratch.peel_taken[c]) continue;
+      PW_ASSIGN_OR_RETURN(double r, PeeledClassResidual(c, batch_cache,
+                                                        scratch));
+      if (best < 0.0 || r < best) {
+        best = r;
+        best_case = c;
+      }
+    }
+    if (best_case == num_cases) break;  // every case taken
+    // Normalizer over the SAME pooled coordinates as the drop itself:
+    // under missing data both shrink together, keeping the delta
+    // statistic on the scale the thresholds were calibrated at.
+    PW_ASSIGN_OR_RETURN(
+        double energy,
+        engine_.Evaluate(normal_class_model_, kClassFamilyKey,
+                         line_class_models_[best_case].mean,
+                         scratch.pooled_coords, batch_cache));
+    const double drop = (r_base - best) / std::max(energy, kProxFloor);
+    if (drop <= peel_tau_[best_case * num_cases + anchor]) {
+      break;  // stop rule: the best drop looks like a spurious null
+    }
+    PW_OBS_COUNTER_INC("detect.multi.peel_accepted");
+    accept(best_case, 1.0 - best / r_base);
+    subtract_shift(best_case);
+  }
+  PW_OBS_HISTOGRAM_OBSERVE("detect.multi.set_size", result->outage_set.size(),
+                           ::phasorwatch::obs::DefaultIterationBuckets());
+  return Status::OK();
 }
 
 }  // namespace phasorwatch::detect

@@ -100,6 +100,29 @@ struct DetectorOptions {
   /// residual (both over the pooled detection group). Calibrated
   /// downward if normal data ever gets close to a line model.
   double ratio_gate = 0.8;
+  /// Multi-line identification (docs/ROBUSTNESS.md): upper bound on the
+  /// outage-set size recovered by greedy residual peeling. The default
+  /// of 1 keeps the legacy single-line pipeline — training, detection,
+  /// and serialization are bit-identical to a pre-multi-line detector,
+  /// and DetectionResult::outage_set stays empty (no allocation on the
+  /// hot path). Values >= 2 enable the peeling + composed-pair layer.
+  size_t max_outage_lines = 1;
+  /// Acceptance calibration for the peeling layer: a further line c is
+  /// accepted on top of anchor t only when its normalized residual drop
+  ///   delta_c = (r_before - r_after) / ||R d_c||^2
+  /// exceeds a threshold tau(c | t) learned at train time. Train peels
+  /// each single-outage training sample of case t by its true line and
+  /// records the spurious delta_c every OTHER case scores on the peeled
+  /// sample; tau(c | t) is this quantile of the (c, t) null cell. The
+  /// default 1.0 takes the cell maximum: on training-distribution
+  /// single-outage data, no phantom second line is ever accepted, by
+  /// construction.
+  double peel_null_quantile = 1.0;
+  /// Absolute margin added on top of every calibrated tau(c | t) (the
+  /// delta statistic is ~ +1 for a genuinely present line): trades
+  /// missed weak second lines for fewer phantom ones on data beyond
+  /// the calibration corpus.
+  double peel_margin = 0.05;
   /// Worker threads for the per-line subspace training fan-out: 0 = one
   /// per hardware core, 1 = serial. Overridable via PW_THREADS (see
   /// common/thread_pool.h). Trained models are bit-identical at every
@@ -109,6 +132,15 @@ struct DetectorOptions {
 
 /// Output of one detection query.
 struct DetectionResult {
+  /// One identified member of a multi-line outage set.
+  struct OutageHypothesis {
+    grid::LineId line;
+    /// 1 - (class residual / peeled normal residual), clamped to
+    /// [0, 1] and monotone non-increasing across peels: each later
+    /// line is conditioned on every earlier one being real.
+    double confidence = 0.0;
+  };
+
   bool outage_detected = false;
   std::vector<grid::LineId> lines;      ///< the candidate set F-hat
   std::vector<size_t> affected_nodes;   ///< prefix of the sorted node list
@@ -119,6 +151,10 @@ struct DetectionResult {
   /// Available nodes demoted to "unavailable" by the bad-data screen
   /// (DetectorOptions::screen_bad_data) before detection ran.
   size_t screened_nodes = 0;
+  /// Identified outage set in peeling order, with per-line confidence.
+  /// Empty unless DetectorOptions::max_outage_lines >= 2; when
+  /// populated, `lines` mirrors the same lines in the same order.
+  std::vector<OutageHypothesis> outage_set;
 };
 
 /// The paper's robust subspace outage detector (Sec. IV).
@@ -336,6 +372,24 @@ class OutageDetector {
       const sim::MissingMask& mask, ProximityEngine::BatchCache* batch_cache,
       DetectScratch& scratch);
 
+  /// Multi-line identification (max_outage_lines >= 2): greedy residual
+  /// peeling anchored on the top-ranked candidate, each further line
+  /// gated by its calibrated per-case threshold (peel_tau_), up to the
+  /// budget, into result->outage_set (and a mirroring result->lines).
+  /// Requires scratch.candidates sorted and scratch.pooled_coords
+  /// valid (the localization stage state).
+  PW_NODISCARD Status IdentifyOutageSet(
+      const linalg::Vector& features,
+      ProximityEngine::BatchCache* batch_cache, DetectScratch& scratch,
+      DetectionResult* result);
+
+  /// Class residual of `features` with case `c`'s mean shift composed
+  /// on top of the already-peeled mean in scratch.peel_features, over
+  /// the pooled coordinates.
+  PW_NO_ALLOC PW_NODISCARD Result<double> PeeledClassResidual(
+      size_t c, ProximityEngine::BatchCache* batch_cache,
+      DetectScratch& scratch);
+
   const grid::Grid* grid_ = nullptr;          // not owned
   const sim::PmuNetwork* network_ = nullptr;  // not owned
   DetectorOptions options_;
@@ -365,6 +419,13 @@ class OutageDetector {
   std::vector<GateThresholds> gates_;
   /// Calibrated ratio gate (see DetectorOptions::ratio_gate).
   double ratio_gate_ = 0.5;
+  /// Peeling acceptance thresholds, conditioned on the anchor: a
+  /// num_cases x num_cases row-major matrix (empty unless
+  /// max_outage_lines >= 2) where entry [c * num_cases + t] gates case
+  /// c joining an outage set anchored on case t
+  /// (DetectorOptions::peel_null_quantile of the spurious-drop null
+  /// cell, plus peel_margin).
+  std::vector<double> peel_tau_;
 
   /// Maps a node-index group to feature-coordinate indices (identity
   /// for single-channel features, {i, N+i} pairs for kBoth).

@@ -42,7 +42,7 @@ struct TenantConfig {
   std::shared_ptr<OutageDetector> detector;
   StreamOptions stream;
   /// Deployment configuration for file-based hot reload
-  /// (ReloadModelFromFile verifies the PWDET03 fingerprint against
+  /// (ReloadModelFromFile verifies the PWDET04 fingerprint against
   /// these). Optional; reload-from-file fails without them. Not owned,
   /// must outlive the engine.
   const grid::Grid* grid = nullptr;
@@ -122,7 +122,7 @@ class FleetEngine {
   /// the first frame under the new one.
   PW_NODISCARD Status ReloadModel(TenantId tenant,
                                   std::shared_ptr<OutageDetector> model);
-  /// Loads a PWDET03 file against the tenant's configured grid/network
+  /// Loads a PWDET04 file against the tenant's configured grid/network
   /// (fingerprint-checked) and hot-swaps it in. The slow load runs on
   /// the calling thread, off the shard's hot path.
   PW_NODISCARD Status ReloadModelFromFile(TenantId tenant,

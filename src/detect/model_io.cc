@@ -14,9 +14,10 @@ namespace phasorwatch::detect {
 namespace {
 
 // Bumped whenever the layout changes (PWDET03 added the bad-data
-// screening options); older files are rejected as unreadable rather
-// than misparsed.
-constexpr uint64_t kMagic = 0x5057444554303300ull;  // "PWDET03\0"
+// screening options; PWDET04 the multi-line identification options and
+// calibrated per-case peel thresholds); older files are rejected as
+// unreadable rather than misparsed.
+constexpr uint64_t kMagic = 0x5057444554303400ull;  // "PWDET04\0"
 
 using linalg::Matrix;
 using linalg::Subspace;
@@ -112,6 +113,9 @@ Status OutageDetector::Save(std::ostream& out) const {
   w.WriteU64(options_.groups.max_group_size);
   w.WriteBool(options_.screen_bad_data);
   w.WriteDouble(options_.screen_threshold);
+  w.WriteU64(options_.max_outage_lines);
+  w.WriteDouble(options_.peel_null_quantile);
+  w.WriteDouble(options_.peel_margin);
 
   // Cases.
   w.WriteU64(case_lines_.size());
@@ -162,6 +166,7 @@ Status OutageDetector::Save(std::ostream& out) const {
     w.WriteDouble(g.out_of_cluster);
   }
   w.WriteDouble(ratio_gate_);
+  w.WriteDoubleVector(peel_tau_);
   WriteVector(w, node_baseline_in_);
   WriteVector(w, node_baseline_out_);
 
@@ -219,6 +224,19 @@ Result<OutageDetector> OutageDetector::Load(std::istream& in,
   if (!std::isfinite(det.options_.screen_threshold) ||
       det.options_.screen_threshold <= 0.0) {
     return Status::InvalidArgument("corrupt screen threshold");
+  }
+  PW_ASSIGN_OR_RETURN(uint64_t max_outage_lines, r.ReadU64());
+  if (max_outage_lines == 0 || max_outage_lines > grid.num_lines()) {
+    return Status::InvalidArgument("corrupt max outage lines");
+  }
+  det.options_.max_outage_lines = static_cast<size_t>(max_outage_lines);
+  PW_ASSIGN_OR_RETURN(det.options_.peel_null_quantile, r.ReadDouble());
+  PW_ASSIGN_OR_RETURN(det.options_.peel_margin, r.ReadDouble());
+  if (!std::isfinite(det.options_.peel_null_quantile) ||
+      det.options_.peel_null_quantile <= 0.0 ||
+      det.options_.peel_null_quantile > 1.0 ||
+      !std::isfinite(det.options_.peel_margin)) {
+    return Status::InvalidArgument("corrupt multi-line thresholds");
   }
 
   PW_ASSIGN_OR_RETURN(uint64_t num_cases, r.ReadU64());
@@ -322,6 +340,16 @@ Result<OutageDetector> OutageDetector::Load(std::istream& in,
     PW_ASSIGN_OR_RETURN(det.gates_[c].out_of_cluster, r.ReadDouble());
   }
   PW_ASSIGN_OR_RETURN(det.ratio_gate_, r.ReadDouble());
+  PW_ASSIGN_OR_RETURN(det.peel_tau_, r.ReadDoubleVector());
+  const bool multi = det.options_.max_outage_lines >= 2;
+  if (det.peel_tau_.size() != (multi ? num_cases * num_cases : 0)) {
+    return Status::InvalidArgument("peel calibration size mismatch");
+  }
+  for (double tau : det.peel_tau_) {
+    if (std::isnan(tau)) {
+      return Status::InvalidArgument("corrupt peel threshold");
+    }
+  }
   PW_ASSIGN_OR_RETURN(det.node_baseline_in_, ReadVector(r));
   PW_ASSIGN_OR_RETURN(det.node_baseline_out_, ReadVector(r));
   if (det.node_baseline_in_.size() != grid.num_buses() ||

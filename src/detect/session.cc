@@ -1,6 +1,7 @@
 #include "detect/session.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <map>
 #include <utility>
 
@@ -24,11 +25,28 @@ bool IsBadSampleError(StatusCode code) {
          code == StatusCode::kDataMissing;
 }
 
-// TenantSnapshot wire format tag ("PWSNAP" + 2-digit version).
-constexpr uint64_t kSnapshotMagic = 0x5057534e41503031ull;  // "PWSNAP01"
+// TenantSnapshot wire format tag ("PWSNAP" + 2-digit version; PWSNAP02
+// added the per-vote confidence vectors of the multi-line detector).
+constexpr uint64_t kSnapshotMagic = 0x5057534e41503032ull;  // "PWSNAP02"
 // A vote window is a handful of candidate sets; anything beyond this is
 // corrupt input, not a real snapshot.
 constexpr uint64_t kMaxSnapshotVotes = 1 << 16;
+
+#ifndef PW_OBS_DISABLED
+// "Bus1-Bus2:0.97" entries for the event log's outage_set field.
+std::vector<std::string> OutageSetNames(
+    const OutageDetector& detector,
+    const std::vector<DetectionResult::OutageHypothesis>& set) {
+  std::vector<std::string> names;
+  names.reserve(set.size());
+  for (const DetectionResult::OutageHypothesis& h : set) {
+    char conf[32];
+    std::snprintf(conf, sizeof(conf), ":%.2f", h.confidence);
+    names.push_back(detector.grid().LineName(h.line) + conf);
+  }
+  return names;
+}
+#endif
 
 }  // namespace
 
@@ -204,8 +222,19 @@ StreamEvent TenantSession::Debounce(const OutageDetector& detector,
     ++consecutive_positive_;
     consecutive_negative_ = 0;
     recent_votes_.push_back(event.raw.lines);
+    // Confidence vector in lockstep with the vote: multi-line raw
+    // detections carry per-line confidences in outage_set (same lines,
+    // same order); legacy detections vote with full confidence.
+    std::vector<double> confidences(event.raw.lines.size(), 1.0);
+    if (event.raw.outage_set.size() == event.raw.lines.size()) {
+      for (size_t k = 0; k < event.raw.outage_set.size(); ++k) {
+        confidences[k] = event.raw.outage_set[k].confidence;
+      }
+    }
+    recent_confidences_.push_back(std::move(confidences));
     while (recent_votes_.size() > options_.vote_window) {
       recent_votes_.pop_front();
+      recent_confidences_.pop_front();
     }
   } else {
     ++consecutive_negative_;
@@ -219,11 +248,13 @@ StreamEvent TenantSession::Debounce(const OutageDetector& detector,
     alarm_active_ = false;
     event.alarm_cleared = true;
     recent_votes_.clear();
+    recent_confidences_.clear();
   }
 
   event.alarm_active = alarm_active_;
   if (alarm_active_) {
     event.lines = MajorityLines();
+    event.outage_set = MajorityOutageSet(event.lines);
   }
 
   if (event.alarm_raised) {
@@ -241,6 +272,9 @@ StreamEvent TenantSession::Debounce(const OutageDetector& detector,
     log_event.Uint("sample", event.sample_index)
         .Num("decision_score", event.raw.decision_score)
         .StrList("candidate_lines", LineNames(detector, event.lines));
+    if (!event.outage_set.empty()) {
+      log_event.StrList("outage_set", OutageSetNames(detector, event.outage_set));
+    }
     if (!label_.empty()) log_event.Str("tenant", label_);
   } else if (event.alarm_cleared) {
     PW_OBS_COUNTER_INC("stream.alarms_cleared");
@@ -256,6 +290,9 @@ StreamEvent TenantSession::Debounce(const OutageDetector& detector,
     log_event.Uint("sample", event.sample_index)
         .Num("decision_score", event.raw.decision_score)
         .StrList("candidate_lines", LineNames(detector, event.lines));
+    if (!event.outage_set.empty()) {
+      log_event.StrList("outage_set", OutageSetNames(detector, event.outage_set));
+    }
     if (!label_.empty()) log_event.Str("tenant", label_);
   }
   // Per-sample heartbeat for debugging; rate-limited so a 30-60 Hz PMU
@@ -278,6 +315,7 @@ void TenantSession::Reset() {
   consecutive_negative_ = 0;
   next_sample_ = 0;
   recent_votes_.clear();
+  recent_confidences_.clear();
   last_timestamp_us_ = 0;
   has_timestamp_ = false;
   // The batch memo's group selection belongs to the stream the operator
@@ -301,6 +339,8 @@ TenantSnapshot TenantSession::Snapshot() const {
   snapshot.consecutive_positive = consecutive_positive_;
   snapshot.consecutive_negative = consecutive_negative_;
   snapshot.recent_votes.assign(recent_votes_.begin(), recent_votes_.end());
+  snapshot.recent_confidences.assign(recent_confidences_.begin(),
+                                     recent_confidences_.end());
   snapshot.last_timestamp_us = last_timestamp_us_;
   snapshot.has_timestamp = has_timestamp_;
   snapshot.samples = counters_.samples.load(std::memory_order_relaxed);
@@ -327,12 +367,25 @@ Status TenantSession::Restore(const TenantSnapshot& snapshot) {
       }
     }
   }
+  if (snapshot.recent_confidences.size() != snapshot.recent_votes.size()) {
+    return Status::InvalidArgument(
+        "snapshot confidence window out of step with the vote window");
+  }
+  for (size_t v = 0; v < snapshot.recent_votes.size(); ++v) {
+    if (snapshot.recent_confidences[v].size() !=
+        snapshot.recent_votes[v].size()) {
+      return Status::InvalidArgument(
+          "snapshot vote and its confidences disagree on line count");
+    }
+  }
   next_sample_.store(snapshot.next_sample_index, std::memory_order_release);
   alarm_active_.store(snapshot.alarm_active, std::memory_order_release);
   consecutive_positive_ = snapshot.consecutive_positive;
   consecutive_negative_ = snapshot.consecutive_negative;
   recent_votes_.assign(snapshot.recent_votes.begin(),
                        snapshot.recent_votes.end());
+  recent_confidences_.assign(snapshot.recent_confidences.begin(),
+                             snapshot.recent_confidences.end());
   last_timestamp_us_ = snapshot.last_timestamp_us;
   has_timestamp_ = snapshot.has_timestamp;
   counters_.samples.store(snapshot.samples, std::memory_order_relaxed);
@@ -372,6 +425,34 @@ std::vector<grid::LineId> TenantSession::MajorityLines() const {
   return majority;
 }
 
+std::vector<DetectionResult::OutageHypothesis>
+TenantSession::MajorityOutageSet(
+    const std::vector<grid::LineId>& majority) const {
+  // Mean confidence per majority line over the votes that carried it.
+  // Legacy (single-line) votes store 1.0 per line, so a pure legacy
+  // window reports the majority set with full confidence — callers that
+  // only care about multi-line output key off the detector options.
+  std::vector<DetectionResult::OutageHypothesis> set;
+  if (recent_votes_.empty()) return set;
+  set.reserve(majority.size());
+  for (const grid::LineId& line : majority) {
+    double sum = 0.0;
+    size_t carried = 0;
+    for (size_t v = 0; v < recent_votes_.size(); ++v) {
+      const std::vector<grid::LineId>& vote = recent_votes_[v];
+      for (size_t k = 0; k < vote.size(); ++k) {
+        if (vote[k] == line) {
+          sum += recent_confidences_[v][k];
+          ++carried;
+          break;
+        }
+      }
+    }
+    set.push_back({line, carried > 0 ? sum / carried : 0.0});
+  }
+  return set;
+}
+
 std::vector<std::string> TenantSession::LineNames(
     const OutageDetector& detector,
     const std::vector<grid::LineId>& lines) const {
@@ -402,6 +483,11 @@ Status TenantSnapshot::WriteTo(std::ostream& out) const {
     }
     writer.WriteSizeVector(flat);
   }
+  // Confidence vectors, aligned 1:1 with the votes above (PWSNAP02).
+  writer.WriteU64(recent_confidences.size());
+  for (const std::vector<double>& confidences : recent_confidences) {
+    writer.WriteDoubleVector(confidences);
+  }
   writer.WriteU64(last_timestamp_us);
   writer.WriteBool(has_timestamp);
   writer.WriteU64(samples);
@@ -420,7 +506,7 @@ Result<TenantSnapshot> TenantSnapshot::ReadFrom(std::istream& in) {
   BinaryReader reader(in);
   PW_ASSIGN_OR_RETURN(uint64_t magic, reader.ReadU64());
   if (magic != kSnapshotMagic) {
-    return Status::InvalidArgument("not a PWSNAP01 tenant snapshot");
+    return Status::InvalidArgument("not a PWSNAP02 tenant snapshot");
   }
   TenantSnapshot snapshot;
   PW_ASSIGN_OR_RETURN(snapshot.next_sample_index, reader.ReadU64());
@@ -444,6 +530,21 @@ Result<TenantSnapshot> TenantSnapshot::ReadFrom(std::istream& in) {
       vote.emplace_back(flat[k], flat[k + 1]);
     }
     snapshot.recent_votes.push_back(std::move(vote));
+  }
+  PW_ASSIGN_OR_RETURN(uint64_t num_confidences, reader.ReadU64());
+  if (num_confidences != num_votes) {
+    return Status::InvalidArgument(
+        "tenant snapshot confidence window out of step with its votes");
+  }
+  snapshot.recent_confidences.reserve(num_confidences);
+  for (uint64_t v = 0; v < num_confidences; ++v) {
+    PW_ASSIGN_OR_RETURN(std::vector<double> confidences,
+                        reader.ReadDoubleVector());
+    if (confidences.size() != snapshot.recent_votes[v].size()) {
+      return Status::InvalidArgument(
+          "tenant snapshot vote and its confidences disagree on line count");
+    }
+    snapshot.recent_confidences.push_back(std::move(confidences));
   }
   PW_ASSIGN_OR_RETURN(snapshot.last_timestamp_us, reader.ReadU64());
   PW_ASSIGN_OR_RETURN(snapshot.has_timestamp, reader.ReadBool());

@@ -53,6 +53,12 @@ struct StreamEvent {
   /// Majority-voted candidate lines over the vote window (stable F-hat);
   /// empty while no alarm is active.
   std::vector<grid::LineId> lines;
+  /// Multi-line identification view of `lines`: the same majority-voted
+  /// lines annotated with their mean per-line confidence over the votes
+  /// that carried them. Populated only while an alarm is active AND the
+  /// detector runs with max_outage_lines >= 2 (otherwise raw detections
+  /// carry no outage_set and this stays empty).
+  std::vector<DetectionResult::OutageHypothesis> outage_set;
   /// The raw single-sample detection (for logging/inspection).
   DetectionResult raw;
 };
@@ -75,7 +81,7 @@ struct TenantCounters {
 /// debounce counters, the vote window, the frame watermark, and the
 /// per-tenant tallies — everything needed to resume a tenant's stream
 /// on another engine (failover) minus the model itself, which ships
-/// separately as a PWDET03 file. A session restored from a snapshot
+/// separately as a PWDET04 file. A session restored from a snapshot
 /// and fed the same subsequent frames produces bit-identical events to
 /// the session the snapshot was taken from.
 struct TenantSnapshot {
@@ -85,6 +91,10 @@ struct TenantSnapshot {
   uint64_t consecutive_negative = 0;
   /// Recent positive detections' candidate sets, oldest first.
   std::vector<std::vector<grid::LineId>> recent_votes;
+  /// Per-line confidences aligned 1:1 with `recent_votes` (one entry per
+  /// vote, one confidence per line in that vote). Votes from a
+  /// single-line detector (no outage_set) carry 1.0 for every line.
+  std::vector<std::vector<double>> recent_confidences;
   uint64_t last_timestamp_us = 0;
   bool has_timestamp = false;
   /// TenantCounters values at snapshot time.
@@ -95,7 +105,7 @@ struct TenantSnapshot {
   uint64_t alarms_raised = 0;
   uint64_t alarms_cleared = 0;
 
-  /// Binary round trip (PWSNAP01, little-endian, length-prefixed).
+  /// Binary round trip (PWSNAP02, little-endian, length-prefixed).
   PW_NODISCARD Status WriteTo(std::ostream& out) const;
   PW_NODISCARD static Result<TenantSnapshot> ReadFrom(std::istream& in);
 };
@@ -172,7 +182,7 @@ class TenantSession {
   void Reset();
 
   /// Swaps in a freshly trained/loaded model for the same grid and PMU
-  /// network (e.g. from a PWDET03 file). Safe from any thread, while
+  /// network (e.g. from a PWDET04 file). Safe from any thread, while
   /// the producer runs: the swap is an atomic shared_ptr store, samples
   /// already in flight finish on the model they loaded, and the first
   /// sample after the swap runs on the new model with a cleared batch
@@ -211,6 +221,11 @@ class TenantSession {
   StreamEvent RejectSample(const Status& reason);
 
   std::vector<grid::LineId> MajorityLines() const;
+  /// Annotates the majority lines with their mean confidence over the
+  /// votes that carried them (multi-line detectors only; empty when no
+  /// vote in the window carried confidences).
+  std::vector<DetectionResult::OutageHypothesis> MajorityOutageSet(
+      const std::vector<grid::LineId>& majority) const;
   /// Names for a candidate line set, for event logs ("Bus1-Bus2").
   std::vector<std::string> LineNames(
       const OutageDetector& detector,
@@ -239,6 +254,10 @@ class TenantSession {
   size_t consecutive_positive_ = 0;
   size_t consecutive_negative_ = 0;
   std::deque<std::vector<grid::LineId>> recent_votes_;
+  /// Per-line confidences in lockstep with recent_votes_ (pushed,
+  /// popped, and cleared together). A vote whose raw detection carried
+  /// no outage_set (single-line detector) stores 1.0 per line.
+  std::deque<std::vector<double>> recent_confidences_;
   /// Timestamp of the last accepted frame (ProcessFrame staleness
   /// check). Producer-thread only, like the debounce counters.
   uint64_t last_timestamp_us_ = 0;

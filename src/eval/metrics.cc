@@ -30,4 +30,27 @@ SampleMetrics ScoreSample(const std::vector<grid::LineId>& truth,
   return m;
 }
 
+SetMetrics ScoreSet(const std::vector<grid::LineId>& truth,
+                    const std::vector<grid::LineId>& predicted) {
+  SetMetrics m;
+  if (truth.empty() && predicted.empty()) {
+    m.precision = 1.0;
+    m.recall = 1.0;
+    return m;
+  }
+  if (truth.empty() || predicted.empty()) {
+    return m;  // {0, 0}: a miss, or an identification out of thin air
+  }
+  size_t overlap = 0;
+  for (const grid::LineId& line : predicted) {
+    if (std::find(truth.begin(), truth.end(), line) != truth.end()) {
+      ++overlap;
+    }
+  }
+  m.precision =
+      static_cast<double>(overlap) / static_cast<double>(predicted.size());
+  m.recall = static_cast<double>(overlap) / static_cast<double>(truth.size());
+  return m;
+}
+
 }  // namespace phasorwatch::eval

@@ -19,6 +19,18 @@ struct SampleMetrics {
 SampleMetrics ScoreSample(const std::vector<grid::LineId>& truth,
                           const std::vector<grid::LineId>& predicted);
 
+/// Set-level precision/recall between the true outage set and an
+/// identified set (multi-line identification, docs/ROBUSTNESS.md).
+/// Conventions: both empty -> {1, 1} (correctly silent); one empty and
+/// the other not -> {0, 0} (a miss or a false identification).
+struct SetMetrics {
+  double precision = 0.0;
+  double recall = 0.0;
+};
+
+SetMetrics ScoreSet(const std::vector<grid::LineId>& truth,
+                    const std::vector<grid::LineId>& predicted);
+
 /// Running average over samples.
 class MetricAccumulator {
  public:

@@ -1,0 +1,210 @@
+// Property tests for the multi-line identification layer
+// (docs/ROBUSTNESS.md): randomized outage sets replayed through the
+// anchored residual peeling, checking the invariants the cascade lane
+// and the fleet engine rely on rather than specific identifications.
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "detect/detector.h"
+#include "eval/dataset.h"
+#include "grid/ieee_cases.h"
+#include "sim/measurement.h"
+
+namespace phasorwatch::detect {
+namespace {
+
+class CascadePropertyTest : public ::testing::Test {
+ protected:
+  struct Shared {
+    grid::Grid grid;
+    sim::PmuNetwork network;
+    std::unique_ptr<eval::Dataset> dataset;
+    std::unique_ptr<OutageDetector> legacy;  // max_outage_lines = 1
+    std::unique_ptr<OutageDetector> multi;   // max_outage_lines = 3
+  };
+  static Shared* shared_;
+
+  static void SetUpTestSuite() {
+    auto grid = grid::IeeeCase14();
+    PW_CHECK(grid.ok());
+    auto network = sim::PmuNetwork::Build(*grid, 3);
+    PW_CHECK(network.ok());
+    shared_ = new Shared{std::move(grid).value(), std::move(network).value(),
+                         nullptr, nullptr, nullptr};
+
+    eval::DatasetOptions dopts;
+    dopts.train_states = 16;
+    dopts.train_samples_per_state = 8;
+    dopts.test_states = 4;
+    dopts.test_samples_per_state = 5;
+    auto dataset = eval::BuildDataset(shared_->grid, dopts, 616);
+    PW_CHECK(dataset.ok());
+    shared_->dataset =
+        std::make_unique<eval::Dataset>(std::move(dataset).value());
+
+    TrainingData training;
+    training.normal = &shared_->dataset->normal.train;
+    for (const auto& c : shared_->dataset->outages) {
+      training.case_lines.push_back(c.line);
+      training.outage.push_back(&c.train);
+    }
+    DetectorOptions opts;
+    auto legacy = OutageDetector::Train(shared_->grid, shared_->network,
+                                        training, opts);
+    PW_CHECK(legacy.ok());
+    shared_->legacy =
+        std::make_unique<OutageDetector>(std::move(legacy).value());
+
+    DetectorOptions multi_opts = opts;
+    multi_opts.max_outage_lines = 3;
+    auto multi = OutageDetector::Train(shared_->grid, shared_->network,
+                                       training, multi_opts);
+    PW_CHECK(multi.ok());
+    shared_->multi =
+        std::make_unique<OutageDetector>(std::move(multi).value());
+  }
+
+  static void TearDownTestSuite() {
+    delete shared_;
+    shared_ = nullptr;
+  }
+
+  /// A simulated measurement block with `count` random trained lines
+  /// out simultaneously, or nullopt when the sampled topology does not
+  /// solve (islanded or power flow diverged).
+  static std::optional<sim::PhasorDataSet> RandomOutageBlock(Rng& rng,
+                                                            size_t count) {
+    const auto& cases = shared_->dataset->outages;
+    std::set<size_t> picks;
+    while (picks.size() < count) {
+      picks.insert(rng.UniformInt(cases.size()));
+    }
+    grid::Grid topology = shared_->grid;
+    for (size_t c : picks) {
+      auto next = topology.WithLineOut(cases[c].line);
+      if (!next.ok()) return std::nullopt;
+      topology = std::move(next).value();
+    }
+    sim::SimulationOptions sim_opts;
+    sim_opts.load.num_states = 1;
+    sim_opts.samples_per_state = 2;
+    Rng sim_rng = rng.Fork();
+    auto data = sim::SimulateMeasurements(topology, sim_opts, sim_rng);
+    if (!data.ok()) return std::nullopt;
+    return std::move(data).value();
+  }
+};
+
+CascadePropertyTest::Shared* CascadePropertyTest::shared_ = nullptr;
+
+// The peeling loop terminates within max_outage_lines no matter how
+// many lines are actually out, every identified line is a trained case
+// taken at most once, and `lines` mirrors `outage_set` exactly.
+TEST_F(CascadePropertyTest, PeelingTerminatesWithinBudget) {
+  Rng rng(0xCA5CADE5);
+  size_t runs = 0;
+  for (size_t trial = 0; trial < 64; ++trial) {
+    const size_t count = 1 + rng.UniformInt(3);  // 1..3 lines out
+    auto block = RandomOutageBlock(rng, count);
+    if (!block.has_value()) continue;
+    for (size_t t = 0; t < block->num_samples(); ++t) {
+      auto [vm, va] = block->Sample(t);
+      auto result = shared_->multi->Detect(vm, va);
+      ASSERT_TRUE(result.ok());
+      if (!result->outage_detected) continue;
+      ++runs;
+      ASSERT_GE(result->outage_set.size(), 1u);
+      ASSERT_LE(result->outage_set.size(), 3u);
+      ASSERT_EQ(result->lines.size(), result->outage_set.size());
+      std::set<grid::LineId> seen;
+      for (size_t i = 0; i < result->outage_set.size(); ++i) {
+        EXPECT_EQ(result->lines[i], result->outage_set[i].line);
+        EXPECT_TRUE(seen.insert(result->outage_set[i].line).second)
+            << "line identified twice";
+        const auto& cases = shared_->dataset->outages;
+        EXPECT_TRUE(std::any_of(cases.begin(), cases.end(),
+                                [&](const auto& c) {
+                                  return c.line == result->outage_set[i].line;
+                                }))
+            << "identified line was never trained";
+      }
+    }
+  }
+  // The sampler must actually exercise the invariant.
+  EXPECT_GE(runs, 64u);
+}
+
+// On the single-outage training corpus the multi-line detector is a
+// strict extension of the legacy one: whenever the legacy detector's
+// primary line is the true line, the peeling anchors on that same line
+// and — because every tau(c | t) is the maximum spurious delta observed
+// on exactly this corpus plus a margin — accepts nothing further. The
+// singleton set matches the legacy identification by construction.
+TEST_F(CascadePropertyTest, SingleOutageYieldsLegacySingleton) {
+  size_t checked = 0;
+  for (const auto& outage : shared_->dataset->outages) {
+    for (size_t t = 0; t < outage.train.num_samples(); ++t) {
+      auto [vm, va] = outage.train.Sample(t);
+      auto legacy = shared_->legacy->Detect(vm, va);
+      auto multi = shared_->multi->Detect(vm, va);
+      ASSERT_TRUE(legacy.ok());
+      ASSERT_TRUE(multi.ok());
+      ASSERT_EQ(legacy->outage_detected, multi->outage_detected);
+      EXPECT_TRUE(legacy->outage_set.empty());  // legacy never populates
+      if (!legacy->outage_detected) continue;
+      ASSERT_FALSE(legacy->lines.empty());
+      // The gate/screen layers are shared verbatim.
+      EXPECT_EQ(legacy->decision_score, multi->decision_score);
+      EXPECT_EQ(legacy->screened_nodes, multi->screened_nodes);
+      // Anchoring reports exactly the legacy primary line first.
+      ASSERT_FALSE(multi->outage_set.empty());
+      EXPECT_EQ(multi->outage_set.front().line, legacy->lines.front());
+      if (legacy->lines.front() != outage.line) continue;
+      ++checked;
+      EXPECT_EQ(multi->outage_set.size(), 1u)
+          << "phantom second line on a calibration sample";
+      EXPECT_EQ(multi->lines.size(), 1u);
+    }
+  }
+  // The corpus must supply plenty of anchored-on-truth samples.
+  EXPECT_GE(checked, 1000u);
+}
+
+// Per-line confidences are in [0, 1] and monotone non-increasing in
+// peeling order: each later line is conditioned on every earlier one
+// being real, so it can never be more certain.
+TEST_F(CascadePropertyTest, SetConfidenceMonotoneNonIncreasing) {
+  Rng rng(0xCA5CADE6);
+  size_t multis = 0;
+  for (size_t trial = 0; trial < 48; ++trial) {
+    const size_t count = 2 + rng.UniformInt(2);  // 2..3 lines out
+    auto block = RandomOutageBlock(rng, count);
+    if (!block.has_value()) continue;
+    for (size_t t = 0; t < block->num_samples(); ++t) {
+      auto [vm, va] = block->Sample(t);
+      auto result = shared_->multi->Detect(vm, va);
+      ASSERT_TRUE(result.ok());
+      if (result->outage_set.size() >= 2) ++multis;
+      double prev = 1.0;
+      for (const auto& hypothesis : result->outage_set) {
+        EXPECT_GE(hypothesis.confidence, 0.0);
+        EXPECT_LE(hypothesis.confidence, 1.0);
+        EXPECT_LE(hypothesis.confidence, prev);
+        prev = hypothesis.confidence;
+      }
+    }
+  }
+  // The invariant must be exercised on actual multi-line sets.
+  EXPECT_GE(multis, 16u);
+}
+
+}  // namespace
+}  // namespace phasorwatch::detect

@@ -8,6 +8,7 @@
 #include "detect/detector.h"
 #include "detect/stream.h"
 #include "grid/ieee_cases.h"
+#include "sim/fault_injection.h"
 
 namespace phasorwatch::detect {
 namespace {
@@ -24,6 +25,9 @@ class DetectBatchTest : public ::testing::Test {
     std::vector<grid::LineId> lines;
     std::vector<sim::PhasorDataSet> outage_test;
     std::unique_ptr<OutageDetector> detector;
+    /// Same training corpus with max_outage_lines = 2: DetectBatch must
+    /// amortize the peeling layer bit-exactly too.
+    std::unique_ptr<OutageDetector> multi_detector;
   };
 
   static Shared* shared_;
@@ -69,6 +73,7 @@ class DetectBatchTest : public ::testing::Test {
                          std::move(normal_test).value(),
                          std::move(lines),
                          std::move(outage_test),
+                         nullptr,
                          nullptr};
     TrainingData data;
     data.normal = &*normal_train;
@@ -79,6 +84,14 @@ class DetectBatchTest : public ::testing::Test {
     PW_CHECK_MSG(detector.ok(), detector.status().ToString().c_str());
     shared_->detector =
         std::make_unique<OutageDetector>(std::move(detector).value());
+
+    DetectorOptions multi_opts;
+    multi_opts.max_outage_lines = 2;
+    auto multi = OutageDetector::Train(shared_->grid, shared_->network, data,
+                                       multi_opts);
+    PW_CHECK_MSG(multi.ok(), multi.status().ToString().c_str());
+    shared_->multi_detector =
+        std::make_unique<OutageDetector>(std::move(multi).value());
   }
 
   static void TearDownTestSuite() {
@@ -132,6 +145,14 @@ class DetectBatchTest : public ::testing::Test {
     for (size_t i = 0; i < a.node_scores.size(); ++i) {
       EXPECT_EQ(a.node_scores[i], b.node_scores[i]);
     }
+    EXPECT_EQ(a.screened_nodes, b.screened_nodes);
+    // The multi-line identification (empty on a legacy detector) must
+    // match line-for-line with bit-equal confidences.
+    ASSERT_EQ(a.outage_set.size(), b.outage_set.size());
+    for (size_t i = 0; i < a.outage_set.size(); ++i) {
+      EXPECT_EQ(a.outage_set[i].line, b.outage_set[i].line);
+      EXPECT_EQ(a.outage_set[i].confidence, b.outage_set[i].confidence);
+    }
   }
 };
 
@@ -153,6 +174,75 @@ TEST_F(DetectBatchTest, BatchMatchesPerSampleDetectBitExact) {
     ASSERT_TRUE(single.ok()) << single.status().ToString();
     ExpectSameResult((*batched)[i], *single, i);
   }
+}
+
+TEST_F(DetectBatchTest, MultiOutageBatchMatchesPerSampleDetect) {
+  std::vector<Sample> samples = MixedSamples();
+  std::vector<OutageDetector::BatchSample> batch;
+  batch.reserve(samples.size());
+  for (const Sample& s : samples) batch.push_back({&s.vm, &s.va, &s.mask});
+
+  auto batched = shared_->multi_detector->DetectBatch(batch);
+  ASSERT_TRUE(batched.ok()) << batched.status().ToString();
+  ASSERT_EQ(batched->size(), samples.size());
+
+  size_t identified = 0;
+  for (size_t i = 0; i < samples.size(); ++i) {
+    auto single = shared_->multi_detector->Detect(samples[i].vm, samples[i].va,
+                                                  samples[i].mask);
+    ASSERT_TRUE(single.ok()) << single.status().ToString();
+    ExpectSameResult((*batched)[i], *single, i);
+    identified += (*batched)[i].outage_set.size();
+  }
+  // The parity must cover actual peeling runs, not a batch of quiets.
+  EXPECT_GE(identified, samples.size() / 2);
+}
+
+TEST_F(DetectBatchTest, MultiOutageBatchMatchesPerSampleUnderFaults) {
+  // Corrupt an outage stream with the deterministic injector (gross
+  // spikes, frozen channels, non-finite values) and pin batch == single
+  // on the multi-line detector: the peeling layer must stay a pure
+  // amortization even when the bad-data screen is shrinking the
+  // coordinate set underneath it.
+  const size_t n = shared_->grid.num_buses();
+  sim::PhasorDataSet corrupted = shared_->outage_test[0];
+  const size_t num_samples = corrupted.num_samples();
+  sim::FaultScheduleOptions fopts;
+  fopts.gross_errors = 4;
+  fopts.frozen_channels = 2;
+  fopts.non_finite = 2;
+  fopts.window = 3;
+  auto schedule = sim::MakeRandomFaultSchedule(fopts, n, num_samples, 424242);
+  ASSERT_TRUE(schedule.ok());
+  auto injector =
+      sim::FaultInjector::Create(std::move(schedule).value(), n, num_samples,
+                                 424242);
+  ASSERT_TRUE(injector.ok());
+  std::vector<sim::MissingMask> masks;
+  ASSERT_TRUE(injector->ApplyToDataSet(&corrupted, &masks).ok());
+
+  std::vector<Sample> samples;
+  for (size_t t = 0; t < num_samples; ++t) {
+    auto [vm, va] = corrupted.Sample(t);
+    samples.push_back({vm, va, masks[t]});
+  }
+  std::vector<OutageDetector::BatchSample> batch;
+  batch.reserve(samples.size());
+  for (const Sample& s : samples) batch.push_back({&s.vm, &s.va, &s.mask});
+
+  auto batched = shared_->multi_detector->DetectBatch(batch);
+  ASSERT_TRUE(batched.ok()) << batched.status().ToString();
+  ASSERT_EQ(batched->size(), samples.size());
+  size_t screened = 0;
+  for (size_t i = 0; i < samples.size(); ++i) {
+    auto single = shared_->multi_detector->Detect(samples[i].vm, samples[i].va,
+                                                  samples[i].mask);
+    ASSERT_TRUE(single.ok()) << single.status().ToString();
+    ExpectSameResult((*batched)[i], *single, i);
+    screened += (*batched)[i].screened_nodes;
+  }
+  // The schedule must actually have driven the screen.
+  EXPECT_GT(screened, 0u);
 }
 
 TEST_F(DetectBatchTest, BatchIsIndependentOfSampleOrder) {

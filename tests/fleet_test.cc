@@ -279,7 +279,7 @@ TEST_F(FleetTest, SnapshotReadRejectsCorruptStream) {
   std::stringstream buffer;
   ASSERT_TRUE(snapshot.WriteTo(buffer).ok());
   std::string bytes = buffer.str();
-  bytes[0] ^= 0xff;  // break the PWSNAP01 magic
+  bytes[0] ^= 0xff;  // break the PWSNAP02 magic
   std::stringstream corrupt(bytes);
   auto result = TenantSnapshot::ReadFrom(corrupt);
   EXPECT_FALSE(result.ok());
@@ -309,7 +309,7 @@ TEST_F(FleetTest, HotReloadSwapsModelAndKeepsDebounceState) {
   engine.Flush();
   ASSERT_TRUE(engine.session(*tenant).alarm_active());
 
-  // Clone the model through the PWDET03 round trip and hot-swap it.
+  // Clone the model through the PWDET04 round trip and hot-swap it.
   std::stringstream buffer;
   ASSERT_TRUE(shared_->detector->Save(buffer).ok());
   auto clone = OutageDetector::Load(buffer, shared_->grid, shared_->network);

@@ -16,6 +16,7 @@
 
 #include <gtest/gtest.h>
 
+#include "eval/cascade.h"
 #include "eval/experiments.h"
 #include "grid/grid.h"
 #include "grid/ieee_cases.h"
@@ -77,6 +78,74 @@ TEST(GoldenRegressionTest, Ieee14ScenarioTableIsByteStable) {
 
   const std::string path =
       std::string(PW_GOLDEN_DIR) + "/ieee14_scenarios.txt";
+  if (std::getenv("PW_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    ASSERT_TRUE(out.good());
+    GTEST_SKIP() << "golden reference regenerated at " << path;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good())
+      << "missing golden reference " << path
+      << " — run with PW_UPDATE_GOLDEN=1 to create it";
+  std::stringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(expected.str(), actual)
+      << "golden table drifted; if the change is intentional, regenerate "
+         "with PW_UPDATE_GOLDEN=1";
+}
+
+// Cascade-lane golden: the three seeded multi-stage scenarios
+// (eval::DefaultCascadeScenarios) replayed through a multi-line
+// detector (max_outage_lines = 2), per-stage scores printed at full
+// precision. The whole chain — staged topology patches, ramped power
+// flow, fault injection, bad-data screening, anchored residual peeling,
+// debounced sessions — is bit-deterministic, so any byte difference is
+// a behavior change in one of those layers.
+TEST(GoldenRegressionTest, Ieee14CascadeTableIsByteStable) {
+  auto grid = grid::IeeeCase14();
+  ASSERT_TRUE(grid.ok());
+
+  DatasetOptions dopts;
+  dopts.train_states = 8;
+  dopts.train_samples_per_state = 6;
+  dopts.test_states = 4;
+  dopts.test_samples_per_state = 6;
+  auto dataset = BuildDataset(*grid, dopts, 4242);
+  ASSERT_TRUE(dataset.ok()) << dataset.status().ToString();
+
+  ExperimentOptions options;
+  options.mlr.epochs = 20;  // baselines unused by the cascade replay
+  options.detector.max_outage_lines = 2;
+  auto methods = TrainedMethods::Train(*dataset, options);
+  ASSERT_TRUE(methods.ok()) << methods.status().ToString();
+
+  std::string actual =
+      "# phasorwatch golden: IEEE-14 cascade table, dataset seed 4242\n"
+      "# regenerate: PW_UPDATE_GOLDEN=1 ./build/tests/golden_regression_test\n";
+  for (const CascadeScenario& scenario : DefaultCascadeScenarios(*dataset)) {
+    auto scores = RunCascadeScenario(*dataset, *methods, scenario);
+    ASSERT_TRUE(scores.ok()) << scores.status().ToString();
+    for (const CascadeStageScore& s : *scores) {
+      char buffer[320];
+      std::snprintf(
+          buffer, sizeof(buffer),
+          "scenario=%s stage=%zu:%s samples=%zu ttd=%lld precision=%.17g "
+          "recall=%.17g accuracy=%.17g faults=%llu rejected=%llu "
+          "screened=%llu\n",
+          s.scenario.c_str(), s.stage_index, s.stage.c_str(), s.samples,
+          static_cast<long long>(s.time_to_detect), s.set_precision,
+          s.set_recall, s.localization_accuracy,
+          static_cast<unsigned long long>(s.faults_injected),
+          static_cast<unsigned long long>(s.samples_rejected),
+          static_cast<unsigned long long>(s.screened_nodes));
+      actual += buffer;
+    }
+  }
+
+  const std::string path = std::string(PW_GOLDEN_DIR) + "/ieee14_cascades.txt";
   if (std::getenv("PW_UPDATE_GOLDEN") != nullptr) {
     std::ofstream out(path, std::ios::binary);
     ASSERT_TRUE(out.good()) << "cannot write " << path;

@@ -103,6 +103,48 @@ TEST_F(ModelIoTest, SaveLoadRoundTripPreservesDecisions) {
   EXPECT_EQ(a->outage_detected, b->outage_detected);
 }
 
+TEST_F(ModelIoTest, MultiLineRoundTripPreservesOutageSets) {
+  // PWDET04 carries the multi-line options and the calibrated
+  // per-(candidate, anchor) peel thresholds; a reloaded detector must
+  // peel bit-identically, not just gate identically.
+  TrainingData training;
+  training.normal = &shared_->dataset->normal.train;
+  for (const auto& c : shared_->dataset->outages) {
+    training.case_lines.push_back(c.line);
+    training.outage.push_back(&c.train);
+  }
+  DetectorOptions opts;
+  opts.max_outage_lines = 2;
+  auto multi = OutageDetector::Train(shared_->grid, shared_->network,
+                                     training, opts);
+  ASSERT_TRUE(multi.ok()) << multi.status().ToString();
+
+  std::stringstream buffer;
+  ASSERT_TRUE(multi->Save(buffer).ok());
+  auto loaded = OutageDetector::Load(buffer, shared_->grid, shared_->network);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  size_t identified = 0;
+  for (size_t c = 0; c < 5 && c < shared_->dataset->outages.size(); ++c) {
+    const auto& outage = shared_->dataset->outages[c];
+    for (size_t t = 0; t < 4; ++t) {
+      auto [vm, va] = outage.test.Sample(t);
+      auto a = multi->Detect(vm, va);
+      auto b = loaded->Detect(vm, va);
+      ASSERT_TRUE(a.ok());
+      ASSERT_TRUE(b.ok());
+      EXPECT_EQ(a->outage_detected, b->outage_detected);
+      ASSERT_EQ(a->outage_set.size(), b->outage_set.size());
+      for (size_t k = 0; k < a->outage_set.size(); ++k) {
+        EXPECT_EQ(a->outage_set[k].line, b->outage_set[k].line);
+        EXPECT_EQ(a->outage_set[k].confidence, b->outage_set[k].confidence);
+      }
+      identified += a->outage_set.size();
+    }
+  }
+  EXPECT_GT(identified, 0u);
+}
+
 TEST_F(ModelIoTest, FileRoundTrip) {
   std::string path = ::testing::TempDir() + "/pw_model.bin";
   ASSERT_TRUE(shared_->detector->SaveToFile(path).ok());
@@ -196,7 +238,7 @@ TEST_F(ModelIoTest, GarbageAfterValidHeaderReturnsStatus) {
   // first implausible field instead of trusting embedded lengths.
   std::stringstream buffer;
   BinaryWriter w(buffer);
-  w.WriteU64(0x5057444554303300ull);  // current magic ("PWDET03\0")
+  w.WriteU64(0x5057444554303400ull);  // current magic ("PWDET04\0")
   for (size_t i = 0; i < 4096; ++i) {
     buffer.put(static_cast<char>(i * 37 + 11));
   }
@@ -221,15 +263,16 @@ TEST_F(ModelIoTest, EmptyFileReturnsStatus) {
 }
 
 TEST_F(ModelIoTest, OldFormatVersionRejected) {
-  // PWDET02 files predate the screening options; they must be refused
-  // as unreadable, not misparsed into a detector with garbage options.
+  // PWDET03 files predate the multi-line identification options; they
+  // must be refused as unreadable, not misparsed into a detector with
+  // garbage options.
   std::stringstream buffer;
   ASSERT_TRUE(shared_->detector->Save(buffer).ok());
   std::string full = buffer.str();
-  // The magic is a little-endian u64 of "PWDET03\0"; the version digit
-  // '3' lands at byte 1 of the stream.
-  ASSERT_EQ(full[1], '3');
-  full[1] = '2';
+  // The magic is a little-endian u64 of "PWDET04\0"; the version digit
+  // '4' lands at byte 1 of the stream.
+  ASSERT_EQ(full[1], '4');
+  full[1] = '3';
   std::stringstream in(full);
   auto loaded = OutageDetector::Load(in, shared_->grid, shared_->network);
   EXPECT_FALSE(loaded.ok());
